@@ -1,0 +1,36 @@
+GO ?= go
+
+.PHONY: all build test race bench figures examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime 1x ./...
+
+fuzz:
+	$(GO) test ./internal/document/ -fuzz FuzzParse -fuzztime 30s
+
+figures:
+	$(GO) run ./cmd/sfj-experiments -figure all -scale full
+
+figures-quick:
+	$(GO) run ./cmd/sfj-experiments -figure all -scale quick
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/serverlogs
+	$(GO) run ./examples/distributed
+	$(GO) run ./examples/nobench
+	$(GO) run ./examples/eventtime
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,261 @@
+// Package repro's root benchmark harness: one testing.B benchmark per
+// evaluation figure of the paper, plus ablation benches for the design
+// choices DESIGN.md calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The figure benches exercise the same code paths as
+// cmd/sfj-experiments, at a reduced size so a full -bench pass stays
+// tractable; the printed experiment tables come from the command, the
+// benches track the cost of regenerating them.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/document"
+	"repro/internal/experiments"
+	"repro/internal/fptree"
+	"repro/internal/join"
+	"repro/internal/partition"
+)
+
+// benchScale keeps benchmark iterations affordable.
+func benchScale() experiments.Scale {
+	sc := experiments.QuickScale()
+	sc.FPJDocs = []int{2000}
+	sc.BaselineDocs = []int{500}
+	return sc
+}
+
+func benchFigure(b *testing.B, id string) {
+	sc := benchScale()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// A fresh seed per iteration defeats the experiment cache, so
+		// every iteration regenerates the figure from scratch.
+		sc.Seed = int64(1000 + i)
+		if _, err := experiments.ByID(id, sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Figures 6a-6d: replication sweeps.
+func BenchmarkFig6aReplicationPartitionsRW(b *testing.B) { benchFigure(b, "6a") }
+func BenchmarkFig6bReplicationWindowRW(b *testing.B)     { benchFigure(b, "6b") }
+func BenchmarkFig6cReplicationPartitionsNB(b *testing.B) { benchFigure(b, "6c") }
+func BenchmarkFig6dReplicationWindowNB(b *testing.B)     { benchFigure(b, "6d") }
+
+// Figures 7a-7d: load balance sweeps.
+func BenchmarkFig7aLoadBalancePartitionsRW(b *testing.B) { benchFigure(b, "7a") }
+func BenchmarkFig7bLoadBalanceWindowRW(b *testing.B)     { benchFigure(b, "7b") }
+func BenchmarkFig7cLoadBalancePartitionsNB(b *testing.B) { benchFigure(b, "7c") }
+func BenchmarkFig7dLoadBalanceWindowNB(b *testing.B)     { benchFigure(b, "7d") }
+
+// Figures 8a-8d: maximal processing load sweeps.
+func BenchmarkFig8aMaxLoadPartitionsRW(b *testing.B) { benchFigure(b, "8a") }
+func BenchmarkFig8bMaxLoadWindowRW(b *testing.B)     { benchFigure(b, "8b") }
+func BenchmarkFig8cMaxLoadPartitionsNB(b *testing.B) { benchFigure(b, "8c") }
+func BenchmarkFig8dMaxLoadWindowNB(b *testing.B)     { benchFigure(b, "8d") }
+
+// Figures 9a-9b: repartition threshold sweeps.
+func BenchmarkFig9aRepartitionsRW(b *testing.B) { benchFigure(b, "9a") }
+func BenchmarkFig9bRepartitionsNB(b *testing.B) { benchFigure(b, "9b") }
+
+// Figures 10a-10c: ideal execution.
+func BenchmarkFig10aIdealReplication(b *testing.B) { benchFigure(b, "10a") }
+func BenchmarkFig10bIdealLoadBalance(b *testing.B) { benchFigure(b, "10b") }
+func BenchmarkFig10cIdealMaxLoad(b *testing.B)     { benchFigure(b, "10c") }
+
+// Figures 11a-11d: local join execution time. These benches measure
+// the join engines directly, which is what the figure reports.
+func benchJoinEngine(b *testing.B, dataset, engine string, n int) {
+	gen, _ := datagen.ByName(dataset, 42)
+	docs := gen.Window(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, err := join.New(engine)
+		if err != nil {
+			b.Fatal(err)
+		}
+		join.Batch(eng, docs)
+	}
+}
+
+func BenchmarkFig11aFPJServerLog(b *testing.B) { benchJoinEngine(b, "rwData", "FPJ", 5000) }
+func BenchmarkFig11bFPJNoBench(b *testing.B)   { benchJoinEngine(b, "nbData", "FPJ", 5000) }
+func BenchmarkFig11cNLJServerLog(b *testing.B) { benchJoinEngine(b, "rwData", "NLJ", 1000) }
+func BenchmarkFig11cHBJServerLog(b *testing.B) { benchJoinEngine(b, "rwData", "HBJ", 1000) }
+func BenchmarkFig11dNLJNoBench(b *testing.B)   { benchJoinEngine(b, "nbData", "NLJ", 1000) }
+func BenchmarkFig11dHBJNoBench(b *testing.B)   { benchJoinEngine(b, "nbData", "HBJ", 1000) }
+
+// --- Ablations -------------------------------------------------------
+
+// BenchmarkAblationAttributeOrder compares the paper's global attribute
+// ordering (document frequency descending, distinct values ascending)
+// against an adversarial first-appearance ordering for FP-tree probes.
+func BenchmarkAblationAttributeOrder(b *testing.B) {
+	gen := datagen.NewServerLog(42)
+	docs := gen.Window(3000)
+	b.Run("paper-order", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tree := fptree.Build(docs)
+			for _, d := range docs {
+				tree.JoinPartners(d)
+			}
+		}
+	})
+	b.Run("appearance-order", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tree := fptree.New(fptree.EmptyOrder())
+			for _, d := range docs {
+				tree.Insert(d)
+			}
+			for _, d := range docs {
+				tree.JoinPartners(d)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationFPJBatch compares probe-then-insert streaming
+// execution against build-then-probe batch execution of the FP-tree
+// join.
+func BenchmarkAblationFPJBatch(b *testing.B) {
+	docs := datagen.NewServerLog(42).Window(3000)
+	b.Run("probe-then-insert", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			join.Batch(join.NewFPJFromDocs(docs), docs)
+		}
+	})
+	b.Run("build-then-probe", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tree := fptree.Build(docs)
+			for _, d := range docs {
+				tree.JoinPartners(d)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationExpansion measures the partitioning with and without
+// attribute-value expansion on the Boolean-dominated NoBench data; the
+// non-expanded variant cannot fill the partitions (correctness is
+// covered by tests, the bench tracks the cost of the expansion pass).
+func BenchmarkAblationExpansion(b *testing.B) {
+	docs := datagen.NewNoBench(42).Window(2000)
+	for _, mode := range []core.ExpansionMode{core.ExpansionOff, core.ExpansionAuto} {
+		b.Run(mode.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				core.PlanPartitions(docs, 8, partition.AssociationGroups{}, mode)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPartitioners compares the three partitioning
+// algorithms head to head on identical input.
+func BenchmarkAblationPartitioners(b *testing.B) {
+	docs := datagen.NewServerLog(42).Window(2000)
+	for _, p := range []partition.Partitioner{
+		partition.AssociationGroups{}, partition.SetCover{}, partition.DisjointSets{},
+	} {
+		b.Run(p.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p.Partition(docs, 8)
+			}
+		})
+	}
+}
+
+// BenchmarkJoinableClassify tracks the hot pair-comparison kernel.
+func BenchmarkJoinableClassify(b *testing.B) {
+	docs := datagen.NewServerLog(42).Window(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		document.Joinable(docs[i%256], docs[(i+37)%256])
+	}
+}
+
+// BenchmarkSystemEndToEnd tracks the whole topology (the unit the
+// paper's cluster runs per window set).
+func BenchmarkSystemEndToEnd(b *testing.B) {
+	for _, engine := range []string{"FPJ", "HBJ"} {
+		b.Run(engine, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, err := core.Run(core.Config{
+					M: 4, Creators: 2, Assigners: 2,
+					WindowSize: 300, Windows: 3, Engine: engine,
+					Source: datagen.NewServerLog(int64(i)),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFPTreeInsert tracks raw insert throughput (one window's
+// worth of documents per tree, matching the tumbling-window lifecycle).
+func BenchmarkFPTreeInsert(b *testing.B) {
+	docs := datagen.NewServerLog(42).Window(4096)
+	order := fptree.NewOrderFromDocs(docs)
+	tree := fptree.New(order)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%4096 == 0 {
+			tree.Reset()
+		}
+		tree.Insert(docs[i%4096])
+	}
+}
+
+var benchSink int
+
+// BenchmarkDocumentParse tracks JSON-to-document decoding.
+func BenchmarkDocumentParse(b *testing.B) {
+	payload := []byte(`{"User":"A","Severity":"Warning","MsgId":2,"nested":{"x":1,"y":"z"}}`)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d, err := document.Parse(uint64(i), payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink += d.Len()
+	}
+}
+
+// BenchmarkAblationRouting compares the paper's partition-based routing
+// against the hash-pairs baseline its related work dismisses: the whole
+// topology runs under each policy on the same stream.
+func BenchmarkAblationRouting(b *testing.B) {
+	for _, routing := range []core.Routing{core.PartitionRouting, core.HashPairsRouting} {
+		b.Run(routing.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, err := core.Run(core.Config{
+					M: 4, Creators: 2, Assigners: 2,
+					WindowSize: 300, Windows: 3, Routing: routing,
+					Source: datagen.NewServerLog(int64(i)),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

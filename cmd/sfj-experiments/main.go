@@ -1,0 +1,68 @@
+// Command sfj-experiments regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	sfj-experiments -figure 6a          # one figure
+//	sfj-experiments -figure all         # every figure, paper order
+//	sfj-experiments -figure 11c -scale quick
+//
+// Figures 6-8 sweep the AG/SC/DS partitioners over m and w on both
+// datasets; figure 9 sweeps the repartitioning threshold; figure 10 is
+// the ideal execution; figure 11 times the local join algorithms.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		figure = flag.String("figure", "all", "figure id (6a..11d) or 'all'")
+		scale  = flag.String("scale", "full", "experiment scale: full or quick")
+		seed   = flag.Int64("seed", 42, "generator seed")
+		chart  = flag.Bool("chart", false, "render figures as ASCII bar charts")
+	)
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scale {
+	case "full":
+		sc = experiments.FullScale()
+	case "quick":
+		sc = experiments.QuickScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want full or quick)\n", *scale)
+		os.Exit(2)
+	}
+	sc.Seed = *seed
+
+	if *figure == "all" {
+		figs, err := experiments.All(sc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, f := range figs {
+			fmt.Println(render(f, *chart))
+		}
+		return
+	}
+	f, err := experiments.ByID(*figure, sc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\navailable: %s\n", err, strings.Join(experiments.IDs(), " "))
+		os.Exit(1)
+	}
+	fmt.Println(render(f, *chart))
+}
+
+func render(f *experiments.Figure, chart bool) string {
+	if chart {
+		return f.RenderChart()
+	}
+	return f.Render()
+}

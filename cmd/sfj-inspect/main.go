@@ -1,0 +1,146 @@
+// Command sfj-inspect analyses a document stream the way the system's
+// components see it: attribute statistics, the association-group
+// structure the AG partitioner finds, the attribute-value expansion the
+// analysis would apply, and the FP-tree shape the Joiners would build.
+//
+//	sfj-inspect -dataset rwData -n 2000 -m 8
+//	sfj-datagen -dataset nbData -n 1000 | sfj-inspect -input - -m 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/datagen"
+	"repro/internal/document"
+	"repro/internal/expansion"
+	"repro/internal/fptree"
+	"repro/internal/join"
+	"repro/internal/partition"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "rwData", "dataset: rwData or nbData")
+		input   = flag.String("input", "", "read JSON lines from file ('-' = stdin) instead of a generator")
+		n       = flag.Int("n", 2000, "number of documents to analyse")
+		m       = flag.Int("m", 8, "number of partitions to plan for")
+		seed    = flag.Int64("seed", 42, "generator seed")
+		topK    = flag.Int("top", 10, "how many attributes to list")
+	)
+	flag.Parse()
+
+	docs, err := load(*dataset, *input, *n, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(docs) == 0 {
+		fmt.Fprintln(os.Stderr, "no documents")
+		os.Exit(1)
+	}
+
+	fmt.Printf("=== %d documents ===\n\n", len(docs))
+	printAttrStats(docs, *topK)
+	printExpansion(docs, *m)
+	printAssociationGroups(docs, *m)
+	printTree(docs)
+	printJoinDensity(docs)
+}
+
+func load(dataset, input string, n int, seed int64) ([]document.Document, error) {
+	if input != "" {
+		f := os.Stdin
+		if input != "-" {
+			var err error
+			f, err = os.Open(input)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+		}
+		src := datagen.NewReaderSource(input, f)
+		docs := src.Window(n)
+		return docs, src.Err()
+	}
+	gen, ok := datagen.ByName(dataset, seed)
+	if !ok {
+		return nil, fmt.Errorf("unknown dataset %q", dataset)
+	}
+	return gen.Window(n), nil
+}
+
+func printAttrStats(docs []document.Document, topK int) {
+	stats := document.CollectAttrStats(docs)
+	order := stats.Order()
+	fmt.Printf("--- attributes (%d total; global FP-tree order) ---\n", len(order))
+	fmt.Printf("%-24s %10s %10s %10s\n", "attribute", "docs", "coverage", "distinct")
+	for i, a := range order {
+		if i == topK {
+			fmt.Printf("  ... %d more\n", len(order)-topK)
+			break
+		}
+		fmt.Printf("%-24s %10d %9.1f%% %10d\n",
+			a, stats.DocCount[a], 100*float64(stats.DocCount[a])/float64(stats.TotalDocs), stats.Distinct[a])
+	}
+	ub := stats.Ubiquitous()
+	fmt.Printf("ubiquitous attributes: %d %v\n\n", len(ub), ub)
+}
+
+func printExpansion(docs []document.Document, m int) {
+	fmt.Printf("--- attribute-value expansion (m=%d) ---\n", m)
+	if spec := expansion.Analyze(docs, m); spec != nil {
+		fmt.Printf("required: %s\n", spec)
+		fmt.Printf("expected replication from missing components: %.2f\n\n", spec.ExpectedReplication(m))
+		return
+	}
+	fmt.Printf("not required: no disabling attribute (ubiquitous with < %d values)\n\n", m)
+}
+
+func printAssociationGroups(docs []document.Document, m int) {
+	spec := expansion.Analyze(docs, m)
+	transformed := spec.ApplyBatch(docs)
+	groups := partition.AssociationGroups{}.Groups(transformed)
+	sort.Slice(groups, func(i, j int) bool { return groups[i].Load > groups[j].Load })
+	fmt.Printf("--- association groups: %d ---\n", len(groups))
+	show := 5
+	if show > len(groups) {
+		show = len(groups)
+	}
+	for i := 0; i < show; i++ {
+		g := groups[i]
+		fmt.Printf("  load=%-6d pairs=%-4d sample=%v\n", g.Load, len(g.Pairs), sample(g, 3))
+	}
+	tbl := partition.AssignGroups(groups, m)
+	st := partition.Evaluate(tbl, transformed)
+	fmt.Printf("planned %d partitions: %s\n\n", m, st)
+}
+
+func sample(g partition.AssocGroup, k int) []string {
+	var out []string
+	for _, p := range g.Pairs.Sorted() {
+		if len(out) == k {
+			break
+		}
+		out = append(out, p.String())
+	}
+	return out
+}
+
+func printTree(docs []document.Document) {
+	tree := fptree.Build(docs)
+	fmt.Printf("--- FP-tree ---\n%s\n\n", tree.Stats())
+}
+
+func printJoinDensity(docs []document.Document) {
+	limit := docs
+	if len(limit) > 2000 {
+		limit = limit[:2000]
+	}
+	res := join.Batch(join.NewHBJ(), limit)
+	pairs := len(res.Pairs)
+	fmt.Printf("--- join density (first %d docs) ---\n", len(limit))
+	fmt.Printf("join pairs: %d (%.2f per document)\n", pairs, 2*float64(pairs)/float64(len(limit)))
+}

@@ -1,0 +1,41 @@
+// Command sfj-serve runs the schema-free stream join as an HTTP
+// service.
+//
+//	sfj-serve -addr :8080 -window 1000
+//
+//	curl -X POST localhost:8080/documents -d '{"User":"A","Severity":"Warning"}'
+//	curl -X POST localhost:8080/documents --data-binary @batch.ndjson
+//	curl -X POST localhost:8080/tumble
+//	curl localhost:8080/stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:8080", "listen address")
+		engine = flag.String("engine", "FPJ", "join engine: FPJ, NLJ or HBJ")
+		window = flag.Int("window", 0, "auto-tumble after N documents (0 = manual /tumble only)")
+	)
+	flag.Parse()
+
+	s, err := server.New(server.Config{Engine: *engine, WindowSize: *window})
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Printf("sfj-serve listening on %s (engine=%s window=%d)\n", *addr, *engine, *window)
+	log.Fatal(httpServer.ListenAndServe())
+}

@@ -1,0 +1,250 @@
+// Command sfj-topology runs the complete scale-out stream-join system
+// end to end: the Fig. 2 topology (reader, partition creators, merger,
+// assigners, joiners) over a generated document stream, printing the
+// per-window routing statistics and join counts.
+//
+// Usage:
+//
+//	sfj-topology -dataset rwData -m 8 -windows 6 -window-size 1200
+//	sfj-topology -dataset nbData -algo DS -theta 0.6
+//	sfj-topology -cluster 3            # distribute over 3 TCP workers
+//	sfj-topology -input logs.jsonl     # external JSON-lines stream
+//	sfj-datagen -n 5000 | sfj-topology -input -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/partition"
+)
+
+func main() {
+	var (
+		dataset    = flag.String("dataset", "rwData", "dataset: rwData or nbData")
+		algo       = flag.String("algo", "AG", "partitioner: AG, SC or DS")
+		engine     = flag.String("engine", "FPJ", "local join engine: FPJ, NLJ or HBJ")
+		m          = flag.Int("m", 8, "number of partitions / joiners")
+		creators   = flag.Int("creators", 2, "partition creator tasks")
+		assigners  = flag.Int("assigners", 6, "assigner tasks")
+		windows    = flag.Int("windows", 6, "number of windows")
+		windowSize = flag.Int("window-size", 1200, "documents per window")
+		theta      = flag.Float64("theta", 0.2, "repartitioning threshold θ")
+		delta      = flag.Int("delta", 3, "partition update threshold δ")
+		expansion  = flag.String("expansion", "auto", "attribute expansion: auto, off or forced")
+		seed       = flag.Int64("seed", 42, "generator seed")
+		clusterN   = flag.Int("cluster", 0, "run across N TCP workers in this process (0 = plain in-process)")
+		processes  = flag.Bool("processes", false, "with -cluster N: spawn the N workers as separate OS processes")
+		workerSpec = flag.String("worker", "", "internal: run as cluster worker, format id:count:coordinatorAddr")
+		input      = flag.String("input", "", "read JSON-lines documents from this file ('-' = stdin) instead of a generator")
+		verbose    = flag.Bool("v", false, "print per-window statistics")
+	)
+	flag.Parse()
+
+	var gen datagen.Generator
+	var reader *datagen.ReaderSource
+	if *input != "" {
+		f := os.Stdin
+		if *input != "-" {
+			var err error
+			f, err = os.Open(*input)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			defer f.Close()
+		}
+		reader = datagen.NewReaderSource(*input, f)
+		gen = reader
+		*dataset = "input:" + *input
+	} else {
+		var ok bool
+		gen, ok = datagen.ByName(*dataset, *seed)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *dataset)
+			os.Exit(2)
+		}
+	}
+	partitioner, err := partition.ByName(*algo)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var mode core.ExpansionMode
+	switch *expansion {
+	case "auto":
+		mode = core.ExpansionAuto
+	case "off":
+		mode = core.ExpansionOff
+	case "forced":
+		mode = core.ExpansionForced
+	default:
+		fmt.Fprintf(os.Stderr, "unknown expansion mode %q\n", *expansion)
+		os.Exit(2)
+	}
+
+	cfg := core.Config{
+		M:           *m,
+		Creators:    *creators,
+		Assigners:   *assigners,
+		WindowSize:  *windowSize,
+		Windows:     *windows,
+		Delta:       *delta,
+		Theta:       *theta,
+		Partitioner: partitioner,
+		Expansion:   mode,
+		Engine:      *engine,
+		Source:      gen,
+	}
+
+	if *workerSpec != "" {
+		if err := runWorker(*workerSpec, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var report *core.Report
+	switch {
+	case *clusterN > 0 && *processes:
+		if *input != "" {
+			fmt.Fprintln(os.Stderr, "-processes requires a named -dataset (external -input cannot be shared across processes)")
+			os.Exit(2)
+		}
+		fmt.Printf("running %s/%s over %d worker processes: m=%d windows=%d x %d docs\n",
+			*dataset, *algo, *clusterN, *m, *windows, *windowSize)
+		if err := runProcesses(*clusterN); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	case *clusterN > 0:
+		fmt.Printf("running %s/%s over %d TCP workers: m=%d windows=%d x %d docs\n",
+			*dataset, *algo, *clusterN, *m, *windows, *windowSize)
+		report, err = core.ClusterRun(cfg, *clusterN)
+	default:
+		fmt.Printf("running %s/%s in process: m=%d windows=%d x %d docs\n",
+			*dataset, *algo, *m, *windows, *windowSize)
+		report, err = core.Run(cfg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *verbose {
+		for i, w := range report.Run.Windows {
+			fmt.Printf("  window %d: %s\n", i, w)
+		}
+		for _, comp := range []string{"creator", "merger", "assigner", "joiner"} {
+			if lat, ok := report.Topology.Latency[comp]; ok {
+				fmt.Printf("  latency %-9s %s\n", comp, lat)
+			}
+		}
+	}
+	fmt.Printf("summary: %s\n", report)
+	fmt.Printf("join pairs: %d  documents joined: %d\n", report.JoinPairs, report.DocsJoined)
+	if reader != nil && reader.Err() != nil {
+		fmt.Fprintf(os.Stderr, "input stream error: %v\n", reader.Err())
+		os.Exit(1)
+	}
+	if len(report.Topology.Failures) > 0 {
+		fmt.Fprintf(os.Stderr, "task failures: %v\n", report.Topology.Failures)
+		os.Exit(1)
+	}
+}
+
+// runProcesses hosts the coordinator and spawns this binary once per
+// worker; every inter-component tuple crosses a real process boundary.
+// The worker hosting the collector task prints the run report.
+func runProcesses(n int) error {
+	coord, err := cluster.NewCoordinator(n)
+	if err != nil {
+		return err
+	}
+	self, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	// Re-issue our own flags to the workers, adding the worker spec.
+	var workers []*exec.Cmd
+	for i := 0; i < n; i++ {
+		args := append([]string(nil), os.Args[1:]...)
+		args = append(args, "-worker", fmt.Sprintf("%d:%d:%s", i, n, coord.Addr()))
+		cmd := exec.Command(self, args...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("spawn worker %d: %w", i, err)
+		}
+		workers = append(workers, cmd)
+	}
+	stats, err := coord.Run()
+	for _, w := range workers {
+		if werr := w.Wait(); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cluster stats: emitted=%v executed=%v\n", stats.Emitted, stats.Executed)
+	if len(stats.Failures) > 0 {
+		return fmt.Errorf("task failures: %v", stats.Failures)
+	}
+	return nil
+}
+
+// runWorker executes one cluster worker inside this process (spawned by
+// runProcesses). Every worker builds the identical topology from the
+// shared flags; the placement decides which tasks run here.
+func runWorker(spec string, cfg core.Config) error {
+	parts := strings.SplitN(spec, ":", 3)
+	if len(parts) != 3 {
+		return fmt.Errorf("bad -worker spec %q", spec)
+	}
+	id, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return fmt.Errorf("bad -worker id: %w", err)
+	}
+	count, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return fmt.Errorf("bad -worker count: %w", err)
+	}
+	coordAddr := parts[2]
+
+	core.RegisterGobTypes()
+	builder, report, err := core.NewTopology(cfg)
+	if err != nil {
+		return err
+	}
+	spec2, err := builder.Spec()
+	if err != nil {
+		return err
+	}
+	placement, err := cluster.NewPlacement(spec2, count)
+	if err != nil {
+		return err
+	}
+	w, err := cluster.NewWorker(id, count, builder, coordAddr)
+	if err != nil {
+		return err
+	}
+	if err := w.Run(); err != nil {
+		return err
+	}
+	// The worker hosting the collector owns the aggregated report.
+	if len(placement.TasksOn("collector", id)) > 0 {
+		fmt.Printf("summary (worker %d): %s\n", id, report)
+		fmt.Printf("join pairs: %d  documents joined: %d\n", report.JoinPairs, report.DocsJoined)
+	}
+	return nil
+}

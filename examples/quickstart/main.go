@@ -1,0 +1,48 @@
+// Quickstart: schema-free natural joins over JSON documents in a few
+// lines, using the single-process Pipeline façade.
+//
+// Two documents join when they share at least one attribute-value pair
+// and have no conflicting value on any shared attribute — no join keys,
+// no schema, no configuration.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+func main() {
+	pipeline, err := core.NewPipeline("FPJ")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The documents of the paper's Fig. 1: a company's server logs.
+	stream := []string{
+		`{"User":"A","Severity":"Warning"}`,
+		`{"User":"A","Severity":"Warning","MsgId":2}`,
+		`{"User":"A","Severity":"Error"}`,
+		`{"IP":"10.2.145.212","Severity":"Warning"}`,
+		`{"User":"B","Severity":"Critical","MsgId":1}`,
+		`{"User":"B","Severity":"Critical"}`,
+		`{"User":"B","Severity":"Warning"}`,
+	}
+
+	for _, doc := range stream {
+		results, err := pipeline.ProcessJSON([]byte(doc))
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range results {
+			merged, _ := r.Merged.MarshalJSON()
+			fmt.Printf("d%d ⋈ d%d  ->  %s\n", r.Left, r.Right, merged)
+		}
+	}
+
+	docs, pairs := pipeline.Tumble()
+	fmt.Printf("\nwindow closed: %d documents, %d join pairs\n", docs, pairs)
+}

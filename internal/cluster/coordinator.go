@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"time"
+
+	"repro/internal/topology"
+)
+
+// Coordinator accepts worker registrations, distributes the address
+// book, detects global termination and collects the final statistics.
+//
+// Termination detection uses the classic double-probe argument over
+// monotonic counters: when all spouts are exhausted, the global number
+// of delivered tuple copies equals the global number of executed
+// tuples, and two consecutive probe rounds observe identical values,
+// no tuple can be queued, executing, or in flight on any wire.
+type Coordinator struct {
+	workers int
+	ln      net.Listener
+}
+
+// NewCoordinator listens for the given number of workers on a loopback
+// port; Addr reports where.
+func NewCoordinator(workers int) (*Coordinator, error) {
+	return NewCoordinatorOn("127.0.0.1:0", workers)
+}
+
+// NewCoordinatorOn listens on an explicit address — an externally
+// routable "host:port" for multi-host deployments.
+func NewCoordinatorOn(addr string, workers int) (*Coordinator, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("cluster: coordinator needs >= 1 worker")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: coordinator listen: %w", err)
+	}
+	return &Coordinator{workers: workers, ln: ln}, nil
+}
+
+// Addr is the coordinator's control address for workers to dial.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Run orchestrates one topology execution and returns the merged
+// statistics. It blocks until the cluster has terminated.
+func (c *Coordinator) Run() (topology.Stats, error) {
+	defer c.ln.Close()
+	conns := make(map[int]*conn, c.workers)
+	addresses := make(map[int]string, c.workers)
+	for len(conns) < c.workers {
+		raw, err := c.ln.Accept()
+		if err != nil {
+			return topology.Stats{}, fmt.Errorf("cluster: accept: %w", err)
+		}
+		cn := newConn(raw)
+		hello, err := cn.recv()
+		if err != nil || hello.Kind != frameHello {
+			cn.close()
+			return topology.Stats{}, fmt.Errorf("cluster: bad hello: %v", err)
+		}
+		if _, dup := conns[hello.WorkerID]; dup {
+			cn.close()
+			return topology.Stats{}, fmt.Errorf("cluster: duplicate worker id %d", hello.WorkerID)
+		}
+		conns[hello.WorkerID] = cn
+		addresses[hello.WorkerID] = hello.DataAddr
+	}
+	defer func() {
+		for _, cn := range conns {
+			cn.close()
+		}
+	}()
+
+	for _, cn := range conns {
+		if err := cn.send(&envelope{Kind: frameStart, Addresses: addresses}); err != nil {
+			return topology.Stats{}, err
+		}
+	}
+
+	// Probe until two consecutive identical quiescent snapshots.
+	var prevSent, prevExec int64 = -1, -2
+	for seq := 0; ; seq++ {
+		sent, exec, done, err := c.probe(conns, seq)
+		if err != nil {
+			return topology.Stats{}, err
+		}
+		if done && sent == exec && sent == prevSent && exec == prevExec {
+			break
+		}
+		prevSent, prevExec = sent, exec
+		if !done || sent != exec {
+			prevSent, prevExec = -1, -2 // only count quiescent snapshots
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Stop everyone and merge their statistics.
+	merged := topology.Stats{Emitted: make(map[string]int64), Executed: make(map[string]int64)}
+	ids := make([]int, 0, len(conns))
+	for id := range conns {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if err := conns[id].send(&envelope{Kind: frameStop}); err != nil {
+			return merged, err
+		}
+	}
+	for _, id := range ids {
+		done, err := c.await(conns[id], frameDone)
+		if err != nil {
+			return merged, err
+		}
+		for comp, n := range done.Stats.Emitted {
+			merged.Emitted[comp] += n
+		}
+		for comp, n := range done.Stats.Executed {
+			merged.Executed[comp] += n
+		}
+		merged.Failures = append(merged.Failures, done.Stats.Failures...)
+	}
+	return merged, nil
+}
+
+// probe runs one synchronous probe round.
+func (c *Coordinator) probe(conns map[int]*conn, seq int) (sent, exec int64, done bool, err error) {
+	done = true
+	for _, cn := range conns {
+		if err := cn.send(&envelope{Kind: frameProbe, Seq: seq}); err != nil {
+			return 0, 0, false, err
+		}
+	}
+	for _, cn := range conns {
+		reply, err := c.await(cn, frameProbeReply)
+		if err != nil {
+			return 0, 0, false, err
+		}
+		sent += reply.Sent
+		exec += reply.Executed
+		if !reply.SpoutsDone {
+			done = false
+		}
+	}
+	return sent, exec, done, nil
+}
+
+// await reads envelopes until one of the expected kind arrives.
+func (c *Coordinator) await(cn *conn, kind frameKind) (*envelope, error) {
+	for {
+		e, err := cn.recv()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: await %d: %w", kind, err)
+		}
+		if e.Kind == kind {
+			return e, nil
+		}
+	}
+}
+
+// Run executes a topology across n in-process workers communicating
+// over TCP loopback — the same plumbing as a multi-process deployment,
+// exercised without spawning processes. makeBuilder is invoked once per
+// worker, mirroring how each worker process constructs the topology
+// from the same code.
+func Run(makeBuilder func() *topology.Builder, workers int) (topology.Stats, error) {
+	coord, err := NewCoordinator(workers)
+	if err != nil {
+		return topology.Stats{}, err
+	}
+	errs := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		w, err := NewWorker(i, workers, makeBuilder(), coord.Addr())
+		if err != nil {
+			return topology.Stats{}, err
+		}
+		go func() { errs <- w.Run() }()
+	}
+	stats, err := coord.Run()
+	if err != nil {
+		return stats, err
+	}
+	for i := 0; i < workers; i++ {
+		if werr := <-errs; werr != nil {
+			return stats, werr
+		}
+	}
+	return stats, nil
+}

@@ -1,0 +1,104 @@
+// Package cluster is the distributed runtime for topologies: the same
+// component graph executed by internal/topology in one process runs
+// here across multiple worker processes connected over TCP. A
+// coordinator collects worker registrations, distributes the address
+// book, detects global termination by double-probing monotonic
+// send/execute counters, and gathers the final statistics.
+//
+// Wire format: each connection carries a gob stream of envelope values.
+// gob's self-describing streams provide the framing; every connection
+// is written by at most one mutex-guarded encoder.
+package cluster
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/topology"
+)
+
+// frameKind discriminates envelope payloads.
+type frameKind uint8
+
+const (
+	frameHello frameKind = iota + 1
+	frameStart
+	frameTuple
+	frameProbe
+	frameProbeReply
+	frameStop
+	frameDone
+)
+
+// envelope is the single wire message type; unused fields stay at their
+// zero values (gob omits them).
+type envelope struct {
+	Kind frameKind
+
+	// frameHello: worker registration.
+	WorkerID int
+	DataAddr string
+
+	// frameStart: coordinator -> workers address book.
+	Addresses map[int]string
+
+	// frameTuple: data-plane delivery.
+	TargetComp string
+	TargetTask int
+	Tuple      topology.Tuple
+
+	// frameProbe / frameProbeReply: termination detection.
+	Seq        int
+	SpoutsDone bool
+	Sent       int64
+	Executed   int64
+
+	// frameDone: final per-worker statistics.
+	Stats topology.Stats
+}
+
+// conn wraps a net.Conn with a mutex-guarded gob encoder and a decoder.
+type conn struct {
+	raw net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+	mu  sync.Mutex
+}
+
+func newConn(raw net.Conn) *conn {
+	return &conn{raw: raw, enc: gob.NewEncoder(raw), dec: gob.NewDecoder(raw)}
+}
+
+// send writes one envelope; safe for concurrent use.
+func (c *conn) send(e *envelope) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(e); err != nil {
+		return fmt.Errorf("cluster: send %d: %w", e.Kind, err)
+	}
+	return nil
+}
+
+// recv reads one envelope; the caller owns the read side.
+func (c *conn) recv() (*envelope, error) {
+	var e envelope
+	if err := c.dec.Decode(&e); err != nil {
+		return nil, err
+	}
+	return &e, nil
+}
+
+func (c *conn) close() { _ = c.raw.Close() }
+
+// Register makes a concrete type transferable inside tuple Values.
+// Packages that define tuple payload types call this from an init
+// function or a setup hook before any cluster run.
+func Register(v any) { gob.Register(v) }
+
+func init() {
+	// Builtin payload shapes used across the repository's topologies.
+	Register([]int{})
+	Register(map[string]any{})
+}

@@ -1,0 +1,59 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// Placement maps every (component, task) to a worker. It is computed
+// deterministically from the topology spec and the worker count, so the
+// coordinator and every worker derive the same mapping without shipping
+// it.
+type Placement struct {
+	workers int
+	byTask  map[string][]int // component -> task index -> worker id
+}
+
+// NewPlacement distributes tasks round-robin across workers, component
+// by component in declaration order — the same strategy Storm's even
+// scheduler uses.
+func NewPlacement(spec []topology.ComponentSpec, workers int) (*Placement, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("cluster: placement needs >= 1 worker, got %d", workers)
+	}
+	p := &Placement{workers: workers, byTask: make(map[string][]int)}
+	next := 0
+	for _, comp := range spec {
+		assign := make([]int, comp.Parallelism)
+		for i := range assign {
+			assign[i] = next % workers
+			next++
+		}
+		p.byTask[comp.ID] = assign
+	}
+	return p, nil
+}
+
+// WorkerFor returns the worker hosting a task.
+func (p *Placement) WorkerFor(component string, task int) int {
+	assign, ok := p.byTask[component]
+	if !ok || task < 0 || task >= len(assign) {
+		panic(fmt.Sprintf("cluster: no placement for %s[%d]", component, task))
+	}
+	return assign[task]
+}
+
+// TasksOn lists the tasks of a component hosted by the given worker.
+func (p *Placement) TasksOn(component string, worker int) []int {
+	var out []int
+	for task, w := range p.byTask[component] {
+		if w == worker {
+			out = append(out, task)
+		}
+	}
+	return out
+}
+
+// Workers reports the worker count.
+func (p *Placement) Workers() int { return p.workers }

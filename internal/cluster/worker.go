@@ -1,0 +1,453 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/topology"
+)
+
+// mailbox is the worker-local unbounded FIFO queue (semantics identical
+// to the in-process runtime's mailbox).
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []topology.Tuple
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(t topology.Tuple) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false
+	}
+	m.buf = append(m.buf, t)
+	m.cond.Signal()
+	return true
+}
+
+func (m *mailbox) get() (topology.Tuple, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.buf) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.buf) == 0 {
+		return topology.Tuple{}, false
+	}
+	t := m.buf[0]
+	m.buf = m.buf[1:]
+	return t, true
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// outEdge is one outbound subscription resolved against the placement.
+type outEdge struct {
+	target   string
+	nTasks   int
+	grouping topology.GroupingKind
+	fields   []string
+	rr       atomic.Uint64
+}
+
+// Worker hosts the tasks placed on it and exchanges tuples with its
+// peers over TCP. Every worker process (or goroutine in tests)
+// constructs the same topology Builder from code; only the tasks the
+// placement assigns to this worker are instantiated locally.
+type Worker struct {
+	id        int
+	builder   *topology.Builder
+	spec      []topology.ComponentSpec
+	specByID  map[string]topology.ComponentSpec
+	placement *Placement
+	coordAddr string
+
+	// BindAddr is the data-plane listen address. It defaults to an
+	// ephemeral loopback port; set it to an externally routable
+	// "host:port" before Run for a multi-host deployment.
+	BindAddr string
+
+	listener  net.Listener
+	addresses map[int]string
+	peers     map[int]*conn
+	peersMu   sync.Mutex
+
+	// boxes holds mailboxes for locally hosted bolt tasks:
+	// component -> task -> mailbox (nil when not hosted here).
+	boxes map[string][]*mailbox
+	// edges holds the outbound routing of locally hosted components:
+	// component -> stream -> edges.
+	edges map[string]map[string][]*outEdge
+
+	sent       atomic.Int64
+	executed   atomic.Int64
+	spoutsLeft atomic.Int64
+
+	emitted   map[string]*atomic.Int64
+	execCount map[string]*atomic.Int64
+	failMu    sync.Mutex
+	failures  []string
+
+	boltWG  sync.WaitGroup
+	spoutWG sync.WaitGroup
+}
+
+// NewWorker prepares a worker for the given topology and cluster size.
+// The placement is derived from (spec, workers); every participant must
+// use the same builder code and worker count.
+func NewWorker(id, workers int, b *topology.Builder, coordAddr string) (*Worker, error) {
+	spec, err := b.Spec()
+	if err != nil {
+		return nil, err
+	}
+	placement, err := NewPlacement(spec, workers)
+	if err != nil {
+		return nil, err
+	}
+	w := &Worker{
+		id:        id,
+		builder:   b,
+		spec:      spec,
+		specByID:  make(map[string]topology.ComponentSpec),
+		placement: placement,
+		coordAddr: coordAddr,
+		peers:     make(map[int]*conn),
+		boxes:     make(map[string][]*mailbox),
+		edges:     make(map[string]map[string][]*outEdge),
+		emitted:   make(map[string]*atomic.Int64),
+		execCount: make(map[string]*atomic.Int64),
+	}
+	for _, comp := range spec {
+		w.specByID[comp.ID] = comp
+		w.emitted[comp.ID] = &atomic.Int64{}
+		w.execCount[comp.ID] = &atomic.Int64{}
+	}
+	// Resolve outbound edges for every component (any local task may
+	// emit on any of its streams).
+	for _, comp := range spec {
+		for _, sub := range comp.Subs {
+			src := w.edges[sub.Source]
+			if src == nil {
+				src = make(map[string][]*outEdge)
+				w.edges[sub.Source] = src
+			}
+			src[sub.Stream] = append(src[sub.Stream], &outEdge{
+				target:   comp.ID,
+				nTasks:   comp.Parallelism,
+				grouping: sub.Grouping,
+				fields:   sub.Fields,
+			})
+		}
+	}
+	// Local mailboxes for hosted bolt tasks.
+	for _, comp := range spec {
+		if b.BoltFactory(comp.ID) == nil {
+			continue
+		}
+		boxes := make([]*mailbox, comp.Parallelism)
+		for _, task := range placement.TasksOn(comp.ID, id) {
+			boxes[task] = newMailbox()
+		}
+		w.boxes[comp.ID] = boxes
+	}
+	return w, nil
+}
+
+// Run connects to the coordinator, serves the data plane and executes
+// the local tasks until the coordinator signals stop. It blocks for the
+// whole run.
+func (w *Worker) Run() error {
+	bind := w.BindAddr
+	if bind == "" {
+		bind = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", bind)
+	if err != nil {
+		return fmt.Errorf("cluster: worker %d listen: %w", w.id, err)
+	}
+	w.listener = ln
+	go w.acceptLoop()
+	defer ln.Close()
+
+	raw, err := net.Dial("tcp", w.coordAddr)
+	if err != nil {
+		return fmt.Errorf("cluster: worker %d dial coordinator: %w", w.id, err)
+	}
+	coord := newConn(raw)
+	defer coord.close()
+	if err := coord.send(&envelope{Kind: frameHello, WorkerID: w.id, DataAddr: ln.Addr().String()}); err != nil {
+		return err
+	}
+	start, err := coord.recv()
+	if err != nil || start.Kind != frameStart {
+		return fmt.Errorf("cluster: worker %d handshake failed: %v", w.id, err)
+	}
+	w.addresses = start.Addresses
+
+	w.startTasks()
+
+	// Control loop: answer probes until stop.
+	for {
+		e, err := coord.recv()
+		if err != nil {
+			return fmt.Errorf("cluster: worker %d control: %w", w.id, err)
+		}
+		switch e.Kind {
+		case frameProbe:
+			reply := &envelope{
+				Kind:       frameProbeReply,
+				WorkerID:   w.id,
+				Seq:        e.Seq,
+				SpoutsDone: w.spoutsLeft.Load() == 0,
+				Sent:       w.sent.Load(),
+				Executed:   w.executed.Load(),
+			}
+			if err := coord.send(reply); err != nil {
+				return err
+			}
+		case frameStop:
+			w.shutdown()
+			return coord.send(&envelope{Kind: frameDone, WorkerID: w.id, Stats: w.stats()})
+		}
+	}
+}
+
+// startTasks launches the locally hosted bolt and spout tasks.
+func (w *Worker) startTasks() {
+	parallelism := make(map[string]int, len(w.spec))
+	for _, comp := range w.spec {
+		parallelism[comp.ID] = comp.Parallelism
+	}
+	for _, comp := range w.spec {
+		comp := comp
+		if bf := w.builder.BoltFactory(comp.ID); bf != nil {
+			for _, task := range w.placement.TasksOn(comp.ID, w.id) {
+				w.boltWG.Add(1)
+				go w.runBolt(comp, task, bf(task), parallelism)
+			}
+		}
+		if sf := w.builder.SpoutFactory(comp.ID); sf != nil {
+			for _, task := range w.placement.TasksOn(comp.ID, w.id) {
+				w.spoutsLeft.Add(1)
+				w.spoutWG.Add(1)
+				go w.runSpout(comp, task, sf(task), parallelism)
+			}
+		}
+	}
+}
+
+func (w *Worker) runBolt(comp topology.ComponentSpec, task int, bolt topology.Bolt, parallelism map[string]int) {
+	defer w.boltWG.Done()
+	ctx := &topology.TaskContext{Component: comp.ID, Task: task, NumTasks: comp.Parallelism, Parallelism: parallelism}
+	bolt.Prepare(ctx)
+	col := &workerCollector{w: w, comp: comp.ID, task: task}
+	box := w.boxes[comp.ID][task]
+	for {
+		tuple, ok := box.get()
+		if !ok {
+			break
+		}
+		w.safeExecute(comp.ID, task, bolt, tuple, col)
+		w.execCount[comp.ID].Add(1)
+		w.executed.Add(1)
+	}
+	bolt.Cleanup()
+}
+
+func (w *Worker) runSpout(comp topology.ComponentSpec, task int, spout topology.Spout, parallelism map[string]int) {
+	defer w.spoutWG.Done()
+	defer w.spoutsLeft.Add(-1)
+	ctx := &topology.TaskContext{Component: comp.ID, Task: task, NumTasks: comp.Parallelism, Parallelism: parallelism}
+	spout.Open(ctx)
+	col := &workerCollector{w: w, comp: comp.ID, task: task}
+	for w.safeNext(comp.ID, task, spout, col) {
+	}
+	spout.Close()
+}
+
+func (w *Worker) safeExecute(comp string, task int, bolt topology.Bolt, tuple topology.Tuple, col topology.Collector) {
+	defer func() {
+		if r := recover(); r != nil {
+			w.recordFailure(comp, task, r)
+		}
+	}()
+	bolt.Execute(tuple, col)
+}
+
+func (w *Worker) safeNext(comp string, task int, spout topology.Spout, col topology.Collector) (more bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			w.recordFailure(comp, task, r)
+			more = false
+		}
+	}()
+	return spout.NextTuple(col)
+}
+
+func (w *Worker) recordFailure(comp string, task int, v any) {
+	w.failMu.Lock()
+	w.failures = append(w.failures, fmt.Sprintf("%s[%d]@w%d: %v", comp, task, w.id, v))
+	w.failMu.Unlock()
+}
+
+// acceptLoop serves inbound peer connections on the data plane.
+func (w *Worker) acceptLoop() {
+	for {
+		raw, err := w.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go w.readLoop(newConn(raw))
+	}
+}
+
+func (w *Worker) readLoop(c *conn) {
+	defer c.close()
+	for {
+		e, err := c.recv()
+		if err != nil {
+			return
+		}
+		if e.Kind != frameTuple {
+			continue
+		}
+		w.deliverLocal(e.TargetComp, e.TargetTask, e.Tuple)
+	}
+}
+
+// deliverLocal puts a tuple into a hosted mailbox; a delivery to a
+// closed mailbox compensates the sender's sent counter so termination
+// detection stays exact.
+func (w *Worker) deliverLocal(comp string, task int, t topology.Tuple) {
+	boxes := w.boxes[comp]
+	if task >= len(boxes) || boxes[task] == nil {
+		w.recordFailure(comp, task, "tuple for task not hosted here")
+		w.executed.Add(1) // compensate sender's count
+		return
+	}
+	if !boxes[task].put(t) {
+		w.executed.Add(1)
+	}
+}
+
+// peer returns (dialling lazily) the outbound connection to a worker.
+func (w *Worker) peer(id int) (*conn, error) {
+	w.peersMu.Lock()
+	defer w.peersMu.Unlock()
+	if c, ok := w.peers[id]; ok {
+		return c, nil
+	}
+	addr, ok := w.addresses[id]
+	if !ok {
+		return nil, fmt.Errorf("cluster: no address for worker %d", id)
+	}
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial worker %d: %w", id, err)
+	}
+	c := newConn(raw)
+	w.peers[id] = c
+	return c, nil
+}
+
+// dispatch routes one tuple copy to (comp, task), local or remote. The
+// sent counter is incremented exactly once per copy.
+func (w *Worker) dispatch(comp string, task int, t topology.Tuple) {
+	w.sent.Add(1)
+	target := w.placement.WorkerFor(comp, task)
+	if target == w.id {
+		w.deliverLocal(comp, task, t)
+		return
+	}
+	c, err := w.peer(target)
+	if err == nil {
+		err = c.send(&envelope{Kind: frameTuple, TargetComp: comp, TargetTask: task, Tuple: t})
+	}
+	if err != nil {
+		w.recordFailure(comp, task, err)
+		w.executed.Add(1) // compensate so termination is still reached
+	}
+}
+
+// shutdown stops local tasks after the coordinator declared global
+// quiescence.
+func (w *Worker) shutdown() {
+	w.spoutWG.Wait() // spouts are already exhausted at this point
+	for _, boxes := range w.boxes {
+		for _, box := range boxes {
+			if box != nil {
+				box.close()
+			}
+		}
+	}
+	w.boltWG.Wait()
+	w.peersMu.Lock()
+	for _, c := range w.peers {
+		c.close()
+	}
+	w.peersMu.Unlock()
+}
+
+func (w *Worker) stats() topology.Stats {
+	s := topology.Stats{Emitted: make(map[string]int64), Executed: make(map[string]int64)}
+	for id := range w.emitted {
+		s.Emitted[id] = w.emitted[id].Load()
+		s.Executed[id] = w.execCount[id].Load()
+	}
+	w.failMu.Lock()
+	s.Failures = append(s.Failures, w.failures...)
+	w.failMu.Unlock()
+	return s
+}
+
+// workerCollector routes emissions of one local task across the
+// cluster.
+type workerCollector struct {
+	w    *Worker
+	comp string
+	task int
+}
+
+// Emit implements topology.Collector.
+func (c *workerCollector) Emit(v topology.Values) { c.EmitTo(topology.DefaultStream, v) }
+
+// EmitTo implements topology.Collector.
+func (c *workerCollector) EmitTo(stream string, v topology.Values) {
+	t := topology.Tuple{Stream: stream, Source: c.comp, SourceTask: c.task, Values: v}
+	for _, e := range c.w.edges[c.comp][stream] {
+		for _, task := range topology.TargetTasks(e.grouping, e.fields, v, e.nTasks, &e.rr) {
+			c.w.dispatch(e.target, task, t)
+		}
+	}
+	c.w.emitted[c.comp].Add(1)
+}
+
+// EmitDirect implements topology.Collector.
+func (c *workerCollector) EmitDirect(stream string, task int, v topology.Values) {
+	t := topology.Tuple{Stream: stream, Source: c.comp, SourceTask: c.task, Values: v}
+	for _, e := range c.w.edges[c.comp][stream] {
+		if e.grouping != topology.Direct {
+			continue
+		}
+		if task < 0 || task >= e.nTasks {
+			panic(fmt.Sprintf("cluster: EmitDirect task %d out of range for %s (%d tasks)", task, e.target, e.nTasks))
+		}
+		c.w.dispatch(e.target, task, t)
+	}
+	c.w.emitted[c.comp].Add(1)
+}

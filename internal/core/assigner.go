@@ -1,0 +1,318 @@
+package core
+
+import (
+	"repro/internal/document"
+	"repro/internal/expansion"
+	"repro/internal/metrics"
+	"repro/internal/partition"
+	"repro/internal/topology"
+	"sort"
+)
+
+// assignerBolt is the Assigner of Fig. 2: a dispatcher that forwards
+// documents to the Joiner tasks according to the current partition
+// table (direct grouping), broadcasts documents with uncovered pairs to
+// every Joiner to guarantee join completeness, requests δ-gated
+// partition updates from the Merger, and triggers θ repartitioning when
+// the routing quality degrades (Sec. VI-A).
+type assignerBolt struct {
+	cfg  Config
+	task int
+
+	table   *partition.Table
+	spec    *expansion.Expansion
+	version int
+
+	// unseen counts occurrences of uncovered pairs at this task; the
+	// document that makes a pair reach δ becomes an update request.
+	unseen map[document.Pair]int
+
+	// Per-window routing statistics (this task's share).
+	window        int
+	documents     int
+	deliveries    int
+	perJoiner     []int
+	broadcasts    int
+	updates       int
+	repartitioned bool
+
+	// Quality baseline, established on the first completed window
+	// after a recomputed table (Sec. VI-A).
+	baselineSet  bool
+	baselineRepl float64
+	baselineGini float64
+	awaitingBase bool
+
+	// Deployment barrier. The paper computes partitions upfront and
+	// deploys them before the next window is routed; an in-process run
+	// streams far faster than the merger round-trip, so after every
+	// computation window the assigner buffers documents and window
+	// punctuation until the resulting table arrives, preserving the
+	// paper's deployment order.
+	waiting      bool
+	waitWindow   int
+	buffered     []topology.Tuple
+	repartitionW int // window a repartition was requested for (-1: none)
+
+	numJoiners int
+}
+
+func newAssignerBolt(cfg Config, task int) *assignerBolt {
+	return &assignerBolt{
+		cfg:          cfg,
+		task:         task,
+		unseen:       make(map[document.Pair]int),
+		repartitionW: -1,
+	}
+}
+
+// Prepare implements topology.Bolt.
+func (b *assignerBolt) Prepare(ctx *topology.TaskContext) {
+	b.numJoiners = ctx.NumTasksOf("joiner")
+	if b.numJoiners == 0 {
+		b.numJoiners = b.cfg.M
+	}
+	b.perJoiner = make([]int, b.numJoiners)
+}
+
+// Cleanup implements topology.Bolt.
+func (b *assignerBolt) Cleanup() {}
+
+// Execute implements topology.Bolt.
+func (b *assignerBolt) Execute(t topology.Tuple, c topology.Collector) {
+	switch t.Stream {
+	case streamDocs, streamWindowEnd:
+		if b.waiting {
+			b.buffered = append(b.buffered, t)
+			return
+		}
+		b.handleStreamTuple(t, c)
+	case streamTable:
+		b.adoptTable(t.Values["msg"].(tableMsg), c)
+	case streamResched:
+		// The merger relayed a repartition verdict issued at window w;
+		// the creators compute at the end of window w+1, so the
+		// barrier engages after that window's punctuation.
+		msg := t.Values["msg"].(decisionMsg)
+		if msg.Window+1 > b.repartitionW {
+			b.repartitionW = msg.Window + 1
+		}
+	}
+}
+
+func (b *assignerBolt) handleStreamTuple(t topology.Tuple, c topology.Collector) {
+	switch t.Stream {
+	case streamDocs:
+		b.window = t.Values["window"].(int)
+		b.route(t.Values["doc"].(document.Document), c)
+	case streamWindowEnd:
+		w := t.Values["window"].(int)
+		b.finishWindow(w, c)
+		// Engage the deployment barrier after every window whose
+		// sample produces a new table: the first window, and the
+		// window following a repartition request.
+		if b.version == 0 || w == b.repartitionW {
+			b.waiting = true
+			b.waitWindow = w
+		}
+	}
+}
+
+// adoptTable switches to a newer partition-table version and releases
+// the deployment barrier when the awaited table arrived.
+func (b *assignerBolt) adoptTable(msg tableMsg, c topology.Collector) {
+	if msg.Version <= b.version {
+		return // stale or duplicate broadcast
+	}
+	b.version = msg.Version
+	b.table = msg.Table
+	b.spec = msg.Expansion
+	if msg.Recomputed || !b.baselineSet {
+		// A full (re)computation resets the quality baseline.
+		b.baselineSet = false
+		b.awaitingBase = true
+	}
+	for p := range b.unseen {
+		if b.table.Covers(p) {
+			delete(b.unseen, p)
+		}
+	}
+	if b.waiting && msg.Window >= b.waitWindow {
+		b.waiting = false
+		if msg.Window >= b.repartitionW {
+			b.repartitionW = -1
+		}
+		b.drain(c)
+	}
+}
+
+// drain replays buffered stream tuples in arrival order; the barrier
+// may re-engage mid-drain (another computation window boundary), in
+// which case the remainder stays buffered.
+func (b *assignerBolt) drain(c topology.Collector) {
+	buf := b.buffered
+	b.buffered = nil
+	for i, t := range buf {
+		if b.waiting {
+			b.buffered = append(b.buffered, buf[i:]...)
+			return
+		}
+		b.handleStreamTuple(t, c)
+	}
+}
+
+// route forwards one document to its joiners and handles the dynamics
+// around uncovered pairs.
+func (b *assignerBolt) route(d document.Document, c topology.Collector) {
+	b.documents++
+	targets, broadcast := b.targets(d, c)
+	for _, j := range targets {
+		b.perJoiner[j]++
+		// The full target list travels with the document so that, for
+		// any pair of documents replicated to several common joiners,
+		// only the lowest-indexed common joiner emits the join result —
+		// the exact result is produced exactly once without a global
+		// de-duplication stage.
+		c.EmitDirect(streamToJoin, j, topology.Values{"doc": d, "window": b.window, "targets": targets})
+	}
+	b.deliveries += len(targets)
+	if broadcast {
+		b.broadcasts++
+	}
+}
+
+// targets computes the joiner task set for a document: the matching
+// partitions when every (transformed) pair is covered, all joiners
+// otherwise. Uncovered pairs are counted toward the δ update gate; the
+// document whose pair reaches δ is sent to the Merger as an update
+// request.
+func (b *assignerBolt) targets(d document.Document, c topology.Collector) ([]int, bool) {
+	if b.cfg.Routing == HashPairsRouting {
+		return b.hashTargets(d), false
+	}
+	if b.table == nil {
+		// No partitions yet (start of the stream): conservative
+		// broadcast keeps the join complete.
+		return b.allJoiners(), true
+	}
+	td, ok := b.spec.Apply(d)
+	if !ok {
+		// Missing expansion component: broadcast (Sec. VI-B).
+		return b.allJoiners(), true
+	}
+	if uncovered := b.table.UncoveredPairs(td); len(uncovered) > 0 {
+		hitDelta := false
+		for _, p := range uncovered {
+			b.unseen[p]++
+			if b.unseen[p] == b.cfg.Delta {
+				hitDelta = true
+			}
+		}
+		if hitDelta {
+			b.updates++
+			c.EmitTo(streamUpdate, topology.Values{"msg": updateMsg{Doc: d}})
+		}
+		return b.allJoiners(), true
+	}
+	if targets := b.table.Assign(td); len(targets) > 0 {
+		return targets, false
+	}
+	return b.allJoiners(), true
+}
+
+// finishWindow emits this task's routing statistics, evaluates the θ
+// trigger, punctuates the joiners and resets per-window state.
+func (b *assignerBolt) finishWindow(w int, c topology.Collector) {
+	repl := 0.0
+	gini := 0.0
+	if b.documents > 0 {
+		repl = float64(b.deliveries) / float64(b.documents)
+		gini = metrics.GiniInt(b.perJoiner)
+	}
+	if b.baselineSet && b.documents > 0 {
+		// θ trigger: replication grew by more than θ relative to the
+		// baseline, or the load balance worsened by more than θ.
+		if metrics.RelChange(b.baselineRepl, repl) > b.cfg.Theta ||
+			gini-b.baselineGini > b.cfg.Theta {
+			b.repartitioned = true
+			// Engage the local barrier directly; the merger's relay
+			// covers the peer assigners.
+			if w+1 > b.repartitionW {
+				b.repartitionW = w + 1
+			}
+		}
+	} else if b.awaitingBase && b.documents > 0 {
+		b.baselineRepl = repl
+		b.baselineGini = gini
+		b.baselineSet = true
+		b.awaitingBase = false
+	}
+	// Every window produces an explicit verdict: the creators wait for
+	// all of them before deciding whether the next window recomputes.
+	c.EmitTo(streamRepartition, topology.Values{"msg": decisionMsg{
+		Window:      w,
+		Task:        b.task,
+		Repartition: b.repartitioned,
+	}})
+
+	c.EmitTo(streamAssignerStats, topology.Values{"msg": assignerStatsMsg{
+		Window:        w,
+		Task:          b.task,
+		Documents:     b.documents,
+		Deliveries:    b.deliveries,
+		PerJoiner:     append([]int(nil), b.perJoiner...),
+		Broadcasts:    b.broadcasts,
+		Updates:       b.updates,
+		Repartitioned: b.repartitioned,
+	}})
+	c.EmitTo(streamJoinerWindow, topology.Values{"window": w, "task": b.task})
+
+	b.documents = 0
+	b.deliveries = 0
+	for i := range b.perJoiner {
+		b.perJoiner[i] = 0
+	}
+	b.broadcasts = 0
+	b.updates = 0
+	b.repartitioned = false
+}
+
+// hashTargets implements HashPairsRouting: the joiner set is the set of
+// pair hashes. Two joinable documents share a pair and therefore a
+// hash target — join completeness holds without any partition table or
+// table-version coordination.
+func (b *assignerBolt) hashTargets(d document.Document) []int {
+	seen := make(map[int]struct{}, 4)
+	var out []int
+	for _, p := range d.Pairs() {
+		h := fnv64(p.Key()) % b.numJoiners
+		if _, dup := seen[h]; !dup {
+			seen[h] = struct{}{}
+			out = append(out, h)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// fnv64 is FNV-1a over s, reduced to a non-negative int.
+func fnv64(s string) int {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	var h uint64 = offset
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return int(h % (1 << 31))
+}
+
+func (b *assignerBolt) allJoiners() []int {
+	out := make([]int, b.numJoiners)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,414 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/document"
+	"repro/internal/partition"
+	"repro/internal/topology"
+)
+
+// fakeCollector records emissions for bolt unit tests.
+type fakeCollector struct {
+	emitted []emission
+}
+
+type emission struct {
+	stream string
+	task   int // -1 for non-direct
+	values topology.Values
+}
+
+func (f *fakeCollector) Emit(v topology.Values) { f.EmitTo(topology.DefaultStream, v) }
+func (f *fakeCollector) EmitTo(stream string, v topology.Values) {
+	f.emitted = append(f.emitted, emission{stream: stream, task: -1, values: v})
+}
+func (f *fakeCollector) EmitDirect(stream string, task int, v topology.Values) {
+	f.emitted = append(f.emitted, emission{stream: stream, task: task, values: v})
+}
+
+func (f *fakeCollector) byStream(stream string) []emission {
+	var out []emission
+	for _, e := range f.emitted {
+		if e.stream == stream {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func docTuple(w int, d document.Document) topology.Tuple {
+	return topology.Tuple{Stream: streamDocs, Values: topology.Values{"doc": d, "window": w}}
+}
+
+func wendTuple(w int) topology.Tuple {
+	return topology.Tuple{Stream: streamWindowEnd, Values: topology.Values{"window": w}}
+}
+
+func testConfig() Config {
+	cfg, err := Config{
+		M: 3, Creators: 1, Assigners: 1, WindowSize: 4, Windows: 2,
+		Source: &replaySource{},
+	}.withDefaults()
+	if err != nil {
+		panic(err)
+	}
+	return cfg
+}
+
+// --- creator ---------------------------------------------------------
+
+func TestCreatorFirstWindowComputes(t *testing.T) {
+	cfg := testConfig()
+	b := newCreatorBolt(cfg, 0)
+	b.Prepare(&topology.TaskContext{Parallelism: map[string]int{"assigner": 1}})
+	c := &fakeCollector{}
+	b.Execute(docTuple(0, document.MustParse(1, `{"a":1}`)), c)
+	b.Execute(wendTuple(0), c)
+	got := c.byStream(streamCreatorWindow)
+	if len(got) != 1 {
+		t.Fatalf("creatorWindow emissions = %d", len(got))
+	}
+	msg := got[0].values["msg"].(creatorWindowMsg)
+	if !msg.Computing || msg.Window != 0 {
+		t.Errorf("first window must compute: %+v", msg)
+	}
+}
+
+func TestCreatorWaitsForDecisions(t *testing.T) {
+	cfg := testConfig()
+	cfg.Assigners = 2
+	b := newCreatorBolt(cfg, 0)
+	b.Prepare(&topology.TaskContext{Parallelism: map[string]int{"assigner": 2}})
+	c := &fakeCollector{}
+	b.Execute(wendTuple(0), c) // window 0 needs no decisions
+	if len(c.byStream(streamCreatorWindow)) != 1 {
+		t.Fatal("window 0 must close immediately")
+	}
+	// Window 1 must wait for both assigners' verdicts on window 0.
+	b.Execute(wendTuple(1), c)
+	if len(c.byStream(streamCreatorWindow)) != 1 {
+		t.Fatal("window 1 closed before decisions")
+	}
+	b.Execute(topology.Tuple{Stream: streamRepartition, Values: topology.Values{
+		"msg": decisionMsg{Window: 0, Task: 0, Repartition: false},
+	}}, c)
+	if len(c.byStream(streamCreatorWindow)) != 1 {
+		t.Fatal("window 1 closed with only one decision")
+	}
+	b.Execute(topology.Tuple{Stream: streamRepartition, Values: topology.Values{
+		"msg": decisionMsg{Window: 0, Task: 1, Repartition: true},
+	}}, c)
+	got := c.byStream(streamCreatorWindow)
+	if len(got) != 2 {
+		t.Fatalf("window 1 did not close after all decisions: %d", len(got))
+	}
+	msg := got[1].values["msg"].(creatorWindowMsg)
+	if !msg.Computing {
+		t.Error("repartition verdict must make window 1 a computation window")
+	}
+}
+
+func TestCreatorRespondsToExpansion(t *testing.T) {
+	cfg := testConfig()
+	b := newCreatorBolt(cfg, 0)
+	b.Prepare(&topology.TaskContext{Parallelism: map[string]int{"assigner": 1}})
+	c := &fakeCollector{}
+	b.Execute(docTuple(0, document.MustParse(1, `{"a":1,"b":2}`)), c)
+	b.Execute(wendTuple(0), c)
+	b.Execute(topology.Tuple{Stream: streamExpansion, Values: topology.Values{
+		"msg": expansionMsg{Window: 0, Spec: nil},
+	}}, c)
+	got := c.byStream(streamLocalGroups)
+	if len(got) != 1 {
+		t.Fatalf("localGroups emissions = %d", len(got))
+	}
+	msg := got[0].values["msg"].(localGroupsMsg)
+	if len(msg.Groups) == 0 {
+		t.Error("no groups computed from the buffered sample")
+	}
+	// The buffer must be released.
+	if len(b.buffers) != 0 {
+		t.Errorf("buffers not cleared: %v", len(b.buffers))
+	}
+}
+
+func TestCreatorCompetitorShipsDocsAsGroups(t *testing.T) {
+	cfg := testConfig()
+	cfg.Partitioner = partition.DisjointSets{}
+	b := newCreatorBolt(cfg, 0)
+	b.Prepare(&topology.TaskContext{Parallelism: map[string]int{"assigner": 1}})
+	c := &fakeCollector{}
+	b.Execute(docTuple(0, document.MustParse(1, `{"a":1,"b":2}`)), c)
+	b.Execute(docTuple(0, document.MustParse(2, `{"a":1}`)), c)
+	b.Execute(wendTuple(0), c)
+	b.Execute(topology.Tuple{Stream: streamExpansion, Values: topology.Values{
+		"msg": expansionMsg{Window: 0, Spec: nil},
+	}}, c)
+	msg := c.byStream(streamLocalGroups)[0].values["msg"].(localGroupsMsg)
+	if len(msg.Groups) != 2 {
+		t.Fatalf("competitor groups = %d, want one per document", len(msg.Groups))
+	}
+	for _, g := range msg.Groups {
+		if g.Load != 1 {
+			t.Errorf("competitor group load = %d, want 1", g.Load)
+		}
+	}
+}
+
+// --- merger ----------------------------------------------------------
+
+func TestMergerTwoRoundProtocol(t *testing.T) {
+	cfg := testConfig()
+	cfg.Creators = 2
+	b := newMergerBolt(cfg)
+	c := &fakeCollector{}
+	// First creator reports; nothing happens yet.
+	b.Execute(topology.Tuple{Stream: streamCreatorWindow, Values: topology.Values{
+		"msg": creatorWindowMsg{Window: 0, Task: 0, Computing: true},
+	}}, c)
+	if len(c.byStream(streamExpansion)) != 0 {
+		t.Fatal("expansion sent before all creators reported")
+	}
+	b.Execute(topology.Tuple{Stream: streamCreatorWindow, Values: topology.Values{
+		"msg": creatorWindowMsg{Window: 0, Task: 1, Computing: true},
+	}}, c)
+	if len(c.byStream(streamExpansion)) != 1 {
+		t.Fatal("expansion round not started")
+	}
+	// Local groups from both creators complete the round.
+	g := partition.AssocGroup{Pairs: partition.NewPairSet(intPair2("a", 1)), Load: 2, Docs: []uint64{1, 2}}
+	b.Execute(topology.Tuple{Stream: streamLocalGroups, Values: topology.Values{
+		"msg": localGroupsMsg{Window: 0, Task: 0, Groups: []partition.AssocGroup{g}},
+	}}, c)
+	if len(c.byStream(streamTable)) != 0 {
+		t.Fatal("table built before all groups arrived")
+	}
+	g2 := partition.AssocGroup{Pairs: partition.NewPairSet(intPair2("b", 2)), Load: 1, Docs: []uint64{3}}
+	b.Execute(topology.Tuple{Stream: streamLocalGroups, Values: topology.Values{
+		"msg": localGroupsMsg{Window: 0, Task: 1, Groups: []partition.AssocGroup{g2}},
+	}}, c)
+	tables := c.byStream(streamTable)
+	if len(tables) != 1 {
+		t.Fatalf("tables = %d, want 1", len(tables))
+	}
+	msg := tables[0].values["msg"].(tableMsg)
+	if msg.Version != 1 || msg.Window != 0 || msg.Recomputed {
+		t.Errorf("initial table msg = %+v", msg)
+	}
+	if !msg.Table.Covers(intPair2("a", 1)) || !msg.Table.Covers(intPair2("b", 2)) {
+		t.Error("table does not cover the consolidated pairs")
+	}
+}
+
+func TestMergerNonComputingWindowIsQuiet(t *testing.T) {
+	cfg := testConfig()
+	b := newMergerBolt(cfg)
+	c := &fakeCollector{}
+	b.Execute(topology.Tuple{Stream: streamCreatorWindow, Values: topology.Values{
+		"msg": creatorWindowMsg{Window: 1, Task: 0, Computing: false},
+	}}, c)
+	if len(c.emitted) != 0 {
+		t.Errorf("emissions on a quiet window: %v", c.emitted)
+	}
+	if len(b.rounds) != 0 {
+		t.Error("round state leaked")
+	}
+}
+
+func TestMergerCoalescesUpdates(t *testing.T) {
+	cfg := testConfig()
+	b := newMergerBolt(cfg)
+	c := &fakeCollector{}
+	// Initial table.
+	b.Execute(topology.Tuple{Stream: streamCreatorWindow, Values: topology.Values{
+		"msg": creatorWindowMsg{Window: 0, Task: 0, Computing: true},
+	}}, c)
+	g := partition.AssocGroup{Pairs: partition.NewPairSet(intPair2("a", 1)), Load: 1, Docs: []uint64{1}}
+	b.Execute(topology.Tuple{Stream: streamLocalGroups, Values: topology.Values{
+		"msg": localGroupsMsg{Window: 0, Task: 0, Groups: []partition.AssocGroup{g}},
+	}}, c)
+	if n := len(c.byStream(streamTable)); n != 1 {
+		t.Fatalf("tables = %d", n)
+	}
+	// Two updates: no broadcast yet.
+	b.Execute(topology.Tuple{Stream: streamUpdate, Values: topology.Values{
+		"msg": updateMsg{Doc: document.MustParse(9, `{"z":9}`)},
+	}}, c)
+	b.Execute(topology.Tuple{Stream: streamUpdate, Values: topology.Values{
+		"msg": updateMsg{Doc: document.MustParse(10, `{"y":8}`)},
+	}}, c)
+	if n := len(c.byStream(streamTable)); n != 1 {
+		t.Fatalf("updates broadcast eagerly: tables = %d", n)
+	}
+	// Window boundary flushes one coalesced version.
+	b.Execute(topology.Tuple{Stream: streamCreatorWindow, Values: topology.Values{
+		"msg": creatorWindowMsg{Window: 1, Task: 0, Computing: false},
+	}}, c)
+	tables := c.byStream(streamTable)
+	if len(tables) != 2 {
+		t.Fatalf("tables after flush = %d, want 2", len(tables))
+	}
+	msg := tables[1].values["msg"].(tableMsg)
+	if msg.Version != 2 || msg.Window != -1 || msg.Recomputed {
+		t.Errorf("flush msg = %+v", msg)
+	}
+	if !msg.Table.Covers(intPair2("z", 9)) || !msg.Table.Covers(intPair2("y", 8)) {
+		t.Error("coalesced updates missing from the flushed table")
+	}
+}
+
+func TestMergerRelaysOneRepartitionPerWindow(t *testing.T) {
+	cfg := testConfig()
+	b := newMergerBolt(cfg)
+	c := &fakeCollector{}
+	for task := 0; task < 3; task++ {
+		b.Execute(topology.Tuple{Stream: streamRepartition, Values: topology.Values{
+			"msg": decisionMsg{Window: 2, Task: task, Repartition: true},
+		}}, c)
+	}
+	if n := len(c.byStream(streamResched)); n != 1 {
+		t.Errorf("resched relays = %d, want 1", n)
+	}
+	// Negative verdicts are not relayed.
+	b.Execute(topology.Tuple{Stream: streamRepartition, Values: topology.Values{
+		"msg": decisionMsg{Window: 3, Task: 0, Repartition: false},
+	}}, c)
+	if n := len(c.byStream(streamResched)); n != 1 {
+		t.Errorf("negative verdict relayed: %d", n)
+	}
+}
+
+// --- assigner --------------------------------------------------------
+
+func intPair2(a string, v int) document.Pair {
+	return document.Pair{Attr: a, Val: document.EncodeInt(int64(v))}
+}
+
+func newTableMsg(version int, pairs ...document.Pair) tableMsg {
+	parts := []partition.PairSet{partition.NewPairSet(pairs...), partition.NewPairSet(), partition.NewPairSet()}
+	return tableMsg{Version: version, Window: 0, Table: partition.NewTable(parts), Recomputed: false}
+}
+
+func TestAssignerBroadcastsWithoutTable(t *testing.T) {
+	cfg := testConfig()
+	b := newAssignerBolt(cfg, 0)
+	b.Prepare(&topology.TaskContext{Parallelism: map[string]int{"joiner": 3}})
+	c := &fakeCollector{}
+	b.Execute(docTuple(0, document.MustParse(1, `{"a":1}`)), c)
+	if n := len(c.byStream(streamToJoin)); n != 3 {
+		t.Errorf("deliveries = %d, want broadcast to 3", n)
+	}
+}
+
+func TestAssignerRoutesWithTable(t *testing.T) {
+	cfg := testConfig()
+	b := newAssignerBolt(cfg, 0)
+	b.Prepare(&topology.TaskContext{Parallelism: map[string]int{"joiner": 3}})
+	c := &fakeCollector{}
+	b.Execute(topology.Tuple{Stream: streamTable, Values: topology.Values{
+		"msg": newTableMsg(1, intPair2("a", 1)),
+	}}, c)
+	b.Execute(docTuple(0, document.New(1, []document.Pair{intPair2("a", 1)})), c)
+	got := c.byStream(streamToJoin)
+	if len(got) != 1 || got[0].task != 0 {
+		t.Errorf("routed to %v, want exactly task 0", got)
+	}
+}
+
+func TestAssignerBarrierBuffersUntilTable(t *testing.T) {
+	cfg := testConfig()
+	b := newAssignerBolt(cfg, 0)
+	b.Prepare(&topology.TaskContext{Parallelism: map[string]int{"joiner": 3}})
+	c := &fakeCollector{}
+	// Window 0 streams and ends: barrier engages (version 0).
+	b.Execute(docTuple(0, document.New(1, []document.Pair{intPair2("a", 1)})), c)
+	b.Execute(wendTuple(0), c)
+	pre := len(c.byStream(streamToJoin))
+	// Window 1 documents arrive while waiting: buffered, not routed.
+	b.Execute(docTuple(1, document.New(2, []document.Pair{intPair2("a", 1)})), c)
+	if n := len(c.byStream(streamToJoin)); n != pre {
+		t.Fatalf("document routed through the barrier: %d > %d", n, pre)
+	}
+	// Table arrives: buffer drains, the doc routes to the matching
+	// partition only.
+	b.Execute(topology.Tuple{Stream: streamTable, Values: topology.Values{
+		"msg": newTableMsg(1, intPair2("a", 1)),
+	}}, c)
+	got := c.byStream(streamToJoin)
+	if len(got) != pre+1 {
+		t.Fatalf("barrier did not drain: %d", len(got))
+	}
+	if got[len(got)-1].task != 0 {
+		t.Errorf("drained doc routed to task %d, want 0", got[len(got)-1].task)
+	}
+}
+
+func TestAssignerDeltaGate(t *testing.T) {
+	cfg := testConfig()
+	cfg.Delta = 2
+	b := newAssignerBolt(cfg, 0)
+	b.Prepare(&topology.TaskContext{Parallelism: map[string]int{"joiner": 3}})
+	c := &fakeCollector{}
+	b.Execute(topology.Tuple{Stream: streamTable, Values: topology.Values{
+		"msg": newTableMsg(1, intPair2("a", 1)),
+	}}, c)
+	unseen := document.New(5, []document.Pair{intPair2("z", 7)})
+	b.Execute(docTuple(0, unseen), c)
+	if n := len(c.byStream(streamUpdate)); n != 0 {
+		t.Fatalf("update before δ: %d", n)
+	}
+	unseen2 := document.New(6, []document.Pair{intPair2("z", 7)})
+	b.Execute(docTuple(0, unseen2), c)
+	if n := len(c.byStream(streamUpdate)); n != 1 {
+		t.Fatalf("updates = %d, want 1 at δ=2", n)
+	}
+	// Both documents were broadcast meanwhile (uncovered pair).
+	if n := len(c.byStream(streamToJoin)); n != 6 {
+		t.Errorf("deliveries = %d, want 2 broadcasts x 3 joiners", n)
+	}
+}
+
+func TestAssignerEmitsDecisionEveryWindow(t *testing.T) {
+	cfg := testConfig()
+	b := newAssignerBolt(cfg, 0)
+	b.Prepare(&topology.TaskContext{Parallelism: map[string]int{"joiner": 3}})
+	c := &fakeCollector{}
+	b.Execute(topology.Tuple{Stream: streamTable, Values: topology.Values{
+		"msg": newTableMsg(1, intPair2("a", 1)),
+	}}, c)
+	for w := 0; w < 3; w++ {
+		b.Execute(docTuple(w, document.New(uint64(w+1), []document.Pair{intPair2("a", 1)})), c)
+		b.Execute(wendTuple(w), c)
+	}
+	decisions := c.byStream(streamRepartition)
+	if len(decisions) != 3 {
+		t.Fatalf("decisions = %d, want one per window", len(decisions))
+	}
+	for i, e := range decisions {
+		msg := e.values["msg"].(decisionMsg)
+		if msg.Window != i {
+			t.Errorf("decision %d for window %d", i, msg.Window)
+		}
+	}
+}
+
+func TestAssignerStaleTableIgnored(t *testing.T) {
+	cfg := testConfig()
+	b := newAssignerBolt(cfg, 0)
+	b.Prepare(&topology.TaskContext{Parallelism: map[string]int{"joiner": 3}})
+	c := &fakeCollector{}
+	b.Execute(topology.Tuple{Stream: streamTable, Values: topology.Values{
+		"msg": newTableMsg(2, intPair2("a", 1)),
+	}}, c)
+	// A stale version must not replace the newer table.
+	b.Execute(topology.Tuple{Stream: streamTable, Values: topology.Values{
+		"msg": newTableMsg(1, intPair2("b", 2)),
+	}}, c)
+	if b.version != 2 {
+		t.Errorf("version = %d, want 2", b.version)
+	}
+	if b.table.Covers(intPair2("b", 2)) {
+		t.Error("stale table adopted")
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"encoding/gob"
+
+	"repro/internal/cluster"
+	"repro/internal/document"
+	"repro/internal/expansion"
+	"repro/internal/partition"
+	"repro/internal/topology"
+)
+
+// RegisterGobTypes makes every tuple payload of the core topology
+// transferable over the cluster transport. Callers running the system
+// in cluster mode invoke it once per process before Run.
+func RegisterGobTypes() {
+	gob.Register(document.Document{})
+	gob.Register(&partition.Table{})
+	gob.Register(partition.AssocGroup{})
+	gob.Register(&expansion.Expansion{})
+	gob.Register(creatorWindowMsg{})
+	gob.Register(expansionMsg{})
+	gob.Register(localGroupsMsg{})
+	gob.Register(tableMsg{})
+	gob.Register(updateMsg{})
+	gob.Register(decisionMsg{})
+	gob.Register(assignerStatsMsg{})
+	gob.Register(joinerStatsMsg{})
+	gob.Register(mergerEventMsg{})
+}
+
+// NewTopology builds the system's component graph for an external
+// runtime (the multi-process worker mode of cmd/sfj-topology). The
+// returned Report is populated by the collector bolt if and only if the
+// collector task runs in this process.
+func NewTopology(cfg Config) (*topology.Builder, *Report, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, nil, err
+	}
+	report := &Report{}
+	return buildTopology(cfg, report), report, nil
+}
+
+// buildTopology assembles the Fig. 2 component graph; report is
+// populated by the collector bolt during the run.
+func buildTopology(cfg Config, report *Report) *topology.Builder {
+	b := topology.NewBuilder()
+	b.SetSpout("reader", func(int) topology.Spout {
+		return newReaderSpout(cfg.Source, cfg.WindowSize, cfg.Windows)
+	}, 1)
+
+	b.SetBolt("creator", func(task int) topology.Bolt {
+		return newCreatorBolt(cfg, task)
+	}, cfg.Creators).
+		ShuffleGrouping("reader", streamDocs).
+		AllGrouping("reader", streamWindowEnd).
+		AllGrouping("assigner", streamRepartition).
+		AllGrouping("merger", streamExpansion)
+
+	b.SetBolt("merger", func(int) topology.Bolt {
+		return newMergerBolt(cfg)
+	}, 1).
+		GlobalGrouping("creator", streamCreatorWindow).
+		GlobalGrouping("creator", streamLocalGroups).
+		GlobalGrouping("assigner", streamUpdate).
+		GlobalGrouping("assigner", streamRepartition)
+
+	b.SetBolt("assigner", func(task int) topology.Bolt {
+		return newAssignerBolt(cfg, task)
+	}, cfg.Assigners).
+		ShuffleGrouping("reader", streamDocs).
+		AllGrouping("reader", streamWindowEnd).
+		AllGrouping("merger", streamTable).
+		AllGrouping("merger", streamResched)
+
+	b.SetBolt("joiner", func(task int) topology.Bolt {
+		return newJoinerBolt(cfg, task)
+	}, cfg.M).
+		DirectGrouping("assigner", streamToJoin).
+		AllGrouping("assigner", streamJoinerWindow)
+
+	b.SetBolt("collector", func(int) topology.Bolt {
+		return newCollectorBolt(cfg, report)
+	}, 1).
+		GlobalGrouping("assigner", streamAssignerStats).
+		GlobalGrouping("joiner", streamJoinerStats).
+		GlobalGrouping("merger", streamMergerEvents)
+
+	return b
+}
+
+// ClusterRun executes the system topology across the given number of
+// TCP-connected workers on this host. Every tuple between components
+// placed on different workers crosses a real socket; the run produces
+// the same join results and statistics as the in-process Run.
+//
+// Note for multi-worker runs: the reader spout, the merger and the
+// collector are single-task components placed by the deterministic
+// round-robin placement; the collector's Report is shared because the
+// workers run in this process. A multi-process deployment would ship
+// the report through a sink instead (see cmd/sfj-topology).
+func ClusterRun(cfg Config, workers int) (*Report, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	RegisterGobTypes()
+	report := &Report{}
+	stats, err := cluster.Run(func() *topology.Builder {
+		return buildTopology(cfg, report)
+	}, workers)
+	if err != nil {
+		return nil, err
+	}
+	report.Topology = stats
+	return report, nil
+}

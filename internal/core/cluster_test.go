@@ -1,0 +1,99 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/document"
+	"repro/internal/join"
+)
+
+// TestClusterRunMatchesOracle runs the full system across three
+// TCP-connected workers and checks the exact join result.
+func TestClusterRunMatchesOracle(t *testing.T) {
+	gen := datagen.NewServerLog(77)
+	var docs []document.Document
+	for w := 0; w < 3; w++ {
+		docs = append(docs, gen.Window(80)...)
+	}
+	var mu sync.Mutex
+	got := make(map[join.Pair]bool)
+	cfg := Config{
+		M: 4, Creators: 2, Assigners: 2, WindowSize: 80, Windows: 3,
+		Source: &replaySource{docs: docs},
+		OnResult: func(r join.Result) {
+			p := join.Pair{LeftID: r.Left, RightID: r.Right}
+			if p.LeftID > p.RightID {
+				p.LeftID, p.RightID = p.RightID, p.LeftID
+			}
+			mu.Lock()
+			if got[p] {
+				mu.Unlock()
+				t.Errorf("pair (%d,%d) duplicated", p.LeftID, p.RightID)
+				return
+			}
+			got[p] = true
+			mu.Unlock()
+		},
+	}
+	report, err := ClusterRun(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Topology.Failures) > 0 {
+		t.Fatalf("failures: %v", report.Topology.Failures)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	checkPairSets(t, got, oraclePairs(docs, 80))
+	if len(report.Run.Windows) != 3 {
+		t.Errorf("windows = %d", len(report.Run.Windows))
+	}
+}
+
+// TestClusterRunSingleWorker: degenerate cluster must behave like the
+// in-process runtime.
+func TestClusterRunSingleWorker(t *testing.T) {
+	cfg := Config{M: 3, Creators: 1, Assigners: 2, WindowSize: 60, Windows: 2, Source: datagen.NewNoBench(9)}
+	report, err := ClusterRun(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.JoinPairs == 0 {
+		t.Error("no join pairs produced")
+	}
+	if len(report.Run.Windows) != 2 {
+		t.Errorf("windows = %d", len(report.Run.Windows))
+	}
+}
+
+// TestClusterAndLocalAgree: identical configuration and data must yield
+// identical join-pair counts on both runtimes.
+func TestClusterAndLocalAgree(t *testing.T) {
+	mkDocs := func() []document.Document {
+		gen := datagen.NewServerLog(101)
+		var docs []document.Document
+		for w := 0; w < 2; w++ {
+			docs = append(docs, gen.Window(100)...)
+		}
+		return docs
+	}
+	baseCfg := func(docs []document.Document) Config {
+		return Config{M: 4, Creators: 2, Assigners: 2, WindowSize: 100, Windows: 2, Source: &replaySource{docs: docs}}
+	}
+	local, err := Run(baseCfg(mkDocs()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clustered, err := ClusterRun(baseCfg(mkDocs()), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local.JoinPairs != clustered.JoinPairs {
+		t.Errorf("local pairs = %d, cluster pairs = %d", local.JoinPairs, clustered.JoinPairs)
+	}
+	if local.JoinPairs == 0 {
+		t.Error("empty result")
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/topology"
+)
+
+// collectorBolt is a single-instance statistics sink (not part of the
+// paper's Fig. 2; the paper gathers the same measurements through
+// Storm's metrics): it merges the assigners' per-window routing
+// partials into global window statistics, accumulates join counters and
+// merger events, and assembles the final Report during Cleanup.
+type collectorBolt struct {
+	cfg    Config
+	report *Report
+
+	windows map[int]*windowAgg
+}
+
+type windowAgg struct {
+	stats         *metrics.WindowStats
+	repartitioned bool
+}
+
+func newCollectorBolt(cfg Config, report *Report) *collectorBolt {
+	return &collectorBolt{cfg: cfg, report: report, windows: make(map[int]*windowAgg)}
+}
+
+// Prepare implements topology.Bolt.
+func (b *collectorBolt) Prepare(*topology.TaskContext) {}
+
+// Execute implements topology.Bolt.
+func (b *collectorBolt) Execute(t topology.Tuple, _ topology.Collector) {
+	switch t.Stream {
+	case streamAssignerStats:
+		msg := t.Values["msg"].(assignerStatsMsg)
+		agg := b.window(msg.Window)
+		agg.stats.Documents += msg.Documents
+		agg.stats.Deliveries += msg.Deliveries
+		for j, n := range msg.PerJoiner {
+			if j < len(agg.stats.PerJoiner) {
+				agg.stats.PerJoiner[j] += n
+			}
+		}
+		agg.stats.Broadcasts += msg.Broadcasts
+		agg.stats.Updates += msg.Updates
+		if msg.Repartitioned {
+			agg.repartitioned = true
+		}
+	case streamJoinerStats:
+		msg := t.Values["msg"].(joinerStatsMsg)
+		b.report.JoinPairs += msg.Pairs
+		b.report.DocsJoined += msg.Docs
+	case streamMergerEvents:
+		msg := t.Values["msg"].(mergerEventMsg)
+		b.report.TableVersions++
+		if msg.Recomputed {
+			b.report.Repartitions++
+		}
+	}
+}
+
+func (b *collectorBolt) window(w int) *windowAgg {
+	agg, ok := b.windows[w]
+	if !ok {
+		agg = &windowAgg{stats: metrics.NewWindowStats(b.cfg.M)}
+		b.windows[w] = agg
+	}
+	return agg
+}
+
+// Cleanup assembles the per-window statistics in stream order.
+func (b *collectorBolt) Cleanup() {
+	ids := make([]int, 0, len(b.windows))
+	for w := range b.windows {
+		ids = append(ids, w)
+	}
+	sort.Ints(ids)
+	for _, w := range ids {
+		agg := b.windows[w]
+		agg.stats.Repartitioned = agg.repartitioned
+		b.report.Run.Add(agg.stats)
+	}
+}

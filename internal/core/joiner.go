@@ -1,0 +1,153 @@
+package core
+
+import (
+	"repro/internal/document"
+	"repro/internal/join"
+	"repro/internal/topology"
+)
+
+// joinerBolt is the Joiner of Fig. 2: each task owns a windowed join
+// engine (FPJ by default); documents arrive via direct grouping from
+// the Assigners, join results are produced per tumbling window, and the
+// window tumbles once every Assigner task has punctuated it.
+//
+// Two engineering details keep the distributed result exactly equal to
+// a single-node join:
+//
+//   - Replication means a joinable pair can be co-located on several
+//     machines. Every delivered document carries its full target list;
+//     a joiner emits a pair only when it is the lowest-indexed joiner
+//     in the intersection of the two documents' target lists, so each
+//     pair is produced exactly once across the cluster.
+//
+//   - The Assigners advance through the stream independently, so a fast
+//     Assigner's documents for window w+1 can arrive before a slow
+//     Assigner's punctuation for window w. Such documents are buffered
+//     and replayed right after the tumble.
+type joinerBolt struct {
+	cfg  Config
+	task int
+
+	windowed *join.Windowed
+	targets  map[uint64][]int // doc id -> joiner targets, current window
+	pairs    int              // deduplicated pairs this window
+
+	current int
+	pending map[int][]pendingDoc
+
+	// markers counts per-window punctuation from the assigners; the
+	// window tumbles when all of them reported.
+	markers      map[int]int
+	numAssigners int
+}
+
+type pendingDoc struct {
+	doc     document.Document
+	targets []int
+}
+
+func newJoinerBolt(cfg Config, task int) *joinerBolt {
+	eng, err := join.New(cfg.Engine)
+	if err != nil {
+		// Config validation happens before the topology is built; an
+		// unknown engine here is a programming error.
+		panic(err)
+	}
+	return &joinerBolt{
+		cfg:      cfg,
+		task:     task,
+		windowed: join.NewWindowed(eng),
+		targets:  make(map[uint64][]int),
+		pending:  make(map[int][]pendingDoc),
+		markers:  make(map[int]int),
+	}
+}
+
+// Prepare implements topology.Bolt.
+func (b *joinerBolt) Prepare(ctx *topology.TaskContext) {
+	b.numAssigners = ctx.NumTasksOf("assigner")
+	if b.numAssigners == 0 {
+		b.numAssigners = b.cfg.Assigners
+	}
+}
+
+// Cleanup implements topology.Bolt.
+func (b *joinerBolt) Cleanup() {}
+
+// Execute implements topology.Bolt.
+func (b *joinerBolt) Execute(t topology.Tuple, c topology.Collector) {
+	switch t.Stream {
+	case streamToJoin:
+		w := t.Values["window"].(int)
+		p := pendingDoc{doc: t.Values["doc"].(document.Document), targets: t.Values["targets"].([]int)}
+		if w == b.current {
+			b.process(p, c)
+		} else {
+			b.pending[w] = append(b.pending[w], p)
+		}
+	case streamJoinerWindow:
+		w := t.Values["window"].(int)
+		b.markers[w]++
+		b.maybeTumble(c)
+	}
+}
+
+func (b *joinerBolt) process(p pendingDoc, c topology.Collector) {
+	b.targets[p.doc.ID] = p.targets
+	for _, res := range b.windowed.Process(p.doc) {
+		if !b.ownsPair(res.Left, res.Right) {
+			continue
+		}
+		b.pairs++
+		if b.cfg.OnResult != nil {
+			b.cfg.OnResult(res)
+		}
+		c.EmitTo(streamResults, topology.Values{
+			"left":   res.Left,
+			"right":  res.Right,
+			"merged": res.Merged,
+		})
+	}
+}
+
+// ownsPair reports whether this task is the lowest-indexed joiner
+// holding both documents.
+func (b *joinerBolt) ownsPair(left, right uint64) bool {
+	lt, rt := b.targets[left], b.targets[right]
+	i, j := 0, 0
+	for i < len(lt) && j < len(rt) {
+		switch {
+		case lt[i] == rt[j]:
+			return lt[i] == b.task // first (smallest) common target
+		case lt[i] < rt[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	// No common target should be impossible (this task holds both);
+	// claim ownership defensively so the pair is not lost.
+	return true
+}
+
+// maybeTumble closes the current window while all assigners have
+// punctuated it, replaying buffered documents of the next window.
+func (b *joinerBolt) maybeTumble(c topology.Collector) {
+	for b.markers[b.current] == b.numAssigners {
+		delete(b.markers, b.current)
+		docs, _ := b.windowed.Tumble()
+		c.EmitTo(streamJoinerStats, topology.Values{"msg": joinerStatsMsg{
+			Window: b.current,
+			Task:   b.task,
+			Docs:   docs,
+			Pairs:  b.pairs,
+		}})
+		b.pairs = 0
+		b.targets = make(map[uint64][]int)
+		b.current++
+		for _, p := range b.pending[b.current] {
+			b.process(p, c)
+		}
+		delete(b.pending, b.current)
+	}
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"strings"
+
+	"repro/internal/document"
+	"repro/internal/expansion"
+	"repro/internal/partition"
+	"repro/internal/topology"
+)
+
+// mergerBolt is the single-instance Merger of Fig. 2: it consolidates
+// the creators' local association groups into the global partitions,
+// broadcasts partition-table versions to the Assigners, and applies
+// δ-gated partition updates (Sec. VI-A).
+type mergerBolt struct {
+	cfg Config
+
+	rounds      map[int]*computeRound
+	version     int
+	initial     bool // next recomputation is the initial creation
+	lastResched int
+	table       *partition.Table
+	spec        *expansion.Expansion
+
+	// working accumulates δ updates between broadcasts. Broadcasting a
+	// fresh table clone for every single update would congest the
+	// Merger — the very failure mode Sec. VI-A's δ gate exists to
+	// avoid — so updates coalesce and one new version ships per window
+	// boundary.
+	working *partition.Table
+	dirty   bool
+}
+
+// computeRound tracks the two-round protocol of one computation window:
+// first every creator reports (with an expansion proposal when it is
+// computing); after the merger broadcasts the consensus expansion, the
+// computing creators answer with their local groups.
+type computeRound struct {
+	reports   int
+	computing map[int]bool
+	proposals []*expansion.Expansion
+	groups    [][]partition.AssocGroup
+	specSent  bool
+	spec      *expansion.Expansion
+}
+
+func newMergerBolt(cfg Config) *mergerBolt {
+	return &mergerBolt{cfg: cfg, rounds: make(map[int]*computeRound), initial: true, lastResched: -1}
+}
+
+// Prepare implements topology.Bolt.
+func (b *mergerBolt) Prepare(*topology.TaskContext) {}
+
+// Cleanup implements topology.Bolt.
+func (b *mergerBolt) Cleanup() {}
+
+// Execute implements topology.Bolt.
+func (b *mergerBolt) Execute(t topology.Tuple, c topology.Collector) {
+	switch t.Stream {
+	case streamCreatorWindow:
+		b.flushUpdates(c)
+		msg := t.Values["msg"].(creatorWindowMsg)
+		r := b.round(msg.Window)
+		r.reports++
+		if msg.Computing {
+			r.computing[msg.Task] = true
+			r.proposals = append(r.proposals, msg.Proposal)
+		}
+		if r.reports == b.cfg.Creators {
+			if len(r.computing) == 0 {
+				delete(b.rounds, msg.Window)
+				return
+			}
+			r.spec = consensusExpansion(r.proposals)
+			r.specSent = true
+			c.EmitTo(streamExpansion, topology.Values{"msg": expansionMsg{Window: msg.Window, Spec: r.spec}})
+		}
+	case streamLocalGroups:
+		msg := t.Values["msg"].(localGroupsMsg)
+		r := b.round(msg.Window)
+		if !r.computing[msg.Task] {
+			return // late or duplicate reply
+		}
+		delete(r.computing, msg.Task)
+		r.groups = append(r.groups, msg.Groups)
+		if r.specSent && len(r.computing) == 0 {
+			b.buildTable(msg.Window, r, c)
+			delete(b.rounds, msg.Window)
+		}
+	case streamUpdate:
+		msg := t.Values["msg"].(updateMsg)
+		b.applyUpdate(msg.Doc, c)
+	case streamRepartition:
+		// The creators schedule the recomputation themselves; the
+		// merger forwards one positive verdict per window to the
+		// assigners so they engage their deployment barriers.
+		msg := t.Values["msg"].(decisionMsg)
+		if msg.Repartition && msg.Window > b.lastResched {
+			b.lastResched = msg.Window
+			c.EmitTo(streamResched, topology.Values{"msg": msg})
+		}
+	}
+}
+
+func (b *mergerBolt) round(w int) *computeRound {
+	r, ok := b.rounds[w]
+	if !ok {
+		r = &computeRound{computing: make(map[int]bool)}
+		b.rounds[w] = r
+	}
+	return r
+}
+
+// buildTable consolidates the collected groups into m partitions and
+// broadcasts the new table version.
+func (b *mergerBolt) buildTable(window int, r *computeRound, c topology.Collector) {
+	var table *partition.Table
+	if _, isAG := b.cfg.Partitioner.(partition.AssociationGroups); isAG {
+		consolidated := partition.Consolidate(r.groups)
+		table = partition.AssignGroups(consolidated, b.cfg.M)
+	} else {
+		// Competitors run their whole algorithm on the combined sample
+		// reconstructed from the single-document groups.
+		var docs []document.Document
+		for _, gs := range r.groups {
+			for _, g := range gs {
+				id := uint64(len(docs) + 1)
+				if len(g.Docs) > 0 {
+					id = g.Docs[0]
+				}
+				docs = append(docs, document.New(id, g.Pairs.Sorted()))
+			}
+		}
+		table = b.cfg.Partitioner.Partition(docs, b.cfg.M)
+	}
+	b.table = table
+	b.spec = r.spec
+	// A full recomputation supersedes any coalesced updates.
+	b.working = nil
+	b.dirty = false
+	b.version++
+	recomputed := !b.initial
+	c.EmitTo(streamTable, topology.Values{"msg": tableMsg{
+		Version:    b.version,
+		Window:     window,
+		Table:      table,
+		Expansion:  r.spec,
+		Recomputed: recomputed,
+	}})
+	c.EmitTo(streamMergerEvents, topology.Values{"msg": mergerEventMsg{
+		Version:    b.version,
+		Recomputed: recomputed,
+		Initial:    b.initial,
+	}})
+	b.initial = false
+}
+
+// applyUpdate folds a δ-qualified document into the working copy of the
+// partitions; the accumulated updates ship as one version per window
+// boundary (flushUpdates).
+func (b *mergerBolt) applyUpdate(d document.Document, c topology.Collector) {
+	if b.table == nil {
+		return
+	}
+	td, ok := b.spec.Apply(d)
+	if !ok {
+		// The document cannot form the synthetic attribute; it keeps
+		// being broadcast by the assigners, which is already correct.
+		return
+	}
+	if b.working == nil {
+		b.working = b.table.Clone()
+	}
+	b.working.AddDocument(td)
+	b.dirty = true
+}
+
+// flushUpdates broadcasts the coalesced δ updates, if any.
+func (b *mergerBolt) flushUpdates(c topology.Collector) {
+	if !b.dirty {
+		return
+	}
+	b.table = b.working
+	b.working = nil
+	b.dirty = false
+	b.version++
+	c.EmitTo(streamTable, topology.Values{"msg": tableMsg{
+		Version:   b.version,
+		Window:    -1,
+		Table:     b.table,
+		Expansion: b.spec,
+	}})
+	c.EmitTo(streamMergerEvents, topology.Values{"msg": mergerEventMsg{Version: b.version}})
+}
+
+// consensusExpansion picks the majority proposal; ties resolve to the
+// lexicographically smallest component list for determinism. A nil
+// proposal ("no expansion") participates in the vote.
+func consensusExpansion(proposals []*expansion.Expansion) *expansion.Expansion {
+	counts := make(map[string]int)
+	byKey := make(map[string]*expansion.Expansion)
+	for _, p := range proposals {
+		key := ""
+		if p != nil {
+			key = strings.Join(p.Components, "\x00")
+		}
+		counts[key]++
+		if _, ok := byKey[key]; !ok {
+			byKey[key] = p
+		}
+	}
+	bestKey, bestCount := "", -1
+	for key, n := range counts {
+		if n > bestCount || (n == bestCount && key < bestKey) {
+			bestKey, bestCount = key, n
+		}
+	}
+	return byKey[bestKey]
+}

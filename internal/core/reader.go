@@ -1,0 +1,53 @@
+package core
+
+import (
+	"repro/internal/datagen"
+	"repro/internal/document"
+	"repro/internal/topology"
+)
+
+// readerSpout is the JsonReader of Fig. 2: it draws documents from a
+// generator, stamps them with their window index, and emits window
+// punctuation after every WindowSize documents.
+type readerSpout struct {
+	source     datagen.Generator
+	windowSize int
+	windows    int
+
+	window int
+	buf    []document.Document
+	pos    int
+}
+
+func newReaderSpout(source datagen.Generator, windowSize, windows int) *readerSpout {
+	return &readerSpout{source: source, windowSize: windowSize, windows: windows}
+}
+
+// Open implements topology.Spout.
+func (s *readerSpout) Open(*topology.TaskContext) {}
+
+// Close implements topology.Spout.
+func (s *readerSpout) Close() {}
+
+// NextTuple implements topology.Spout: one document (or one window
+// marker) per call.
+func (s *readerSpout) NextTuple(c topology.Collector) bool {
+	if s.window >= s.windows {
+		return false
+	}
+	if s.buf == nil {
+		s.buf = s.source.Window(s.windowSize)
+		s.pos = 0
+	}
+	if s.pos < len(s.buf) {
+		d := s.buf[s.pos]
+		s.pos++
+		c.EmitTo(streamDocs, topology.Values{"doc": d, "window": s.window})
+		return true
+	}
+	// Window exhausted: punctuate and advance.
+	c.EmitTo(streamWindowEnd, topology.Values{"window": s.window})
+	s.window++
+	s.buf = nil
+	return s.window < s.windows
+}

@@ -1,0 +1,19 @@
+package core
+
+// Run streams the configured number of windows through the paper's
+// topology on the in-process runtime and returns the collected metrics.
+// The call blocks until the stream is exhausted and the topology has
+// fully drained. For the TCP-distributed variant see ClusterRun.
+func Run(cfg Config) (*Report, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	report := &Report{}
+	topo, err := buildTopology(cfg, report).Build()
+	if err != nil {
+		return nil, err
+	}
+	report.Topology = topo.Run()
+	return report, nil
+}

@@ -1,0 +1,46 @@
+// Package datagen provides the deterministic workload generators used
+// by the experiments: a server-log generator standing in for the
+// paper's proprietary real-world dataset (rwData), a re-implementation
+// of the NoBench JSON generator (nbData, Chasseur et al.) with the
+// `num` attribute removed as the paper prescribes, and the "ideal
+// execution" stream derivation of Sec. VII-E.4.
+package datagen
+
+import (
+	"math/rand"
+
+	"repro/internal/document"
+)
+
+// Generator produces a stream of schema-free documents in windows.
+// Document ids increase monotonically across windows; generators are
+// deterministic for a fixed seed.
+type Generator interface {
+	// Name identifies the dataset ("rwData", "nbData", ...).
+	Name() string
+	// Window returns the next n documents of the stream.
+	Window(n int) []document.Document
+}
+
+// zipfValues draws an index in [0,n) with a Zipf-like skew: low indexes
+// are much more frequent, mimicking the skewed value distributions of
+// real server logs.
+func zipfValues(r *rand.Rand, z *rand.Zipf, n int) int {
+	v := int(z.Uint64())
+	if v >= n {
+		v = n - 1
+	}
+	return v
+}
+
+// ByName builds a generator for a dataset name with the given seed.
+func ByName(name string, seed int64) (Generator, bool) {
+	switch name {
+	case "rwData", "rw", "serverlogs":
+		return NewServerLog(seed), true
+	case "nbData", "nb", "nobench":
+		return NewNoBench(seed), true
+	default:
+		return nil, false
+	}
+}

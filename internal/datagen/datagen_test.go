@@ -1,0 +1,252 @@
+package datagen
+
+import (
+	"testing"
+
+	"repro/internal/document"
+	"repro/internal/join"
+)
+
+func TestServerLogDeterministic(t *testing.T) {
+	g1 := NewServerLog(42)
+	g2 := NewServerLog(42)
+	w1 := g1.Window(200)
+	w2 := g2.Window(200)
+	if len(w1) != 200 || len(w2) != 200 {
+		t.Fatalf("window sizes %d/%d", len(w1), len(w2))
+	}
+	for i := range w1 {
+		if !w1[i].Equal(w2[i]) || w1[i].ID != w2[i].ID {
+			t.Fatalf("doc %d differs across same-seed generators", i)
+		}
+	}
+}
+
+func TestServerLogIDsMonotonic(t *testing.T) {
+	g := NewServerLog(1)
+	var last uint64
+	for w := 0; w < 3; w++ {
+		for _, d := range g.Window(50) {
+			if d.ID <= last {
+				t.Fatalf("id %d not increasing after %d", d.ID, last)
+			}
+			last = d.ID
+		}
+	}
+}
+
+func TestServerLogSeverityNearUbiquitous(t *testing.T) {
+	g := NewServerLog(7)
+	docs := g.Window(500)
+	stats := document.CollectAttrStats(docs)
+	c := stats.DocCount["Severity"]
+	if c < 450 {
+		t.Errorf("Severity in %d/500 docs; must be near-ubiquitous", c)
+	}
+	if c == 500 {
+		t.Errorf("Severity strictly ubiquitous; rwData must not auto-trigger expansion")
+	}
+	if stats.Distinct["Severity"] > 6 {
+		t.Errorf("Severity distinct = %d, want <= 6", stats.Distinct["Severity"])
+	}
+}
+
+func TestServerLogHasJoins(t *testing.T) {
+	g := NewServerLog(7)
+	docs := g.Window(300)
+	res := join.Batch(join.NewHBJ(), docs)
+	if len(res.Pairs) == 0 {
+		t.Error("server log window produced no joinable pairs")
+	}
+}
+
+func TestServerLogDrift(t *testing.T) {
+	g := NewServerLog(7)
+	w1 := g.Window(400)
+	w2 := g.Window(400)
+	seen := make(map[document.Pair]bool)
+	for _, d := range w1 {
+		for _, p := range d.Pairs() {
+			seen[p] = true
+		}
+	}
+	unseen := 0
+	for _, d := range w2 {
+		for _, p := range d.Pairs() {
+			if !seen[p] {
+				unseen++
+				break
+			}
+		}
+	}
+	if unseen == 0 {
+		t.Error("no drift: second window introduced no unseen pairs")
+	}
+}
+
+func TestServerLogZeroDriftIsStable(t *testing.T) {
+	freshPairs := func(g *ServerLog) int {
+		w1 := g.Window(600)
+		seen := make(map[document.Pair]bool)
+		for _, d := range w1 {
+			for _, p := range d.Pairs() {
+				seen[p] = true
+			}
+		}
+		fresh := 0
+		for _, d := range g.Window(600) {
+			for _, p := range d.Pairs() {
+				if !seen[p] {
+					fresh++
+				}
+			}
+		}
+		return fresh
+	}
+	stable := NewServerLog(7)
+	stable.DriftRate = 0
+	drifting := NewServerLog(7)
+	drifting.DriftRate = 0.15
+	fs, fd := freshPairs(stable), freshPairs(drifting)
+	// Without drift only tail coverage of the fixed entity pools mints
+	// new pairs; with drift, fresh entities dominate.
+	if fs*2 >= fd {
+		t.Errorf("zero-drift fresh pairs %d not well below drifting %d", fs, fd)
+	}
+}
+
+func TestNoBenchShape(t *testing.T) {
+	g := NewNoBench(3)
+	docs := g.Window(100)
+	stats := document.CollectAttrStats(docs)
+	// The core cohort is present in every object, as in NoBench.
+	for _, attr := range []string{"bool", "str1", "str2", "dyn1", "dyn2", "nested_obj.str", "nested_obj.num", "thousandth"} {
+		if stats.DocCount[attr] != 100 {
+			t.Errorf("%s present in %d/100 docs; the core cohort is ubiquitous", attr, stats.DocCount[attr])
+		}
+	}
+	// nested_arr varies per document.
+	if c := stats.DocCount["nested_arr"]; c == 0 || c == 100 {
+		t.Errorf("nested_arr in %d/100 docs; must be probabilistic", c)
+	}
+	if stats.Distinct["bool"] != 2 {
+		t.Errorf("bool distinct = %d", stats.Distinct["bool"])
+	}
+	// Sparse attributes exist and are sparse.
+	sparse := 0
+	for a, c := range stats.DocCount {
+		if len(a) > 7 && a[:7] == "sparse_" {
+			sparse++
+			if c == 100 {
+				t.Errorf("sparse attribute %s is ubiquitous", a)
+			}
+		}
+	}
+	if sparse == 0 {
+		t.Error("no sparse attributes generated")
+	}
+}
+
+func TestNoBenchDiversity(t *testing.T) {
+	g := NewNoBench(3)
+	w1 := g.Window(200)
+	seen := make(map[document.Pair]bool)
+	for _, d := range w1 {
+		for _, p := range d.Pairs() {
+			seen[p] = true
+		}
+	}
+	w2 := g.Window(200)
+	unseenDocs := 0
+	for _, d := range w2 {
+		for _, p := range d.Pairs() {
+			if !seen[p] {
+				unseenDocs++
+				break
+			}
+		}
+	}
+	// The paper observes that a large share of each subsequent window
+	// consists of documents with unseen pairs.
+	if unseenDocs < 25 {
+		t.Errorf("only %d/200 docs carry unseen pairs; nbData must be diverse", unseenDocs)
+	}
+}
+
+func TestNoBenchJoinable(t *testing.T) {
+	g := NewNoBench(3)
+	docs := g.Window(150)
+	res := join.Batch(join.NewHBJ(), docs)
+	if len(res.Pairs) == 0 {
+		t.Error("NoBench window produced no joinable pairs")
+	}
+}
+
+func TestNoBenchDeterministic(t *testing.T) {
+	a := NewNoBench(9).Window(50)
+	b := NewNoBench(9).Window(50)
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("doc %d differs", i)
+		}
+	}
+}
+
+func TestIdealReplaysFrozenWindow(t *testing.T) {
+	base := NewServerLog(5)
+	ideal := NewIdeal(base, 100, 5)
+	w1 := ideal.Window(0)
+	w2 := ideal.Window(0)
+	if len(w1) != 105 || len(w2) != 105 {
+		t.Fatalf("window sizes %d/%d, want 105", len(w1), len(w2))
+	}
+	// The first 100 documents of both windows carry identical pair sets
+	// (fresh ids).
+	for i := 0; i < 100; i++ {
+		if !w1[i].Equal(w2[i]) {
+			t.Fatalf("replayed doc %d differs", i)
+		}
+		if w1[i].ID == w2[i].ID {
+			t.Fatalf("replayed doc %d reused id %d", i, w1[i].ID)
+		}
+	}
+	if ideal.FrozenSize() != 100 {
+		t.Errorf("FrozenSize = %d", ideal.FrozenSize())
+	}
+}
+
+func TestIdealIDsUnique(t *testing.T) {
+	ideal := NewIdeal(NewServerLog(5), 50, 3)
+	ids := make(map[uint64]bool)
+	for w := 0; w < 4; w++ {
+		for _, d := range ideal.Window(0) {
+			if ids[d.ID] {
+				t.Fatalf("duplicate id %d", d.ID)
+			}
+			ids[d.ID] = true
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, n := range []string{"rwData", "nbData", "rw", "nb", "serverlogs", "nobench"} {
+		if g, ok := ByName(n, 1); !ok || g == nil {
+			t.Errorf("ByName(%s) failed", n)
+		}
+	}
+	if _, ok := ByName("bogus", 1); ok {
+		t.Error("ByName(bogus) must fail")
+	}
+}
+
+func TestGeneratorNames(t *testing.T) {
+	if NewServerLog(1).Name() != "rwData" {
+		t.Error("rwData name")
+	}
+	if NewNoBench(1).Name() != "nbData" {
+		t.Error("nbData name")
+	}
+	if NewIdeal(NewServerLog(1), 10, 1).Name() != "rwData-ideal" {
+		t.Error("ideal name")
+	}
+}

@@ -1,0 +1,62 @@
+package datagen
+
+import (
+	"repro/internal/document"
+)
+
+// Ideal derives the paper's "ideal execution" stream (Sec. VII-E.4):
+// one window of an underlying generator is frozen and replayed in every
+// subsequent window, with only a small predefined number of previously
+// unseen documents added per window. Under this stream the measured
+// replication is a direct result of the partitioning algorithm, not of
+// unseen-pair broadcasts.
+type Ideal struct {
+	base     Generator
+	frozen   []document.Document
+	freshPer int
+	nextID   uint64
+}
+
+// NewIdeal freezes the first window of base (of size windowSize) and
+// adds freshPerWindow new documents drawn from base in every window.
+func NewIdeal(base Generator, windowSize, freshPerWindow int) *Ideal {
+	frozen := base.Window(windowSize)
+	maxID := uint64(0)
+	for _, d := range frozen {
+		if d.ID > maxID {
+			maxID = d.ID
+		}
+	}
+	return &Ideal{
+		base:     base,
+		frozen:   frozen,
+		freshPer: freshPerWindow,
+		nextID:   maxID + 1,
+	}
+}
+
+// Name implements Generator.
+func (g *Ideal) Name() string { return g.base.Name() + "-ideal" }
+
+// Window implements Generator. The n parameter is ignored beyond the
+// frozen window size: every window replays the frozen documents (with
+// fresh ids, as a stream delivers distinct tuples) plus freshPer new
+// documents.
+func (g *Ideal) Window(_ int) []document.Document {
+	out := make([]document.Document, 0, len(g.frozen)+g.freshPer)
+	for _, d := range g.frozen {
+		replay := document.New(g.nextID, d.Pairs())
+		g.nextID++
+		out = append(out, replay)
+	}
+	fresh := g.base.Window(g.freshPer)
+	for _, d := range fresh {
+		renum := document.New(g.nextID, d.Pairs())
+		g.nextID++
+		out = append(out, renum)
+	}
+	return out
+}
+
+// FrozenSize reports the size of the replayed window.
+func (g *Ideal) FrozenSize() int { return len(g.frozen) }

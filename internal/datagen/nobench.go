@@ -1,0 +1,142 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/document"
+)
+
+// NoBench re-implements the NoBench JSON data generator (Chasseur, Li &
+// Patel, WebDB 2013) used for the paper's synthetic dataset. As in
+// NoBench, every object carries the full core attribute cohort —
+// str1, str2, bool, dyn1, dyn2, nested_obj.*, thousandth — plus a
+// cohort of sparse attributes; the unique `num` attribute is removed,
+// as the paper prescribes, so joins become possible.
+//
+// In NoBench all values are derived from the object's generation
+// counter. This implementation derives them from a latent group id g:
+// objects of the same group agree on every core attribute (they join),
+// while objects of different groups conflict on str2 — under
+// schema-free natural-join semantics a single conflicting shared
+// attribute excludes the pair. Group ids mix draws from a bounded
+// recency pool (values recur, so partitions stay useful and δ updates
+// fire) with strictly fresh ids (every window carries documents with
+// previously unseen attribute-value pairs — the behaviour behind
+// nbData's ~50% repartition rate in the paper).
+//
+// The ubiquitous Boolean is the disabling attribute that forces
+// attribute-value expansion (paper Sec. VI-B); the ubiquitous core
+// cohort also gives the FP-tree its deep, hard-pruning shape (Sec. V-B).
+type NoBench struct {
+	rng    *rand.Rand
+	nextID uint64
+
+	nextGroup int64
+	recent    []int64
+
+	// FreshRate is the probability that a document starts a brand-new
+	// group (unseen values for str2, nested_obj.num and its sparse
+	// cohort). Defaults to 0.10.
+	FreshRate float64
+	// RecencyPool bounds how many recent groups keep recurring.
+	RecencyPool int
+}
+
+// NewNoBench creates the nbData generator.
+func NewNoBench(seed int64) *NoBench {
+	return &NoBench{
+		rng:         rand.New(rand.NewSource(seed)),
+		nextID:      1,
+		FreshRate:   0.10,
+		RecencyPool: 400,
+	}
+}
+
+// Name implements Generator.
+func (g *NoBench) Name() string { return "nbData" }
+
+// Window implements Generator.
+func (g *NoBench) Window(n int) []document.Document {
+	docs := make([]document.Document, 0, n)
+	for i := 0; i < n; i++ {
+		docs = append(docs, g.next())
+	}
+	return docs
+}
+
+func (g *NoBench) next() document.Document {
+	id := g.nextID
+	g.nextID++
+	r := g.rng
+
+	grp := g.pickGroup()
+
+	var ps []document.Pair
+	add := func(attr, enc string) { ps = append(ps, document.Pair{Attr: attr, Val: enc}) }
+
+	// Core cohort: present in every object, values functions of the
+	// latent group, exactly as NoBench derives everything from num.
+	// The derived values share the group's residue class x = g mod 100,
+	// so str1, dyn1, dyn2 and nested_obj.str co-occur systematically —
+	// the association structure the AG partitioner clusters.
+	x := grp % 100
+	add("bool", document.EncodeBool(grp%2 == 0))
+	add("str1", document.EncodeString(fmt.Sprintf("GROUP_%d", x)))
+	add("str2", document.EncodeString(fmt.Sprintf("STR_%d", grp)))
+	if x%3 == 0 { // dynamically typed (NoBench's dyn1)
+		add("dyn1", document.EncodeInt(x))
+	} else {
+		add("dyn1", document.EncodeString(fmt.Sprintf("D%d", x)))
+	}
+	if x%5 < 3 {
+		add("dyn2", document.EncodeInt(x/5))
+	} else {
+		add("dyn2", document.EncodeString(fmt.Sprintf("E%d", x/5)))
+	}
+	add("nested_obj.str", document.EncodeString(fmt.Sprintf("GROUP_%d", x)))
+	add("nested_obj.num", document.EncodeInt(grp))
+	add("thousandth", document.EncodeInt(grp/3))
+
+	// nested_arr varies per document: present probabilistically, value
+	// a function of the group, so same-group documents never conflict —
+	// they differ only in whether they carry it.
+	if r.Float64() < 0.8 {
+		arrLen := 1 + int(grp%4)
+		arr := "["
+		for i := 0; i < arrLen; i++ {
+			if i > 0 {
+				arr += ","
+			}
+			arr += fmt.Sprintf("%q", fmt.Sprintf("A%d", (grp+int64(i))%30))
+		}
+		arr += "]"
+		add("nested_arr", document.EncodeArrayJSON(arr))
+	}
+	// The sparse cohort: exactly ten consecutive sparse attributes out
+	// of 1000, chosen by the residue class and valued by the group —
+	// NoBench gives every object ten sparse attributes derived from
+	// num.
+	base := x * 10
+	for i := int64(0); i < 10; i++ {
+		attr := fmt.Sprintf("sparse_%03d", base+i)
+		add(attr, document.EncodeString(fmt.Sprintf("S%d_%d", grp, i)))
+	}
+
+	return document.New(id, ps)
+}
+
+// pickGroup draws the latent group: mostly a recurring recent group,
+// sometimes a brand-new one.
+func (g *NoBench) pickGroup() int64 {
+	if len(g.recent) == 0 || g.rng.Float64() < g.FreshRate {
+		grp := g.nextGroup
+		g.nextGroup++
+		g.recent = append(g.recent, grp)
+		if len(g.recent) > g.RecencyPool {
+			g.recent = g.recent[1:]
+		}
+		return grp
+	}
+	return g.recent[g.rng.Intn(len(g.recent))]
+}

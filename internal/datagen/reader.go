@@ -1,0 +1,71 @@
+package datagen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/document"
+)
+
+// ReaderSource adapts a JSON-lines stream (one JSON object per line,
+// blank lines ignored) into a Generator, so the topology can consume
+// external data — a file, a pipe, or another process — instead of the
+// synthetic generators.
+type ReaderSource struct {
+	name    string
+	scanner *bufio.Scanner
+	nextID  uint64
+	err     error
+}
+
+// NewReaderSource wraps r; name labels the dataset in reports.
+func NewReaderSource(name string, r io.Reader) *ReaderSource {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &ReaderSource{name: name, scanner: sc, nextID: 1}
+}
+
+// Name implements Generator.
+func (s *ReaderSource) Name() string { return s.name }
+
+// Window implements Generator: it returns up to n documents; fewer (or
+// none) when the stream is exhausted. Malformed lines stop the stream
+// and are reported through Err.
+func (s *ReaderSource) Window(n int) []document.Document {
+	var docs []document.Document
+	for len(docs) < n && s.err == nil && s.scanner.Scan() {
+		line := s.scanner.Bytes()
+		if len(trimSpace(line)) == 0 {
+			continue
+		}
+		d, err := document.Parse(s.nextID, line)
+		if err != nil {
+			s.err = fmt.Errorf("datagen: line for doc %d: %w", s.nextID, err)
+			break
+		}
+		s.nextID++
+		docs = append(docs, d)
+	}
+	if s.err == nil {
+		s.err = s.scanner.Err()
+	}
+	return docs
+}
+
+// Err reports the first read or parse error, if any.
+func (s *ReaderSource) Err() error { return s.err }
+
+// Count reports how many documents have been produced.
+func (s *ReaderSource) Count() uint64 { return s.nextID - 1 }
+
+func trimSpace(b []byte) []byte {
+	start, end := 0, len(b)
+	for start < end && (b[start] == ' ' || b[start] == '\t' || b[start] == '\r') {
+		start++
+	}
+	for end > start && (b[end-1] == ' ' || b[end-1] == '\t' || b[end-1] == '\r') {
+		end--
+	}
+	return b[start:end]
+}

@@ -1,0 +1,249 @@
+// Package document defines the schema-free JSON document model and the
+// natural-join semantics used throughout the system.
+//
+// A document is an unordered set of attribute-value pairs
+// d = {a1:v1, a2:v2, ...}. Following the paper's join definition, two
+// documents are joinable if and only if they share at least one
+// attribute-value pair and have identical values for every attribute
+// they have in common. Documents that share no attribute are excluded
+// from the join result.
+package document
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Pair is a single attribute-value pair. Val holds the canonical
+// encoding of the JSON value (see EncodeValue) so that equality of Val
+// strings coincides with JSON value equality.
+type Pair struct {
+	Attr string
+	Val  string
+}
+
+// String renders the pair as attr:value using the decoded value form.
+func (p Pair) String() string {
+	return p.Attr + ":" + DecodeValueString(p.Val)
+}
+
+// Key returns the canonical map key for the pair, unique across
+// attribute and value. The separator cannot occur inside Attr because
+// attribute names are JSON strings flattened with '.'; a rune from the
+// Unicode private-use area keeps keys collision-free even for values
+// containing ':' or '='.
+func (p Pair) Key() string {
+	return p.Attr + pairSep + p.Val
+}
+
+const pairSep = ""
+
+// PairFromKey reconstructs a Pair from Key(). It panics on malformed
+// input because keys only circulate internally.
+func PairFromKey(key string) Pair {
+	i := strings.Index(key, pairSep)
+	if i < 0 {
+		panic(fmt.Sprintf("document: malformed pair key %q", key))
+	}
+	return Pair{Attr: key[:i], Val: key[i+len(pairSep):]}
+}
+
+// Document is an immutable schema-free document: an identifier plus a
+// set of attribute-value pairs held sorted by attribute name. At most
+// one pair per attribute exists (JSON object semantics).
+type Document struct {
+	ID    uint64
+	pairs []Pair // sorted by Attr, unique attrs
+}
+
+// New builds a document from the given pairs. Pairs are copied, sorted
+// by attribute, and de-duplicated; when the same attribute appears more
+// than once the last value wins (matching encoding/json object
+// decoding).
+func New(id uint64, pairs []Pair) Document {
+	cp := make([]Pair, len(pairs))
+	copy(cp, pairs)
+	sort.SliceStable(cp, func(i, j int) bool { return cp[i].Attr < cp[j].Attr })
+	out := cp[:0]
+	for _, p := range cp {
+		if n := len(out); n > 0 && out[n-1].Attr == p.Attr {
+			out[n-1] = p
+			continue
+		}
+		out = append(out, p)
+	}
+	return Document{ID: id, pairs: out}
+}
+
+// Pairs returns the document's pairs sorted by attribute. The returned
+// slice must not be modified.
+func (d Document) Pairs() []Pair { return d.pairs }
+
+// Len reports the number of attribute-value pairs.
+func (d Document) Len() int { return len(d.pairs) }
+
+// Get returns the canonical value for attr and whether it is present.
+func (d Document) Get(attr string) (string, bool) {
+	i := sort.Search(len(d.pairs), func(i int) bool { return d.pairs[i].Attr >= attr })
+	if i < len(d.pairs) && d.pairs[i].Attr == attr {
+		return d.pairs[i].Val, true
+	}
+	return "", false
+}
+
+// Lookup returns the human-readable value for attr (the decoded form
+// of the canonical encoding) and whether it is present. Use Get when
+// comparing values across documents; use Lookup for display and
+// application logic on the value's content.
+func (d Document) Lookup(attr string) (string, bool) {
+	v, ok := d.Get(attr)
+	if !ok {
+		return "", false
+	}
+	return DecodeValueString(v), true
+}
+
+// Has reports whether the document contains the exact pair p.
+func (d Document) Has(p Pair) bool {
+	v, ok := d.Get(p.Attr)
+	return ok && v == p.Val
+}
+
+// HasAttr reports whether the document contains attribute attr with any
+// value.
+func (d Document) HasAttr(attr string) bool {
+	_, ok := d.Get(attr)
+	return ok
+}
+
+// String renders the document as {a:v, b:w, ...} with a leading id.
+func (d Document) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "d%d{", d.ID)
+	for i, p := range d.pairs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Equal reports whether two documents hold exactly the same pair set
+// (IDs are ignored).
+func (d Document) Equal(o Document) bool {
+	if len(d.pairs) != len(o.pairs) {
+		return false
+	}
+	for i, p := range d.pairs {
+		if o.pairs[i] != p {
+			return false
+		}
+	}
+	return true
+}
+
+// Relation classifies how two documents relate under natural-join
+// semantics.
+type Relation int
+
+const (
+	// RelDisjoint means the documents share no attribute at all; the
+	// paper excludes such pairs from the join result.
+	RelDisjoint Relation = iota
+	// RelJoinable means the documents share at least one identical
+	// attribute-value pair and have no conflicting attribute.
+	RelJoinable
+	// RelConflicting means at least one shared attribute carries
+	// different values.
+	RelConflicting
+	// RelAttrOnly means the documents share attributes but not a
+	// single identical pair, without conflicts. This cannot occur for
+	// exact-equality semantics (a shared attribute either matches,
+	// making the pair shared, or conflicts), so it is unreachable; it
+	// exists to make the classification total and future-proof.
+	RelAttrOnly
+)
+
+// Classify performs a single merge pass over both sorted pair sets and
+// returns the relation together with the number of shared pairs.
+func Classify(a, b Document) (Relation, int) {
+	shared := 0
+	sharedAttr := false
+	i, j := 0, 0
+	ap, bp := a.pairs, b.pairs
+	for i < len(ap) && j < len(bp) {
+		switch {
+		case ap[i].Attr < bp[j].Attr:
+			i++
+		case ap[i].Attr > bp[j].Attr:
+			j++
+		default:
+			sharedAttr = true
+			if ap[i].Val != bp[j].Val {
+				return RelConflicting, shared
+			}
+			shared++
+			i++
+			j++
+		}
+	}
+	switch {
+	case shared > 0:
+		return RelJoinable, shared
+	case sharedAttr:
+		return RelAttrOnly, shared
+	default:
+		return RelDisjoint, shared
+	}
+}
+
+// Joinable reports whether two documents are part of the natural join
+// result: they share at least one attribute-value pair and no attribute
+// they have in common carries conflicting values.
+func Joinable(a, b Document) bool {
+	r, _ := Classify(a, b)
+	return r == RelJoinable
+}
+
+// SharedPairs returns the number of identical attribute-value pairs the
+// two documents have in common, or -1 when they conflict.
+func SharedPairs(a, b Document) int {
+	r, n := Classify(a, b)
+	if r == RelConflicting {
+		return -1
+	}
+	return n
+}
+
+// Merge produces the natural-join output document for two joinable
+// documents: the union of their pairs. The resulting document carries
+// the supplied id. Merge panics if the inputs conflict, since callers
+// must only merge documents that passed the join test.
+func Merge(id uint64, a, b Document) Document {
+	merged := make([]Pair, 0, len(a.pairs)+len(b.pairs))
+	i, j := 0, 0
+	ap, bp := a.pairs, b.pairs
+	for i < len(ap) && j < len(bp) {
+		switch {
+		case ap[i].Attr < bp[j].Attr:
+			merged = append(merged, ap[i])
+			i++
+		case ap[i].Attr > bp[j].Attr:
+			merged = append(merged, bp[j])
+			j++
+		default:
+			if ap[i].Val != bp[j].Val {
+				panic(fmt.Sprintf("document: Merge on conflicting documents %v and %v", a, b))
+			}
+			merged = append(merged, ap[i])
+			i++
+			j++
+		}
+	}
+	merged = append(merged, ap[i:]...)
+	merged = append(merged, bp[j:]...)
+	return Document{ID: id, pairs: merged}
+}

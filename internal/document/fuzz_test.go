@@ -1,0 +1,69 @@
+package document
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParse exercises the JSON-to-document decoder: it must never
+// panic, and every successfully parsed document must round-trip
+// through MarshalJSON into an equal document (join semantics survive
+// serialisation).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`{"User":"A","Severity":"Warning"}`,
+		`{"a":1,"b":2.5,"c":true,"d":null}`,
+		`{"nested":{"x":{"y":1}},"arr":[1,"two",null]}`,
+		`{"":""}`,
+		`{"dup":1,"dup":2}`,
+		`{"n":1e308,"m":-0.0,"big":9223372036854775807}`,
+		`{"u":"é世界"}`,
+		`{}`,
+		`{"a":[[[]]]}`,
+		`{"huge":1e999}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := Parse(1, data)
+		if err != nil {
+			return // malformed input is allowed to fail, not to panic
+		}
+		out, err := d.MarshalJSON()
+		if err != nil {
+			t.Fatalf("marshal of parsed doc failed: %v", err)
+		}
+		if !json.Valid(out) {
+			t.Fatalf("marshal produced invalid JSON: %s", out)
+		}
+		back, err := Parse(2, out)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v (json: %s)", err, out)
+		}
+		if !d.Equal(back) {
+			t.Fatalf("round trip changed document:\n  in:  %v\n  out: %v", d, back)
+		}
+	})
+}
+
+// FuzzClassify checks the join-classification kernel for panics and
+// symmetry on arbitrary attribute/value material.
+func FuzzClassify(f *testing.F) {
+	f.Add("a", "1", "b", "2")
+	f.Add("x", "", "", "y")
+	f.Add("same", "v", "same", "v")
+	f.Fuzz(func(t *testing.T, a1, v1, a2, v2 string) {
+		d1 := New(1, []Pair{{Attr: a1, Val: EncodeString(v1)}, {Attr: a2, Val: EncodeString(v2)}})
+		d2 := New(2, []Pair{{Attr: a2, Val: EncodeString(v1)}, {Attr: a1, Val: EncodeString(v2)}})
+		r12, n12 := Classify(d1, d2)
+		r21, n21 := Classify(d2, d1)
+		if r12 != r21 || n12 != n21 {
+			t.Fatalf("classification asymmetric: %v/%d vs %v/%d", r12, n12, r21, n21)
+		}
+		if Joinable(d1, d2) {
+			// Merge must not panic for joinable pairs.
+			Merge(3, d1, d2)
+		}
+	})
+}

@@ -1,0 +1,34 @@
+package document
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// gobDocument is the wire form of a Document: gob needs exported
+// fields, while the in-memory form keeps its pairs private to preserve
+// the sorted-unique invariant.
+type gobDocument struct {
+	ID    uint64
+	Pairs []Pair
+}
+
+// GobEncode implements gob.GobEncoder, making documents transferable
+// across the TCP cluster transport.
+func (d Document) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(gobDocument{ID: d.ID, Pairs: d.pairs})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder. The pairs arrive already sorted
+// and unique (they were produced by New); New is applied anyway so a
+// corrupted or hand-crafted payload cannot break the invariant.
+func (d *Document) GobDecode(data []byte) error {
+	var g gobDocument
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&g); err != nil {
+		return err
+	}
+	*d = New(g.ID, g.Pairs)
+	return nil
+}

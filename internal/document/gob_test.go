@@ -1,0 +1,122 @@
+package document
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGobRoundTrip(t *testing.T) {
+	d := MustParse(42, `{"User":"A","MsgId":2,"ok":true,"r":0.5,"n":null,"arr":[1,2]}`)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(d); err != nil {
+		t.Fatal(err)
+	}
+	var back Document
+	if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != 42 || !back.Equal(d) {
+		t.Errorf("round trip changed document: %v -> %v", d, back)
+	}
+}
+
+func TestGobDecodeGarbage(t *testing.T) {
+	var d Document
+	if err := d.GobDecode([]byte("not gob")); err == nil {
+		t.Error("garbage must fail to decode")
+	}
+}
+
+func TestQuickGobRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		d := randomDoc(rr, uint64(rr.Intn(1000)))
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(d); err != nil {
+			return false
+		}
+		var back Document
+		if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+			return false
+		}
+		return back.Equal(d) && back.ID == d.ID
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLookupDecodesValues(t *testing.T) {
+	d := MustParse(1, `{"s":"hello","i":42,"b":true,"z":null}`)
+	cases := map[string]string{"s": "hello", "i": "42", "b": "true", "z": "null"}
+	for attr, want := range cases {
+		got, ok := d.Lookup(attr)
+		if !ok || got != want {
+			t.Errorf("Lookup(%s) = %q,%v; want %q", attr, got, ok, want)
+		}
+	}
+	if _, ok := d.Lookup("missing"); ok {
+		t.Error("Lookup(missing) reported present")
+	}
+}
+
+func TestEncodeValueVariants(t *testing.T) {
+	cases := map[any]string{
+		"x":           EncodeString("x"),
+		42:            EncodeInt(42),
+		int64(7):      EncodeInt(7),
+		3.25:          EncodeFloat(3.25),
+		true:          EncodeBool(true),
+		false:         EncodeBool(false),
+		nil:           EncodeNull(),
+		complex(1, 2): EncodeString("(1+2i)"), // fallback path
+	}
+	for in, want := range cases {
+		if got := EncodeValue(in); got != want {
+			t.Errorf("EncodeValue(%v) = %q, want %q", in, got, want)
+		}
+	}
+	// Integral floats canonicalise to ints.
+	if EncodeFloat(2.0) != EncodeInt(2) {
+		t.Error("2.0 must encode as integer 2")
+	}
+}
+
+func TestDecodeValueStringVariants(t *testing.T) {
+	cases := map[string]string{
+		EncodeString("x"):      "x",
+		EncodeInt(5):           "5",
+		EncodeFloat(2.5):       "2.5",
+		EncodeBool(true):       "true",
+		EncodeNull():           "null",
+		EncodeArrayJSON(`[1]`): "[1]",
+		"":                     "",
+		"?weird":               "?weird", // unknown tag falls through
+	}
+	for in, want := range cases {
+		if got := DecodeValueString(in); got != want {
+			t.Errorf("DecodeValueString(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestValueJSONFallbacks(t *testing.T) {
+	if ValueJSON("") != `""` {
+		t.Error("empty encoding must render as empty string literal")
+	}
+	if ValueJSON("?odd") != `"?odd"` {
+		t.Error("unknown tag must be quoted")
+	}
+}
+
+func TestPairFromKeyPanicsOnGarbage(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("malformed key must panic")
+		}
+	}()
+	PairFromKey("no separator here")
+}

@@ -1,0 +1,160 @@
+package document
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Canonical value encoding.
+//
+// Natural-join equality must hold across documents regardless of how a
+// JSON value was spelled, so values are stored as canonical strings
+// with a one-byte type tag:
+//
+//	s<str>   JSON string
+//	n<num>   JSON number, shortest round-trip float formatting
+//	i<int>   JSON number that is an exact integer (canonicalised so
+//	         that 2 and 2.0 compare equal)
+//	btrue / bfalse  JSON booleans
+//	z        JSON null
+//	j<json>  compact serialisation of a JSON array (arrays are treated
+//	         as one opaque value; nested objects are flattened into
+//	         dotted attribute paths instead, see Flatten)
+//
+// Encoding equality therefore coincides with JSON value equality for
+// all scalar types the paper's documents use.
+
+// EncodeString encodes a JSON string value.
+func EncodeString(s string) string { return "s" + s }
+
+// EncodeBool encodes a JSON boolean value.
+func EncodeBool(b bool) string {
+	if b {
+		return "btrue"
+	}
+	return "bfalse"
+}
+
+// EncodeNull encodes JSON null.
+func EncodeNull() string { return "z" }
+
+// EncodeInt encodes an integral JSON number.
+func EncodeInt(v int64) string { return "i" + strconv.FormatInt(v, 10) }
+
+// EncodeFloat encodes a JSON number, canonicalising exact integers so
+// that 2 and 2.0 encode identically. The int64 range check guards the
+// float-to-int conversion, which the Go spec leaves implementation-
+// defined for out-of-range values.
+func EncodeFloat(f float64) string {
+	if f >= math.MinInt64 && f <= math.MaxInt64 && f == math.Trunc(f) {
+		return EncodeInt(int64(f))
+	}
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		// JSON has no literal for these; encode as tagged strings so
+		// serialisation stays valid while equality still works.
+		return EncodeString(strconv.FormatFloat(f, 'g', -1, 64))
+	}
+	return "n" + strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// EncodeArrayJSON wraps an already-serialised compact JSON array.
+func EncodeArrayJSON(compact string) string { return "j" + compact }
+
+// EncodeValue encodes the result of encoding/json decoding (string,
+// float64, bool, nil, int variants) into canonical form. Unsupported
+// dynamic types fall back to their fmt representation tagged as a
+// string, which keeps the encoding total.
+func EncodeValue(v any) string {
+	switch x := v.(type) {
+	case string:
+		return EncodeString(x)
+	case float64:
+		return EncodeFloat(x)
+	case int:
+		return EncodeInt(int64(x))
+	case int64:
+		return EncodeInt(x)
+	case bool:
+		return EncodeBool(x)
+	case nil:
+		return EncodeNull()
+	default:
+		return EncodeString(fmt.Sprint(x))
+	}
+}
+
+// DecodeValueString renders a canonical value back to a human-readable
+// JSON-ish literal (used for display and JSON re-serialisation).
+func DecodeValueString(enc string) string {
+	if enc == "" {
+		return ""
+	}
+	switch enc[0] {
+	case 's':
+		return enc[1:]
+	case 'n', 'i':
+		return enc[1:]
+	case 'b':
+		return enc[1:]
+	case 'z':
+		return "null"
+	case 'j':
+		return enc[1:]
+	default:
+		return enc
+	}
+}
+
+// ValueJSON renders a canonical value as a valid JSON literal.
+func ValueJSON(enc string) string {
+	if enc == "" {
+		return `""`
+	}
+	switch enc[0] {
+	case 's':
+		return jsonString(enc[1:])
+	case 'n', 'i':
+		return enc[1:]
+	case 'b':
+		return enc[1:]
+	case 'z':
+		return "null"
+	case 'j':
+		return enc[1:]
+	default:
+		return jsonString(enc)
+	}
+}
+
+// jsonString encodes s as a JSON string literal. strconv.Quote is not
+// suitable here: it emits Go escapes like \x7f that JSON forbids.
+func jsonString(s string) string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return `""` // unreachable: strings always marshal
+	}
+	return string(b)
+}
+
+// ConcatValues builds the synthetic value used by attribute-value
+// expansion: the concatenation of two canonical values. The combined
+// value is tagged as a string; the separator is a private-use rune so
+// distinct (v1, v2) inputs always yield distinct outputs.
+func ConcatValues(v1, v2 string) string {
+	return "s" + v1 + "" + v2
+}
+
+// ConcatAttrs builds the synthetic attribute name used by
+// attribute-value expansion.
+func ConcatAttrs(a1, a2 string) string {
+	return a1 + "" + a2
+}
+
+// IsSyntheticAttr reports whether the attribute name was produced by
+// ConcatAttrs.
+func IsSyntheticAttr(attr string) bool {
+	return strings.ContainsRune(attr, '')
+}

@@ -1,0 +1,330 @@
+package expansion
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/document"
+	"repro/internal/partition"
+)
+
+// boolDocs builds the motivating scenario of Sec. VI-B: a Boolean
+// attribute in every document plus a higher-variety user attribute.
+func boolDocs(n int) []document.Document {
+	docs := make([]document.Document, 0, n)
+	for i := 0; i < n; i++ {
+		docs = append(docs, document.New(uint64(i+1), []document.Pair{
+			{Attr: "bool", Val: document.EncodeBool(i%2 == 0)},
+			{Attr: "user", Val: document.EncodeString(string(rune('A' + i%8)))},
+			{Attr: "x", Val: document.EncodeInt(int64(i))},
+		}))
+	}
+	return docs
+}
+
+func TestAnalyzeFindsBooleanDisabler(t *testing.T) {
+	e := Analyze(boolDocs(32), 8)
+	if e == nil {
+		t.Fatal("expected an expansion")
+	}
+	if e.Components[0] != "bool" {
+		t.Errorf("disabling attribute = %s, want bool", e.Components[0])
+	}
+	if e.DistinctValues < 8 {
+		t.Errorf("DistinctValues = %d, want >= 8", e.DistinctValues)
+	}
+}
+
+func TestAnalyzeNoDisablerNeeded(t *testing.T) {
+	// Every ubiquitous attribute already has >= m values.
+	var docs []document.Document
+	for i := 0; i < 20; i++ {
+		docs = append(docs, document.New(uint64(i+1), []document.Pair{
+			{Attr: "id", Val: document.EncodeInt(int64(i))},
+		}))
+	}
+	if e := Analyze(docs, 4); e != nil {
+		t.Errorf("unexpected expansion %v", e)
+	}
+}
+
+func TestAnalyzeEmptyAndTrivial(t *testing.T) {
+	if Analyze(nil, 8) != nil {
+		t.Error("nil docs must yield nil expansion")
+	}
+	if Analyze(boolDocs(8), 1) != nil {
+		t.Error("m=1 needs no expansion")
+	}
+}
+
+func TestApplyReplacesComponents(t *testing.T) {
+	docs := boolDocs(32)
+	e := Analyze(docs, 8)
+	if e == nil {
+		t.Fatal("expected expansion")
+	}
+	out, ok := e.Apply(docs[0])
+	if !ok {
+		t.Fatal("Apply failed on complete document")
+	}
+	for _, c := range e.Components {
+		if out.HasAttr(c) {
+			t.Errorf("component %s not removed", c)
+		}
+	}
+	if !out.HasAttr(e.SyntheticAttr) {
+		t.Error("synthetic attribute missing")
+	}
+}
+
+func TestApplyMissingComponent(t *testing.T) {
+	docs := boolDocs(32)
+	e := Analyze(docs, 8)
+	d := document.MustParse(99, `{"bool":true}`) // lacks combining attrs
+	if _, ok := e.Apply(d); ok {
+		t.Error("Apply must fail when a component attribute is missing")
+	}
+}
+
+func TestNilExpansionIsIdentity(t *testing.T) {
+	var e *Expansion
+	d := document.MustParse(1, `{"a":1}`)
+	out, ok := e.Apply(d)
+	if !ok || !out.Equal(d) {
+		t.Error("nil expansion must be the identity")
+	}
+	if r := e.ExpectedReplication(8); r != 1 {
+		t.Errorf("nil ExpectedReplication = %g", r)
+	}
+	if s := e.String(); s != "expansion(none)" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestExpectedReplication(t *testing.T) {
+	e := &Expansion{MissingFraction: 0.25}
+	// 0.25*8 + 0.75 = 2.75
+	if got := e.ExpectedReplication(8); got != 2.75 {
+		t.Errorf("ExpectedReplication = %g, want 2.75", got)
+	}
+}
+
+// TestExpansionEnablesScaling verifies the headline claim: without
+// expansion a Boolean-dominated batch yields at most 2 useful
+// partitions; with expansion the partitioner fills all m machines.
+func TestExpansionEnablesScaling(t *testing.T) {
+	m := 8
+	// Documents where the Boolean is the ONLY shared structure:
+	// {bool, user} with 8 users per boolean value.
+	var docs []document.Document
+	for i := 0; i < 64; i++ {
+		docs = append(docs, document.New(uint64(i+1), []document.Pair{
+			{Attr: "bool", Val: document.EncodeBool(i%2 == 0)},
+			{Attr: "user", Val: document.EncodeString(string(rune('A' + i%16)))},
+		}))
+	}
+	// Without expansion, DS finds at most 2 components (everything is
+	// connected through bool:true / bool:false).
+	ds := partition.DisjointSets{}
+	if c := ds.Components(docs); c > 2 {
+		t.Fatalf("precondition failed: %d components", c)
+	}
+	// With expansion the transformed documents split into 16 synthetic
+	// values, so all 8 partitions become non-empty.
+	e := Analyze(docs, m)
+	if e == nil {
+		t.Fatal("expansion required")
+	}
+	transformed := e.ApplyBatch(docs)
+	tbl := ds.Partition(transformed, m)
+	if ne := tbl.NonEmpty(); ne != m {
+		t.Errorf("non-empty partitions = %d, want %d", ne, m)
+	}
+}
+
+// TestQuickExpansionPreservesCompleteness is the key safety property:
+// routing transformed documents through partitions built on transformed
+// documents (with broadcast for non-transformable ones) never separates
+// a joinable pair of ORIGINAL documents.
+func TestQuickExpansionPreservesCompleteness(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := 2 + r.Intn(6)
+		n := 5 + r.Intn(25)
+		users := []string{"A", "B", "C", "D"}
+		var docs []document.Document
+		for i := 0; i < n; i++ {
+			ps := []document.Pair{
+				{Attr: "flag", Val: document.EncodeBool(r.Intn(2) == 0)},
+			}
+			if r.Intn(4) > 0 { // user sometimes missing
+				ps = append(ps, document.Pair{Attr: "user", Val: document.EncodeString(users[r.Intn(len(users))])})
+			}
+			if r.Intn(2) == 0 {
+				ps = append(ps, document.Pair{Attr: "x", Val: document.EncodeInt(int64(r.Intn(3)))})
+			}
+			docs = append(docs, document.New(uint64(i+1), ps))
+		}
+		e := Analyze(docs, m)
+		tbl := partition.AssociationGroups{}.Partition(e.ApplyBatch(docs), m)
+
+		// Route every original document under the expansion policy.
+		route := func(d document.Document) []int {
+			td, ok := e.Apply(d)
+			if ok {
+				if targets, broadcast := tbl.Route(td); !broadcast {
+					return targets
+				}
+			}
+			all := make([]int, m)
+			for i := range all {
+				all[i] = i
+			}
+			return all
+		}
+		targets := make([][]int, len(docs))
+		for i, d := range docs {
+			targets[i] = route(d)
+		}
+		for i := 0; i < len(docs); i++ {
+			for j := i + 1; j < len(docs); j++ {
+				if !document.Joinable(docs[i], docs[j]) {
+					continue
+				}
+				if !sharesTarget(targets[i], targets[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sharesTarget(a, b []int) bool {
+	set := make(map[int]bool, len(a))
+	for _, x := range a {
+		set[x] = true
+	}
+	for _, y := range b {
+		if set[y] {
+			return true
+		}
+	}
+	return false
+}
+
+// TestQuickSyntheticAgreement: two joinable documents that both carry
+// all component attributes always produce the same synthetic value.
+func TestQuickSyntheticAgreement(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		mk := func(id uint64) document.Document {
+			ps := []document.Pair{
+				{Attr: "flag", Val: document.EncodeBool(r.Intn(2) == 0)},
+				{Attr: "user", Val: document.EncodeString(string(rune('A' + r.Intn(3))))},
+				{Attr: "z", Val: document.EncodeInt(int64(r.Intn(2)))},
+			}
+			return document.New(id, ps)
+		}
+		a, b := mk(1), mk(2)
+		if !document.Joinable(a, b) {
+			return true
+		}
+		e := &Expansion{Components: []string{"flag", "user"}, SyntheticAttr: "fu"}
+		ta, okA := e.Apply(a)
+		tb, okB := e.Apply(b)
+		if !okA || !okB {
+			return false
+		}
+		va, _ := ta.Get("fu")
+		vb, _ := tb.Get("fu")
+		return va == vb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChainedExpansion(t *testing.T) {
+	// bool alone has 2 values; bool+flag2 has 4; need m=6 -> chain to a
+	// third attribute.
+	var docs []document.Document
+	for i := 0; i < 48; i++ {
+		docs = append(docs, document.New(uint64(i+1), []document.Pair{
+			{Attr: "b1", Val: document.EncodeBool(i%2 == 0)},
+			{Attr: "b2", Val: document.EncodeBool(i%4 < 2)},
+			{Attr: "u", Val: document.EncodeString(string(rune('A' + i%12)))},
+		}))
+	}
+	e := Analyze(docs, 6)
+	if e == nil {
+		t.Fatal("expansion required")
+	}
+	if len(e.Components) < 2 {
+		t.Errorf("expected chained components, got %v", e.Components)
+	}
+	if e.DistinctValues < 6 {
+		t.Errorf("DistinctValues = %d, want >= 6", e.DistinctValues)
+	}
+}
+
+func TestAnalyzeForcedRelaxesUbiquity(t *testing.T) {
+	// Severity-like attribute in 90% of docs with 3 values: strict
+	// Analyze finds nothing, forced analysis picks it.
+	var docs []document.Document
+	for i := 0; i < 100; i++ {
+		ps := []document.Pair{
+			{Attr: "id", Val: document.EncodeInt(int64(i))},
+		}
+		if i%10 != 0 {
+			ps = append(ps, document.Pair{Attr: "sev", Val: document.EncodeString(string(rune('A' + i%3)))})
+		}
+		docs = append(docs, document.New(uint64(i+1), ps))
+	}
+	if Analyze(docs, 8) != nil {
+		t.Fatal("strict analysis must find no disabling attribute")
+	}
+	e := AnalyzeForced(docs, 8)
+	if e == nil {
+		t.Fatal("forced analysis must produce an expansion")
+	}
+	if e.Components[0] != "sev" {
+		t.Errorf("disabling = %s, want sev", e.Components[0])
+	}
+	if e.MissingFraction <= 0 {
+		t.Errorf("MissingFraction = %g, want > 0 (10%% of docs lack sev)", e.MissingFraction)
+	}
+}
+
+func TestAnalyzeForcedFallsBackToStrict(t *testing.T) {
+	// When a strict disabling attribute exists, forced == strict.
+	docs := boolDocs(32)
+	strict := Analyze(docs, 8)
+	forced := AnalyzeForced(docs, 8)
+	if strict == nil || forced == nil {
+		t.Fatal("both analyses must succeed")
+	}
+	if strict.SyntheticAttr != forced.SyntheticAttr {
+		t.Errorf("forced diverged: %s vs %s", forced.SyntheticAttr, strict.SyntheticAttr)
+	}
+}
+
+func TestAnalyzeForcedNoCandidate(t *testing.T) {
+	// Every attribute has >= m values: nothing to force.
+	var docs []document.Document
+	for i := 0; i < 50; i++ {
+		docs = append(docs, document.New(uint64(i+1), []document.Pair{
+			{Attr: "id", Val: document.EncodeInt(int64(i))},
+		}))
+	}
+	if e := AnalyzeForced(docs, 4); e != nil {
+		t.Errorf("unexpected forced expansion %v", e)
+	}
+	if AnalyzeForced(nil, 4) != nil {
+		t.Error("nil docs must yield nil")
+	}
+}

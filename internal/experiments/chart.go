@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderChart draws the figure as horizontal ASCII bars, one block per
+// (row, series) combination — a terminal-friendly approximation of the
+// paper's grouped bar plots.
+func (f *Figure) RenderChart() string {
+	const barWidth = 46
+
+	max := 0.0
+	for _, r := range f.Rows {
+		for _, s := range f.Series {
+			if v, ok := r.Values[s]; ok && v > max {
+				max = v
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %s: %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "  (x = %s)\n", f.YLabel)
+	if max == 0 {
+		b.WriteString("  (all values zero)\n")
+		return b.String()
+	}
+	labelWidth := 0
+	for _, s := range f.Series {
+		if len(s) > labelWidth {
+			labelWidth = len(s)
+		}
+	}
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "  %s\n", r.Label)
+		for _, s := range f.Series {
+			v, ok := r.Values[s]
+			if !ok {
+				continue
+			}
+			n := int(v / max * barWidth)
+			if v > 0 && n == 0 {
+				n = 1
+			}
+			fmt.Fprintf(&b, "    %-*s │%s%s %0.3f\n",
+				labelWidth, s,
+				strings.Repeat("█", n),
+				strings.Repeat(" ", barWidth-n),
+				v)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,443 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Section VII): Figs. 6–8 sweep the partitioning
+// algorithms over the number of partitions m and the window size w on
+// both datasets; Fig. 9 sweeps the repartitioning threshold θ; Fig. 10
+// measures the "ideal execution" on a stabilised stream; Fig. 11 times
+// the local join algorithms.
+//
+// Absolute numbers differ from the paper (different hardware, synthetic
+// stand-ins for the proprietary data); the shapes — which algorithm
+// wins, by roughly what factor, and where behaviour crosses over — are
+// the reproduction target. EXPERIMENTS.md records both sides.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/metrics"
+	"repro/internal/partition"
+)
+
+// Scale sizes the experiments. The paper streams 46M documents over a
+// cluster; Full is sized for a single development machine and Quick for
+// the test suite.
+type Scale struct {
+	// DocsPerWindowUnit maps the paper's window length w (minutes) to
+	// documents: windowSize = w * DocsPerWindowUnit.
+	DocsPerWindowUnit int
+	// Windows is the number of windows streamed per run (the first
+	// window is warm-up: no partitions exist yet and everything is
+	// broadcast; it is excluded from the averages).
+	Windows int
+	// FPJDocs are the document counts of Fig. 11a/b (paper: 100k,
+	// 300k, 500k).
+	FPJDocs []int
+	// BaselineDocs are the document counts of Fig. 11c/d (paper: 10k,
+	// 30k, 50k).
+	BaselineDocs []int
+	// Seed makes every figure reproducible.
+	Seed int64
+}
+
+// FullScale approximates the paper's setup at 1/10 of the document
+// counts, suitable for a single machine.
+func FullScale() Scale {
+	return Scale{
+		DocsPerWindowUnit: 200,
+		Windows:           8,
+		FPJDocs:           []int{10000, 30000, 50000},
+		BaselineDocs:      []int{1000, 3000, 5000},
+		Seed:              42,
+	}
+}
+
+// QuickScale keeps the sweeps cheap enough for go test.
+func QuickScale() Scale {
+	return Scale{
+		DocsPerWindowUnit: 50,
+		Windows:           4,
+		FPJDocs:           []int{500, 1000},
+		BaselineDocs:      []int{200, 400},
+		Seed:              42,
+	}
+}
+
+// Figure is one reproduced plot: rows (x-axis points) by series (the
+// plotted algorithms).
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []string
+	Rows   []Row
+}
+
+// Row is one x-axis point.
+type Row struct {
+	Label  string
+	Values map[string]float64
+}
+
+// Render prints the figure as an aligned text table, one row per x
+// point and one column per series.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %s: %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "  (y = %s)\n", f.YLabel)
+	fmt.Fprintf(&b, "  %-12s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "%12s", s)
+	}
+	b.WriteByte('\n')
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "  %-12s", r.Label)
+		for _, s := range f.Series {
+			if v, ok := r.Values[s]; ok {
+				fmt.Fprintf(&b, "%12.3f", v)
+			} else {
+				fmt.Fprintf(&b, "%12s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// point is the outcome of one system run.
+type point struct {
+	repl, gini, maxLoad, repartPct float64
+}
+
+// runKey memoises system runs shared between Figs. 6, 7 and 8.
+type runKey struct {
+	dataset string
+	algo    string
+	m, w    int
+	theta   float64
+	ideal   bool
+}
+
+var (
+	runMu    sync.Mutex
+	runCache = map[string]map[runKey]point{}
+)
+
+// expansionFor reproduces the paper's configuration matrix: on nbData
+// every algorithm uses attribute-value expansion (the Boolean
+// attribute); on rwData only DS needs it, forced (Sec. VII-E).
+func expansionFor(dataset, algo string) core.ExpansionMode {
+	if dataset == "nbData" {
+		return core.ExpansionAuto // the Boolean attribute triggers it
+	}
+	if algo == "DS" {
+		return core.ExpansionForced
+	}
+	return core.ExpansionAuto // finds no disabling attribute on rwData
+}
+
+// runSystem executes one configuration and summarises the post-warm-up
+// windows.
+func runSystem(key runKey, sc Scale) (point, error) {
+	runMu.Lock()
+	cache := runCache[scaleID(sc)]
+	if cache == nil {
+		cache = make(map[runKey]point)
+		runCache[scaleID(sc)] = cache
+	}
+	if p, ok := cache[key]; ok {
+		runMu.Unlock()
+		return p, nil
+	}
+	runMu.Unlock()
+
+	var source datagen.Generator
+	gen, ok := datagen.ByName(key.dataset, sc.Seed)
+	if !ok {
+		return point{}, fmt.Errorf("experiments: unknown dataset %q", key.dataset)
+	}
+	source = gen
+	windowSize := key.w * sc.DocsPerWindowUnit
+	if key.ideal {
+		// Sec. VII-E.4: freeze one window, replay it with a small
+		// trickle of unseen documents.
+		if sl, ok := gen.(*datagen.ServerLog); ok {
+			sl.DriftRate = 0.02
+		}
+		source = datagen.NewIdeal(gen, windowSize, windowSize/50)
+	}
+	partitioner, err := partition.ByName(key.algo)
+	if err != nil {
+		return point{}, err
+	}
+	cfg := core.Config{
+		M:           key.m,
+		Creators:    2,
+		Assigners:   6,
+		WindowSize:  windowSize,
+		Windows:     sc.Windows,
+		Theta:       key.theta,
+		Partitioner: partitioner,
+		Expansion:   expansionFor(key.dataset, key.algo),
+		Source:      source,
+	}
+	report, err := core.Run(cfg)
+	if err != nil {
+		return point{}, err
+	}
+	p := summarise(report, key.m)
+	runMu.Lock()
+	cache[key] = p
+	runMu.Unlock()
+	return p, nil
+}
+
+func scaleID(sc Scale) string {
+	return fmt.Sprintf("%d/%d/%d", sc.DocsPerWindowUnit, sc.Windows, sc.Seed)
+}
+
+// summarise averages the post-warm-up windows. Window 0 runs without
+// any partitions (pure broadcast) and is excluded, mirroring the
+// paper's setup where partitions are computed upfront.
+func summarise(report *core.Report, m int) point {
+	var rs metrics.RunStats
+	windows := report.Run.Windows
+	if len(windows) > 1 {
+		windows = windows[1:]
+	}
+	for _, w := range windows {
+		rs.Add(w)
+	}
+	return point{
+		repl:      rs.AvgReplication(),
+		gini:      rs.AvgLoadBalance(),
+		maxLoad:   rs.AvgMaxProcessingLoad(),
+		repartPct: rs.RepartitionRate(),
+	}
+}
+
+var algos = []string{"AG", "SC", "DS"}
+
+// partitionSweep runs Figs. 6–8's m sweep (a/c variants).
+func partitionSweep(dataset string, sc Scale, metric func(point) float64, id, title, ylabel string) (*Figure, error) {
+	fig := &Figure{ID: id, Title: title, XLabel: "partitions", YLabel: ylabel, Series: algos}
+	for _, m := range []int{5, 8, 10, 20} {
+		row := Row{Label: fmt.Sprintf("m=%d", m), Values: map[string]float64{}}
+		for _, algo := range algos {
+			p, err := runSystem(runKey{dataset: dataset, algo: algo, m: m, w: 6, theta: 0.2}, sc)
+			if err != nil {
+				return nil, err
+			}
+			row.Values[algo] = metric(p)
+		}
+		fig.Rows = append(fig.Rows, row)
+	}
+	return fig, nil
+}
+
+// windowSweep runs Figs. 6–8's w sweep (b/d variants).
+func windowSweep(dataset string, sc Scale, metric func(point) float64, id, title, ylabel string) (*Figure, error) {
+	fig := &Figure{ID: id, Title: title, XLabel: "window", YLabel: ylabel, Series: algos}
+	for _, w := range []int{3, 6, 9} {
+		row := Row{Label: fmt.Sprintf("w=%d", w), Values: map[string]float64{}}
+		for _, algo := range algos {
+			p, err := runSystem(runKey{dataset: dataset, algo: algo, m: 8, w: w, theta: 0.2}, sc)
+			if err != nil {
+				return nil, err
+			}
+			row.Values[algo] = metric(p)
+		}
+		fig.Rows = append(fig.Rows, row)
+	}
+	return fig, nil
+}
+
+func replOf(p point) float64    { return p.repl }
+func giniOf(p point) float64    { return p.gini }
+func maxLoadOf(p point) float64 { return p.maxLoad }
+
+// Figure6 reproduces the replication plots: variant a (m sweep,
+// rwData), b (w sweep, rwData), c (m sweep, nbData), d (w sweep,
+// nbData).
+func Figure6(variant string, sc Scale) (*Figure, error) {
+	return sweepFigure("6", variant, sc, replOf, "Replication (avg)")
+}
+
+// Figure7 reproduces the load-balance (Gini) plots.
+func Figure7(variant string, sc Scale) (*Figure, error) {
+	return sweepFigure("7", variant, sc, giniOf, "Load Balance (Gini)")
+}
+
+// Figure8 reproduces the maximal processing load plots.
+func Figure8(variant string, sc Scale) (*Figure, error) {
+	return sweepFigure("8", variant, sc, maxLoadOf, "Max Processing Load (avg)")
+}
+
+func sweepFigure(num, variant string, sc Scale, metric func(point) float64, ylabel string) (*Figure, error) {
+	id := num + variant
+	switch variant {
+	case "a":
+		return partitionSweep("rwData", sc, metric, id, "varying partitions (rwData), w=6 θ=0.2", ylabel)
+	case "b":
+		return windowSweep("rwData", sc, metric, id, "varying window (rwData), m=8 θ=0.2", ylabel)
+	case "c":
+		return partitionSweep("nbData", sc, metric, id, "varying partitions (nbData), w=6 θ=0.2", ylabel)
+	case "d":
+		return windowSweep("nbData", sc, metric, id, "varying window (nbData), m=8 θ=0.2", ylabel)
+	default:
+		return nil, fmt.Errorf("experiments: figure %s has variants a-d, got %q", num, variant)
+	}
+}
+
+// Figure9 reproduces the repartition-percentage plots: variant a
+// (rwData) and b (nbData), θ ∈ {0.2, 0.6}, m=8, w=6.
+func Figure9(variant string, sc Scale) (*Figure, error) {
+	dataset := map[string]string{"a": "rwData", "b": "nbData"}[variant]
+	if dataset == "" {
+		return nil, fmt.Errorf("experiments: figure 9 has variants a/b, got %q", variant)
+	}
+	fig := &Figure{
+		ID:     "9" + variant,
+		Title:  fmt.Sprintf("repartitions varying threshold (%s), m=8 w=6", dataset),
+		XLabel: "threshold",
+		YLabel: "Repartitions (%)",
+		Series: algos,
+	}
+	for _, theta := range []float64{0.2, 0.6} {
+		row := Row{Label: fmt.Sprintf("θ=%.1f", theta), Values: map[string]float64{}}
+		for _, algo := range algos {
+			p, err := runSystem(runKey{dataset: dataset, algo: algo, m: 8, w: 6, theta: theta}, sc)
+			if err != nil {
+				return nil, err
+			}
+			row.Values[algo] = p.repartPct
+		}
+		fig.Rows = append(fig.Rows, row)
+	}
+	return fig, nil
+}
+
+// Figure10 reproduces the ideal execution: variant a (replication), b
+// (load balance), c (max processing load), sweeping m ∈ {5, 10, 20}
+// over the stabilised rwData-derived stream.
+func Figure10(variant string, sc Scale) (*Figure, error) {
+	var metric func(point) float64
+	var ylabel string
+	switch variant {
+	case "a":
+		metric, ylabel = replOf, "Replication (avg)"
+	case "b":
+		metric, ylabel = giniOf, "Load Balance (Gini)"
+	case "c":
+		metric, ylabel = maxLoadOf, "Max Processing Load (avg)"
+	default:
+		return nil, fmt.Errorf("experiments: figure 10 has variants a-c, got %q", variant)
+	}
+	fig := &Figure{
+		ID:     "10" + variant,
+		Title:  "ideal execution (stabilised rwData), w=6 θ=0.2",
+		XLabel: "partitions",
+		YLabel: ylabel,
+		Series: algos,
+	}
+	for _, m := range []int{5, 10, 20} {
+		row := Row{Label: fmt.Sprintf("m=%d", m), Values: map[string]float64{}}
+		for _, algo := range algos {
+			p, err := runSystem(runKey{dataset: "rwData", algo: algo, m: m, w: 6, theta: 0.2, ideal: true}, sc)
+			if err != nil {
+				return nil, err
+			}
+			row.Values[algo] = metric(p)
+		}
+		fig.Rows = append(fig.Rows, row)
+	}
+	return fig, nil
+}
+
+// All regenerates every figure at the given scale, in paper order.
+func All(sc Scale) ([]*Figure, error) {
+	var out []*Figure
+	for _, num := range []string{"6", "7", "8"} {
+		for _, v := range []string{"a", "b", "c", "d"} {
+			fig, err := sweepFigureByNum(num, v, sc)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, fig)
+		}
+	}
+	for _, v := range []string{"a", "b"} {
+		fig, err := Figure9(v, sc)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fig)
+	}
+	for _, v := range []string{"a", "b", "c"} {
+		fig, err := Figure10(v, sc)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fig)
+	}
+	for _, v := range []string{"a", "b", "c", "d"} {
+		fig, err := Figure11(v, sc)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fig)
+	}
+	return out, nil
+}
+
+func sweepFigureByNum(num, variant string, sc Scale) (*Figure, error) {
+	switch num {
+	case "6":
+		return Figure6(variant, sc)
+	case "7":
+		return Figure7(variant, sc)
+	case "8":
+		return Figure8(variant, sc)
+	default:
+		return nil, fmt.Errorf("experiments: unknown figure %s", num)
+	}
+}
+
+// ByID regenerates one figure by its id ("6a", "9b", "11d", ...).
+func ByID(id string, sc Scale) (*Figure, error) {
+	if len(id) < 2 {
+		return nil, fmt.Errorf("experiments: bad figure id %q", id)
+	}
+	num, variant := id[:len(id)-1], id[len(id)-1:]
+	switch num {
+	case "6", "7", "8":
+		return sweepFigureByNum(num, variant, sc)
+	case "9":
+		return Figure9(variant, sc)
+	case "10":
+		return Figure10(variant, sc)
+	case "11":
+		return Figure11(variant, sc)
+	default:
+		return nil, fmt.Errorf("experiments: unknown figure id %q", id)
+	}
+}
+
+// IDs lists all reproducible figure ids in paper order.
+func IDs() []string {
+	var out []string
+	for _, num := range []string{"6", "7", "8"} {
+		for _, v := range []string{"a", "b", "c", "d"} {
+			out = append(out, num+v)
+		}
+	}
+	out = append(out, "9a", "9b", "10a", "10b", "10c")
+	out = append(out, "11a", "11b", "11c", "11d")
+	sort.Strings(out) // stable listing for help output
+	return out
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/document"
+	"repro/internal/join"
+)
+
+// Figure11 reproduces the local join execution times (Sec. VII-E.5):
+//
+//	a: FPJ creation + join time on rwData (paper: 100k/300k/500k docs)
+//	b: FPJ creation + join time on nbData
+//	c: NLJ vs HBJ on rwData (paper: 10k/30k/50k docs)
+//	d: NLJ vs HBJ on nbData
+//
+// The join runs entirely on one node, outside the topology, exactly as
+// in the paper. Expected shapes: FPJ processes 10x more documents in a
+// small fraction of the baselines' time; NLJ beats HBJ on rwData (hot
+// pairs create long posting lists) while HBJ beats NLJ on nbData
+// (diverse pairs keep buckets short).
+func Figure11(variant string, sc Scale) (*Figure, error) {
+	switch variant {
+	case "a", "b":
+		return figure11FPJ(variant, sc)
+	case "c", "d":
+		return figure11Baselines(variant, sc)
+	default:
+		return nil, fmt.Errorf("experiments: figure 11 has variants a-d, got %q", variant)
+	}
+}
+
+func dataset11(variant string) string {
+	if variant == "a" || variant == "c" {
+		return "rwData"
+	}
+	return "nbData"
+}
+
+func figure11FPJ(variant string, sc Scale) (*Figure, error) {
+	ds := dataset11(variant)
+	fig := &Figure{
+		ID:     "11" + variant,
+		Title:  fmt.Sprintf("FPTreeJoin (%s)", ds),
+		XLabel: "documents",
+		YLabel: "Execution Time (seconds)",
+		Series: []string{"Creation", "Join"},
+	}
+	for _, n := range sc.FPJDocs {
+		docs, err := materialise(ds, n, sc.Seed)
+		if err != nil {
+			return nil, err
+		}
+		creation, joinTime := TimeFPJ(docs)
+		fig.Rows = append(fig.Rows, Row{
+			Label: fmt.Sprintf("%dk", n/1000),
+			Values: map[string]float64{
+				"Creation": creation.Seconds(),
+				"Join":     joinTime.Seconds(),
+			},
+		})
+	}
+	return fig, nil
+}
+
+func figure11Baselines(variant string, sc Scale) (*Figure, error) {
+	ds := dataset11(variant)
+	fig := &Figure{
+		ID:     "11" + variant,
+		Title:  fmt.Sprintf("competitor approaches (%s)", ds),
+		XLabel: "documents",
+		YLabel: "Execution Time (seconds)",
+		Series: []string{"NLJ", "HBJ"},
+	}
+	for _, n := range sc.BaselineDocs {
+		docs, err := materialise(ds, n, sc.Seed)
+		if err != nil {
+			return nil, err
+		}
+		row := Row{Label: fmt.Sprintf("%dk", n/1000), Values: map[string]float64{}}
+		if n < 1000 {
+			row.Label = fmt.Sprintf("%d", n)
+		}
+		for _, name := range []string{"NLJ", "HBJ"} {
+			eng, err := join.New(name)
+			if err != nil {
+				return nil, err
+			}
+			row.Values[name] = TimeBatch(eng, docs).Seconds()
+		}
+		fig.Rows = append(fig.Rows, row)
+	}
+	return fig, nil
+}
+
+func materialise(dataset string, n int, seed int64) ([]document.Document, error) {
+	gen, ok := datagen.ByName(dataset, seed)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown dataset %q", dataset)
+	}
+	return gen.Window(n), nil
+}
+
+// TimeFPJ measures the two phases of the FP-tree join separately, as
+// the paper's stacked bars report them: tree creation (attribute
+// ordering + inserts) and the join (one probe per document).
+func TimeFPJ(docs []document.Document) (creation, joinTime time.Duration) {
+	start := time.Now()
+	eng := join.NewFPJFromDocs(docs)
+	for _, d := range docs {
+		eng.Insert(d)
+	}
+	creation = time.Since(start)
+
+	start = time.Now()
+	for _, d := range docs {
+		eng.Probe(d)
+	}
+	joinTime = time.Since(start)
+	return creation, joinTime
+}
+
+// TimeBatch measures a full probe-and-insert batch join on the engine.
+func TimeBatch(eng join.Engine, docs []document.Document) time.Duration {
+	start := time.Now()
+	join.Batch(eng, docs)
+	return time.Since(start)
+}

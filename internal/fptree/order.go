@@ -1,0 +1,81 @@
+// Package fptree implements the FP-tree–based storage and join
+// algorithm of the paper's Section V: an extended prefix tree storing
+// documents compactly, a global attribute ordering (document frequency
+// descending, distinct-value count ascending on ties), and the
+// FPTreeJoin algorithm (Algorithms 2 and 3) with its fast path over
+// ubiquitous attributes.
+package fptree
+
+import (
+	"sort"
+
+	"repro/internal/document"
+)
+
+// Order is the fixed global attribute ordering imposed on documents
+// before FP-tree insertion. Attributes are ranked by descending
+// document frequency; ties are broken by ascending number of distinct
+// values, then lexicographically (paper Sec. V-A).
+//
+// Attributes not present when the Order was computed are appended on
+// first use, so an Order stays total over a stream whose schema
+// evolves; their relative order is their order of first appearance,
+// which is applied consistently to inserts and probes.
+type Order struct {
+	rank  map[string]int
+	attrs []string
+}
+
+// NewOrder derives the ordering from batch statistics.
+func NewOrder(stats *document.AttrStats) *Order {
+	o := &Order{rank: make(map[string]int)}
+	for _, a := range stats.Order() {
+		o.rank[a] = len(o.attrs)
+		o.attrs = append(o.attrs, a)
+	}
+	return o
+}
+
+// NewOrderFromDocs is a convenience constructor for batch joins.
+func NewOrderFromDocs(docs []document.Document) *Order {
+	return NewOrder(document.CollectAttrStats(docs))
+}
+
+// EmptyOrder returns an ordering with no precomputed ranks; attributes
+// rank in order of first appearance.
+func EmptyOrder() *Order { return &Order{rank: make(map[string]int)} }
+
+// Rank returns the position of attr in the ordering, registering it at
+// the end if unseen.
+func (o *Order) Rank(attr string) int {
+	if r, ok := o.rank[attr]; ok {
+		return r
+	}
+	r := len(o.attrs)
+	o.rank[attr] = r
+	o.attrs = append(o.attrs, attr)
+	return r
+}
+
+// Attrs lists all known attributes in rank order. The returned slice
+// is shared; callers must not modify it.
+func (o *Order) Attrs() []string { return o.attrs }
+
+// Len reports the number of known attributes.
+func (o *Order) Len() int { return len(o.attrs) }
+
+// Arrange returns the document's pairs sorted by the global ordering.
+// The result is freshly allocated.
+func (o *Order) Arrange(d document.Document) []document.Pair {
+	ps := d.Pairs()
+	out := make([]document.Pair, len(ps))
+	copy(out, ps)
+	// Register all attrs first so ranks are stable during the sort.
+	for _, p := range out {
+		o.Rank(p.Attr)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return o.rank[out[i].Attr] < o.rank[out[j].Attr]
+	})
+	return out
+}

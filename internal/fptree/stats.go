@@ -1,0 +1,83 @@
+package fptree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TreeStats quantifies the compactness the paper attributes to the
+// FP-tree ("compactly storing the documents", Sec. V): how much prefix
+// sharing the global attribute ordering achieved and how the tree is
+// shaped.
+type TreeStats struct {
+	// Documents and Nodes sizes.
+	Documents int
+	Nodes     int
+	// Pairs is the total number of attribute-value pairs inserted
+	// (document sizes summed).
+	Pairs int
+	// SharingFactor is Pairs / Nodes: how many inserted pairs each
+	// tree node represents on average. 1.0 means no sharing at all;
+	// higher is more compact.
+	SharingFactor float64
+	// MaxDepth is the longest root-to-leaf path.
+	MaxDepth int
+	// AvgBranching is the mean child count over internal nodes.
+	AvgBranching float64
+	// DepthHistogram counts nodes per depth (index 0 = depth 1).
+	DepthHistogram []int
+	// UbiquitousAttrs is the fast-path prefix length (paper's num).
+	UbiquitousAttrs int
+}
+
+// Stats walks the tree and summarises its shape.
+func (t *Tree) Stats() TreeStats {
+	s := TreeStats{
+		Documents:       t.docCount,
+		Nodes:           t.nodeCount,
+		MaxDepth:        t.maxDepth,
+		UbiquitousAttrs: t.NumUbiquitous(),
+	}
+	for _, c := range t.attrCounts {
+		s.Pairs += c
+	}
+	if s.Nodes > 0 {
+		s.SharingFactor = float64(s.Pairs) / float64(s.Nodes)
+	}
+	if t.maxDepth > 0 {
+		s.DepthHistogram = make([]int, t.maxDepth)
+	}
+	internal, children := 0, 0
+	var walk func(n *node)
+	walk = func(n *node) {
+		kids := 0
+		for _, g := range n.groups {
+			kids += len(g.all)
+		}
+		if kids > 0 {
+			internal++
+			children += kids
+		}
+		if n.depth > 0 {
+			s.DepthHistogram[n.depth-1]++
+		}
+		for _, g := range n.groups {
+			for _, c := range g.all {
+				walk(c)
+			}
+		}
+	}
+	walk(t.root)
+	if internal > 0 {
+		s.AvgBranching = float64(children) / float64(internal)
+	}
+	return s
+}
+
+// String renders the stats for diagnostics.
+func (s TreeStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "docs=%d pairs=%d nodes=%d sharing=%.2fx depth=%d branching=%.2f ubiquitous=%d",
+		s.Documents, s.Pairs, s.Nodes, s.SharingFactor, s.MaxDepth, s.AvgBranching, s.UbiquitousAttrs)
+	return b.String()
+}

@@ -1,0 +1,328 @@
+package fptree
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/document"
+)
+
+// node is a single FP-tree node: an attribute-value pair label, the
+// children grouped by attribute, the ids of the documents whose full
+// (reordered) pair sequence terminates at this node, and the header
+// chain link connecting equally-labeled nodes (paper Sec. V-A).
+//
+// Children are grouped by attribute because that is how FPTreeJoin
+// prunes: when the probing document carries a child's attribute, every
+// sibling with a different value of that attribute conflicts and the
+// single equally-labeled child is the only survivor — an O(1) lookup
+// instead of a scan. Only the children whose attribute is absent from
+// the probe must all be explored. This generalises the paper's
+// ubiquitous-attribute fast path (Sec. V-B) to every level of the tree.
+type node struct {
+	pair     document.Pair
+	parent   *node
+	groups   []*attrGroup
+	docs     []uint64
+	next     *node // header-table chain of equally labeled nodes
+	branchID int   // unique id of the root-to-node branch
+	depth    int
+}
+
+// attrGroup holds all children of one node sharing an attribute.
+type attrGroup struct {
+	attr  string
+	byVal map[string]*node
+	all   []*node
+}
+
+func (n *node) group(attr string) *attrGroup {
+	for _, g := range n.groups {
+		if g.attr == attr {
+			return g
+		}
+	}
+	return nil
+}
+
+// child returns the child labeled with p, or nil.
+func (n *node) child(p document.Pair) *node {
+	if g := n.group(p.Attr); g != nil {
+		return g.byVal[p.Val]
+	}
+	return nil
+}
+
+// addChild links a new child labeled p.
+func (n *node) addChild(p document.Pair, c *node) {
+	g := n.group(p.Attr)
+	if g == nil {
+		g = &attrGroup{attr: p.Attr, byVal: make(map[string]*node)}
+		n.groups = append(n.groups, g)
+	}
+	g.byVal[p.Val] = c
+	g.all = append(g.all, c)
+}
+
+// Tree is the FP-tree used for local join computation. It is not safe
+// for concurrent use; each Joiner task owns one tree per window.
+type Tree struct {
+	order  *Order
+	root   *node
+	header map[document.Pair]*node
+
+	docCount   int
+	nodeCount  int
+	attrCounts map[string]int // documents containing each attribute
+	nextBranch int
+	maxDepth   int
+}
+
+// New creates an empty FP-tree using the given global attribute order.
+func New(order *Order) *Tree {
+	if order == nil {
+		order = EmptyOrder()
+	}
+	return &Tree{
+		order:      order,
+		root:       &node{},
+		header:     make(map[document.Pair]*node),
+		attrCounts: make(map[string]int),
+	}
+}
+
+// Build constructs a tree over a whole batch, deriving the attribute
+// ordering from the batch itself (paper Table I / Fig. 4 procedure).
+func Build(docs []document.Document) *Tree {
+	t := New(NewOrderFromDocs(docs))
+	for _, d := range docs {
+		t.Insert(d)
+	}
+	return t
+}
+
+// Order exposes the tree's attribute ordering.
+func (t *Tree) Order() *Order { return t.order }
+
+// DocCount reports the number of inserted documents.
+func (t *Tree) DocCount() int { return t.docCount }
+
+// NodeCount reports the number of nodes excluding the root.
+func (t *Tree) NodeCount() int { return t.nodeCount }
+
+// MaxDepth reports the longest root-to-leaf path length.
+func (t *Tree) MaxDepth() int { return t.maxDepth }
+
+// Insert adds a document to the tree: its pairs are arranged by the
+// global ordering, the shared prefix path is reused, new nodes extend
+// it, and the document id is recorded at the terminal node.
+func (t *Tree) Insert(d document.Document) {
+	arranged := t.order.Arrange(d)
+	cur := t.root
+	for _, p := range arranged {
+		child := cur.child(p)
+		if child == nil {
+			child = &node{
+				pair:   p,
+				parent: cur,
+				depth:  cur.depth + 1,
+			}
+			t.nextBranch++
+			child.branchID = t.nextBranch
+			cur.addChild(p, child)
+			t.nodeCount++
+			// Chain into the header table.
+			child.next = t.header[p]
+			t.header[p] = child
+			if child.depth > t.maxDepth {
+				t.maxDepth = child.depth
+			}
+		}
+		cur = child
+	}
+	cur.docs = append(cur.docs, d.ID)
+	t.docCount++
+	for _, p := range arranged {
+		t.attrCounts[p.Attr]++
+	}
+}
+
+// NumUbiquitous returns the number of leading attributes of the global
+// order that are present in every document currently stored. These
+// occupy the first levels of the tree and enable the FPTreeJoin fast
+// path (paper Sec. V-B).
+func (t *Tree) NumUbiquitous() int {
+	if t.docCount == 0 {
+		return 0
+	}
+	n := 0
+	for _, a := range t.order.Attrs() {
+		if t.attrCounts[a] != t.docCount {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// JoinPartners implements FPTreeJoin (Algorithm 2): it returns the ids
+// of every stored document joinable with d. The first NumUbiquitous
+// levels are navigated directly via the equally-labeled child — all
+// sibling branches conflict with d on a shared attribute and are pruned
+// wholesale — after which the traversal (Algorithm 3) walks the
+// remaining subtree, pruning on conflicts and collecting document ids
+// once at least one attribute-value pair is shared.
+func (t *Tree) JoinPartners(d document.Document) []uint64 {
+	var result []uint64
+	num := t.NumUbiquitous()
+	cur := t.root
+	shared := 0
+	attrs := t.order.Attrs()
+	for j := 0; j < num; j++ {
+		v, ok := d.Get(attrs[j])
+		if !ok {
+			// The probing document lacks this (tree-)ubiquitous
+			// attribute: no conflict is possible on it, but all
+			// children must be explored; fall back to the general
+			// traversal from the current node.
+			break
+		}
+		child := cur.child(document.Pair{Attr: attrs[j], Val: v})
+		if child == nil {
+			// Every stored document carries this attribute with some
+			// other value: all of them conflict with d.
+			return result
+		}
+		cur = child
+		shared++
+		result = appendExcluding(result, cur.docs, d.ID)
+	}
+	// Probe lookups below are by attribute; a flat map beats repeated
+	// binary searches over the document's sorted pairs.
+	probe := make(map[string]string, d.Len())
+	for _, p := range d.Pairs() {
+		probe[p.Attr] = p.Val
+	}
+	result = t.traverse(cur, probe, d.ID, shared, result)
+	return result
+}
+
+// traverse is Algorithm 3: depth-first navigation that prunes a child
+// (and its whole subtree) when the child's attribute is present in the
+// probe with a different value, and collects document ids stored at
+// nodes whose branch shares at least one pair with the probe. Grouping
+// children by attribute turns the pruning into a direct lookup of the
+// single non-conflicting child.
+func (t *Tree) traverse(n *node, probe map[string]string, excludeID uint64, shared int, result []uint64) []uint64 {
+	for _, g := range n.groups {
+		if v, ok := probe[g.attr]; ok {
+			// All children of this group with a different value
+			// conflict; only the equally-labeled child survives.
+			if child := g.byVal[v]; child != nil {
+				result = t.collectChild(child, probe, excludeID, shared+1, result)
+			}
+			continue
+		}
+		// Attribute absent from the probe: no conflict possible,
+		// every child must be explored.
+		for _, child := range g.all {
+			result = t.collectChild(child, probe, excludeID, shared, result)
+		}
+	}
+	return result
+}
+
+func (t *Tree) collectChild(child *node, probe map[string]string, excludeID uint64, shared int, result []uint64) []uint64 {
+	if shared > 0 {
+		result = appendExcluding(result, child.docs, excludeID)
+	}
+	return t.traverse(child, probe, excludeID, shared, result)
+}
+
+func appendExcluding(dst []uint64, src []uint64, exclude uint64) []uint64 {
+	for _, id := range src {
+		if id != exclude {
+			dst = append(dst, id)
+		}
+	}
+	return dst
+}
+
+// HeaderChainLen returns the number of nodes labeled with p, following
+// the header-table chain (used by tests and diagnostics).
+func (t *Tree) HeaderChainLen(p document.Pair) int {
+	n := 0
+	for cur := t.header[p]; cur != nil; cur = cur.next {
+		n++
+	}
+	return n
+}
+
+// DocPath returns the reordered pair sequence of the branch holding
+// document id, or nil if the id is not stored (diagnostic; linear in
+// tree size).
+func (t *Tree) DocPath(id uint64) []document.Pair {
+	var found *node
+	var walk func(n *node) bool
+	walk = func(n *node) bool {
+		for _, d := range n.docs {
+			if d == id {
+				found = n
+				return true
+			}
+		}
+		for _, g := range n.groups {
+			for _, c := range g.all {
+				if walk(c) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if !walk(t.root) {
+		return nil
+	}
+	var path []document.Pair
+	for cur := found; cur != nil && cur.parent != nil; cur = cur.parent {
+		path = append(path, cur.pair)
+	}
+	// Reverse to root-first order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// Dump renders the tree structure for debugging, one node per line.
+func (t *Tree) Dump() string {
+	var b strings.Builder
+	var walk func(n *node, indent int)
+	walk = func(n *node, indent int) {
+		if n != t.root {
+			b.WriteString(strings.Repeat("  ", indent))
+			fmt.Fprintf(&b, "%s docs=%v branch=%d\n", n.pair, n.docs, n.branchID)
+		}
+		for _, g := range n.groups {
+			for _, c := range g.all {
+				walk(c, indent+1)
+			}
+		}
+	}
+	b.WriteString("root\n")
+	walk(t.root, 0)
+	return b.String()
+}
+
+// Reset evicts the entire tree, matching the paper's tumbling-window
+// semantics ("evict the entire tree once the window tumbles"), while
+// keeping the attribute ordering in place.
+func (t *Tree) Reset() {
+	t.root = &node{}
+	t.header = make(map[document.Pair]*node)
+	t.attrCounts = make(map[string]int)
+	t.docCount = 0
+	t.nodeCount = 0
+	t.nextBranch = 0
+	t.maxDepth = 0
+}

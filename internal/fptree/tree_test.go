@@ -1,0 +1,405 @@
+package fptree
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/document"
+)
+
+// tableIDocs builds the paper's Table I document set.
+func tableIDocs() []document.Document {
+	mk := func(id uint64, kv ...any) document.Document {
+		var ps []document.Pair
+		for i := 0; i < len(kv); i += 2 {
+			ps = append(ps, document.Pair{Attr: kv[i].(string), Val: document.EncodeInt(int64(kv[i+1].(int)))})
+		}
+		return document.New(id, ps)
+	}
+	return []document.Document{
+		mk(1, "a", 3, "b", 7, "c", 1),
+		mk(2, "a", 3, "b", 8),
+		mk(3, "a", 3, "b", 7),
+		mk(4, "b", 8, "c", 2),
+	}
+}
+
+// TestPaperTableIExample checks the global ordering, tree shape and the
+// FPTreeJoin result of the paper's running example (Table I, Figs. 4-5).
+func TestPaperTableIExample(t *testing.T) {
+	docs := tableIDocs()
+	tree := Build(docs)
+
+	// Global order must be b -> a -> c.
+	wantOrder := []string{"b", "a", "c"}
+	if got := tree.Order().Attrs(); !reflect.DeepEqual(got[:3], wantOrder) {
+		t.Fatalf("order = %v, want %v", got, wantOrder)
+	}
+
+	// The tree of Fig. 4 has 6 nodes: b:7, b:8, a:3 (twice), c:1, c:2.
+	if tree.NodeCount() != 6 {
+		t.Errorf("NodeCount = %d, want 6", tree.NodeCount())
+	}
+	// Attribute b is ubiquitous; a and c are not.
+	if n := tree.NumUbiquitous(); n != 1 {
+		t.Errorf("NumUbiquitous = %d, want 1", n)
+	}
+	// a:3 labels two nodes -> header chain length 2.
+	a3 := document.Pair{Attr: "a", Val: document.EncodeInt(3)}
+	if n := tree.HeaderChainLen(a3); n != 2 {
+		t.Errorf("header chain for a:3 = %d, want 2", n)
+	}
+
+	// Fig. 5: FPTreeJoin(d1) finds only d3.
+	partners := tree.JoinPartners(docs[0])
+	sortIDs(partners)
+	if !reflect.DeepEqual(partners, []uint64{3}) {
+		t.Errorf("JoinPartners(d1) = %v, want [3]", partners)
+	}
+
+	// d2 {a:3,b:8}: shares b:8 with d4 but conflicts? d4={b:8,c:2} —
+	// share b:8, no conflicting attr -> joinable. d1,d3 conflict on b.
+	partners = tree.JoinPartners(docs[1])
+	sortIDs(partners)
+	if !reflect.DeepEqual(partners, []uint64{4}) {
+		t.Errorf("JoinPartners(d2) = %v, want [4]", partners)
+	}
+}
+
+func sortIDs(ids []uint64) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+func TestDocPathMatchesOrdering(t *testing.T) {
+	docs := tableIDocs()
+	tree := Build(docs)
+	path := tree.DocPath(1)
+	want := []document.Pair{
+		{Attr: "b", Val: document.EncodeInt(7)},
+		{Attr: "a", Val: document.EncodeInt(3)},
+		{Attr: "c", Val: document.EncodeInt(1)},
+	}
+	if !reflect.DeepEqual(path, want) {
+		t.Errorf("DocPath(1) = %v, want %v", path, want)
+	}
+	if tree.DocPath(999) != nil {
+		t.Error("DocPath of unknown id must be nil")
+	}
+}
+
+func TestInsertSharesPrefixes(t *testing.T) {
+	docs := tableIDocs()
+	tree := Build(docs)
+	// d1 and d3 share prefix b:7 -> a:3; total nodes 6, not 10.
+	if tree.DocCount() != 4 {
+		t.Errorf("DocCount = %d", tree.DocCount())
+	}
+	if tree.MaxDepth() != 3 {
+		t.Errorf("MaxDepth = %d, want 3", tree.MaxDepth())
+	}
+}
+
+func TestReset(t *testing.T) {
+	tree := Build(tableIDocs())
+	tree.Reset()
+	if tree.DocCount() != 0 || tree.NodeCount() != 0 || tree.NumUbiquitous() != 0 {
+		t.Error("Reset did not clear tree")
+	}
+	// Order survives the reset.
+	if tree.Order().Len() == 0 {
+		t.Error("Reset cleared the attribute order")
+	}
+	// Tree remains usable.
+	tree.Insert(document.MustParse(9, `{"b":7}`))
+	if tree.DocCount() != 1 {
+		t.Error("insert after Reset failed")
+	}
+}
+
+func TestJoinPartnersEmptyTree(t *testing.T) {
+	tree := New(EmptyOrder())
+	d := document.MustParse(1, `{"a":1}`)
+	if p := tree.JoinPartners(d); len(p) != 0 {
+		t.Errorf("empty tree returned partners %v", p)
+	}
+}
+
+func TestJoinPartnersExcludesSelf(t *testing.T) {
+	d := document.MustParse(1, `{"a":1,"b":2}`)
+	tree := Build([]document.Document{d})
+	if p := tree.JoinPartners(d); len(p) != 0 {
+		t.Errorf("self returned as partner: %v", p)
+	}
+}
+
+func TestDuplicateDocumentsShareNode(t *testing.T) {
+	d1 := document.MustParse(1, `{"a":1}`)
+	d2 := document.MustParse(2, `{"a":1}`)
+	tree := Build([]document.Document{d1, d2})
+	if tree.NodeCount() != 1 {
+		t.Errorf("NodeCount = %d, want 1 (identical docs share the branch)", tree.NodeCount())
+	}
+	p := tree.JoinPartners(d1)
+	if !reflect.DeepEqual(p, []uint64{2}) {
+		t.Errorf("partners = %v, want [2]", p)
+	}
+}
+
+// TestBooleanFastPath reproduces the motivating case of Sec. V-B: a
+// Boolean attribute present in every document sits at the first level,
+// and probing prunes half the tree.
+func TestBooleanFastPath(t *testing.T) {
+	var docs []document.Document
+	for i := 0; i < 40; i++ {
+		b := document.EncodeBool(i%2 == 0)
+		// Alternate the second attribute so only bool is ubiquitous.
+		second := "x"
+		if i%2 == 1 {
+			second = "y"
+		}
+		docs = append(docs, document.New(uint64(i+1), []document.Pair{
+			{Attr: "bool", Val: b},
+			{Attr: second, Val: document.EncodeInt(int64(i))},
+		}))
+	}
+	tree := Build(docs)
+	if n := tree.NumUbiquitous(); n != 1 {
+		t.Fatalf("NumUbiquitous = %d, want 1", n)
+	}
+	// A probe with bool:true and a fresh attribute joins every
+	// bool:true document (no other attribute can conflict).
+	probe := document.New(999, []document.Pair{
+		{Attr: "bool", Val: document.EncodeBool(true)},
+		{Attr: "z", Val: document.EncodeInt(10000)},
+	})
+	partners := tree.JoinPartners(probe)
+	if len(partners) != 20 {
+		t.Errorf("got %d partners, want 20", len(partners))
+	}
+	// A probe conflicting on a sparse attribute joins only the
+	// bool-true documents that lack that attribute.
+	probe2 := document.New(998, []document.Pair{
+		{Attr: "bool", Val: document.EncodeBool(true)},
+		{Attr: "x", Val: document.EncodeInt(10000)},
+	})
+	partners2 := tree.JoinPartners(probe2)
+	if len(partners2) != 0 {
+		t.Errorf("conflicting probe got %d partners, want 0", len(partners2))
+	}
+}
+
+// TestProbeLacksUbiquitousAttr exercises the fallback when the probing
+// document does not carry an attribute that is ubiquitous in the tree.
+func TestProbeLacksUbiquitousAttr(t *testing.T) {
+	docs := []document.Document{
+		document.MustParse(1, `{"u":1,"x":5}`),
+		document.MustParse(2, `{"u":2,"x":5}`),
+		document.MustParse(3, `{"u":3,"y":9}`),
+	}
+	tree := Build(docs)
+	if tree.NumUbiquitous() != 1 {
+		t.Fatalf("NumUbiquitous = %d, want 1 (u)", tree.NumUbiquitous())
+	}
+	probe := document.MustParse(4, `{"x":5}`)
+	partners := tree.JoinPartners(probe)
+	sortIDs(partners)
+	if !reflect.DeepEqual(partners, []uint64{1, 2}) {
+		t.Errorf("partners = %v, want [1 2]", partners)
+	}
+}
+
+// naivePartners is the reference oracle: brute-force scan.
+func naivePartners(docs []document.Document, probe document.Document) []uint64 {
+	var out []uint64
+	for _, d := range docs {
+		if d.ID != probe.ID && document.Joinable(d, probe) {
+			out = append(out, d.ID)
+		}
+	}
+	sortIDs(out)
+	return out
+}
+
+func randomDocSet(r *rand.Rand, n int) []document.Document {
+	attrs := []string{"a", "b", "c", "d", "e"}
+	docs := make([]document.Document, 0, n)
+	for i := 0; i < n; i++ {
+		k := 1 + r.Intn(4)
+		perm := r.Perm(len(attrs))
+		var ps []document.Pair
+		for j := 0; j < k; j++ {
+			ps = append(ps, document.Pair{
+				Attr: attrs[perm[j]],
+				Val:  document.EncodeInt(int64(r.Intn(3))),
+			})
+		}
+		docs = append(docs, document.New(uint64(i+1), ps))
+	}
+	return docs
+}
+
+// TestQuickJoinPartnersMatchesNaive is the central correctness property:
+// FPTreeJoin must return exactly the brute-force join partner set for
+// arbitrary document batches.
+func TestQuickJoinPartnersMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		docs := randomDocSet(r, 2+r.Intn(30))
+		tree := Build(docs)
+		for _, probe := range docs {
+			got := tree.JoinPartners(probe)
+			sortIDs(got)
+			want := naivePartners(docs, probe)
+			if len(want) == 0 {
+				want = got[:0]
+			}
+			if !reflect.DeepEqual(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickExternalProbe probes with documents NOT in the tree.
+func TestQuickExternalProbe(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		docs := randomDocSet(r, 2+r.Intn(20))
+		tree := Build(docs)
+		probes := randomDocSet(r, 5)
+		for i, probe := range probes {
+			probe.ID = uint64(1000 + i)
+			got := tree.JoinPartners(probe)
+			sortIDs(got)
+			want := naivePartners(docs, probe)
+			if len(want) == 0 && len(got) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDocCountConservation: sum of stored ids over all nodes
+// equals the number of inserts.
+func TestQuickDocCountConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		docs := randomDocSet(r, 1+r.Intn(40))
+		tree := Build(docs)
+		if tree.DocCount() != len(docs) {
+			return false
+		}
+		// Every document's path must be recoverable and match its
+		// arranged pair sequence.
+		for _, d := range docs {
+			path := tree.DocPath(d.ID)
+			arranged := tree.Order().Arrange(d)
+			if !reflect.DeepEqual(path, arranged) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrderArrangeDeterministic(t *testing.T) {
+	docs := tableIDocs()
+	o := NewOrderFromDocs(docs)
+	a1 := o.Arrange(docs[0])
+	a2 := o.Arrange(docs[0])
+	if !reflect.DeepEqual(a1, a2) {
+		t.Error("Arrange not deterministic")
+	}
+}
+
+func TestOrderRegistersUnseenAttrs(t *testing.T) {
+	o := NewOrderFromDocs(tableIDocs())
+	base := o.Len()
+	d := document.MustParse(9, `{"zz":1,"b":7}`)
+	arranged := o.Arrange(d)
+	if o.Len() != base+1 {
+		t.Errorf("unseen attr not registered: len=%d", o.Len())
+	}
+	// Known attr b must come before the appended zz.
+	if arranged[0].Attr != "b" || arranged[1].Attr != "zz" {
+		t.Errorf("arranged = %v", arranged)
+	}
+}
+
+func TestDumpContainsNodes(t *testing.T) {
+	tree := Build(tableIDocs())
+	dump := tree.Dump()
+	if len(dump) < 10 {
+		t.Errorf("Dump too short: %q", dump)
+	}
+}
+
+func TestTreeStats(t *testing.T) {
+	tree := Build(tableIDocs())
+	s := tree.Stats()
+	if s.Documents != 4 || s.Nodes != 6 {
+		t.Errorf("stats = %+v", s)
+	}
+	// 9 pairs (3+2+2+2) over 6 nodes.
+	if s.Pairs != 9 {
+		t.Errorf("Pairs = %d, want 9", s.Pairs)
+	}
+	if s.SharingFactor < 1.49 || s.SharingFactor > 1.51 {
+		t.Errorf("SharingFactor = %g, want 9/6", s.SharingFactor)
+	}
+	if s.MaxDepth != 3 || len(s.DepthHistogram) != 3 {
+		t.Errorf("depth stats = %+v", s)
+	}
+	// Depth histogram sums to node count.
+	total := 0
+	for _, n := range s.DepthHistogram {
+		total += n
+	}
+	if total != s.Nodes {
+		t.Errorf("histogram total = %d, nodes = %d", total, s.Nodes)
+	}
+	if s.UbiquitousAttrs != 1 {
+		t.Errorf("UbiquitousAttrs = %d", s.UbiquitousAttrs)
+	}
+	if s.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestTreeStatsEmpty(t *testing.T) {
+	s := New(EmptyOrder()).Stats()
+	if s.Documents != 0 || s.Nodes != 0 || s.SharingFactor != 0 {
+		t.Errorf("empty stats = %+v", s)
+	}
+}
+
+// TestQuickSharingFactorAtLeastOne: every node represents at least one
+// inserted pair.
+func TestQuickSharingFactorAtLeastOne(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		docs := randomDocSet(r, 1+r.Intn(40))
+		s := Build(docs).Stats()
+		return s.SharingFactor >= 1.0-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

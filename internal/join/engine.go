@@ -1,0 +1,89 @@
+// Package join implements the local window-join engines compared in
+// the paper's Section VII-E.5: the FP-tree join (FPJ, the paper's
+// contribution), the Nested Loop Join (NLJ) and the Hash-Based Join
+// (HBJ) baselines. All three compute the identical schema-free natural
+// join result; they differ only in storage and probing strategy.
+package join
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/document"
+)
+
+// Pair is one joined document pair of the result, ordered so that
+// LeftID < RightID; each joinable pair is reported exactly once.
+type Pair struct {
+	LeftID  uint64
+	RightID uint64
+}
+
+// Engine is a window-local natural-join engine. Engines are not safe
+// for concurrent use: each Joiner task owns its engines.
+type Engine interface {
+	// Name identifies the algorithm ("FPJ", "NLJ", "HBJ").
+	Name() string
+	// Insert stores a document for matching against later probes.
+	Insert(d document.Document)
+	// Probe returns the ids of all stored documents joinable with d,
+	// excluding d itself. The order of ids is unspecified.
+	Probe(d document.Document) []uint64
+	// ProbeInsert probes first, then stores the document; the
+	// streaming Joiner uses this so every joinable pair within a
+	// window is reported exactly once.
+	ProbeInsert(d document.Document) []uint64
+	// Size reports the number of stored documents.
+	Size() int
+	// Reset evicts all state when the tumbling window closes.
+	Reset()
+}
+
+// New constructs an engine by algorithm name.
+func New(name string) (Engine, error) {
+	switch name {
+	case "FPJ", "fpj":
+		return NewFPJ(), nil
+	case "NLJ", "nlj":
+		return NewNLJ(), nil
+	case "HBJ", "hbj":
+		return NewHBJ(), nil
+	default:
+		return nil, fmt.Errorf("join: unknown engine %q", name)
+	}
+}
+
+// BatchResult carries the outcome of a batch join together with the
+// phase split the paper's Fig. 11 reports (creation vs join time is
+// measured by the caller around BuildPhase/ProbePhase).
+type BatchResult struct {
+	Pairs []Pair
+}
+
+// Batch runs the engine over a full window batch: all documents are
+// probed and inserted in sequence, which reports every joinable pair
+// exactly once. The result is sorted for determinism.
+func Batch(e Engine, docs []document.Document) BatchResult {
+	var out []Pair
+	for _, d := range docs {
+		for _, id := range e.ProbeInsert(d) {
+			p := Pair{LeftID: id, RightID: d.ID}
+			if p.LeftID > p.RightID {
+				p.LeftID, p.RightID = p.RightID, p.LeftID
+			}
+			out = append(out, p)
+		}
+	}
+	SortPairs(out)
+	return BatchResult{Pairs: out}
+}
+
+// SortPairs orders pairs lexicographically.
+func SortPairs(ps []Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].LeftID != ps[j].LeftID {
+			return ps[i].LeftID < ps[j].LeftID
+		}
+		return ps[i].RightID < ps[j].RightID
+	})
+}

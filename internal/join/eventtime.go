@@ -1,0 +1,173 @@
+package join
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"repro/internal/document"
+)
+
+// EventTime implements event-time tumbling windows: the paper's windows
+// are time-based ("two documents can only be joined if they belong to
+// the same time (or count-based) window", Sec. I-A), and this variant
+// joins documents by the timestamps they carry rather than by arrival
+// order.
+//
+// A TimestampFunc extracts each document's event time (any int64
+// clock: epoch seconds, millis, a logical counter). Documents whose
+// timestamps fall into the same [k*width, (k+1)*width) interval join;
+// multiple window instances stay open concurrently to absorb
+// out-of-order arrivals, and an instance is evicted once the observed
+// watermark (maximum event time seen) passes its end by more than the
+// allowed lateness. Documents arriving later than that are dropped and
+// counted.
+type EventTime struct {
+	extract   TimestampFunc
+	width     int64
+	lateness  int64
+	strip     string
+	mkEngine  func() Engine
+	windows   map[int64]*Windowed // window key -> state
+	watermark int64
+	sawAny    bool
+
+	dropped int
+	closed  int
+}
+
+// TimestampFunc extracts a document's event time. ok=false documents
+// are dropped (no usable timestamp).
+type TimestampFunc func(d document.Document) (ts int64, ok bool)
+
+// TimestampAttr builds a TimestampFunc reading an integer attribute.
+func TimestampAttr(attr string) TimestampFunc {
+	return func(d document.Document) (int64, bool) {
+		v, ok := d.Get(attr)
+		if !ok || len(v) < 2 || v[0] != 'i' {
+			return 0, false
+		}
+		ts, err := strconv.ParseInt(v[1:], 10, 64)
+		if err != nil {
+			return 0, false
+		}
+		return ts, true
+	}
+}
+
+// NewEventTime builds an event-time joiner with the given window width
+// and allowed lateness (both in the extractor's time unit).
+func NewEventTime(width, lateness int64, extract TimestampFunc, mk func() Engine) (*EventTime, error) {
+	if width <= 0 {
+		return nil, fmt.Errorf("join: event-time window width %d must be positive", width)
+	}
+	if lateness < 0 {
+		return nil, fmt.Errorf("join: allowed lateness %d must be non-negative", lateness)
+	}
+	if extract == nil {
+		return nil, fmt.Errorf("join: a timestamp extractor is required")
+	}
+	return &EventTime{
+		extract:  extract,
+		width:    width,
+		lateness: lateness,
+		mkEngine: mk,
+		windows:  make(map[int64]*Windowed),
+	}, nil
+}
+
+// StripTimestamp removes the named attribute from documents before
+// joining. Event timestamps are usually transport metadata: two events
+// about the same entity rarely carry the *identical* timestamp, so
+// leaving the attribute in place makes almost every within-window pair
+// conflict on it. Stripping it restores the intended semantics — join
+// on content, window by time.
+func (e *EventTime) StripTimestamp(attr string) *EventTime {
+	e.strip = attr
+	return e
+}
+
+// Process routes the document into its event-time window, returning the
+// join results it completes there. Documents without a usable
+// timestamp, or older than watermark - lateness, are dropped.
+func (e *EventTime) Process(d document.Document) []Result {
+	ts, ok := e.extract(d)
+	if !ok {
+		e.dropped++
+		return nil
+	}
+	if e.sawAny && ts < e.watermark-e.lateness {
+		e.dropped++
+		return nil
+	}
+	if !e.sawAny || ts > e.watermark {
+		e.watermark = ts
+		e.sawAny = true
+		e.evict()
+	}
+	key := floorDiv(ts, e.width)
+	w := e.windows[key]
+	if w == nil {
+		w = NewWindowed(e.mkEngine())
+		e.windows[key] = w
+	}
+	if e.strip != "" && d.HasAttr(e.strip) {
+		pairs := make([]document.Pair, 0, d.Len()-1)
+		for _, p := range d.Pairs() {
+			if p.Attr != e.strip {
+				pairs = append(pairs, p)
+			}
+		}
+		d = document.New(d.ID, pairs)
+	}
+	return w.Process(d)
+}
+
+// evict closes window instances whose end passed the watermark by more
+// than the allowed lateness.
+func (e *EventTime) evict() {
+	for key, w := range e.windows {
+		end := (key + 1) * e.width
+		if end+e.lateness <= e.watermark {
+			w.Tumble()
+			delete(e.windows, key)
+			e.closed++
+		}
+	}
+}
+
+// Flush closes every open window instance (end of stream).
+func (e *EventTime) Flush() {
+	for key, w := range e.windows {
+		w.Tumble()
+		delete(e.windows, key)
+		e.closed++
+	}
+}
+
+// OpenWindows reports the currently open window keys, sorted.
+func (e *EventTime) OpenWindows() []int64 {
+	out := make([]int64, 0, len(e.windows))
+	for k := range e.windows {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Dropped counts documents rejected for missing timestamps or
+// exceeding the allowed lateness.
+func (e *EventTime) Dropped() int { return e.dropped }
+
+// Closed counts evicted window instances.
+func (e *EventTime) Closed() int { return e.closed }
+
+// floorDiv is integer division rounding toward negative infinity, so
+// negative timestamps window correctly.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}

@@ -1,0 +1,216 @@
+package join
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/document"
+)
+
+func tsDoc(id uint64, ts int64, kv string) document.Document {
+	return document.MustParse(id, fmt.Sprintf(`{"ts":%d,%s}`, ts, kv))
+}
+
+func newET(t *testing.T, width, lateness int64) *EventTime {
+	t.Helper()
+	e, err := NewEventTime(width, lateness, TimestampAttr("ts"), func() Engine { return NewFPJ() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestEventTimeValidation(t *testing.T) {
+	mk := func() Engine { return NewFPJ() }
+	if _, err := NewEventTime(0, 0, TimestampAttr("ts"), mk); err == nil {
+		t.Error("zero width must fail")
+	}
+	if _, err := NewEventTime(10, -1, TimestampAttr("ts"), mk); err == nil {
+		t.Error("negative lateness must fail")
+	}
+	if _, err := NewEventTime(10, 0, nil, mk); err == nil {
+		t.Error("nil extractor must fail")
+	}
+}
+
+func TestEventTimeSameWindowJoins(t *testing.T) {
+	e := newET(t, 10, 0)
+	// ts 3 and 7 share window [0,10); note ts is itself a shared
+	// attribute only when equal — these differ, so the join happens
+	// via "a".
+	if res := e.Process(tsDoc(1, 3, `"a":1`)); len(res) != 0 {
+		t.Fatalf("unexpected results %v", res)
+	}
+	res := e.Process(tsDoc(2, 7, `"a":1,"b":2`))
+	// d1={ts:3,a:1} d2={ts:7,a:1,b:2}: shared attr ts conflicts (3 vs
+	// 7) -> NOT joinable despite same window.
+	if len(res) != 0 {
+		t.Fatalf("conflicting ts attribute must prevent the join: %v", res)
+	}
+	// A document with equal ts joins.
+	res = e.Process(tsDoc(3, 7, `"a":1,"c":3`))
+	if len(res) != 1 || res[0].Left != 2 {
+		t.Fatalf("results = %v, want join with doc 2", res)
+	}
+}
+
+func TestEventTimeDifferentWindowsDoNotJoin(t *testing.T) {
+	e := newET(t, 10, 0)
+	e.Process(tsDoc(1, 5, `"a":1`))
+	res := e.Process(tsDoc(2, 15, `"a":1`))
+	if len(res) != 0 {
+		t.Fatalf("cross-window join: %v", res)
+	}
+	if len(e.OpenWindows()) != 1 {
+		// Window [0,10) was evicted when the watermark reached 15.
+		t.Errorf("open windows = %v", e.OpenWindows())
+	}
+}
+
+func TestEventTimeOutOfOrderWithinLateness(t *testing.T) {
+	e := newET(t, 10, 5)
+	e.Process(tsDoc(1, 8, `"a":1`))
+	e.Process(tsDoc(2, 12, `"b":2`)) // advances watermark to 12
+	// ts 9 is late but within lateness 5; window [0,10) is still open.
+	res := e.Process(tsDoc(3, 8, `"a":1,"c":3`))
+	if len(res) != 1 {
+		t.Fatalf("late-but-allowed doc did not join: %v", res)
+	}
+	if e.Dropped() != 0 {
+		t.Errorf("dropped = %d", e.Dropped())
+	}
+}
+
+func TestEventTimeTooLateDropped(t *testing.T) {
+	e := newET(t, 10, 2)
+	e.Process(tsDoc(1, 5, `"a":1`))
+	e.Process(tsDoc(2, 30, `"b":2`)) // watermark 30, evicts [0,10)
+	res := e.Process(tsDoc(3, 5, `"a":1`))
+	if len(res) != 0 || e.Dropped() != 1 {
+		t.Fatalf("too-late doc not dropped: res=%v dropped=%d", res, e.Dropped())
+	}
+	if e.Closed() == 0 {
+		t.Error("no windows evicted")
+	}
+}
+
+func TestEventTimeMissingTimestampDropped(t *testing.T) {
+	e := newET(t, 10, 0)
+	e.Process(document.MustParse(1, `{"a":1}`))
+	if e.Dropped() != 1 {
+		t.Errorf("dropped = %d", e.Dropped())
+	}
+	// Non-integer timestamps are also unusable.
+	e.Process(document.MustParse(2, `{"ts":"abc"}`))
+	if e.Dropped() != 2 {
+		t.Errorf("dropped = %d", e.Dropped())
+	}
+}
+
+func TestEventTimeFlush(t *testing.T) {
+	e := newET(t, 10, 100)
+	e.Process(tsDoc(1, 5, `"a":1`))
+	e.Process(tsDoc(2, 15, `"b":1`))
+	if n := len(e.OpenWindows()); n != 2 {
+		t.Fatalf("open = %d", n)
+	}
+	e.Flush()
+	if n := len(e.OpenWindows()); n != 0 {
+		t.Errorf("open after flush = %d", n)
+	}
+	if e.Closed() != 2 {
+		t.Errorf("closed = %d", e.Closed())
+	}
+}
+
+func TestEventTimeNegativeTimestamps(t *testing.T) {
+	e := newET(t, 10, 100)
+	e.Process(tsDoc(1, -5, `"a":1`))
+	res := e.Process(tsDoc(2, -5, `"a":1,"b":2`))
+	if len(res) != 1 {
+		t.Fatalf("negative-ts docs in the same window did not join: %v", res)
+	}
+	// -5 and 3 are in different windows ([-10,0) vs [0,10)).
+	res = e.Process(tsDoc(3, 3, `"a":1`))
+	if len(res) != 0 {
+		t.Errorf("cross-window join across zero: %v", res)
+	}
+}
+
+func TestFloorDiv(t *testing.T) {
+	cases := [][3]int64{{7, 10, 0}, {10, 10, 1}, {-1, 10, -1}, {-10, 10, -1}, {-11, 10, -2}, {0, 10, 0}}
+	for _, c := range cases {
+		if got := floorDiv(c[0], c[1]); got != c[2] {
+			t.Errorf("floorDiv(%d,%d) = %d, want %d", c[0], c[1], got, c[2])
+		}
+	}
+}
+
+// TestQuickEventTimeMatchesOracle: with unlimited lateness and a final
+// flush, the event-time joiner produces exactly the per-window
+// brute-force result.
+func TestQuickEventTimeMatchesOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		width := int64(5 + r.Intn(10))
+		n := 5 + r.Intn(30)
+		docs := make([]document.Document, 0, n)
+		for i := 0; i < n; i++ {
+			ts := int64(r.Intn(50))
+			kv := fmt.Sprintf(`"a":%d`, r.Intn(3))
+			docs = append(docs, tsDoc(uint64(i+1), ts, kv))
+		}
+		e, err := NewEventTime(width, 1<<40, TimestampAttr("ts"), func() Engine { return NewFPJ() })
+		if err != nil {
+			return false
+		}
+		var got []Pair
+		for _, d := range docs {
+			for _, res := range e.Process(d) {
+				p := Pair{LeftID: res.Left, RightID: res.Right}
+				if p.LeftID > p.RightID {
+					p.LeftID, p.RightID = p.RightID, p.LeftID
+				}
+				got = append(got, p)
+			}
+		}
+		SortPairs(got)
+
+		// Oracle: group documents by window key, brute-force each.
+		byWindow := make(map[int64][]document.Document)
+		ext := TimestampAttr("ts")
+		for _, d := range docs {
+			ts, _ := ext(d)
+			byWindow[floorDiv(ts, width)] = append(byWindow[floorDiv(ts, width)], d)
+		}
+		var want []Pair
+		for _, group := range byWindow {
+			want = append(want, referencePairs(group)...)
+		}
+		SortPairs(want)
+		if len(got) == 0 && len(want) == 0 {
+			return true
+		}
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEventTimeStripTimestamp(t *testing.T) {
+	e := newET(t, 60, 30).StripTimestamp("ts")
+	e.Process(tsDoc(1, 100, `"u":"A"`))
+	// Different timestamp, same window, shared content: joins because
+	// the ts attribute was stripped.
+	res := e.Process(tsDoc(2, 110, `"u":"A","x":1`))
+	if len(res) != 1 {
+		t.Fatalf("results = %v, want 1 (ts stripped)", res)
+	}
+	if res[0].Merged.HasAttr("ts") {
+		t.Error("merged result still carries the stripped attribute")
+	}
+}

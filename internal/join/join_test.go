@@ -1,0 +1,260 @@
+package join
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/document"
+)
+
+func randomDocs(r *rand.Rand, n int) []document.Document {
+	attrs := []string{"a", "b", "c", "d", "e"}
+	docs := make([]document.Document, 0, n)
+	for i := 0; i < n; i++ {
+		k := 1 + r.Intn(4)
+		perm := r.Perm(len(attrs))
+		var ps []document.Pair
+		for j := 0; j < k; j++ {
+			ps = append(ps, document.Pair{
+				Attr: attrs[perm[j]],
+				Val:  document.EncodeInt(int64(r.Intn(3))),
+			})
+		}
+		docs = append(docs, document.New(uint64(i+1), ps))
+	}
+	return docs
+}
+
+// referencePairs computes the join result by brute force.
+func referencePairs(docs []document.Document) []Pair {
+	var out []Pair
+	for i := 0; i < len(docs); i++ {
+		for j := i + 1; j < len(docs); j++ {
+			if document.Joinable(docs[i], docs[j]) {
+				p := Pair{LeftID: docs[i].ID, RightID: docs[j].ID}
+				if p.LeftID > p.RightID {
+					p.LeftID, p.RightID = p.RightID, p.LeftID
+				}
+				out = append(out, p)
+			}
+		}
+	}
+	SortPairs(out)
+	return out
+}
+
+func TestNewByName(t *testing.T) {
+	for _, name := range []string{"FPJ", "NLJ", "HBJ", "fpj", "nlj", "hbj"} {
+		e, err := New(name)
+		if err != nil {
+			t.Errorf("New(%s): %v", name, err)
+			continue
+		}
+		if e == nil {
+			t.Errorf("New(%s) returned nil", name)
+		}
+	}
+	if _, err := New("bogus"); err == nil {
+		t.Error("New(bogus) must fail")
+	}
+}
+
+func TestEnginesAgreeOnFigure1(t *testing.T) {
+	docs := []document.Document{
+		document.MustParse(1, `{"User":"A","Severity":"Warning"}`),
+		document.MustParse(2, `{"User":"A","Severity":"Warning","MsgId":2}`),
+		document.MustParse(3, `{"User":"A","Severity":"Error"}`),
+		document.MustParse(4, `{"IP":"10.2.145.212","Severity":"Warning"}`),
+		document.MustParse(5, `{"User":"B","Severity":"Critical","MsgId":1}`),
+		document.MustParse(6, `{"User":"B","Severity":"Critical"}`),
+		document.MustParse(7, `{"User":"B","Severity":"Warning"}`),
+	}
+	want := referencePairs(docs)
+	for _, mk := range []func() Engine{
+		func() Engine { return NewFPJ() },
+		func() Engine { return NewNLJ() },
+		func() Engine { return NewHBJ() },
+	} {
+		e := mk()
+		got := Batch(e, docs).Pairs
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: pairs = %v, want %v", e.Name(), got, want)
+		}
+	}
+}
+
+// TestQuickEnginesEquivalent is the cross-engine correctness property:
+// FPJ, NLJ and HBJ must produce identical join results on arbitrary
+// batches.
+func TestQuickEnginesEquivalent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		docs := randomDocs(r, 2+r.Intn(40))
+		want := referencePairs(docs)
+		for _, e := range []Engine{NewFPJ(), NewNLJ(), NewHBJ()} {
+			got := Batch(e, docs).Pairs
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEngineResetAndSize(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	docs := randomDocs(r, 10)
+	for _, e := range []Engine{NewFPJ(), NewNLJ(), NewHBJ()} {
+		for _, d := range docs {
+			e.Insert(d)
+		}
+		if e.Size() != 10 {
+			t.Errorf("%s Size = %d, want 10", e.Name(), e.Size())
+		}
+		e.Reset()
+		if e.Size() != 0 {
+			t.Errorf("%s Size after Reset = %d", e.Name(), e.Size())
+		}
+		// Engine remains usable after Reset.
+		out := Batch(e, docs).Pairs
+		want := referencePairs(docs)
+		if !reflect.DeepEqual(out, want) {
+			t.Errorf("%s after Reset: pairs mismatch", e.Name())
+		}
+	}
+}
+
+func TestProbeDoesNotInsert(t *testing.T) {
+	d := document.MustParse(1, `{"a":1}`)
+	for _, e := range []Engine{NewFPJ(), NewNLJ(), NewHBJ()} {
+		e.Probe(d)
+		if e.Size() != 0 {
+			t.Errorf("%s: Probe inserted", e.Name())
+		}
+	}
+}
+
+func TestHBJEpochWraparound(t *testing.T) {
+	e := NewHBJ()
+	e.Insert(document.MustParse(1, `{"a":1,"b":2}`))
+	e.epoch = ^uint32(0) // force wrap on next probe
+	got := e.Probe(document.MustParse(2, `{"a":1}`))
+	if !reflect.DeepEqual(got, []uint64{1}) {
+		t.Errorf("post-wrap probe = %v, want [1]", got)
+	}
+}
+
+func TestHBJNoDuplicateCandidates(t *testing.T) {
+	e := NewHBJ()
+	// Stored doc shares two pairs with the probe; it must be returned
+	// once, not twice.
+	e.Insert(document.MustParse(1, `{"a":1,"b":2}`))
+	got := e.Probe(document.MustParse(2, `{"a":1,"b":2,"c":3}`))
+	if len(got) != 1 {
+		t.Errorf("candidate duplicated: %v", got)
+	}
+}
+
+func TestWindowedProcess(t *testing.T) {
+	w := NewWindowed(NewFPJ())
+	d1 := document.MustParse(1, `{"u":"A","s":"W"}`)
+	d2 := document.MustParse(2, `{"u":"A","m":2}`)
+	if res := w.Process(d1); len(res) != 0 {
+		t.Errorf("first doc produced results: %v", res)
+	}
+	res := w.Process(d2)
+	if len(res) != 1 {
+		t.Fatalf("got %d results, want 1", len(res))
+	}
+	if res[0].Left != 1 || res[0].Right != 2 {
+		t.Errorf("pair = %d,%d", res[0].Left, res[0].Right)
+	}
+	merged := res[0].Merged
+	for _, attr := range []string{"u", "s", "m"} {
+		if !merged.HasAttr(attr) {
+			t.Errorf("merged missing %s: %v", attr, merged)
+		}
+	}
+}
+
+func TestWindowedDuplicateDelivery(t *testing.T) {
+	w := NewWindowed(NewFPJ())
+	d := document.MustParse(1, `{"a":1}`)
+	w.Process(d)
+	if res := w.Process(d); res != nil {
+		t.Errorf("duplicate delivery produced results: %v", res)
+	}
+	if w.Duplicates() != 1 {
+		t.Errorf("Duplicates = %d", w.Duplicates())
+	}
+	if w.Size() != 1 {
+		t.Errorf("Size = %d, want 1", w.Size())
+	}
+}
+
+func TestWindowedTumble(t *testing.T) {
+	w := NewWindowed(NewHBJ())
+	w.Process(document.MustParse(1, `{"a":1}`))
+	w.Process(document.MustParse(2, `{"a":1}`))
+	docs, pairs := w.Tumble()
+	if docs != 2 || pairs != 1 {
+		t.Errorf("Tumble = %d docs, %d pairs; want 2,1", docs, pairs)
+	}
+	// After the tumble the window is empty: the same documents join
+	// again from scratch.
+	if res := w.Process(document.MustParse(3, `{"a":1}`)); len(res) != 0 {
+		t.Errorf("state leaked across tumble: %v", res)
+	}
+}
+
+// TestQuickWindowedMatchesBatch: feeding a stream through Windowed
+// produces exactly the reference pair set.
+func TestQuickWindowedMatchesBatch(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		docs := randomDocs(r, 2+r.Intn(25))
+		w := NewWindowed(NewFPJ())
+		var got []Pair
+		for _, d := range docs {
+			for _, res := range w.Process(d) {
+				p := Pair{LeftID: res.Left, RightID: res.Right}
+				if p.LeftID > p.RightID {
+					p.LeftID, p.RightID = p.RightID, p.LeftID
+				}
+				got = append(got, p)
+			}
+		}
+		SortPairs(got)
+		want := referencePairs(docs)
+		if len(got) == 0 && len(want) == 0 {
+			return true
+		}
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortPairs(t *testing.T) {
+	ps := []Pair{{3, 4}, {1, 9}, {1, 2}}
+	SortPairs(ps)
+	want := []Pair{{1, 2}, {1, 9}, {3, 4}}
+	if !reflect.DeepEqual(ps, want) {
+		t.Errorf("SortPairs = %v", ps)
+	}
+	if !sort.SliceIsSorted(ps, func(i, j int) bool {
+		return ps[i].LeftID < ps[j].LeftID || (ps[i].LeftID == ps[j].LeftID && ps[i].RightID < ps[j].RightID)
+	}) {
+		t.Error("not sorted")
+	}
+}

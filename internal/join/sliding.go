@@ -1,0 +1,103 @@
+package join
+
+import (
+	"fmt"
+
+	"repro/internal/document"
+)
+
+// Sliding implements count-based sliding windows over the join engines
+// — the extension the paper leaves as future work ("for sliding
+// windows, tree updates or frequent tree evictions and rebuilds are
+// required", Sec. V-A).
+//
+// The window of size W sliding by S documents is maintained as W/S
+// panes, each backed by its own engine instance (for FPJ, its own
+// FP-tree). A new document probes every live pane and is inserted into
+// the current one; when the current pane fills, the oldest pane is
+// evicted wholesale — the pane granularity turns the expensive
+// "remove one document from an FP-tree" operation into the cheap
+// whole-tree eviction the tumbling design already relies on.
+//
+// Every pair of documents coexisting in some window instance is
+// reported exactly once (at the arrival of the later document).
+type Sliding struct {
+	mk    func() Engine
+	panes []*Windowed
+	size  int // W, documents per full window
+	slide int // S, documents per pane
+
+	current   int // documents in the newest pane
+	processed int
+}
+
+// NewSliding builds a sliding window of `size` documents advancing by
+// `slide`; slide must divide size. The factory provides one engine per
+// pane.
+func NewSliding(size, slide int, mk func() Engine) (*Sliding, error) {
+	if size <= 0 || slide <= 0 || size%slide != 0 {
+		return nil, fmt.Errorf("join: sliding window needs slide dividing size, got %d/%d", size, slide)
+	}
+	s := &Sliding{mk: mk, size: size, slide: slide}
+	s.panes = append(s.panes, NewWindowed(mk()))
+	return s, nil
+}
+
+// Process matches d against every document currently in the window and
+// stores it. Results are the join pairs d completes.
+func (s *Sliding) Process(d document.Document) []Result {
+	if s.current == s.slide {
+		// Advance the window: open a new pane, evict the oldest once
+		// the pane count exceeds W/S.
+		s.panes = append(s.panes, NewWindowed(s.mk()))
+		if len(s.panes) > s.size/s.slide {
+			s.panes = s.panes[1:]
+		}
+		s.current = 0
+	}
+	s.current++
+	s.processed++
+
+	var results []Result
+	// Probe the older panes without inserting.
+	last := len(s.panes) - 1
+	for _, pane := range s.panes[:last] {
+		results = append(results, pane.ProbeOnly(d)...)
+	}
+	// The newest pane both probes and stores.
+	results = append(results, s.panes[last].Process(d)...)
+	return results
+}
+
+// Size reports the number of documents currently in the window.
+func (s *Sliding) Size() int {
+	n := 0
+	for _, pane := range s.panes {
+		n += pane.Size()
+	}
+	return n
+}
+
+// Panes reports the live pane count (diagnostics).
+func (s *Sliding) Panes() int { return len(s.panes) }
+
+// ProbeOnly matches d against the stored documents of the window
+// without inserting it (used by Sliding for the older panes).
+func (w *Windowed) ProbeOnly(d document.Document) []Result {
+	partners := w.engine.Probe(d)
+	if len(partners) == 0 {
+		return nil
+	}
+	results := make([]Result, 0, len(partners))
+	for _, id := range partners {
+		other, ok := w.store[id]
+		if !ok {
+			continue
+		}
+		merged := document.Merge(w.nextID, other, d)
+		w.nextID++
+		results = append(results, Result{Left: id, Right: d.ID, Merged: merged})
+	}
+	w.pairsEmitted += len(results)
+	return results
+}

@@ -1,0 +1,205 @@
+package join
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/document"
+)
+
+// slidingOracle computes the expected sliding-window join pairs by
+// brute force: pair (i, j), i < j, is produced iff both documents lie
+// within one window instance, which for pane semantics means document i
+// is in one of the last size/slide panes when j arrives.
+func slidingOracle(docs []document.Document, size, slide int) []Pair {
+	var out []Pair
+	panes := size / slide
+	for j := 1; j < len(docs); j++ {
+		paneJ := j / slide
+		for i := 0; i < j; i++ {
+			paneI := i / slide
+			if paneJ-paneI >= panes {
+				continue // i already evicted when j arrives
+			}
+			if document.Joinable(docs[i], docs[j]) {
+				p := Pair{LeftID: docs[i].ID, RightID: docs[j].ID}
+				if p.LeftID > p.RightID {
+					p.LeftID, p.RightID = p.RightID, p.LeftID
+				}
+				out = append(out, p)
+			}
+		}
+	}
+	SortPairs(out)
+	return out
+}
+
+func runSliding(t *testing.T, docs []document.Document, size, slide int, mk func() Engine) []Pair {
+	t.Helper()
+	s, err := NewSliding(size, slide, mk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Pair
+	for _, d := range docs {
+		for _, r := range s.Process(d) {
+			p := Pair{LeftID: r.Left, RightID: r.Right}
+			if p.LeftID > p.RightID {
+				p.LeftID, p.RightID = p.RightID, p.LeftID
+			}
+			got = append(got, p)
+		}
+	}
+	SortPairs(got)
+	return got
+}
+
+func TestSlidingValidation(t *testing.T) {
+	mk := func() Engine { return NewFPJ() }
+	for _, bad := range [][2]int{{0, 1}, {4, 0}, {10, 3}, {-4, 2}} {
+		if _, err := NewSliding(bad[0], bad[1], mk); err == nil {
+			t.Errorf("NewSliding(%d,%d) must fail", bad[0], bad[1])
+		}
+	}
+	if _, err := NewSliding(12, 4, mk); err != nil {
+		t.Errorf("NewSliding(12,4): %v", err)
+	}
+}
+
+func TestSlidingEvictsOldDocuments(t *testing.T) {
+	// Window of 4 sliding by 2: doc 1 and doc 5 never coexist.
+	docs := []document.Document{
+		document.MustParse(1, `{"a":1}`),
+		document.MustParse(2, `{"b":9}`),
+		document.MustParse(3, `{"c":9}`),
+		document.MustParse(4, `{"d":9}`),
+		document.MustParse(5, `{"a":1}`), // joinable with 1, but 1 evicted
+	}
+	got := runSliding(t, docs, 4, 2, func() Engine { return NewFPJ() })
+	for _, p := range got {
+		if p.LeftID == 1 && p.RightID == 5 {
+			t.Error("pair (1,5) produced across eviction boundary")
+		}
+	}
+	want := slidingOracle(docs, 4, 2)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestSlidingKeepsRecentDocuments(t *testing.T) {
+	// Window 4 slide 2: docs 3 and 5 coexist.
+	docs := []document.Document{
+		document.MustParse(1, `{"x":0}`),
+		document.MustParse(2, `{"y":0}`),
+		document.MustParse(3, `{"a":1}`),
+		document.MustParse(4, `{"z":0}`),
+		document.MustParse(5, `{"a":1}`),
+	}
+	got := runSliding(t, docs, 4, 2, func() Engine { return NewHBJ() })
+	found := false
+	for _, p := range got {
+		if p.LeftID == 3 && p.RightID == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("pair (3,5) missing: %v", got)
+	}
+}
+
+func TestSlidingPaneCountBounded(t *testing.T) {
+	s, _ := NewSliding(6, 2, func() Engine { return NewNLJ() })
+	for i := 0; i < 50; i++ {
+		s.Process(document.MustParse(uint64(i+1), `{"k":1}`))
+	}
+	if s.Panes() > 3 {
+		t.Errorf("panes = %d, want <= 3", s.Panes())
+	}
+	if s.Size() > 6 {
+		t.Errorf("window size = %d, want <= 6", s.Size())
+	}
+}
+
+// TestQuickSlidingMatchesOracle: pane-based sliding execution equals
+// the brute-force oracle for all three engines.
+func TestQuickSlidingMatchesOracle(t *testing.T) {
+	engines := map[string]func() Engine{
+		"FPJ": func() Engine { return NewFPJ() },
+		"NLJ": func() Engine { return NewNLJ() },
+		"HBJ": func() Engine { return NewHBJ() },
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		docs := randomDocs(r, 5+r.Intn(40))
+		slide := 1 + r.Intn(4)
+		size := slide * (1 + r.Intn(4))
+		want := slidingOracle(docs, size, slide)
+		for name, mk := range engines {
+			got := runSlidingQuiet(docs, size, slide, mk)
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Logf("%s mismatch seed=%d size=%d slide=%d", name, seed, size, slide)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func runSlidingQuiet(docs []document.Document, size, slide int, mk func() Engine) []Pair {
+	s, _ := NewSliding(size, slide, mk)
+	var got []Pair
+	for _, d := range docs {
+		for _, r := range s.Process(d) {
+			p := Pair{LeftID: r.Left, RightID: r.Right}
+			if p.LeftID > p.RightID {
+				p.LeftID, p.RightID = p.RightID, p.LeftID
+			}
+			got = append(got, p)
+		}
+	}
+	SortPairs(got)
+	return got
+}
+
+func TestSlidingEqualsTumblingWhenSlideEqualsSize(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	docs := randomDocs(r, 30)
+	got := runSlidingQuiet(docs, 10, 10, func() Engine { return NewFPJ() })
+	// Tumbling reference: windows of 10.
+	var want []Pair
+	for start := 0; start < len(docs); start += 10 {
+		end := start + 10
+		if end > len(docs) {
+			end = len(docs)
+		}
+		want = append(want, referencePairs(docs[start:end])...)
+	}
+	SortPairs(want)
+	if len(got) != len(want) {
+		t.Fatalf("got %d pairs, want %d", len(got), len(want))
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("sliding(W,W) differs from tumbling(W)")
+	}
+}
+
+func TestProbeOnlyDoesNotStore(t *testing.T) {
+	w := NewWindowed(NewFPJ())
+	w.Process(document.MustParse(1, `{"a":1}`))
+	res := w.ProbeOnly(document.MustParse(2, `{"a":1}`))
+	if len(res) != 1 {
+		t.Fatalf("results = %d", len(res))
+	}
+	if w.Size() != 1 {
+		t.Errorf("ProbeOnly stored the document: size=%d", w.Size())
+	}
+}

@@ -1,0 +1,97 @@
+package join
+
+import (
+	"repro/internal/document"
+)
+
+// Result is one joined pair together with the merged output document
+// (the natural-join tuple).
+type Result struct {
+	Left   uint64
+	Right  uint64
+	Merged document.Document
+}
+
+// Windowed wraps an Engine with tumbling-window semantics and join
+// result materialisation. Incoming documents are matched against the
+// documents already stored in the current window (probe-then-insert),
+// so every joinable pair within one window is produced exactly once;
+// when the window tumbles the entire state is evicted (paper Sec. V-A).
+type Windowed struct {
+	engine Engine
+	store  map[uint64]document.Document
+	nextID uint64
+
+	// Deduplicate replicated deliveries: the partitioning may send the
+	// same document to one Joiner more than once only across different
+	// Joiners, but the broadcast fallback can overlap with a partition
+	// match, so an id-based guard keeps the window exactly-once.
+	seen map[uint64]struct{}
+
+	pairsEmitted  int
+	docsProcessed int
+	duplicates    int
+}
+
+// NewWindowed builds a windowed joiner on top of the given engine.
+func NewWindowed(e Engine) *Windowed {
+	return &Windowed{
+		engine: e,
+		store:  make(map[uint64]document.Document),
+		seen:   make(map[uint64]struct{}),
+		nextID: 1,
+	}
+}
+
+// Engine exposes the wrapped engine.
+func (w *Windowed) Engine() Engine { return w.engine }
+
+// Process matches d against the current window and stores it. The
+// returned results materialise the merged join documents. A document id
+// already seen in this window is ignored (duplicate delivery).
+func (w *Windowed) Process(d document.Document) []Result {
+	if _, dup := w.seen[d.ID]; dup {
+		w.duplicates++
+		return nil
+	}
+	w.seen[d.ID] = struct{}{}
+	w.docsProcessed++
+	partners := w.engine.ProbeInsert(d)
+	if len(partners) == 0 {
+		w.store[d.ID] = d
+		return nil
+	}
+	results := make([]Result, 0, len(partners))
+	for _, id := range partners {
+		other, ok := w.store[id]
+		if !ok {
+			continue
+		}
+		merged := document.Merge(w.nextID, other, d)
+		w.nextID++
+		results = append(results, Result{Left: id, Right: d.ID, Merged: merged})
+	}
+	w.store[d.ID] = d
+	w.pairsEmitted += len(results)
+	return results
+}
+
+// Tumble closes the current window: all state is evicted. It returns
+// the number of documents and join pairs the window produced.
+func (w *Windowed) Tumble() (docs, pairs int) {
+	docs, pairs = w.docsProcessed, w.pairsEmitted
+	w.engine.Reset()
+	w.store = make(map[uint64]document.Document)
+	w.seen = make(map[uint64]struct{})
+	w.docsProcessed = 0
+	w.pairsEmitted = 0
+	w.duplicates = 0
+	return docs, pairs
+}
+
+// Size reports the number of documents stored in the current window.
+func (w *Windowed) Size() int { return len(w.store) }
+
+// Duplicates reports how many duplicate deliveries were suppressed in
+// the current window.
+func (w *Windowed) Duplicates() int { return w.duplicates }

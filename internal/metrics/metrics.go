@@ -1,0 +1,198 @@
+// Package metrics implements the performance measurements of the
+// paper's Section VII-C: replication, per-joiner processing load,
+// maximal processing load, and the Gini coefficient used to assess load
+// balance.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Gini computes the Gini coefficient of the given non-negative loads.
+// 0 means perfectly equal distribution; values approach 1 as a single
+// element dominates. An empty or all-zero input yields 0.
+func Gini(loads []float64) float64 {
+	n := len(loads)
+	if n == 0 {
+		return 0
+	}
+	sorted := make([]float64, n)
+	copy(sorted, loads)
+	sort.Float64s(sorted)
+	var sum, weighted float64
+	for i, v := range sorted {
+		if v < 0 {
+			panic(fmt.Sprintf("metrics: negative load %g", v))
+		}
+		sum += v
+		weighted += float64(i+1) * v
+	}
+	if sum == 0 {
+		return 0
+	}
+	// G = (2*Σ i*x_i)/(n*Σ x_i) - (n+1)/n for ascending-sorted x.
+	return 2*weighted/(float64(n)*sum) - float64(n+1)/float64(n)
+}
+
+// GiniInt is Gini over integer loads.
+func GiniInt(loads []int) float64 {
+	f := make([]float64, len(loads))
+	for i, v := range loads {
+		f[i] = float64(v)
+	}
+	return Gini(f)
+}
+
+// WindowStats aggregates the routing statistics of one time window.
+type WindowStats struct {
+	// Documents is the number of distinct documents emitted in the
+	// window.
+	Documents int
+	// Deliveries is the total number of (document, joiner) deliveries,
+	// i.e. Σ over documents of the number of machines each document was
+	// sent to.
+	Deliveries int
+	// PerJoiner counts deliveries per joiner index.
+	PerJoiner []int
+	// Broadcasts counts the documents that matched no partition and
+	// were sent to every joiner to guarantee completeness.
+	Broadcasts int
+	// Updates counts δ-gated partition update requests issued.
+	Updates int
+	// Repartitioned records whether this window triggered partition
+	// recomputation.
+	Repartitioned bool
+}
+
+// NewWindowStats prepares stats for m joiners.
+func NewWindowStats(m int) *WindowStats {
+	return &WindowStats{PerJoiner: make([]int, m)}
+}
+
+// RecordDelivery registers a document delivered to the given set of
+// joiner indexes; broadcast marks a no-partition fallback.
+func (w *WindowStats) RecordDelivery(joiners []int, broadcast bool) {
+	w.Documents++
+	w.Deliveries += len(joiners)
+	for _, j := range joiners {
+		w.PerJoiner[j]++
+	}
+	if broadcast {
+		w.Broadcasts++
+	}
+}
+
+// Replication is the average number of times a document was sent from
+// the Assigners to the Joiners (paper Sec. VII-C). It is 0 for an empty
+// window and otherwise lies in [1, m].
+func (w *WindowStats) Replication() float64 {
+	if w.Documents == 0 {
+		return 0
+	}
+	return float64(w.Deliveries) / float64(w.Documents)
+}
+
+// MaxProcessingLoad is the highest fraction of the window's emitted
+// documents assigned to a single joiner.
+func (w *WindowStats) MaxProcessingLoad() float64 {
+	if w.Documents == 0 {
+		return 0
+	}
+	max := 0
+	for _, v := range w.PerJoiner {
+		if v > max {
+			max = v
+		}
+	}
+	return float64(max) / float64(w.Documents)
+}
+
+// LoadBalance is the Gini coefficient over the per-joiner loads.
+func (w *WindowStats) LoadBalance() float64 {
+	return GiniInt(w.PerJoiner)
+}
+
+// String summarises the window for logs.
+func (w *WindowStats) String() string {
+	return fmt.Sprintf("docs=%d repl=%.3f gini=%.3f maxload=%.3f broadcast=%d",
+		w.Documents, w.Replication(), w.LoadBalance(), w.MaxProcessingLoad(), w.Broadcasts)
+}
+
+// RunStats accumulates per-window statistics over a whole run and
+// exposes the averages the paper plots.
+type RunStats struct {
+	Windows []*WindowStats
+}
+
+// Add appends a finished window.
+func (r *RunStats) Add(w *WindowStats) { r.Windows = append(r.Windows, w) }
+
+// AvgReplication averages Replication over non-empty windows.
+func (r *RunStats) AvgReplication() float64 {
+	return r.avg(func(w *WindowStats) float64 { return w.Replication() })
+}
+
+// AvgLoadBalance averages the Gini coefficient over non-empty windows.
+func (r *RunStats) AvgLoadBalance() float64 {
+	return r.avg(func(w *WindowStats) float64 { return w.LoadBalance() })
+}
+
+// AvgMaxProcessingLoad averages MaxProcessingLoad over non-empty
+// windows.
+func (r *RunStats) AvgMaxProcessingLoad() float64 {
+	return r.avg(func(w *WindowStats) float64 { return w.MaxProcessingLoad() })
+}
+
+// RepartitionRate is the percentage of windows that triggered partition
+// recomputation (paper Fig. 9).
+func (r *RunStats) RepartitionRate() float64 {
+	if len(r.Windows) == 0 {
+		return 0
+	}
+	n := 0
+	for _, w := range r.Windows {
+		if w.Repartitioned {
+			n++
+		}
+	}
+	return 100 * float64(n) / float64(len(r.Windows))
+}
+
+func (r *RunStats) avg(f func(*WindowStats) float64) float64 {
+	var sum float64
+	n := 0
+	for _, w := range r.Windows {
+		if w.Documents == 0 {
+			continue
+		}
+		sum += f(w)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Summary renders the run in a fixed-width table row format.
+func (r *RunStats) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "windows=%d avg_repl=%.3f avg_gini=%.3f avg_maxload=%.3f repart=%.1f%%",
+		len(r.Windows), r.AvgReplication(), r.AvgLoadBalance(), r.AvgMaxProcessingLoad(), r.RepartitionRate())
+	return b.String()
+}
+
+// RelChange returns the relative increase of cur over base, guarding
+// against a zero baseline; used for the θ repartitioning trigger.
+func RelChange(base, cur float64) float64 {
+	if base == 0 {
+		if cur == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (cur - base) / base
+}

@@ -1,0 +1,166 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestGiniEqualLoads(t *testing.T) {
+	if g := Gini([]float64{5, 5, 5, 5}); !almost(g, 0) {
+		t.Errorf("Gini equal = %g, want 0", g)
+	}
+}
+
+func TestGiniSingleDominant(t *testing.T) {
+	// One of n elements holds everything: G = (n-1)/n.
+	g := Gini([]float64{0, 0, 0, 100})
+	if !almost(g, 0.75) {
+		t.Errorf("Gini dominant = %g, want 0.75", g)
+	}
+}
+
+func TestGiniKnownValue(t *testing.T) {
+	// For loads 1,2,3,4: G = 0.25 (classic textbook value).
+	g := Gini([]float64{1, 2, 3, 4})
+	if !almost(g, 0.25) {
+		t.Errorf("Gini(1..4) = %g, want 0.25", g)
+	}
+}
+
+func TestGiniEdgeCases(t *testing.T) {
+	if g := Gini(nil); g != 0 {
+		t.Errorf("Gini(nil) = %g", g)
+	}
+	if g := Gini([]float64{0, 0}); g != 0 {
+		t.Errorf("Gini(zeros) = %g", g)
+	}
+	if g := Gini([]float64{7}); !almost(g, 0) {
+		t.Errorf("Gini(single) = %g", g)
+	}
+}
+
+func TestGiniPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative load did not panic")
+		}
+	}()
+	Gini([]float64{1, -1})
+}
+
+func TestQuickGiniRange(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(20)
+		loads := make([]float64, n)
+		for i := range loads {
+			loads[i] = float64(r.Intn(1000))
+		}
+		g := Gini(loads)
+		return g >= -1e-12 && g <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickGiniScaleInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(10)
+		loads := make([]float64, n)
+		scaled := make([]float64, n)
+		for i := range loads {
+			loads[i] = float64(1 + r.Intn(100))
+			scaled[i] = loads[i] * 7
+		}
+		return almost(Gini(loads), Gini(scaled))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWindowStatsReplication(t *testing.T) {
+	w := NewWindowStats(4)
+	w.RecordDelivery([]int{0}, false)
+	w.RecordDelivery([]int{1, 2}, false)
+	w.RecordDelivery([]int{0, 1, 2, 3}, true)
+	if r := w.Replication(); !almost(r, 7.0/3.0) {
+		t.Errorf("Replication = %g, want 7/3", r)
+	}
+	if w.Broadcasts != 1 {
+		t.Errorf("Broadcasts = %d", w.Broadcasts)
+	}
+	if l := w.MaxProcessingLoad(); !almost(l, 2.0/3.0) {
+		t.Errorf("MaxProcessingLoad = %g, want 2/3", l)
+	}
+}
+
+func TestWindowStatsEmpty(t *testing.T) {
+	w := NewWindowStats(3)
+	if w.Replication() != 0 || w.MaxProcessingLoad() != 0 || w.LoadBalance() != 0 {
+		t.Error("empty window must report zeros")
+	}
+}
+
+func TestRunStatsAverages(t *testing.T) {
+	var r RunStats
+	w1 := NewWindowStats(2)
+	w1.RecordDelivery([]int{0}, false)
+	w1.RecordDelivery([]int{0, 1}, false)
+	w1.Repartitioned = true
+	w2 := NewWindowStats(2)
+	w2.RecordDelivery([]int{1}, false)
+	r.Add(w1)
+	r.Add(w2)
+	if got := r.AvgReplication(); !almost(got, (1.5+1.0)/2) {
+		t.Errorf("AvgReplication = %g", got)
+	}
+	if got := r.RepartitionRate(); !almost(got, 50) {
+		t.Errorf("RepartitionRate = %g, want 50", got)
+	}
+}
+
+func TestRunStatsSkipsEmptyWindows(t *testing.T) {
+	var r RunStats
+	w := NewWindowStats(2)
+	w.RecordDelivery([]int{0, 1}, false)
+	r.Add(NewWindowStats(2)) // empty
+	r.Add(w)
+	if got := r.AvgReplication(); !almost(got, 2) {
+		t.Errorf("AvgReplication = %g, want 2 (empty window skipped)", got)
+	}
+}
+
+func TestRelChange(t *testing.T) {
+	if v := RelChange(2, 3); !almost(v, 0.5) {
+		t.Errorf("RelChange(2,3) = %g", v)
+	}
+	if v := RelChange(0, 0); v != 0 {
+		t.Errorf("RelChange(0,0) = %g", v)
+	}
+	if v := RelChange(0, 1); !math.IsInf(v, 1) {
+		t.Errorf("RelChange(0,1) = %g, want +Inf", v)
+	}
+	if v := RelChange(4, 2); !almost(v, -0.5) {
+		t.Errorf("RelChange(4,2) = %g", v)
+	}
+}
+
+func TestSummaryStrings(t *testing.T) {
+	w := NewWindowStats(2)
+	w.RecordDelivery([]int{0}, false)
+	if s := w.String(); s == "" {
+		t.Error("empty String")
+	}
+	var r RunStats
+	r.Add(w)
+	if s := r.Summary(); s == "" {
+		t.Error("empty Summary")
+	}
+}

@@ -1,0 +1,312 @@
+package partition
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/document"
+)
+
+// AssocGroup is one association group: a set of attribute-value pairs
+// that the association analysis decided belong together, plus the
+// documents it was derived from and the resulting load (number of
+// documents containing at least one of the group's pairs).
+type AssocGroup struct {
+	Pairs PairSet
+	Docs  []uint64 // sorted, union over constituent equivalence groups
+	Load  int
+}
+
+// AssociationGroups is the paper's partitioning algorithm (Sec. IV):
+// equivalence groups are found by grouping the attribute-value pairs
+// that occur in exactly the same set of documents, the implies relation
+// merges equivalence groups into association groups (Algorithm 1), and
+// the groups are packed into m partitions largest-load-first.
+type AssociationGroups struct{}
+
+// Name implements Partitioner.
+func (AssociationGroups) Name() string { return "AG" }
+
+// Partition implements Partitioner.
+func (ag AssociationGroups) Partition(docs []document.Document, m int) *Table {
+	groups := ag.Groups(docs)
+	return AssignGroups(groups, m)
+}
+
+// equivalence group: pairs sharing one exact document set.
+type eqGroup struct {
+	pairs PairSet
+	docs  []uint64 // sorted
+}
+
+// Groups runs Algorithm 1: it computes the association groups for a
+// document batch. The returned groups have pairwise-disjoint pair sets.
+func (AssociationGroups) Groups(docs []document.Document) []AssocGroup {
+	egs := equivalenceGroups(docs)
+
+	// Sort ascending by document count (Algorithm 1 line 3); ties are
+	// broken by the docset signature, then by the first pair, for
+	// determinism across runs.
+	sort.Slice(egs, func(i, j int) bool {
+		if len(egs[i].docs) != len(egs[j].docs) {
+			return len(egs[i].docs) < len(egs[j].docs)
+		}
+		si, sj := docsSignature(egs[i].docs), docsSignature(egs[j].docs)
+		if si != sj {
+			return si < sj
+		}
+		return lessPairSet(egs[i].pairs, egs[j].pairs)
+	})
+
+	alive := make([]bool, len(egs))
+	for i := range alive {
+		alive[i] = true
+	}
+	var out []AssocGroup
+	for i := range egs {
+		if !alive[i] {
+			continue
+		}
+		group := AssocGroup{Pairs: NewPairSet(), Docs: append([]uint64(nil), egs[i].docs...)}
+		group.Pairs.AddAll(egs[i].pairs)
+		for j := i + 1; j < len(egs); j++ {
+			if !alive[j] {
+				continue
+			}
+			// EG[i] implies EG[j] iff EG[j] appears in every document
+			// EG[i] appears in (and beyond): docs(i) ⊂ docs(j). The
+			// equivalence step already merged equal docsets, so a
+			// subset here is automatically proper.
+			if subsetIDs(egs[i].docs, egs[j].docs) {
+				group.Pairs.AddAll(egs[j].pairs)
+				group.Docs = unionIDs(group.Docs, egs[j].docs)
+				alive[j] = false
+			}
+		}
+		group.Load = len(group.Docs)
+		out = append(out, group)
+	}
+	return out
+}
+
+// equivalenceGroups groups the attribute-value pairs occurring in
+// exactly the same set of documents (Definition 1).
+func equivalenceGroups(docs []document.Document) []eqGroup {
+	avInD := make(map[document.Pair][]uint64)
+	for _, d := range docs {
+		for _, p := range d.Pairs() {
+			avInD[p] = append(avInD[p], d.ID)
+		}
+	}
+	bySig := make(map[string]*eqGroup)
+	for p, ids := range avInD {
+		sortIDs(ids)
+		ids = dedupIDs(ids)
+		sig := docsSignature(ids)
+		g, ok := bySig[sig]
+		if !ok {
+			g = &eqGroup{pairs: NewPairSet(), docs: ids}
+			bySig[sig] = g
+		}
+		g.pairs.Add(p)
+	}
+	out := make([]eqGroup, 0, len(bySig))
+	for _, g := range bySig {
+		out = append(out, *g)
+	}
+	return out
+}
+
+// AssignGroups packs association groups into m partitions: the m
+// highest-load groups seed the partitions, then each remaining group
+// (largest first) goes to the partition with the least accumulated
+// load — the assignment scheme of Alvanaki & Michel reused by the
+// paper.
+func AssignGroups(groups []AssocGroup, m int) *Table {
+	sorted := make([]AssocGroup, len(groups))
+	copy(sorted, groups)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Load != sorted[j].Load {
+			return sorted[i].Load > sorted[j].Load
+		}
+		return lessPairSet(sorted[i].Pairs, sorted[j].Pairs)
+	})
+	parts := make([]PairSet, m)
+	loads := make([]int, m)
+	for i := range parts {
+		parts[i] = NewPairSet()
+	}
+	for i, g := range sorted {
+		target := i
+		if i >= m {
+			target = 0
+			for k := 1; k < m; k++ {
+				if loads[k] < loads[target] {
+					target = k
+				}
+			}
+		}
+		parts[target].AddAll(g.Pairs)
+		loads[target] += g.Load
+	}
+	return NewTable(parts)
+}
+
+// Consolidate merges the local association groups produced by multiple
+// PartitionCreators into one consistent global set (paper Sec. IV-A,
+// Merger): groups whose pair set is a subset of another group's are
+// folded into the superset, and a pair appearing in two groups is
+// removed from the group with more elements.
+func Consolidate(local [][]AssocGroup) []AssocGroup {
+	var all []AssocGroup
+	for _, groups := range local {
+		for _, g := range groups {
+			cp := AssocGroup{Pairs: NewPairSet(), Docs: append([]uint64(nil), g.Docs...), Load: g.Load}
+			cp.Pairs.AddAll(g.Pairs)
+			all = append(all, cp)
+		}
+	}
+	// Deterministic processing order: larger pair sets first so subsets
+	// fold into the largest available superset.
+	sort.SliceStable(all, func(i, j int) bool {
+		if len(all[i].Pairs) != len(all[j].Pairs) {
+			return len(all[i].Pairs) > len(all[j].Pairs)
+		}
+		return lessPairSet(all[i].Pairs, all[j].Pairs)
+	})
+	alive := make([]bool, len(all))
+	for i := range alive {
+		alive[i] = true
+	}
+	// Fold subsets into supersets. Loads add up: the creators saw
+	// disjoint samples, so their document counts are additive.
+	for i := 0; i < len(all); i++ {
+		if !alive[i] {
+			continue
+		}
+		for j := i + 1; j < len(all); j++ {
+			if !alive[j] {
+				continue
+			}
+			if all[j].Pairs.SubsetOf(all[i].Pairs) {
+				all[i].Load += all[j].Load
+				all[i].Docs = unionIDs(all[i].Docs, all[j].Docs)
+				alive[j] = false
+			}
+		}
+	}
+	var merged []AssocGroup
+	for i, g := range all {
+		if alive[i] {
+			merged = append(merged, g)
+		}
+	}
+	// Remove duplicated pairs from the larger of any two overlapping
+	// groups so the final groups are pairwise disjoint.
+	owner := make(map[document.Pair]int)
+	for idx, g := range merged {
+		for _, p := range g.Pairs.Sorted() {
+			prev, dup := owner[p]
+			if !dup {
+				owner[p] = idx
+				continue
+			}
+			if len(merged[prev].Pairs) >= len(merged[idx].Pairs) {
+				delete(merged[prev].Pairs, p)
+				owner[p] = idx
+			} else {
+				delete(merged[idx].Pairs, p)
+			}
+		}
+	}
+	// Drop groups emptied by de-duplication.
+	out := merged[:0]
+	for _, g := range merged {
+		if len(g.Pairs) > 0 {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+func sortIDs(ids []uint64) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+func dedupIDs(ids []uint64) []uint64 {
+	out := ids[:0]
+	for i, id := range ids {
+		if i == 0 || ids[i-1] != id {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// subsetIDs reports a ⊆ b for sorted id slices.
+func subsetIDs(a, b []uint64) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			i++
+			j++
+		case a[i] > b[j]:
+			j++
+		default:
+			return false
+		}
+	}
+	return i == len(a)
+}
+
+// unionIDs merges two sorted id slices.
+func unionIDs(a, b []uint64) []uint64 {
+	out := make([]uint64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+func docsSignature(ids []uint64) string {
+	var b strings.Builder
+	for i, id := range ids {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatUint(id, 36))
+	}
+	return b.String()
+}
+
+func lessPairSet(a, b PairSet) bool {
+	as, bs := a.Sorted(), b.Sorted()
+	for i := 0; i < len(as) && i < len(bs); i++ {
+		if as[i] != bs[i] {
+			if as[i].Attr != bs[i].Attr {
+				return as[i].Attr < bs[i].Attr
+			}
+			return as[i].Val < bs[i].Val
+		}
+	}
+	return len(as) < len(bs)
+}

@@ -1,0 +1,145 @@
+package partition
+
+import (
+	"sort"
+
+	"repro/internal/document"
+)
+
+// DisjointSets is the second competitor (Alvanaki & Michel): all
+// attribute-value pairs co-occurring in a document are unioned into
+// connected components ("disjoint sets"); every pair belongs to exactly
+// one component and each component is assigned to exactly one
+// partition, so a document is never replicated — at the price of load
+// balance, and of not scaling when fewer components exist than
+// machines (paper Secs. II, VII-A).
+type DisjointSets struct{}
+
+// Name implements Partitioner.
+func (DisjointSets) Name() string { return "DS" }
+
+// Partition implements Partitioner.
+func (DisjointSets) Partition(docs []document.Document, m int) *Table {
+	uf := newUnionFind()
+	for _, d := range docs {
+		ps := d.Pairs()
+		if len(ps) == 0 {
+			continue
+		}
+		first := uf.add(ps[0])
+		for _, p := range ps[1:] {
+			uf.union(first, uf.add(p))
+		}
+	}
+
+	// Collect components and count their documents (each document lies
+	// entirely inside one component).
+	compPairs := make(map[int][]document.Pair)
+	for p, id := range uf.ids {
+		root := uf.find(id)
+		compPairs[root] = append(compPairs[root], p)
+	}
+	compLoad := make(map[int]int)
+	for _, d := range docs {
+		if d.Len() == 0 {
+			continue
+		}
+		root := uf.find(uf.ids[d.Pairs()[0]])
+		compLoad[root]++
+	}
+
+	// Deterministic order: heaviest component first.
+	roots := make([]int, 0, len(compPairs))
+	for r := range compPairs {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(i, j int) bool {
+		if compLoad[roots[i]] != compLoad[roots[j]] {
+			return compLoad[roots[i]] > compLoad[roots[j]]
+		}
+		return roots[i] < roots[j]
+	})
+
+	parts := make([]PairSet, m)
+	loads := make([]int, m)
+	for i := range parts {
+		parts[i] = NewPairSet()
+	}
+	for _, r := range roots {
+		target := 0
+		for k := 1; k < m; k++ {
+			if loads[k] < loads[target] {
+				target = k
+			}
+		}
+		for _, p := range compPairs[r] {
+			parts[target].Add(p)
+		}
+		loads[target] += compLoad[r]
+	}
+	return NewTable(parts)
+}
+
+// Components returns the number of disjoint sets the batch induces —
+// the hard upper bound on how many machines DS can use.
+func (DisjointSets) Components(docs []document.Document) int {
+	uf := newUnionFind()
+	for _, d := range docs {
+		ps := d.Pairs()
+		if len(ps) == 0 {
+			continue
+		}
+		first := uf.add(ps[0])
+		for _, p := range ps[1:] {
+			uf.union(first, uf.add(p))
+		}
+	}
+	roots := make(map[int]struct{})
+	for _, id := range uf.ids {
+		roots[uf.find(id)] = struct{}{}
+	}
+	return len(roots)
+}
+
+// unionFind is a standard weighted quick-union with path compression
+// over attribute-value pairs.
+type unionFind struct {
+	ids    map[document.Pair]int
+	parent []int
+	size   []int
+}
+
+func newUnionFind() *unionFind {
+	return &unionFind{ids: make(map[document.Pair]int)}
+}
+
+func (u *unionFind) add(p document.Pair) int {
+	if id, ok := u.ids[p]; ok {
+		return id
+	}
+	id := len(u.parent)
+	u.ids[p] = id
+	u.parent = append(u.parent, id)
+	u.size = append(u.size, 1)
+	return id
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+}

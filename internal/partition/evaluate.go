@@ -1,0 +1,56 @@
+package partition
+
+import (
+	"repro/internal/document"
+	"repro/internal/metrics"
+)
+
+// Evaluate routes a document batch through the table under the Assigner
+// policy (Table.Route) and collects the paper's routing statistics.
+func Evaluate(t *Table, docs []document.Document) *metrics.WindowStats {
+	w := metrics.NewWindowStats(t.M)
+	for _, d := range docs {
+		targets, broadcast := t.Route(d)
+		w.RecordDelivery(targets, broadcast)
+	}
+	return w
+}
+
+// VerifyCompleteness checks the core correctness invariant of any
+// partitioning: every joinable pair of documents must end up together
+// on at least one machine under the routing policy (matching partitions
+// for fully-covered documents, broadcast otherwise). It returns the
+// first violating pair, or ok=true.
+func VerifyCompleteness(t *Table, docs []document.Document) (a, b document.Document, ok bool) {
+	targets := make([][]int, len(docs))
+	for i, d := range docs {
+		targets[i], _ = t.Route(d)
+	}
+	for i := 0; i < len(docs); i++ {
+		for j := i + 1; j < len(docs); j++ {
+			if !document.Joinable(docs[i], docs[j]) {
+				continue
+			}
+			if !intersects(targets[i], targets[j]) {
+				return docs[i], docs[j], false
+			}
+		}
+	}
+	return document.Document{}, document.Document{}, true
+}
+
+// intersects reports whether two sorted int slices share an element.
+func intersects(a, b []int) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			return true
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}

@@ -1,0 +1,39 @@
+package partition
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"repro/internal/document"
+)
+
+// gobTable is the wire form of a Table: the inverted pair index is
+// rebuilt on decode rather than shipped.
+type gobTable struct {
+	Partitions [][]document.Pair
+}
+
+// GobEncode implements gob.GobEncoder for cluster transport.
+func (t *Table) GobEncode() ([]byte, error) {
+	g := gobTable{Partitions: make([][]document.Pair, len(t.Partitions))}
+	for i, ps := range t.Partitions {
+		g.Partitions[i] = ps.Sorted()
+	}
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(g)
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (t *Table) GobDecode(data []byte) error {
+	var g gobTable
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&g); err != nil {
+		return err
+	}
+	parts := make([]PairSet, len(g.Partitions))
+	for i, pairs := range g.Partitions {
+		parts[i] = NewPairSet(pairs...)
+	}
+	*t = *NewTable(parts)
+	return nil
+}

@@ -1,0 +1,26 @@
+package partition
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"repro/internal/document"
+)
+
+// GobEncode implements gob.GobEncoder: the set travels as its sorted
+// pair list (gob cannot encode the empty-struct map values directly).
+func (s PairSet) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(s.Sorted())
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (s *PairSet) GobDecode(data []byte) error {
+	var pairs []document.Pair
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&pairs); err != nil {
+		return err
+	}
+	*s = NewPairSet(pairs...)
+	return nil
+}

@@ -1,0 +1,109 @@
+package partition
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/document"
+)
+
+func TestTableGobRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	docs := randomBatch(r, 30)
+	tbl := AssociationGroups{}.Partition(docs, 4)
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(tbl); err != nil {
+		t.Fatal(err)
+	}
+	var back Table
+	if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+		t.Fatal(err)
+	}
+	if back.M != tbl.M {
+		t.Fatalf("M = %d, want %d", back.M, tbl.M)
+	}
+	// Same routing decisions after the round trip (index rebuilt).
+	for _, d := range docs {
+		want := tbl.Assign(d)
+		got := back.Assign(d)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("routing changed for %v: %v vs %v", d, got, want)
+		}
+	}
+}
+
+func TestPairSetGobRoundTrip(t *testing.T) {
+	s := NewPairSet(intPair("a", 1), intPair("b", 2))
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		t.Fatal(err)
+	}
+	var back PairSet
+	if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || !back.Has(intPair("a", 1)) || !back.Has(intPair("b", 2)) {
+		t.Errorf("round trip = %v", back.Sorted())
+	}
+}
+
+func TestGobDecodeGarbage(t *testing.T) {
+	var tbl Table
+	if err := tbl.GobDecode([]byte("junk")); err == nil {
+		t.Error("garbage table must fail")
+	}
+	var ps PairSet
+	if err := ps.GobDecode([]byte("junk")); err == nil {
+		t.Error("garbage pair set must fail")
+	}
+}
+
+// TestQuickTableGobPreservesCoverage: coverage of every pair survives
+// serialisation for arbitrary tables.
+func TestQuickTableGobPreservesCoverage(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		docs := randomBatch(r, 5+r.Intn(20))
+		tbl := DisjointSets{}.Partition(docs, 3)
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(tbl); err != nil {
+			return false
+		}
+		var back Table
+		if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+			return false
+		}
+		for _, d := range docs {
+			for _, p := range d.Pairs() {
+				if tbl.Covers(p) != back.Covers(p) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	tbl := NewTable([]PairSet{NewPairSet(intPair("a", 1)), NewPairSet()})
+	cp := tbl.Clone()
+	cp.AddPair(1, intPair("z", 9))
+	if tbl.Covers(intPair("z", 9)) {
+		t.Error("mutating the clone leaked into the original")
+	}
+	if !cp.Covers(intPair("a", 1)) {
+		t.Error("clone lost original pairs")
+	}
+	d := document.New(1, []document.Pair{intPair("a", 1)})
+	if got := cp.Assign(d); len(got) != 1 || got[0] != 0 {
+		t.Errorf("clone routing = %v", got)
+	}
+}

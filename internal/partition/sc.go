@@ -1,0 +1,149 @@
+package partition
+
+import (
+	"sort"
+
+	"repro/internal/document"
+)
+
+// SetCover is the set-cover-based competitor (Alvanaki & Michel),
+// "tuned for low communication overhead" as described in the paper's
+// Sec. VII-A: each document's pair set is a candidate set; the initial
+// m partitions are seeded by repeatedly picking the set with the most
+// uncovered and fewest covered attribute-value pairs, and the remaining
+// sets are attached, fewest-pairs/most-uncovered first, to the
+// least-loaded partition sharing the most pairs with them.
+type SetCover struct{}
+
+// Name implements Partitioner.
+func (SetCover) Name() string { return "SC" }
+
+// scSet is one distinct document pair-set with its multiplicity.
+type scSet struct {
+	pairs []document.Pair
+	count int // number of documents with exactly this pair set
+}
+
+// Partition implements Partitioner.
+func (SetCover) Partition(docs []document.Document, m int) *Table {
+	sets := distinctSets(docs)
+	covered := NewPairSet()
+	parts := make([]PairSet, m)
+	loads := make([]int, m)
+	for i := range parts {
+		parts[i] = NewPairSet()
+	}
+	used := make([]bool, len(sets))
+
+	// Seed the m initial partitions.
+	for p := 0; p < m; p++ {
+		best := -1
+		bestUncov, bestCov := -1, 0
+		for i, s := range sets {
+			if used[i] {
+				continue
+			}
+			uncov, cov := coverSplit(s.pairs, covered)
+			if uncov > bestUncov || (uncov == bestUncov && cov < bestCov) {
+				best, bestUncov, bestCov = i, uncov, cov
+			}
+		}
+		if best < 0 {
+			break // fewer distinct sets than partitions
+		}
+		used[best] = true
+		for _, pr := range sets[best].pairs {
+			parts[p].Add(pr)
+			covered.Add(pr)
+		}
+		loads[p] += sets[best].count
+	}
+
+	// Attach the remaining sets: in every iteration the set with the
+	// least number of pairs and the most uncovered pairs is selected.
+	for {
+		best := -1
+		bestLen, bestUncov := int(^uint(0)>>1), -1
+		for i, s := range sets {
+			if used[i] {
+				continue
+			}
+			uncov, _ := coverSplit(s.pairs, covered)
+			if len(s.pairs) < bestLen || (len(s.pairs) == bestLen && uncov > bestUncov) {
+				best, bestLen, bestUncov = i, len(s.pairs), uncov
+			}
+		}
+		if best < 0 {
+			break
+		}
+		used[best] = true
+		s := sets[best]
+		// Partition with the least load; ties broken by the most
+		// attribute-value pairs in common with the selected set.
+		target := 0
+		targetShared := sharedCount(s.pairs, parts[0])
+		for k := 1; k < m; k++ {
+			shared := sharedCount(s.pairs, parts[k])
+			if loads[k] < loads[target] || (loads[k] == loads[target] && shared > targetShared) {
+				target, targetShared = k, shared
+			}
+		}
+		for _, pr := range s.pairs {
+			parts[target].Add(pr)
+			covered.Add(pr)
+		}
+		loads[target] += s.count
+	}
+	return NewTable(parts)
+}
+
+// distinctSets deduplicates document pair-sets, tracking multiplicity,
+// in deterministic order.
+func distinctSets(docs []document.Document) []scSet {
+	type entry struct {
+		set *scSet
+	}
+	byKey := make(map[string]*scSet)
+	var order []string
+	for _, d := range docs {
+		key := ""
+		for _, p := range d.Pairs() {
+			key += p.Key() + "\x00"
+		}
+		if s, ok := byKey[key]; ok {
+			s.count++
+			continue
+		}
+		pairs := make([]document.Pair, len(d.Pairs()))
+		copy(pairs, d.Pairs())
+		byKey[key] = &scSet{pairs: pairs, count: 1}
+		order = append(order, key)
+	}
+	sort.Strings(order)
+	out := make([]scSet, 0, len(order))
+	for _, k := range order {
+		out = append(out, *byKey[k])
+	}
+	return out
+}
+
+func coverSplit(pairs []document.Pair, covered PairSet) (uncov, cov int) {
+	for _, p := range pairs {
+		if covered.Has(p) {
+			cov++
+		} else {
+			uncov++
+		}
+	}
+	return uncov, cov
+}
+
+func sharedCount(pairs []document.Pair, ps PairSet) int {
+	n := 0
+	for _, p := range pairs {
+		if ps.Has(p) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,276 @@
+// Package partition implements the data-partitioning algorithms of the
+// paper: the Association Groups approach of Section IV (the
+// contribution) and the two competitors from Alvanaki & Michel used in
+// the evaluation, Set Cover (SC) and Disjoint Sets (DS).
+//
+// A partition is a set of attribute-value pairs assigned to one
+// machine. A document matches a partition when the two share at least
+// one attribute-value pair; matching documents are forwarded to that
+// machine, and a document matching several partitions is replicated to
+// all of them so the join result stays complete.
+package partition
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/document"
+)
+
+// PairSet is a set of attribute-value pairs.
+type PairSet map[document.Pair]struct{}
+
+// NewPairSet builds a set from pairs.
+func NewPairSet(pairs ...document.Pair) PairSet {
+	s := make(PairSet, len(pairs))
+	for _, p := range pairs {
+		s[p] = struct{}{}
+	}
+	return s
+}
+
+// Add inserts a pair.
+func (s PairSet) Add(p document.Pair) { s[p] = struct{}{} }
+
+// Has reports membership.
+func (s PairSet) Has(p document.Pair) bool { _, ok := s[p]; return ok }
+
+// AddAll inserts every pair of o.
+func (s PairSet) AddAll(o PairSet) {
+	for p := range o {
+		s[p] = struct{}{}
+	}
+}
+
+// SubsetOf reports whether every pair of s is in o.
+func (s PairSet) SubsetOf(o PairSet) bool {
+	if len(s) > len(o) {
+		return false
+	}
+	for p := range s {
+		if !o.Has(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// Sorted returns the pairs in deterministic order.
+func (s PairSet) Sorted() []document.Pair {
+	out := make([]document.Pair, 0, len(s))
+	for p := range s {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Attr != out[j].Attr {
+			return out[i].Attr < out[j].Attr
+		}
+		return out[i].Val < out[j].Val
+	})
+	return out
+}
+
+// Table is a complete partitioning: m pair sets, one per machine, plus
+// an inverted index for O(#pairs) document assignment.
+type Table struct {
+	M          int
+	Partitions []PairSet
+
+	index map[document.Pair][]int
+}
+
+// NewTable builds a table over the given partitions (len == m) and
+// constructs the pair index.
+func NewTable(parts []PairSet) *Table {
+	t := &Table{
+		M:          len(parts),
+		Partitions: parts,
+		index:      make(map[document.Pair][]int),
+	}
+	for i, ps := range parts {
+		for p := range ps {
+			t.index[p] = append(t.index[p], i)
+		}
+	}
+	return t
+}
+
+// Covers reports whether the pair belongs to any partition.
+func (t *Table) Covers(p document.Pair) bool {
+	_, ok := t.index[p]
+	return ok
+}
+
+// Assign returns the sorted set of partition indexes whose pair sets
+// share at least one attribute-value pair with d. An empty result means
+// the document matches no partition and must be broadcast to all
+// machines to guarantee join completeness.
+func (t *Table) Assign(d document.Document) []int {
+	var out []int
+	seen := make(map[int]struct{}, 2)
+	for _, p := range d.Pairs() {
+		for _, idx := range t.index[p] {
+			if _, dup := seen[idx]; !dup {
+				seen[idx] = struct{}{}
+				out = append(out, idx)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// FullyCovered reports whether every pair of d belongs to some
+// partition. A document with an uncovered (previously unseen) pair must
+// be broadcast to all machines to guarantee join completeness: its
+// uncovered pair could be the only link to a joinable partner (paper
+// Sec. VI-A and VII-E.4).
+func (t *Table) FullyCovered(d document.Document) bool {
+	for _, p := range d.Pairs() {
+		if !t.Covers(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// UncoveredPairs returns the pairs of d not present in any partition.
+func (t *Table) UncoveredPairs(d document.Document) []document.Pair {
+	var out []document.Pair
+	for _, p := range d.Pairs() {
+		if !t.Covers(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Route computes the machines a document is forwarded to under the
+// Assigner policy: if every pair is covered, the matching partitions;
+// otherwise a broadcast to all machines (broadcast=true).
+func (t *Table) Route(d document.Document) (targets []int, broadcast bool) {
+	if t.FullyCovered(d) {
+		if targets = t.Assign(d); len(targets) > 0 {
+			return targets, false
+		}
+	}
+	targets = make([]int, t.M)
+	for i := range targets {
+		targets[i] = i
+	}
+	return targets, true
+}
+
+// AddPair extends partition idx with pair p (used by the Merger's
+// δ-gated partition updates).
+func (t *Table) AddPair(idx int, p document.Pair) {
+	if idx < 0 || idx >= t.M {
+		panic(fmt.Sprintf("partition: AddPair index %d out of range [0,%d)", idx, t.M))
+	}
+	if t.Partitions[idx].Has(p) {
+		return
+	}
+	t.Partitions[idx].Add(p)
+	t.index[p] = append(t.index[p], idx)
+}
+
+// AddDocument adds every uncovered pair of d to the currently
+// least-loaded partition (by pair count), implementing the paper's
+// "updating the partitions is adding a single document to the already
+// created partitions". If some pairs are covered, the uncovered pairs
+// join the partition already holding most of d's pairs, keeping the
+// document on one machine.
+func (t *Table) AddDocument(d document.Document) {
+	target := -1
+	if matched := t.Assign(d); len(matched) > 0 {
+		// Attach to the best matching partition.
+		best, bestShared := -1, -1
+		for _, idx := range matched {
+			shared := 0
+			for _, p := range d.Pairs() {
+				if t.Partitions[idx].Has(p) {
+					shared++
+				}
+			}
+			if shared > bestShared {
+				best, bestShared = idx, shared
+			}
+		}
+		target = best
+	} else {
+		// Least-loaded partition by pair count.
+		min := int(^uint(0) >> 1)
+		for i, ps := range t.Partitions {
+			if len(ps) < min {
+				min = len(ps)
+				target = i
+			}
+		}
+	}
+	for _, p := range d.Pairs() {
+		if !t.Covers(p) {
+			t.AddPair(target, p)
+		}
+	}
+}
+
+// Clone returns a deep copy of the table. The Merger mutates only
+// clones so that previously broadcast tables stay immutable for the
+// Assigners reading them concurrently.
+func (t *Table) Clone() *Table {
+	parts := make([]PairSet, len(t.Partitions))
+	for i, ps := range t.Partitions {
+		cp := make(PairSet, len(ps))
+		cp.AddAll(ps)
+		parts[i] = cp
+	}
+	return NewTable(parts)
+}
+
+// NonEmpty counts partitions holding at least one pair. Partitioners
+// limited by low value variety (paper Sec. VI-B) produce fewer
+// non-empty partitions than machines.
+func (t *Table) NonEmpty() int {
+	n := 0
+	for _, ps := range t.Partitions {
+		if len(ps) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// String summarises partition sizes.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "table m=%d sizes=[", t.M)
+	for i, ps := range t.Partitions {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", len(ps))
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Partitioner turns a window of documents into a Table of m partitions.
+type Partitioner interface {
+	Name() string
+	Partition(docs []document.Document, m int) *Table
+}
+
+// ByName returns the partitioner for a short algorithm name.
+func ByName(name string) (Partitioner, error) {
+	switch strings.ToUpper(name) {
+	case "AG":
+		return AssociationGroups{}, nil
+	case "SC":
+		return SetCover{}, nil
+	case "DS":
+		return DisjointSets{}, nil
+	default:
+		return nil, fmt.Errorf("partition: unknown partitioner %q", name)
+	}
+}

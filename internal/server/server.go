@@ -1,0 +1,178 @@
+// Package server exposes the schema-free stream join as an HTTP
+// service: clients POST JSON documents and receive the join results the
+// document completes; windows tumble on demand or automatically every
+// N documents. The service wraps core.Pipeline and serialises access,
+// so it is safe for concurrent clients.
+//
+// Endpoints:
+//
+//	POST /documents   one JSON object, or NDJSON for a batch
+//	POST /tumble      close the current window
+//	GET  /stats       processing counters
+//	GET  /healthz     liveness
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/join"
+)
+
+// Config parameterises the service.
+type Config struct {
+	// Engine is the local join engine ("FPJ" default).
+	Engine string
+	// WindowSize > 0 tumbles the window automatically after that many
+	// documents; 0 means windows tumble only via POST /tumble.
+	WindowSize int
+	// MaxBodyBytes caps request bodies (default 8 MiB).
+	MaxBodyBytes int64
+}
+
+// Server is the HTTP handler set.
+type Server struct {
+	cfg Config
+
+	mu       sync.Mutex
+	pipeline *core.Pipeline
+	inWindow int
+	stats    Stats
+}
+
+// Stats are the service counters returned by GET /stats.
+type Stats struct {
+	Documents   int `json:"documents"`
+	JoinPairs   int `json:"join_pairs"`
+	Windows     int `json:"windows"`
+	ParseErrors int `json:"parse_errors"`
+	// CurrentWindowDocs is the fill level of the open window.
+	CurrentWindowDocs int `json:"current_window_docs"`
+}
+
+// resultJSON is one join result in responses.
+type resultJSON struct {
+	Left   uint64          `json:"left"`
+	Right  uint64          `json:"right"`
+	Merged json.RawMessage `json:"merged"`
+}
+
+// New builds the service.
+func New(cfg Config) (*Server, error) {
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	p, err := core.NewPipeline(cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{cfg: cfg, pipeline: p}, nil
+}
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /documents", s.handleDocuments)
+	mux.HandleFunc("POST /tumble", s.handleTumble)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// handleDocuments ingests one document or an NDJSON batch and answers
+// with the join results the ingested documents produced.
+func (s *Server) handleDocuments(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	scanner := bufio.NewScanner(body)
+	scanner.Buffer(make([]byte, 0, 64*1024), int(s.cfg.MaxBodyBytes))
+
+	var results []resultJSON
+	ingested := 0
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for scanner.Scan() {
+		line := bytes.TrimSpace(scanner.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		rs, err := s.pipeline.ProcessJSON(line)
+		if err != nil {
+			s.stats.ParseErrors++
+			http.Error(w, fmt.Sprintf("document %d: %v", ingested+1, err), http.StatusBadRequest)
+			return
+		}
+		ingested++
+		s.stats.Documents++
+		s.inWindow++
+		results = append(results, encodeResults(rs)...)
+		s.stats.JoinPairs += len(rs)
+		if s.cfg.WindowSize > 0 && s.inWindow >= s.cfg.WindowSize {
+			s.tumbleLocked()
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"ingested": ingested,
+		"results":  emptyIfNil(results),
+	})
+}
+
+func (s *Server) handleTumble(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	docs, pairs := s.tumbleLocked()
+	s.mu.Unlock()
+	writeJSON(w, map[string]any{"documents": docs, "pairs": pairs})
+}
+
+// tumbleLocked closes the window; callers hold s.mu.
+func (s *Server) tumbleLocked() (docs, pairs int) {
+	docs, pairs = s.pipeline.Tumble()
+	s.stats.Windows++
+	s.inWindow = 0
+	return docs, pairs
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	st := s.stats
+	st.CurrentWindowDocs = s.inWindow
+	s.mu.Unlock()
+	writeJSON(w, st)
+}
+
+func encodeResults(rs []join.Result) []resultJSON {
+	out := make([]resultJSON, 0, len(rs))
+	for _, r := range rs {
+		merged, err := r.Merged.MarshalJSON()
+		if err != nil {
+			continue // unreachable for valid documents
+		}
+		out = append(out, resultJSON{Left: r.Left, Right: r.Right, Merged: merged})
+	}
+	return out
+}
+
+func emptyIfNil(rs []resultJSON) []resultJSON {
+	if rs == nil {
+		return []resultJSON{}
+	}
+	return rs
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,233 @@
+package topology
+
+import (
+	"sync"
+	"time"
+)
+
+// Guaranteed message processing, modelled on Storm's acker (the paper
+// relies on Storm's "fault tolerance, guaranteed message delivery"
+// promises, Sec. III-B).
+//
+// A reliable spout emits tuples with a message id. Every downstream
+// tuple a bolt emits while processing is anchored to the originating
+// spout tuples; the acker tracks, per spout tuple, the XOR of all
+// anchored tuple ids. Delivering a copy XORs its id in, completing its
+// execution XORs it out — the running value returns to zero exactly
+// when the whole tuple tree has been processed, at which point the
+// spout's Ack callback fires. A tuple tree that does not complete
+// within the timeout fails, and the spout may replay it.
+//
+// Ack and Fail are delivered inside the spout's own goroutine, between
+// NextTuple calls, matching Storm's single-threaded spout contract.
+// Acking is a per-topology opt-in (Builder.EnableAcking) and is
+// in-process: the TCP cluster runtime does not propagate anchors.
+
+// ReliableSpout is a Spout that wants completion callbacks for the
+// tuples it emits via ReliableCollector.EmitReliable. After a Fail
+// delivery, NextTuple is invoked again even if it previously returned
+// false, so the spout can replay the failed tuple.
+type ReliableSpout interface {
+	Spout
+	// Ack reports that the tuple tree rooted at msgID was fully
+	// processed.
+	Ack(msgID uint64)
+	// Fail reports that the tuple tree rooted at msgID did not
+	// complete within the acking timeout. The spout may re-emit it.
+	Fail(msgID uint64)
+}
+
+// ReliableCollector is implemented by the in-process runtime's
+// collector; reliable spouts type-assert it in NextTuple.
+type ReliableCollector interface {
+	Collector
+	// EmitReliable emits on the default stream with completion
+	// tracking under msgID.
+	EmitReliable(msgID uint64, v Values)
+	// EmitReliableTo emits on a named stream with completion tracking.
+	EmitReliableTo(stream string, msgID uint64, v Values)
+}
+
+// ackerEntry tracks one spout tuple's tree.
+type ackerEntry struct {
+	task     *spoutAckQueue
+	msgID    uint64
+	val      uint64 // XOR of delivered-but-unacked tuple ids
+	deadline time.Time
+	started  bool // at least one tuple delivered
+}
+
+// spoutAckQueue carries completion callbacks to the owning spout's
+// goroutine.
+type spoutAckQueue struct {
+	mu    sync.Mutex
+	acks  []uint64
+	fails []uint64
+	// outstanding counts unresolved roots of this spout task.
+	outstanding int
+}
+
+func (q *spoutAckQueue) push(msgID uint64, failed bool) {
+	q.mu.Lock()
+	if failed {
+		q.fails = append(q.fails, msgID)
+	} else {
+		q.acks = append(q.acks, msgID)
+	}
+	q.outstanding--
+	q.mu.Unlock()
+}
+
+// drain delivers queued callbacks to the spout; it returns the number
+// of still-outstanding roots and how many failures were delivered (a
+// failure may make an exhausted spout want to re-emit).
+func (q *spoutAckQueue) drain(s ReliableSpout) (outstanding, failed int) {
+	q.mu.Lock()
+	acks, fails := q.acks, q.fails
+	q.acks, q.fails = nil, nil
+	outstanding = q.outstanding
+	q.mu.Unlock()
+	for _, id := range acks {
+		s.Ack(id)
+	}
+	for _, id := range fails {
+		s.Fail(id)
+	}
+	return outstanding, len(fails)
+}
+
+func (q *spoutAckQueue) addRoot() {
+	q.mu.Lock()
+	q.outstanding++
+	q.mu.Unlock()
+}
+
+// acker is the topology-wide tracker.
+type acker struct {
+	mu       sync.Mutex
+	pending  map[uint64]*ackerEntry // rootID -> entry
+	nextRoot uint64
+	nextID   uint64
+	timeout  time.Duration
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+func newAcker(timeout time.Duration) *acker {
+	a := &acker{
+		pending: make(map[uint64]*ackerEntry),
+		timeout: timeout,
+		stop:    make(chan struct{}),
+	}
+	go a.expireLoop()
+	return a
+}
+
+// newRoot registers a fresh spout tuple tree.
+func (a *acker) newRoot(q *spoutAckQueue, msgID uint64) uint64 {
+	a.mu.Lock()
+	a.nextRoot++
+	root := a.nextRoot
+	a.pending[root] = &ackerEntry{
+		task:     q,
+		msgID:    msgID,
+		deadline: time.Now().Add(a.timeout),
+	}
+	a.mu.Unlock()
+	q.addRoot()
+	return root
+}
+
+// tupleID mints a unique id for one delivered tuple copy.
+func (a *acker) tupleID() uint64 {
+	a.mu.Lock()
+	a.nextID++
+	id := a.nextID
+	a.mu.Unlock()
+	return id
+}
+
+// anchor XORs a delivered copy into its roots.
+func (a *acker) anchor(roots []uint64, tupleID uint64) {
+	a.mu.Lock()
+	for _, r := range roots {
+		if e, ok := a.pending[r]; ok {
+			e.val ^= tupleID
+			e.started = true
+		}
+	}
+	a.mu.Unlock()
+}
+
+// ack XORs a completed copy out of its roots, firing completions.
+func (a *acker) ack(roots []uint64, tupleID uint64) {
+	var completed []*ackerEntry
+	a.mu.Lock()
+	for _, r := range roots {
+		e, ok := a.pending[r]
+		if !ok {
+			continue
+		}
+		e.val ^= tupleID
+		if e.val == 0 && e.started {
+			delete(a.pending, r)
+			completed = append(completed, e)
+		}
+	}
+	a.mu.Unlock()
+	for _, e := range completed {
+		e.task.push(e.msgID, false)
+	}
+}
+
+// completeIfEmpty acks a root whose emission delivered no copies at
+// all (no subscribers on the stream): the empty tuple tree is complete.
+func (a *acker) completeIfEmpty(root uint64) {
+	a.mu.Lock()
+	e, ok := a.pending[root]
+	if ok && !e.started {
+		delete(a.pending, root)
+	} else {
+		e = nil
+	}
+	a.mu.Unlock()
+	if e != nil {
+		e.task.push(e.msgID, false)
+	}
+}
+
+// expireLoop fails tuple trees that outlive the timeout.
+func (a *acker) expireLoop() {
+	ticker := time.NewTicker(a.timeout / 4)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case now := <-ticker.C:
+			var failed []*ackerEntry
+			a.mu.Lock()
+			for root, e := range a.pending {
+				if now.After(e.deadline) {
+					delete(a.pending, root)
+					failed = append(failed, e)
+				}
+			}
+			a.mu.Unlock()
+			for _, e := range failed {
+				e.task.push(e.msgID, true)
+			}
+		}
+	}
+}
+
+func (a *acker) close() { a.stopOnce.Do(func() { close(a.stop) }) }
+
+// EnableAcking turns on guaranteed message processing for the topology
+// with the given completion timeout (Storm's topology.message.timeout).
+func (b *Builder) EnableAcking(timeout time.Duration) {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	b.ackTimeout = timeout
+}

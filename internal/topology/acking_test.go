@@ -1,0 +1,267 @@
+package topology
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// reliableSpout emits n tuples with message ids 1..n and records
+// acks/fails.
+type reliableSpout struct {
+	n, next int
+	mu      sync.Mutex
+	acked   map[uint64]int
+	failed  map[uint64]int
+	replay  []uint64
+	// replayOnFail re-emits failed tuples once.
+	replayOnFail bool
+}
+
+func newReliableSpout(n int, replay bool) *reliableSpout {
+	return &reliableSpout{
+		n:            n,
+		acked:        make(map[uint64]int),
+		failed:       make(map[uint64]int),
+		replayOnFail: replay,
+	}
+}
+
+func (s *reliableSpout) Open(*TaskContext) {}
+func (s *reliableSpout) Close()            {}
+
+func (s *reliableSpout) NextTuple(c Collector) bool {
+	rc, ok := c.(ReliableCollector)
+	if !ok {
+		panic("collector is not reliable")
+	}
+	s.mu.Lock()
+	if len(s.replay) > 0 {
+		id := s.replay[0]
+		s.replay = s.replay[1:]
+		s.mu.Unlock()
+		rc.EmitReliable(id, Values{"v": int(id)})
+		return true
+	}
+	s.mu.Unlock()
+	if s.next >= s.n {
+		return false
+	}
+	s.next++
+	rc.EmitReliable(uint64(s.next), Values{"v": s.next})
+	return true
+}
+
+func (s *reliableSpout) Ack(msgID uint64) {
+	s.mu.Lock()
+	s.acked[msgID]++
+	s.mu.Unlock()
+}
+
+func (s *reliableSpout) Fail(msgID uint64) {
+	s.mu.Lock()
+	s.failed[msgID]++
+	if s.replayOnFail && s.failed[msgID] == 1 {
+		s.replay = append(s.replay, msgID)
+	}
+	s.mu.Unlock()
+}
+
+func (s *reliableSpout) counts() (acked, failed int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.acked), len(s.failed)
+}
+
+func TestAckingAllTuplesAcked(t *testing.T) {
+	spout := newReliableSpout(50, false)
+	b := NewBuilder()
+	b.EnableAcking(5 * time.Second)
+	b.SetSpout("src", func(int) Spout { return spout }, 1)
+	// Two-stage chain: the tuple tree spans both bolts.
+	b.SetBolt("mid", func(int) Bolt {
+		return boltFunc(func(tp Tuple, c Collector) { c.Emit(tp.Values) })
+	}, 2).ShuffleGrouping("src")
+	sink, _, _ := newSinkFactory()
+	b.SetBolt("sink", sink, 2).ShuffleGrouping("mid")
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo.Run()
+	acked, failed := spout.counts()
+	if acked != 50 || failed != 0 {
+		t.Errorf("acked=%d failed=%d, want 50/0", acked, failed)
+	}
+}
+
+func TestAckingFansOutAndCompletes(t *testing.T) {
+	spout := newReliableSpout(20, false)
+	b := NewBuilder()
+	b.EnableAcking(5 * time.Second)
+	b.SetSpout("src", func(int) Spout { return spout }, 1)
+	// All-grouping: each spout tuple fans out to 3 copies, each copy
+	// emits 2 more tuples downstream — a 9-node tuple tree.
+	b.SetBolt("fan", func(int) Bolt {
+		return boltFunc(func(tp Tuple, c Collector) {
+			c.Emit(tp.Values)
+			c.Emit(tp.Values)
+		})
+	}, 3).AllGrouping("src")
+	sink, _, _ := newSinkFactory()
+	b.SetBolt("sink", sink, 2).ShuffleGrouping("fan")
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo.Run()
+	acked, failed := spout.counts()
+	if acked != 20 || failed != 0 {
+		t.Errorf("acked=%d failed=%d, want 20/0", acked, failed)
+	}
+}
+
+// stallBolt drops one specific tuple's processing time past the acking
+// timeout by sleeping; the tree must fail and the spout may replay it.
+func TestAckingTimeoutFailsAndReplays(t *testing.T) {
+	spout := newReliableSpout(5, true)
+	var slept sync.Once
+	b := NewBuilder()
+	b.EnableAcking(400 * time.Millisecond)
+	b.SetSpout("src", func(int) Spout { return spout }, 1)
+	b.SetBolt("slow", func(int) Bolt {
+		return boltFunc(func(tp Tuple, c Collector) {
+			if tp.Values["v"].(int) == 3 {
+				// Stall only the first delivery of tuple 3, long
+				// enough that everything queued behind it times out;
+				// the replays emitted around the expiry are processed
+				// shortly after the stall ends, well within a fresh
+				// timeout, so they succeed.
+				slept.Do(func() { time.Sleep(700 * time.Millisecond) })
+			}
+			c.Emit(tp.Values)
+		})
+	}, 1).ShuffleGrouping("src")
+	sink, _, _ := newSinkFactory()
+	b.SetBolt("sink", sink, 1).ShuffleGrouping("slow")
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo.Run()
+	spout.mu.Lock()
+	defer spout.mu.Unlock()
+	if spout.failed[3] == 0 {
+		t.Error("tuple 3 did not fail despite exceeding the timeout")
+	}
+	if spout.acked[3] == 0 {
+		t.Error("replayed tuple 3 was not acked")
+	}
+	for id := uint64(1); id <= 5; id++ {
+		if id != 3 && spout.acked[id] == 0 {
+			t.Errorf("tuple %d not acked", id)
+		}
+	}
+}
+
+func TestAckingDisabledIsTransparent(t *testing.T) {
+	// Without EnableAcking, a reliable spout still runs; EmitReliable
+	// degrades to a plain emit and no callbacks fire.
+	spout := newReliableSpout(10, false)
+	b := NewBuilder()
+	b.SetSpout("src", func(int) Spout { return spout }, 1)
+	sink, mu, got := newSinkFactory()
+	b.SetBolt("sink", sink, 1).ShuffleGrouping("src")
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo.Run()
+	mu.Lock()
+	n := len(got[0])
+	mu.Unlock()
+	if n != 10 {
+		t.Errorf("delivered %d tuples, want 10", n)
+	}
+	acked, failed := spout.counts()
+	if acked != 0 || failed != 0 {
+		t.Errorf("callbacks fired without acking enabled: %d/%d", acked, failed)
+	}
+}
+
+func TestAckingUnreliableSpoutCoexists(t *testing.T) {
+	// An acking-enabled topology still runs plain spouts.
+	b := NewBuilder()
+	b.EnableAcking(time.Second)
+	b.SetSpout("src", func(int) Spout { return &intSpout{n: 10} }, 1)
+	sink, mu, got := newSinkFactory()
+	b.SetBolt("sink", sink, 1).ShuffleGrouping("src")
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo.Run()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got[0]) != 10 {
+		t.Errorf("delivered %d, want 10", len(got[0]))
+	}
+}
+
+func TestEnableAckingDefaultTimeout(t *testing.T) {
+	b := NewBuilder()
+	b.EnableAcking(0)
+	if b.ackTimeout != 30*time.Second {
+		t.Errorf("default timeout = %v", b.ackTimeout)
+	}
+}
+
+// noSubSpout emits one reliable tuple on a stream nobody subscribes to.
+type noSubSpout struct {
+	fired bool
+	mu    sync.Mutex
+	acked []uint64
+}
+
+func (s *noSubSpout) Open(*TaskContext) {}
+func (s *noSubSpout) Close()            {}
+func (s *noSubSpout) NextTuple(c Collector) bool {
+	if s.fired {
+		return false
+	}
+	s.fired = true
+	c.(ReliableCollector).EmitReliableTo("orphan", 1, Values{"v": 1})
+	return true
+}
+func (s *noSubSpout) Ack(id uint64) {
+	s.mu.Lock()
+	s.acked = append(s.acked, id)
+	s.mu.Unlock()
+}
+func (s *noSubSpout) Fail(uint64) {}
+
+func TestAckingNoSubscribersCompletesImmediately(t *testing.T) {
+	spout := &noSubSpout{}
+	b := NewBuilder()
+	b.EnableAcking(10 * time.Second) // run must not wait for this
+	b.SetSpout("src", func(int) Spout { return spout }, 1)
+	// A bolt must exist for the builder, but it subscribes elsewhere.
+	b.SetBolt("sink", func(int) Bolt { return boltFunc(func(Tuple, Collector) {}) }, 1).
+		ShuffleGrouping("src") // default stream, not "orphan"
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { topo.Run(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("run stalled on an unsubscribed reliable emission")
+	}
+	spout.mu.Lock()
+	defer spout.mu.Unlock()
+	if len(spout.acked) != 1 || spout.acked[0] != 1 {
+		t.Errorf("acked = %v, want [1]", spout.acked)
+	}
+}

@@ -1,0 +1,155 @@
+package topology
+
+import (
+	"fmt"
+	"time"
+)
+
+// SpoutFactory builds one spout instance per task.
+type SpoutFactory func(task int) Spout
+
+// BoltFactory builds one bolt instance per task.
+type BoltFactory func(task int) Bolt
+
+// subscription is one inbound edge of a bolt.
+type subscription struct {
+	source   string
+	stream   string
+	grouping GroupingKind
+	fields   []string // for Fields grouping
+}
+
+type componentDecl struct {
+	id          string
+	parallelism int
+	spout       SpoutFactory
+	bolt        BoltFactory
+	subs        []subscription
+	// tick > 0 requests periodic tick tuples (see ticks.go).
+	tick time.Duration
+}
+
+// Builder assembles a topology declaratively, mirroring Storm's
+// TopologyBuilder.
+type Builder struct {
+	order      []string
+	components map[string]*componentDecl
+	err        error
+
+	// ackTimeout > 0 enables guaranteed message processing (see
+	// EnableAcking).
+	ackTimeout time.Duration
+}
+
+// NewBuilder creates an empty topology builder.
+func NewBuilder() *Builder {
+	return &Builder{components: make(map[string]*componentDecl)}
+}
+
+func (b *Builder) add(id string, parallelism int) *componentDecl {
+	if b.err != nil {
+		return &componentDecl{}
+	}
+	if parallelism < 1 {
+		b.err = fmt.Errorf("topology: component %q parallelism %d < 1", id, parallelism)
+		return &componentDecl{}
+	}
+	if _, dup := b.components[id]; dup {
+		b.err = fmt.Errorf("topology: duplicate component id %q", id)
+		return &componentDecl{}
+	}
+	c := &componentDecl{id: id, parallelism: parallelism}
+	b.components[id] = c
+	b.order = append(b.order, id)
+	return c
+}
+
+// SetSpout declares a spout component with the given parallelism.
+func (b *Builder) SetSpout(id string, f SpoutFactory, parallelism int) {
+	c := b.add(id, parallelism)
+	c.spout = f
+}
+
+// BoltDecl allows chaining grouping declarations onto a bolt.
+type BoltDecl struct {
+	b *Builder
+	c *componentDecl
+}
+
+// SetBolt declares a bolt component with the given parallelism.
+func (b *Builder) SetBolt(id string, f BoltFactory, parallelism int) *BoltDecl {
+	c := b.add(id, parallelism)
+	c.bolt = f
+	return &BoltDecl{b: b, c: c}
+}
+
+func (d *BoltDecl) sub(source, stream string, g GroupingKind, fields ...string) *BoltDecl {
+	d.c.subs = append(d.c.subs, subscription{source: source, stream: stream, grouping: g, fields: fields})
+	return d
+}
+
+// ShuffleGrouping subscribes to source's stream with shuffle grouping.
+func (d *BoltDecl) ShuffleGrouping(source string, stream ...string) *BoltDecl {
+	return d.sub(source, streamOf(stream), Shuffle)
+}
+
+// FieldsGrouping subscribes with fields grouping on the given fields of
+// the source's default stream.
+func (d *BoltDecl) FieldsGrouping(source string, fields ...string) *BoltDecl {
+	return d.sub(source, DefaultStream, Fields, fields...)
+}
+
+// FieldsGroupingOn subscribes with fields grouping on a named stream.
+func (d *BoltDecl) FieldsGroupingOn(source, stream string, fields ...string) *BoltDecl {
+	return d.sub(source, stream, Fields, fields...)
+}
+
+// AllGrouping subscribes with all grouping (every task receives every
+// tuple).
+func (d *BoltDecl) AllGrouping(source string, stream ...string) *BoltDecl {
+	return d.sub(source, streamOf(stream), All)
+}
+
+// DirectGrouping subscribes with direct grouping: the producer selects
+// the receiving task via EmitDirect.
+func (d *BoltDecl) DirectGrouping(source string, stream ...string) *BoltDecl {
+	return d.sub(source, streamOf(stream), Direct)
+}
+
+// GlobalGrouping routes the whole stream to task 0.
+func (d *BoltDecl) GlobalGrouping(source string, stream ...string) *BoltDecl {
+	return d.sub(source, streamOf(stream), Global)
+}
+
+func streamOf(stream []string) string {
+	if len(stream) == 0 {
+		return DefaultStream
+	}
+	return stream[0]
+}
+
+// validate checks structural integrity before building the runtime.
+func (b *Builder) validate() error {
+	if b.err != nil {
+		return b.err
+	}
+	for _, id := range b.order {
+		c := b.components[id]
+		if c.spout == nil && c.bolt == nil {
+			return fmt.Errorf("topology: component %q has no implementation", id)
+		}
+		for _, s := range c.subs {
+			src, ok := b.components[s.source]
+			if !ok {
+				return fmt.Errorf("topology: %q subscribes to unknown component %q", id, s.source)
+			}
+			if src == c {
+				return fmt.Errorf("topology: %q subscribes to itself", id)
+			}
+			if s.grouping == Fields && len(s.fields) == 0 {
+				return fmt.Errorf("topology: %q fields grouping on %q without fields", id, s.source)
+			}
+		}
+	}
+	return nil
+}

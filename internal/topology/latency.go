@@ -1,0 +1,102 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyRecorder collects per-component execute latencies with a
+// bounded reservoir per component, cheap enough to stay on by default.
+type latencyRecorder struct {
+	mu      sync.Mutex
+	samples map[string]*reservoir
+}
+
+const reservoirSize = 512
+
+// reservoir keeps a fixed-size sample of observations plus exact
+// count/sum so averages stay exact while percentiles are approximate.
+type reservoir struct {
+	count int64
+	sum   time.Duration
+	max   time.Duration
+	buf   []time.Duration
+}
+
+func newLatencyRecorder() *latencyRecorder {
+	return &latencyRecorder{samples: make(map[string]*reservoir)}
+}
+
+func (l *latencyRecorder) observe(component string, d time.Duration) {
+	l.mu.Lock()
+	r := l.samples[component]
+	if r == nil {
+		r = &reservoir{}
+		l.samples[component] = r
+	}
+	r.count++
+	r.sum += d
+	if d > r.max {
+		r.max = d
+	}
+	if len(r.buf) < reservoirSize {
+		r.buf = append(r.buf, d)
+	} else {
+		// Deterministic stride replacement keeps a spread of the
+		// stream without PRNG state.
+		r.buf[int(r.count)%reservoirSize] = d
+	}
+	l.mu.Unlock()
+}
+
+// LatencySummary describes one component's execute-latency profile.
+type LatencySummary struct {
+	Count int64
+	Avg   time.Duration
+	P50   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// String renders the summary compactly.
+func (s LatencySummary) String() string {
+	return fmt.Sprintf("n=%d avg=%s p50=%s p99=%s max=%s", s.Count, s.Avg, s.P50, s.P99, s.Max)
+}
+
+func (l *latencyRecorder) summaries() map[string]LatencySummary {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]LatencySummary, len(l.samples))
+	for comp, r := range l.samples {
+		s := LatencySummary{Count: r.count, Max: r.max}
+		if r.count > 0 {
+			s.Avg = time.Duration(int64(r.sum) / r.count)
+		}
+		if len(r.buf) > 0 {
+			sorted := make([]time.Duration, len(r.buf))
+			copy(sorted, r.buf)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			s.P50 = percentile(sorted, 0.50)
+			s.P99 = percentile(sorted, 0.99)
+		}
+		out[comp] = s
+	}
+	return out
+}
+
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,389 @@
+package topology
+
+import (
+	"fmt"
+
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// mailbox is an unbounded FIFO queue with blocking receive. The
+// unbounded buffer keeps the Assigner<->Merger feedback cycle of the
+// paper's topology deadlock-free (see the package comment).
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []Tuple
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(t Tuple) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false
+	}
+	m.buf = append(m.buf, t)
+	m.cond.Signal()
+	return true
+}
+
+func (m *mailbox) get() (Tuple, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.buf) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.buf) == 0 {
+		return Tuple{}, false
+	}
+	t := m.buf[0]
+	m.buf = m.buf[1:]
+	return t, true
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// edge is a resolved subscription: the target tasks' mailboxes plus the
+// grouping.
+type edge struct {
+	target   string
+	grouping GroupingKind
+	fields   []string
+	boxes    []*mailbox
+	rr       atomic.Uint64 // round-robin cursor for shuffle
+}
+
+type component struct {
+	id          string
+	parallelism int
+	decl        *componentDecl
+	boxes       []*mailbox
+	// edges by stream id.
+	edges map[string][]*edge
+}
+
+// Stats aggregates per-component counters after a run.
+type Stats struct {
+	Emitted  map[string]int64
+	Executed map[string]int64
+	// Failures records panics recovered in task goroutines
+	// ("component[task]: message"). A failed tuple is dropped and the
+	// task keeps running; a failed spout stops emitting.
+	Failures []string
+	// Latency profiles each bolt component's Execute durations.
+	Latency map[string]LatencySummary
+}
+
+// runtime executes a built topology.
+type runtime struct {
+	components map[string]*component
+	order      []string
+
+	pending  atomic.Int64 // tuples queued or executing
+	emitted  map[string]*atomic.Int64
+	executed map[string]*atomic.Int64
+
+	acker   *acker // nil unless Builder.EnableAcking was called
+	latency *latencyRecorder
+
+	failMu   sync.Mutex
+	failures []string
+}
+
+// recordFailure appends a recovered panic to the run's failure list.
+func (rt *runtime) recordFailure(component string, task int, v any) {
+	rt.failMu.Lock()
+	rt.failures = append(rt.failures, fmt.Sprintf("%s[%d]: %v", component, task, v))
+	rt.failMu.Unlock()
+}
+
+// Topology is a runnable instance built from a Builder.
+type Topology struct {
+	rt *runtime
+}
+
+// Build validates and assembles the topology.
+func (b *Builder) Build() (*Topology, error) {
+	if err := b.validate(); err != nil {
+		return nil, err
+	}
+	rt := &runtime{
+		components: make(map[string]*component),
+		order:      b.order,
+		emitted:    make(map[string]*atomic.Int64),
+		executed:   make(map[string]*atomic.Int64),
+	}
+	if b.ackTimeout > 0 {
+		rt.acker = newAcker(b.ackTimeout)
+	}
+	rt.latency = newLatencyRecorder()
+	for _, id := range b.order {
+		decl := b.components[id]
+		comp := &component{
+			id:          id,
+			parallelism: decl.parallelism,
+			decl:        decl,
+			edges:       make(map[string][]*edge),
+		}
+		for i := 0; i < decl.parallelism; i++ {
+			comp.boxes = append(comp.boxes, newMailbox())
+		}
+		rt.components[id] = comp
+		rt.emitted[id] = &atomic.Int64{}
+		rt.executed[id] = &atomic.Int64{}
+	}
+	// Resolve subscriptions into outbound edges on the sources.
+	for _, id := range b.order {
+		decl := b.components[id]
+		for _, s := range decl.subs {
+			src := rt.components[s.source]
+			tgt := rt.components[id]
+			src.edges[s.stream] = append(src.edges[s.stream], &edge{
+				target:   id,
+				grouping: s.grouping,
+				fields:   s.fields,
+				boxes:    tgt.boxes,
+			})
+		}
+	}
+	return &Topology{rt: rt}, nil
+}
+
+// collector routes emissions of one task. roots holds the acking
+// anchors of the tuple currently being executed (bolts) or of the
+// reliable emission in progress (spouts); ackQ is set for reliable
+// spout tasks.
+type collector struct {
+	rt   *runtime
+	comp *component
+	task int
+
+	roots []uint64
+	ackQ  *spoutAckQueue
+}
+
+func (c *collector) Emit(v Values) { c.EmitTo(DefaultStream, v) }
+
+func (c *collector) EmitTo(stream string, v Values) {
+	c.emitAnchored(stream, v, c.roots)
+}
+
+// EmitReliable implements ReliableCollector for spout tasks.
+func (c *collector) EmitReliable(msgID uint64, v Values) {
+	c.EmitReliableTo(DefaultStream, msgID, v)
+}
+
+// EmitReliableTo implements ReliableCollector for spout tasks.
+func (c *collector) EmitReliableTo(stream string, msgID uint64, v Values) {
+	if c.rt.acker == nil || c.ackQ == nil {
+		c.EmitTo(stream, v)
+		return
+	}
+	root := c.rt.acker.newRoot(c.ackQ, msgID)
+	c.emitAnchored(stream, v, []uint64{root})
+	// A stream without subscribers delivers no copies: the tuple tree
+	// is vacuously complete and must ack immediately rather than stall
+	// into a timeout Fail.
+	c.rt.acker.completeIfEmpty(root)
+}
+
+func (c *collector) emitAnchored(stream string, v Values, roots []uint64) {
+	t := Tuple{Stream: stream, Source: c.comp.id, SourceTask: c.task, Values: v}
+	for _, e := range c.comp.edges[stream] {
+		for _, i := range TargetTasks(e.grouping, e.fields, v, len(e.boxes), &e.rr) {
+			c.deliver(e.boxes[i], t, roots)
+		}
+	}
+	c.rt.emitted[c.comp.id].Add(1)
+}
+
+func (c *collector) EmitDirect(stream string, task int, v Values) {
+	t := Tuple{Stream: stream, Source: c.comp.id, SourceTask: c.task, Values: v}
+	for _, e := range c.comp.edges[stream] {
+		if e.grouping != Direct {
+			continue
+		}
+		if task < 0 || task >= len(e.boxes) {
+			panic(fmt.Sprintf("topology: EmitDirect task %d out of range for %s (%d tasks)", task, e.target, len(e.boxes)))
+		}
+		c.deliver(e.boxes[task], t, c.roots)
+	}
+	c.rt.emitted[c.comp.id].Add(1)
+}
+
+func (c *collector) deliver(box *mailbox, t Tuple, roots []uint64) {
+	if a := c.rt.acker; a != nil && len(roots) > 0 {
+		t.anchors = roots
+		t.ackID = a.tupleID()
+		a.anchor(roots, t.ackID)
+	}
+	c.rt.pending.Add(1)
+	if !box.put(t) {
+		c.rt.pending.Add(-1)
+		if a := c.rt.acker; a != nil && t.ackID != 0 {
+			// Delivery to a closed mailbox: balance the anchor so the
+			// tree can still complete.
+			a.ack(t.anchors, t.ackID)
+		}
+	}
+}
+
+// Run executes the topology to completion: spouts run until exhausted,
+// then the runtime waits for quiescence (no queued or executing tuples)
+// and shuts all tasks down. It returns the run statistics.
+func (t *Topology) Run() Stats {
+	rt := t.rt
+	var spoutWG, boltWG sync.WaitGroup
+
+	// Start bolts first so mailboxes drain from the beginning.
+	for _, id := range rt.order {
+		comp := rt.components[id]
+		if comp.decl.bolt == nil {
+			continue
+		}
+		for i := 0; i < comp.parallelism; i++ {
+			boltWG.Add(1)
+			go func(comp *component, task int) {
+				defer boltWG.Done()
+				bolt := comp.decl.bolt(task)
+				ctx := &TaskContext{Component: comp.id, Task: task, NumTasks: comp.parallelism, topo: rt}
+				bolt.Prepare(ctx)
+				col := &collector{rt: rt, comp: comp, task: task}
+				for {
+					tuple, ok := comp.boxes[task].get()
+					if !ok {
+						break
+					}
+					col.roots = tuple.anchors
+					start := time.Now()
+					execute(rt, comp, task, bolt, tuple, col)
+					rt.latency.observe(comp.id, time.Since(start))
+					col.roots = nil
+					if rt.acker != nil && tuple.ackID != 0 {
+						rt.acker.ack(tuple.anchors, tuple.ackID)
+					}
+					rt.executed[comp.id].Add(1)
+					rt.pending.Add(-1)
+				}
+				bolt.Cleanup()
+			}(comp, i)
+		}
+	}
+
+	for _, id := range rt.order {
+		comp := rt.components[id]
+		if comp.decl.spout == nil {
+			continue
+		}
+		for i := 0; i < comp.parallelism; i++ {
+			spoutWG.Add(1)
+			go func(comp *component, task int) {
+				defer spoutWG.Done()
+				spout := comp.decl.spout(task)
+				ctx := &TaskContext{Component: comp.id, Task: task, NumTasks: comp.parallelism, topo: rt}
+				spout.Open(ctx)
+				col := &collector{rt: rt, comp: comp, task: task}
+				reliable, isReliable := spout.(ReliableSpout)
+				if rt.acker != nil && isReliable {
+					col.ackQ = &spoutAckQueue{}
+					runReliableSpout(rt, comp, task, reliable, col)
+				} else {
+					for nextTuple(rt, comp, task, spout, col) {
+					}
+				}
+				spout.Close()
+			}(comp, i)
+		}
+	}
+
+	stopTickers := rt.startTickers()
+	spoutWG.Wait()
+	stopTickers()
+	// Quiescence: wait until no tuple is queued or executing. The
+	// pending counter is incremented at delivery and decremented after
+	// execution, so pending == 0 once spouts stopped means the DAG (and
+	// any feedback cycle) has fully drained.
+	for rt.pending.Load() != 0 {
+		time.Sleep(200 * time.Microsecond)
+	}
+	for _, id := range rt.order {
+		for _, box := range rt.components[id].boxes {
+			box.close()
+		}
+	}
+	boltWG.Wait()
+	if rt.acker != nil {
+		rt.acker.close()
+	}
+
+	stats := Stats{Emitted: make(map[string]int64), Executed: make(map[string]int64)}
+	for id := range rt.components {
+		stats.Emitted[id] = rt.emitted[id].Load()
+		stats.Executed[id] = rt.executed[id].Load()
+	}
+	stats.Failures = rt.failures
+	stats.Latency = rt.latency.summaries()
+	return stats
+}
+
+// execute runs one bolt invocation, recovering panics so a poisoned
+// tuple cannot take the topology down.
+func execute(rt *runtime, comp *component, task int, bolt Bolt, tuple Tuple, col Collector) {
+	defer func() {
+		if r := recover(); r != nil {
+			rt.recordFailure(comp.id, task, r)
+		}
+	}()
+	bolt.Execute(tuple, col)
+}
+
+// runReliableSpout drives a reliable spout: Ack/Fail callbacks are
+// delivered between NextTuple calls in the spout's own goroutine, and
+// the task stays alive — even after the source is exhausted — until
+// every emitted tuple tree has completed or failed.
+func runReliableSpout(rt *runtime, comp *component, task int, spout ReliableSpout, col *collector) {
+	exhausted := false
+	for {
+		outstanding, failed := col.ackQ.drain(spout)
+		if failed > 0 {
+			// A failed tuple tree may be replayed: give NextTuple
+			// another chance even after the source reported exhaustion.
+			exhausted = false
+		}
+		if exhausted {
+			if outstanding == 0 {
+				return
+			}
+			time.Sleep(500 * time.Microsecond)
+			continue
+		}
+		if !nextTuple(rt, comp, task, spout, col) {
+			exhausted = true
+		}
+	}
+}
+
+// nextTuple runs one spout invocation; a panicking spout stops
+// emitting but the rest of the topology drains normally.
+func nextTuple(rt *runtime, comp *component, task int, spout Spout, col Collector) (more bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			rt.recordFailure(comp.id, task, r)
+			more = false
+		}
+	}()
+	return spout.NextTuple(col)
+}

@@ -1,0 +1,66 @@
+package topology
+
+// The Spec types expose a topology's declarative structure so that an
+// alternative runtime (the TCP cluster runtime in internal/cluster) can
+// execute the same component graph with the same grouping semantics.
+
+// SubscriptionSpec describes one inbound edge of a component.
+type SubscriptionSpec struct {
+	Source   string
+	Stream   string
+	Grouping GroupingKind
+	Fields   []string
+}
+
+// ComponentSpec describes one declared component.
+type ComponentSpec struct {
+	ID          string
+	Parallelism int
+	IsSpout     bool
+	Subs        []SubscriptionSpec
+}
+
+// Spec returns the declared components in declaration order, after
+// validation. The factories are retrieved separately via SpoutFactory
+// and BoltFactory so that a hosting runtime instantiates only the tasks
+// placed on it.
+func (b *Builder) Spec() ([]ComponentSpec, error) {
+	if err := b.validate(); err != nil {
+		return nil, err
+	}
+	out := make([]ComponentSpec, 0, len(b.order))
+	for _, id := range b.order {
+		c := b.components[id]
+		spec := ComponentSpec{
+			ID:          id,
+			Parallelism: c.parallelism,
+			IsSpout:     c.spout != nil,
+		}
+		for _, s := range c.subs {
+			spec.Subs = append(spec.Subs, SubscriptionSpec{
+				Source:   s.source,
+				Stream:   s.stream,
+				Grouping: s.grouping,
+				Fields:   append([]string(nil), s.fields...),
+			})
+		}
+		out = append(out, spec)
+	}
+	return out, nil
+}
+
+// SpoutFactory returns the spout factory of a component, or nil.
+func (b *Builder) SpoutFactory(id string) SpoutFactory {
+	if c, ok := b.components[id]; ok {
+		return c.spout
+	}
+	return nil
+}
+
+// BoltFactory returns the bolt factory of a component, or nil.
+func (b *Builder) BoltFactory(id string) BoltFactory {
+	if c, ok := b.components[id]; ok {
+		return c.bolt
+	}
+	return nil
+}

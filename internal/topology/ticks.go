@@ -1,0 +1,82 @@
+package topology
+
+import (
+	"sync"
+	"time"
+)
+
+// Tick tuples, modelled on Storm's topology.tick.tuple.freq: a
+// component can ask the runtime to inject periodic system tuples into
+// every one of its tasks, which is how Storm topologies drive
+// time-based behaviour (the paper's windows are time-based). Tick
+// tuples arrive on TickStream with a "tick" sequence number and share
+// the task's mailbox, so they are serialised with normal tuples.
+//
+// Tickers run while the topology's spouts are still producing and stop
+// once the sources are exhausted, so a finite run still terminates.
+
+// TickStream is the stream id tick tuples arrive on.
+const TickStream = "__tick"
+
+// TickSource is the pseudo component id carried by tick tuples.
+const TickSource = "__system"
+
+// TickEvery asks the runtime to deliver a tick tuple to every task of
+// the component at the given interval.
+func (d *BoltDecl) TickEvery(interval time.Duration) *BoltDecl {
+	if interval <= 0 {
+		d.b.err = errTickInterval(d.c.id)
+		return d
+	}
+	d.c.tick = interval
+	return d
+}
+
+type errTickInterval string
+
+func (e errTickInterval) Error() string {
+	return "topology: component " + string(e) + " tick interval must be positive"
+}
+
+// startTickers launches one ticker per ticking component; the returned
+// stop function halts them and waits for the goroutines.
+func (rt *runtime) startTickers() (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, id := range rt.order {
+		comp := rt.components[id]
+		if comp.decl.tick <= 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(comp *component, interval time.Duration) {
+			defer wg.Done()
+			ticker := time.NewTicker(interval)
+			defer ticker.Stop()
+			seq := 0
+			for {
+				select {
+				case <-done:
+					return
+				case <-ticker.C:
+					seq++
+					for _, box := range comp.boxes {
+						t := Tuple{
+							Stream: TickStream,
+							Source: TickSource,
+							Values: Values{"tick": seq},
+						}
+						rt.pending.Add(1)
+						if !box.put(t) {
+							rt.pending.Add(-1)
+						}
+					}
+				}
+			}
+		}(comp, comp.decl.tick)
+	}
+	return func() {
+		close(done)
+		wg.Wait()
+	}
+}

@@ -1,0 +1,160 @@
+// Package topology is a from-scratch stream-processing substrate
+// modelled on Apache Storm's programming primitives, which the paper's
+// system is built on: topologies of spouts and bolts connected by
+// stream subscriptions with shuffle, fields, all and direct groupings
+// (paper Sec. III-B). Components are executed as one goroutine per
+// task; tuples flow through per-task unbounded mailboxes, preserving
+// per-edge FIFO order.
+//
+// Unlike Storm's bounded transfer buffers, mailboxes are unbounded:
+// the paper's topology contains a feedback edge (Assigner -> Merger for
+// partition updates, Merger -> Assigner for new partition tables), and
+// unbounded mailboxes make the cycle deadlock-free while keeping
+// delivery order per edge. Shutdown uses quiescence detection: once all
+// spouts are exhausted and no tuple is queued or executing, the
+// topology stops.
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DefaultStream is the stream id used when none is specified.
+const DefaultStream = "default"
+
+// Values is the named-value payload of a tuple, Storm's "list of named
+// values".
+type Values map[string]any
+
+// Tuple is the unit of data flowing between components.
+type Tuple struct {
+	// Stream is the named stream the tuple was emitted on.
+	Stream string
+	// Source is the emitting component id.
+	Source string
+	// SourceTask is the emitting task index within the component.
+	SourceTask int
+	// Values carries the payload.
+	Values Values
+
+	// anchors/ackID implement guaranteed message processing (see
+	// acking.go); unset when acking is disabled. Unexported: the TCP
+	// cluster transport deliberately does not ship them.
+	anchors []uint64
+	ackID   uint64
+}
+
+// String renders the tuple for debugging.
+func (t Tuple) String() string {
+	keys := make([]string, 0, len(t.Values))
+	for k := range t.Values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/%s[%d]{", t.Source, t.Stream, t.SourceTask)
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s=%v", k, t.Values[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// GroupingKind enumerates Storm's stream groupings used by the paper.
+type GroupingKind int
+
+const (
+	// Shuffle distributes tuples evenly across the subscriber's tasks
+	// (round-robin per producer).
+	Shuffle GroupingKind = iota
+	// Fields routes tuples with equal values of the grouping fields to
+	// the same task.
+	Fields
+	// All replicates every tuple to every task of the subscriber.
+	All
+	// Direct lets the producer choose the receiving task explicitly
+	// via Collector.EmitDirect.
+	Direct
+	// Global routes every tuple to task 0 of the subscriber (used for
+	// the single-instance Merger).
+	Global
+)
+
+// String names the grouping.
+func (g GroupingKind) String() string {
+	switch g {
+	case Shuffle:
+		return "shuffle"
+	case Fields:
+		return "fields"
+	case All:
+		return "all"
+	case Direct:
+		return "direct"
+	case Global:
+		return "global"
+	default:
+		return fmt.Sprintf("grouping(%d)", int(g))
+	}
+}
+
+// TaskContext identifies a running task and its surroundings.
+type TaskContext struct {
+	// Component is the component id from the builder.
+	Component string
+	// Task is this task's index in [0, NumTasks).
+	Task int
+	// NumTasks is the component's parallelism.
+	NumTasks int
+	// Parallelism maps component ids to task counts; runtimes outside
+	// this package (the TCP cluster runtime) populate it directly.
+	Parallelism map[string]int
+
+	topo *runtime
+}
+
+// NumTasksOf reports the parallelism of another component (0 if
+// unknown); the Assigner uses it to direct-route to Joiner tasks.
+func (c *TaskContext) NumTasksOf(component string) int {
+	if c.topo != nil {
+		if comp, ok := c.topo.components[component]; ok {
+			return comp.parallelism
+		}
+		return 0
+	}
+	return c.Parallelism[component]
+}
+
+// Spout is a stream source. NextTuple emits zero or more tuples and
+// returns false when the source is exhausted; it is called repeatedly
+// from the task's own goroutine.
+type Spout interface {
+	Open(ctx *TaskContext)
+	NextTuple(c Collector) bool
+	Close()
+}
+
+// Bolt processes tuples and optionally emits new ones.
+type Bolt interface {
+	Prepare(ctx *TaskContext)
+	Execute(t Tuple, c Collector)
+	Cleanup()
+}
+
+// Collector emits tuples into the topology, routing them to all
+// subscribers of the (component, stream) pair according to their
+// groupings.
+type Collector interface {
+	// Emit sends values on the default stream.
+	Emit(v Values)
+	// EmitTo sends values on a named stream.
+	EmitTo(stream string, v Values)
+	// EmitDirect sends values on a named stream to one specific task
+	// of each direct-grouped subscriber.
+	EmitDirect(stream string, task int, v Values)
+}
