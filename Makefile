@@ -1,11 +1,14 @@
 GO ?= go
 
-.PHONY: all build test race bench figures examples clean
+.PHONY: all build vet test race bench figures examples clean
 
 all: build test
 
 build:
 	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
 
 test:
 	$(GO) test ./...

@@ -39,6 +39,7 @@ func main() {
 		theta      = flag.Float64("theta", 0.2, "repartitioning threshold θ")
 		delta      = flag.Int("delta", 3, "partition update threshold δ")
 		expansion  = flag.String("expansion", "auto", "attribute expansion: auto, off or forced")
+		maxPending = flag.Int("max-pending", 0, "mailbox capacity per task; producers block when full (0 = unbounded)")
 		seed       = flag.Int64("seed", 42, "generator seed")
 		clusterN   = flag.Int("cluster", 0, "run across N TCP workers in this process (0 = plain in-process)")
 		processes  = flag.Bool("processes", false, "with -cluster N: spawn the N workers as separate OS processes")
@@ -101,6 +102,7 @@ func main() {
 		Partitioner: partitioner,
 		Expansion:   mode,
 		Engine:      *engine,
+		MaxPending:  *maxPending,
 		Source:      gen,
 	}
 

@@ -1,0 +1,175 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// ChaosProxy is a TCP fault-injection proxy for exercising the
+// substrate's failure paths: it forwards byte streams to a fixed
+// target and can, while a topology is running, delay traffic, sever
+// every live link, and stop accepting new connections. Pointing a
+// worker's AdvertiseAddr at a proxy in front of its data plane makes
+// all inbound peer traffic of that worker interposable:
+//
+//	addr, _ := w.Listen()
+//	proxy, _ := NewChaosProxy(addr)
+//	w.AdvertiseAddr = proxy.Addr()
+//
+// Severing a link surfaces as a send error on the dialling worker,
+// which evicts the cached connection and redials through the proxy
+// with backoff; stopping accepts surfaces as dial errors, exercising
+// the same retry loop from a cold start.
+type ChaosProxy struct {
+	target string
+	delay  atomicDuration
+
+	mu     sync.Mutex
+	ln     net.Listener
+	links  map[net.Conn]net.Conn // accepted -> upstream
+	closed bool
+}
+
+// atomicDuration is a mutex-free delay knob shared with the copy
+// goroutines.
+type atomicDuration struct {
+	mu sync.Mutex
+	d  time.Duration
+}
+
+func (a *atomicDuration) get() time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.d
+}
+
+func (a *atomicDuration) set(d time.Duration) {
+	a.mu.Lock()
+	a.d = d
+	a.mu.Unlock()
+}
+
+// NewChaosProxy starts a proxy on an ephemeral loopback port that
+// forwards every accepted connection to target.
+func NewChaosProxy(target string) (*ChaosProxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("cluster: chaos proxy listen: %w", err)
+	}
+	p := &ChaosProxy{target: target, ln: ln, links: make(map[net.Conn]net.Conn)}
+	go p.acceptLoop(ln)
+	return p, nil
+}
+
+// Addr is the proxy's listen address — advertise this in place of the
+// real data-plane address.
+func (p *ChaosProxy) Addr() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ln.Addr().String()
+}
+
+// SetDelay injects the given latency before each forwarded chunk in
+// both directions (0 restores pass-through).
+func (p *ChaosProxy) SetDelay(d time.Duration) { p.delay.set(d) }
+
+// SeverAll cuts every live link mid-stream. Established peer
+// connections through the proxy observe a broken socket on their next
+// send or receive.
+func (p *ChaosProxy) SeverAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for down, up := range p.links {
+		down.Close()
+		up.Close()
+	}
+}
+
+// StopAccepting closes the listener so new dials are refused
+// (connection refused, not a hang). ResumeAccepting reopens it on the
+// same port.
+func (p *ChaosProxy) StopAccepting() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ln.Close()
+}
+
+// ResumeAccepting re-binds the listener on the proxy's original port
+// after StopAccepting.
+func (p *ChaosProxy) ResumeAccepting() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return fmt.Errorf("cluster: chaos proxy closed")
+	}
+	ln, err := net.Listen("tcp", p.ln.Addr().String())
+	if err != nil {
+		return fmt.Errorf("cluster: chaos proxy resume: %w", err)
+	}
+	p.ln = ln
+	go p.acceptLoop(ln)
+	return nil
+}
+
+// Close tears the proxy down: listener and all live links.
+func (p *ChaosProxy) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.ln.Close()
+	p.mu.Unlock()
+	p.SeverAll()
+}
+
+func (p *ChaosProxy) acceptLoop(ln net.Listener) {
+	for {
+		down, err := ln.Accept()
+		if err != nil {
+			return // listener closed (StopAccepting or Close)
+		}
+		up, err := net.DialTimeout("tcp", p.target, 2*time.Second)
+		if err != nil {
+			down.Close()
+			continue
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			down.Close()
+			up.Close()
+			return
+		}
+		p.links[down] = up
+		p.mu.Unlock()
+		go p.pump(down, up)
+		go p.pump(up, down)
+	}
+}
+
+// pump forwards src to dst chunk by chunk, applying the configured
+// delay, until either side breaks; it then closes both and drops the
+// link from the registry.
+func (p *ChaosProxy) pump(src, dst net.Conn) {
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if d := p.delay.get(); d > 0 {
+				time.Sleep(d)
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				break
+			}
+		}
+		if err != nil {
+			break
+		}
+	}
+	src.Close()
+	dst.Close()
+	p.mu.Lock()
+	delete(p.links, src)
+	delete(p.links, dst)
+	p.mu.Unlock()
+}

@@ -20,6 +20,15 @@ import (
 type Coordinator struct {
 	workers int
 	ln      net.Listener
+
+	// ProbeTimeout bounds every probe round (and the final stop/done
+	// exchange) per worker connection: a worker that stops answering
+	// its control plane fails the run instead of hanging it. The
+	// worker's control loop replies from a dedicated goroutine even
+	// while its data plane is backpressured, so the default of 30s only
+	// trips on a genuinely dead or partitioned worker. Zero disables
+	// the bound.
+	ProbeTimeout time.Duration
 }
 
 // NewCoordinator listens for the given number of workers on a loopback
@@ -38,7 +47,7 @@ func NewCoordinatorOn(addr string, workers int) (*Coordinator, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: coordinator listen: %w", err)
 	}
-	return &Coordinator{workers: workers, ln: ln}, nil
+	return &Coordinator{workers: workers, ln: ln, ProbeTimeout: 30 * time.Second}, nil
 }
 
 // Addr is the coordinator's control address for workers to dial.
@@ -104,6 +113,8 @@ func (c *Coordinator) Run() (topology.Stats, error) {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
+	c.setDeadlines(conns)
+	defer c.clearDeadlines(conns)
 	for _, id := range ids {
 		if err := conns[id].send(&envelope{Kind: frameStop}); err != nil {
 			return merged, err
@@ -120,13 +131,39 @@ func (c *Coordinator) Run() (topology.Stats, error) {
 		for comp, n := range done.Stats.Executed {
 			merged.Executed[comp] += n
 		}
+		merged.SentCopies += done.Stats.SentCopies
+		merged.ExecCopies += done.Stats.ExecCopies
 		merged.Failures = append(merged.Failures, done.Stats.Failures...)
 	}
 	return merged, nil
 }
 
-// probe runs one synchronous probe round.
+// setDeadlines arms the control-plane timeout on every worker
+// connection; clearDeadlines disarms it between rounds.
+func (c *Coordinator) setDeadlines(conns map[int]*conn) {
+	if c.ProbeTimeout <= 0 {
+		return
+	}
+	deadline := time.Now().Add(c.ProbeTimeout)
+	for _, cn := range conns {
+		cn.setDeadline(deadline)
+	}
+}
+
+func (c *Coordinator) clearDeadlines(conns map[int]*conn) {
+	if c.ProbeTimeout <= 0 {
+		return
+	}
+	for _, cn := range conns {
+		cn.setDeadline(time.Time{})
+	}
+}
+
+// probe runs one synchronous probe round under the control-plane
+// timeout.
 func (c *Coordinator) probe(conns map[int]*conn, seq int) (sent, exec int64, done bool, err error) {
+	c.setDeadlines(conns)
+	defer c.clearDeadlines(conns)
 	done = true
 	for _, cn := range conns {
 		if err := cn.send(&envelope{Kind: frameProbe, Seq: seq}); err != nil {

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/topology"
 )
@@ -91,6 +92,11 @@ func (c *conn) recv() (*envelope, error) {
 }
 
 func (c *conn) close() { _ = c.raw.Close() }
+
+// setDeadline bounds both read and write on the underlying socket; the
+// zero time clears the bound. A deadline hit surfaces as a send/recv
+// error, turning a silently hung peer into an actionable failure.
+func (c *conn) setDeadline(t time.Time) { _ = c.raw.SetDeadline(t) }
 
 // Register makes a concrete type transferable inside tuple Values.
 // Packages that define tuple payload types call this from an init

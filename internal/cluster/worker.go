@@ -2,36 +2,53 @@ package cluster
 
 import (
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/topology"
 )
 
-// mailbox is the worker-local unbounded FIFO queue (semantics identical
-// to the in-process runtime's mailbox).
+// mailbox is the worker-local FIFO queue (semantics identical to the
+// in-process runtime's mailbox): blocking receive, and blocking send
+// when a positive capacity is set. A readLoop blocked on a full
+// mailbox stops reading its socket, so TCP flow control pushes the
+// backpressure to the remote sender.
 type mailbox struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	buf    []topology.Tuple
-	closed bool
+	mu       sync.Mutex
+	notEmpty *sync.Cond
+	notFull  *sync.Cond
+	buf      []topology.Tuple
+	capacity int // 0 = unbounded
+	peak     int // high-water mark of len(buf), for tests/metrics
+	closed   bool
 }
 
-func newMailbox() *mailbox {
-	m := &mailbox{}
-	m.cond = sync.NewCond(&m.mu)
+func newMailbox(capacity int) *mailbox {
+	m := &mailbox{capacity: capacity}
+	m.notEmpty = sync.NewCond(&m.mu)
+	m.notFull = sync.NewCond(&m.mu)
 	return m
 }
 
+// put appends t, blocking while the mailbox is at capacity. It reports
+// whether the tuple was accepted; false means the mailbox closed.
 func (m *mailbox) put(t topology.Tuple) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	for m.capacity > 0 && len(m.buf) >= m.capacity && !m.closed {
+		m.notFull.Wait()
+	}
 	if m.closed {
 		return false
 	}
 	m.buf = append(m.buf, t)
-	m.cond.Signal()
+	if len(m.buf) > m.peak {
+		m.peak = len(m.buf)
+	}
+	m.notEmpty.Signal()
 	return true
 }
 
@@ -39,21 +56,39 @@ func (m *mailbox) get() (topology.Tuple, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for len(m.buf) == 0 && !m.closed {
-		m.cond.Wait()
+		m.notEmpty.Wait()
 	}
 	if len(m.buf) == 0 {
 		return topology.Tuple{}, false
 	}
 	t := m.buf[0]
 	m.buf = m.buf[1:]
+	m.notFull.Signal()
 	return t, true
 }
 
 func (m *mailbox) close() {
 	m.mu.Lock()
 	m.closed = true
-	m.cond.Broadcast()
+	m.notEmpty.Broadcast()
+	m.notFull.Broadcast()
 	m.mu.Unlock()
+}
+
+// peakLen reports the mailbox's high-water mark.
+func (m *mailbox) peakLen() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.peak
+}
+
+// peer is one outbound data-plane connection slot. Its mutex
+// serialises dial/send/heal per peer, so a slow or unreachable worker
+// delays only the tuples routed to it — dispatches to other peers
+// proceed in parallel.
+type peer struct {
+	mu sync.Mutex
+	c  *conn
 }
 
 // outEdge is one outbound subscription resolved against the placement.
@@ -81,10 +116,24 @@ type Worker struct {
 	// ephemeral loopback port; set it to an externally routable
 	// "host:port" before Run for a multi-host deployment.
 	BindAddr string
+	// AdvertiseAddr, when set, is registered with the coordinator in
+	// place of the listener's own address — for deployments where peers
+	// must dial through a NAT mapping or proxy.
+	AdvertiseAddr string
+
+	// DialTimeout bounds every outbound dial (peers and coordinator).
+	DialTimeout time.Duration
+	// SendRetries is how many times a failed peer send is retried on a
+	// freshly dialled connection before the tuple copy is dropped and
+	// compensated. Waits between attempts grow exponentially from
+	// RetryBackoff to RetryBackoffMax, with jitter.
+	SendRetries     int
+	RetryBackoff    time.Duration
+	RetryBackoffMax time.Duration
 
 	listener  net.Listener
 	addresses map[int]string
-	peers     map[int]*conn
+	peers     map[int]*peer
 	peersMu   sync.Mutex
 
 	// boxes holds mailboxes for locally hosted bolt tasks:
@@ -126,11 +175,16 @@ func NewWorker(id, workers int, b *topology.Builder, coordAddr string) (*Worker,
 		specByID:  make(map[string]topology.ComponentSpec),
 		placement: placement,
 		coordAddr: coordAddr,
-		peers:     make(map[int]*conn),
+		peers:     make(map[int]*peer),
 		boxes:     make(map[string][]*mailbox),
 		edges:     make(map[string]map[string][]*outEdge),
 		emitted:   make(map[string]*atomic.Int64),
 		execCount: make(map[string]*atomic.Int64),
+
+		DialTimeout:     2 * time.Second,
+		SendRetries:     4,
+		RetryBackoff:    5 * time.Millisecond,
+		RetryBackoffMax: 250 * time.Millisecond,
 	}
 	for _, comp := range spec {
 		w.specByID[comp.ID] = comp
@@ -154,43 +208,64 @@ func NewWorker(id, workers int, b *topology.Builder, coordAddr string) (*Worker,
 			})
 		}
 	}
-	// Local mailboxes for hosted bolt tasks.
+	// Local mailboxes for hosted bolt tasks; the capacity resolved by
+	// the builder (default / override / feedback-cycle carve-out)
+	// applies identically on every worker.
 	for _, comp := range spec {
 		if b.BoltFactory(comp.ID) == nil {
 			continue
 		}
 		boxes := make([]*mailbox, comp.Parallelism)
 		for _, task := range placement.TasksOn(comp.ID, id) {
-			boxes[task] = newMailbox()
+			boxes[task] = newMailbox(comp.MaxPending)
 		}
 		w.boxes[comp.ID] = boxes
 	}
 	return w, nil
 }
 
-// Run connects to the coordinator, serves the data plane and executes
-// the local tasks until the coordinator signals stop. It blocks for the
-// whole run.
-func (w *Worker) Run() error {
+// Listen binds the data-plane listener ahead of Run and returns its
+// address, so a caller can learn where the worker accepts peer traffic
+// before the run starts — e.g. to interpose a fault-injection proxy
+// and advertise the proxy's address instead (AdvertiseAddr). Run calls
+// Listen itself when the caller did not.
+func (w *Worker) Listen() (string, error) {
+	if w.listener != nil {
+		return w.listener.Addr().String(), nil
+	}
 	bind := w.BindAddr
 	if bind == "" {
 		bind = "127.0.0.1:0"
 	}
 	ln, err := net.Listen("tcp", bind)
 	if err != nil {
-		return fmt.Errorf("cluster: worker %d listen: %w", w.id, err)
+		return "", fmt.Errorf("cluster: worker %d listen: %w", w.id, err)
 	}
 	w.listener = ln
-	go w.acceptLoop()
-	defer ln.Close()
+	return ln.Addr().String(), nil
+}
 
-	raw, err := net.Dial("tcp", w.coordAddr)
+// Run connects to the coordinator, serves the data plane and executes
+// the local tasks until the coordinator signals stop. It blocks for the
+// whole run.
+func (w *Worker) Run() error {
+	dataAddr, err := w.Listen()
+	if err != nil {
+		return err
+	}
+	if w.AdvertiseAddr != "" {
+		dataAddr = w.AdvertiseAddr
+	}
+	go w.acceptLoop()
+	defer w.listener.Close()
+
+	raw, err := net.DialTimeout("tcp", w.coordAddr, w.DialTimeout)
 	if err != nil {
 		return fmt.Errorf("cluster: worker %d dial coordinator: %w", w.id, err)
 	}
 	coord := newConn(raw)
 	defer coord.close()
-	if err := coord.send(&envelope{Kind: frameHello, WorkerID: w.id, DataAddr: ln.Addr().String()}); err != nil {
+	if err := coord.send(&envelope{Kind: frameHello, WorkerID: w.id, DataAddr: dataAddr}); err != nil {
 		return err
 	}
 	start, err := coord.recv()
@@ -330,58 +405,119 @@ func (w *Worker) readLoop(c *conn) {
 	}
 }
 
-// deliverLocal puts a tuple into a hosted mailbox; a delivery to a
-// closed mailbox compensates the sender's sent counter so termination
-// detection stays exact.
-func (w *Worker) deliverLocal(comp string, task int, t topology.Tuple) {
+// deliverLocal puts a tuple into a hosted mailbox and reports whether
+// it was accepted. A malformed frame (negative or out-of-range task)
+// or a delivery to a closed mailbox compensates the sender's sent
+// counter so termination detection stays exact; a bad task index is
+// recorded as a failure instead of panicking the read loop.
+func (w *Worker) deliverLocal(comp string, task int, t topology.Tuple) bool {
 	boxes := w.boxes[comp]
-	if task >= len(boxes) || boxes[task] == nil {
+	if task < 0 || task >= len(boxes) || boxes[task] == nil {
 		w.recordFailure(comp, task, "tuple for task not hosted here")
 		w.executed.Add(1) // compensate sender's count
-		return
+		return false
 	}
 	if !boxes[task].put(t) {
 		w.executed.Add(1)
+		return false
 	}
+	return true
 }
 
-// peer returns (dialling lazily) the outbound connection to a worker.
-func (w *Worker) peer(id int) (*conn, error) {
+// peerFor returns the connection slot for a worker, creating it on
+// first use. The global peersMu guards only the map; dialling and
+// sending happen under the slot's own lock, so one unreachable peer
+// never blocks dispatches to the others.
+func (w *Worker) peerFor(id int) *peer {
 	w.peersMu.Lock()
 	defer w.peersMu.Unlock()
-	if c, ok := w.peers[id]; ok {
-		return c, nil
-	}
-	addr, ok := w.addresses[id]
+	p, ok := w.peers[id]
 	if !ok {
-		return nil, fmt.Errorf("cluster: no address for worker %d", id)
+		p = &peer{}
+		w.peers[id] = p
 	}
-	raw, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("cluster: dial worker %d: %w", id, err)
-	}
-	c := newConn(raw)
-	w.peers[id] = c
-	return c, nil
+	return p
 }
 
-// dispatch routes one tuple copy to (comp, task), local or remote. The
-// sent counter is incremented exactly once per copy.
-func (w *Worker) dispatch(comp string, task int, t topology.Tuple) {
+// sendToPeer delivers one envelope to a peer worker, dialling lazily
+// with a timeout. A broken cached connection is evicted and redialled
+// with capped exponential backoff plus jitter; after SendRetries
+// failed heal attempts the error is returned and the caller falls
+// back to drop-and-compensate.
+func (w *Worker) sendToPeer(id int, e *envelope) error {
+	addr, ok := w.addresses[id]
+	if !ok {
+		return fmt.Errorf("cluster: no address for worker %d", id)
+	}
+	p := w.peerFor(id)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	backoff := w.RetryBackoff
+	var lastErr error
+	for attempt := 0; attempt <= w.SendRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff + time.Duration(rand.Int63n(int64(backoff)+1)))
+			backoff *= 2
+			if backoff > w.RetryBackoffMax {
+				backoff = w.RetryBackoffMax
+			}
+		}
+		if p.c == nil {
+			raw, err := net.DialTimeout("tcp", addr, w.DialTimeout)
+			if err != nil {
+				lastErr = fmt.Errorf("cluster: dial worker %d: %w", id, err)
+				continue
+			}
+			p.c = newConn(raw)
+			go monitorPeer(p, p.c)
+		}
+		if err := p.c.send(e); err != nil {
+			// Evict the poisoned connection; the next attempt (or the
+			// next dispatch) redials from scratch.
+			p.c.close()
+			p.c = nil
+			lastErr = err
+			continue
+		}
+		return nil
+	}
+	return lastErr
+}
+
+// monitorPeer watches an outbound data-plane connection for breakage.
+// Peers never send envelopes back on these links, so recv returning
+// means the link died (or the peer shut down): the cached connection
+// is evicted proactively instead of waiting for a dispatch to write
+// into a dead socket — TCP acknowledges the first such write locally,
+// which would lose the tuple without any observable error.
+func monitorPeer(p *peer, c *conn) {
+	_, _ = c.recv() // blocks until the link breaks
+	p.mu.Lock()
+	if p.c == c {
+		c.close()
+		p.c = nil
+	}
+	p.mu.Unlock()
+}
+
+// dispatch routes one tuple copy to (comp, task), local or remote, and
+// reports whether the copy was delivered (for a remote copy: handed to
+// a healthy connection). The sent counter is incremented exactly once
+// per copy; a dropped copy compensates executed so termination is
+// still reached.
+func (w *Worker) dispatch(comp string, task int, t topology.Tuple) bool {
 	w.sent.Add(1)
 	target := w.placement.WorkerFor(comp, task)
 	if target == w.id {
-		w.deliverLocal(comp, task, t)
-		return
+		return w.deliverLocal(comp, task, t)
 	}
-	c, err := w.peer(target)
-	if err == nil {
-		err = c.send(&envelope{Kind: frameTuple, TargetComp: comp, TargetTask: task, Tuple: t})
-	}
+	err := w.sendToPeer(target, &envelope{Kind: frameTuple, TargetComp: comp, TargetTask: task, Tuple: t})
 	if err != nil {
 		w.recordFailure(comp, task, err)
 		w.executed.Add(1) // compensate so termination is still reached
+		return false
 	}
+	return true
 }
 
 // shutdown stops local tasks after the coordinator declared global
@@ -397,10 +533,40 @@ func (w *Worker) shutdown() {
 	}
 	w.boltWG.Wait()
 	w.peersMu.Lock()
-	for _, c := range w.peers {
-		c.close()
+	for _, p := range w.peers {
+		p.mu.Lock()
+		if p.c != nil {
+			p.c.close()
+			p.c = nil
+		}
+		p.mu.Unlock()
 	}
 	w.peersMu.Unlock()
+}
+
+// PeerConnections reports how many outbound peer connections are
+// currently cached and believed healthy — after a network fault the
+// breakage monitors drive this back to zero until the next dispatch
+// redials.
+func (w *Worker) PeerConnections() int {
+	w.peersMu.Lock()
+	defer w.peersMu.Unlock()
+	n := 0
+	for _, p := range w.peers {
+		p.mu.Lock()
+		if p.c != nil {
+			n++
+		}
+		p.mu.Unlock()
+	}
+	return n
+}
+
+// Counters exposes the worker's transport accounting: copies routed
+// into the data plane and copies executed or compensated. They are
+// equal exactly when nothing is queued, executing, or in flight.
+func (w *Worker) Counters() (sent, executed int64) {
+	return w.sent.Load(), w.executed.Load()
 }
 
 func (w *Worker) stats() topology.Stats {
@@ -409,6 +575,7 @@ func (w *Worker) stats() topology.Stats {
 		s.Emitted[id] = w.emitted[id].Load()
 		s.Executed[id] = w.execCount[id].Load()
 	}
+	s.SentCopies, s.ExecCopies = w.Counters()
 	w.failMu.Lock()
 	s.Failures = append(s.Failures, w.failures...)
 	w.failMu.Unlock()
@@ -426,20 +593,26 @@ type workerCollector struct {
 // Emit implements topology.Collector.
 func (c *workerCollector) Emit(v topology.Values) { c.EmitTo(topology.DefaultStream, v) }
 
-// EmitTo implements topology.Collector.
+// EmitTo implements topology.Collector. Emitted counts delivered
+// copies, mirroring the in-process runtime: emissions without a
+// subscriber or copies dropped by the transport do not count.
 func (c *workerCollector) EmitTo(stream string, v topology.Values) {
 	t := topology.Tuple{Stream: stream, Source: c.comp, SourceTask: c.task, Values: v}
+	var delivered int64
 	for _, e := range c.w.edges[c.comp][stream] {
 		for _, task := range topology.TargetTasks(e.grouping, e.fields, v, e.nTasks, &e.rr) {
-			c.w.dispatch(e.target, task, t)
+			if c.w.dispatch(e.target, task, t) {
+				delivered++
+			}
 		}
 	}
-	c.w.emitted[c.comp].Add(1)
+	c.w.emitted[c.comp].Add(delivered)
 }
 
 // EmitDirect implements topology.Collector.
 func (c *workerCollector) EmitDirect(stream string, task int, v topology.Values) {
 	t := topology.Tuple{Stream: stream, Source: c.comp, SourceTask: c.task, Values: v}
+	var delivered int64
 	for _, e := range c.w.edges[c.comp][stream] {
 		if e.grouping != topology.Direct {
 			continue
@@ -447,7 +620,9 @@ func (c *workerCollector) EmitDirect(stream string, task int, v topology.Values)
 		if task < 0 || task >= e.nTasks {
 			panic(fmt.Sprintf("cluster: EmitDirect task %d out of range for %s (%d tasks)", task, e.target, e.nTasks))
 		}
-		c.w.dispatch(e.target, task, t)
+		if c.w.dispatch(e.target, task, t) {
+			delivered++
+		}
 	}
-	c.w.emitted[c.comp].Add(1)
+	c.w.emitted[c.comp].Add(delivered)
 }

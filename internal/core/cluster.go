@@ -46,6 +46,7 @@ func NewTopology(cfg Config) (*topology.Builder, *Report, error) {
 // populated by the collector bolt during the run.
 func buildTopology(cfg Config, report *Report) *topology.Builder {
 	b := topology.NewBuilder()
+	b.MaxPending(cfg.MaxPending)
 	b.SetSpout("reader", func(int) topology.Spout {
 		return newReaderSpout(cfg.Source, cfg.WindowSize, cfg.Windows)
 	}, 1)

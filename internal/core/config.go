@@ -108,6 +108,13 @@ type Config struct {
 	// Routing selects the Assigner policy; defaults to the paper's
 	// partition-based routing.
 	Routing Routing
+	// MaxPending bounds every task mailbox to this many queued tuples
+	// (0 = unbounded). A full mailbox blocks its producers, so a spout
+	// outpacing the Joiners backpressures to the source instead of
+	// growing queues until the process OOMs. Components on the
+	// Assigner/Merger/Creator control cycle always stay unbounded —
+	// see topology.Builder.MaxPending.
+	MaxPending int
 	// Source produces the document stream.
 	Source datagen.Generator
 	// OnResult, when set, receives every join result. It is called

@@ -27,6 +27,9 @@ type componentDecl struct {
 	subs        []subscription
 	// tick > 0 requests periodic tick tuples (see ticks.go).
 	tick time.Duration
+	// maxPending, when set, overrides the builder default mailbox
+	// capacity for this component (0 = unbounded).
+	maxPending *int
 }
 
 // Builder assembles a topology declaratively, mirroring Storm's
@@ -39,6 +42,9 @@ type Builder struct {
 	// ackTimeout > 0 enables guaranteed message processing (see
 	// EnableAcking).
 	ackTimeout time.Duration
+
+	// maxPending is the default mailbox capacity (0 = unbounded).
+	maxPending int
 }
 
 // NewBuilder creates an empty topology builder.
@@ -121,11 +127,97 @@ func (d *BoltDecl) GlobalGrouping(source string, stream ...string) *BoltDecl {
 	return d.sub(source, streamOf(stream), Global)
 }
 
+// MaxPending bounds every task mailbox to n queued tuples; a producer
+// delivering into a full mailbox blocks until the consumer drains it,
+// so overload backpressures upstream to the spouts instead of growing
+// queues without limit. n = 0 (the default) keeps mailboxes unbounded.
+//
+// Deadlock carve-out: components that lie on a directed cycle of the
+// subscription graph (e.g. the paper's Assigner<->Merger control loop)
+// always keep unbounded mailboxes regardless of this setting — a
+// bounded cycle could block on itself. Their traffic is low-rate
+// control-plane state, so boundedness matters only on the acyclic
+// data path.
+func (b *Builder) MaxPending(n int) *Builder {
+	if n < 0 {
+		b.err = fmt.Errorf("topology: MaxPending %d < 0", n)
+		return b
+	}
+	b.maxPending = n
+	return b
+}
+
+// MaxPending overrides the builder-wide mailbox capacity for this bolt
+// (0 = unbounded). Components on a feedback cycle stay unbounded even
+// with an explicit override.
+func (d *BoltDecl) MaxPending(n int) *BoltDecl {
+	if n < 0 {
+		d.b.err = fmt.Errorf("topology: component %q MaxPending %d < 0", d.c.id, n)
+		return d
+	}
+	n2 := n
+	d.c.maxPending = &n2
+	return d
+}
+
 func streamOf(stream []string) string {
 	if len(stream) == 0 {
 		return DefaultStream
 	}
 	return stream[0]
+}
+
+// cycleComponents returns the components that lie on a directed cycle
+// of the subscription graph (tuple flow: source -> subscriber). These
+// are the control-plane feedback loops that must keep unbounded
+// mailboxes; bounding a cycle could deadlock it against itself.
+func (b *Builder) cycleComponents() map[string]bool {
+	succ := make(map[string][]string, len(b.order))
+	for _, id := range b.order {
+		for _, s := range b.components[id].subs {
+			succ[s.source] = append(succ[s.source], id)
+		}
+	}
+	onCycle := make(map[string]bool)
+	for _, id := range b.order {
+		// id is on a cycle iff it is reachable from its own successors.
+		stack := append([]string(nil), succ[id]...)
+		seen := make(map[string]bool)
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if n == id {
+				onCycle[id] = true
+				break
+			}
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			stack = append(stack, succ[n]...)
+		}
+	}
+	return onCycle
+}
+
+// resolvedCapacities maps every component to its effective mailbox
+// capacity: 0 (unbounded) on a feedback cycle, else the component
+// override, else the builder default.
+func (b *Builder) resolvedCapacities() map[string]int {
+	onCycle := b.cycleComponents()
+	out := make(map[string]int, len(b.order))
+	for _, id := range b.order {
+		c := b.components[id]
+		switch {
+		case onCycle[id]:
+			out[id] = 0
+		case c.maxPending != nil:
+			out[id] = *c.maxPending
+		default:
+			out[id] = b.maxPending
+		}
+	}
+	return out
 }
 
 // validate checks structural integrity before building the runtime.

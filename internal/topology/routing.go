@@ -14,7 +14,10 @@ import (
 func TargetTasks(g GroupingKind, fields []string, v Values, nTasks int, rr *atomic.Uint64) []int {
 	switch g {
 	case Shuffle:
-		return []int{int(rr.Add(1)-1) % nTasks}
+		// Reduce in uint64 before narrowing: converting the raw cursor
+		// to int first goes negative once it exceeds MaxInt64, and a
+		// negative modulus would panic the task with a bad index.
+		return []int{int((rr.Add(1) - 1) % uint64(nTasks))}
 	case Fields:
 		return []int{FieldsHash(fields, v) % nTasks}
 	case All:

@@ -8,30 +8,46 @@ import (
 	"time"
 )
 
-// mailbox is an unbounded FIFO queue with blocking receive. The
-// unbounded buffer keeps the Assigner<->Merger feedback cycle of the
-// paper's topology deadlock-free (see the package comment).
+// mailbox is a FIFO queue with blocking receive and, when capacity is
+// positive, blocking send: a producer delivering into a full mailbox
+// waits until the consumer drains it, which propagates backpressure
+// upstream hop by hop until the spout itself slows down. Capacity 0
+// keeps the historical unbounded behaviour. Components on a feedback
+// cycle (the paper's Assigner<->Merger loop) are always built
+// unbounded — see Builder.MaxPending.
 type mailbox struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	buf    []Tuple
-	closed bool
+	mu       sync.Mutex
+	notEmpty *sync.Cond
+	notFull  *sync.Cond
+	buf      []Tuple
+	capacity int // 0 = unbounded
+	peak     int // high-water mark of len(buf), for tests/metrics
+	closed   bool
 }
 
-func newMailbox() *mailbox {
-	m := &mailbox{}
-	m.cond = sync.NewCond(&m.mu)
+func newMailbox(capacity int) *mailbox {
+	m := &mailbox{capacity: capacity}
+	m.notEmpty = sync.NewCond(&m.mu)
+	m.notFull = sync.NewCond(&m.mu)
 	return m
 }
 
+// put appends t, blocking while the mailbox is at capacity. It reports
+// whether the tuple was accepted; false means the mailbox closed.
 func (m *mailbox) put(t Tuple) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	for m.capacity > 0 && len(m.buf) >= m.capacity && !m.closed {
+		m.notFull.Wait()
+	}
 	if m.closed {
 		return false
 	}
 	m.buf = append(m.buf, t)
-	m.cond.Signal()
+	if len(m.buf) > m.peak {
+		m.peak = len(m.buf)
+	}
+	m.notEmpty.Signal()
 	return true
 }
 
@@ -39,21 +55,30 @@ func (m *mailbox) get() (Tuple, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for len(m.buf) == 0 && !m.closed {
-		m.cond.Wait()
+		m.notEmpty.Wait()
 	}
 	if len(m.buf) == 0 {
 		return Tuple{}, false
 	}
 	t := m.buf[0]
 	m.buf = m.buf[1:]
+	m.notFull.Signal()
 	return t, true
 }
 
 func (m *mailbox) close() {
 	m.mu.Lock()
 	m.closed = true
-	m.cond.Broadcast()
+	m.notEmpty.Broadcast()
+	m.notFull.Broadcast()
 	m.mu.Unlock()
+}
+
+// peakLen reports the mailbox's high-water mark.
+func (m *mailbox) peakLen() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.peak
 }
 
 // edge is a resolved subscription: the target tasks' mailboxes plus the
@@ -77,8 +102,18 @@ type component struct {
 
 // Stats aggregates per-component counters after a run.
 type Stats struct {
+	// Emitted counts delivered tuple copies per emitting component: an
+	// emission on a stream with no subscribers, or a copy dropped at a
+	// closed mailbox, does not count, so Emitted matches what the
+	// downstream components actually received.
 	Emitted  map[string]int64
 	Executed map[string]int64
+	// SentCopies and ExecCopies aggregate the cluster transport's
+	// per-copy accounting (copies routed into the data plane, and
+	// copies executed or compensated after a drop). They are equal at a
+	// clean termination and zero for in-process runs.
+	SentCopies int64
+	ExecCopies int64
 	// Failures records panics recovered in task goroutines
 	// ("component[task]: message"). A failed tuple is dropped and the
 	// task keeps running; a failed spout stops emitting.
@@ -130,6 +165,7 @@ func (b *Builder) Build() (*Topology, error) {
 		rt.acker = newAcker(b.ackTimeout)
 	}
 	rt.latency = newLatencyRecorder()
+	capacities := b.resolvedCapacities()
 	for _, id := range b.order {
 		decl := b.components[id]
 		comp := &component{
@@ -139,7 +175,7 @@ func (b *Builder) Build() (*Topology, error) {
 			edges:       make(map[string][]*edge),
 		}
 		for i := 0; i < decl.parallelism; i++ {
-			comp.boxes = append(comp.boxes, newMailbox())
+			comp.boxes = append(comp.boxes, newMailbox(capacities[id]))
 		}
 		rt.components[id] = comp
 		rt.emitted[id] = &atomic.Int64{}
@@ -202,16 +238,20 @@ func (c *collector) EmitReliableTo(stream string, msgID uint64, v Values) {
 
 func (c *collector) emitAnchored(stream string, v Values, roots []uint64) {
 	t := Tuple{Stream: stream, Source: c.comp.id, SourceTask: c.task, Values: v}
+	var delivered int64
 	for _, e := range c.comp.edges[stream] {
 		for _, i := range TargetTasks(e.grouping, e.fields, v, len(e.boxes), &e.rr) {
-			c.deliver(e.boxes[i], t, roots)
+			if c.deliver(e.boxes[i], t, roots) {
+				delivered++
+			}
 		}
 	}
-	c.rt.emitted[c.comp.id].Add(1)
+	c.rt.emitted[c.comp.id].Add(delivered)
 }
 
 func (c *collector) EmitDirect(stream string, task int, v Values) {
 	t := Tuple{Stream: stream, Source: c.comp.id, SourceTask: c.task, Values: v}
+	var delivered int64
 	for _, e := range c.comp.edges[stream] {
 		if e.grouping != Direct {
 			continue
@@ -219,12 +259,16 @@ func (c *collector) EmitDirect(stream string, task int, v Values) {
 		if task < 0 || task >= len(e.boxes) {
 			panic(fmt.Sprintf("topology: EmitDirect task %d out of range for %s (%d tasks)", task, e.target, len(e.boxes)))
 		}
-		c.deliver(e.boxes[task], t, c.roots)
+		if c.deliver(e.boxes[task], t, c.roots) {
+			delivered++
+		}
 	}
-	c.rt.emitted[c.comp.id].Add(1)
+	c.rt.emitted[c.comp.id].Add(delivered)
 }
 
-func (c *collector) deliver(box *mailbox, t Tuple, roots []uint64) {
+// deliver routes one tuple copy into a mailbox (blocking while the
+// target is at capacity) and reports whether the copy was accepted.
+func (c *collector) deliver(box *mailbox, t Tuple, roots []uint64) bool {
 	if a := c.rt.acker; a != nil && len(roots) > 0 {
 		t.anchors = roots
 		t.ackID = a.tupleID()
@@ -238,7 +282,9 @@ func (c *collector) deliver(box *mailbox, t Tuple, roots []uint64) {
 			// tree can still complete.
 			a.ack(t.anchors, t.ackID)
 		}
+		return false
 	}
+	return true
 }
 
 // Run executes the topology to completion: spouts run until exhausted,
@@ -315,7 +361,11 @@ func (t *Topology) Run() Stats {
 	// Quiescence: wait until no tuple is queued or executing. The
 	// pending counter is incremented at delivery and decremented after
 	// execution, so pending == 0 once spouts stopped means the DAG (and
-	// any feedback cycle) has fully drained.
+	// any feedback cycle) has fully drained. Bounded mailboxes keep
+	// this correct: a producer blocked in put has already counted the
+	// copy it is delivering (and, for bolts, still holds the count of
+	// the tuple it is executing), so pending stays positive until the
+	// consumer drains the box and the producer finishes.
 	for rt.pending.Load() != 0 {
 		time.Sleep(200 * time.Microsecond)
 	}

@@ -18,6 +18,10 @@ type ComponentSpec struct {
 	Parallelism int
 	IsSpout     bool
 	Subs        []SubscriptionSpec
+	// MaxPending is the resolved mailbox capacity for the component's
+	// tasks (0 = unbounded). Components on a feedback cycle are always
+	// 0 — see Builder.MaxPending.
+	MaxPending int
 }
 
 // Spec returns the declared components in declaration order, after
@@ -29,12 +33,14 @@ func (b *Builder) Spec() ([]ComponentSpec, error) {
 		return nil, err
 	}
 	out := make([]ComponentSpec, 0, len(b.order))
+	capacities := b.resolvedCapacities()
 	for _, id := range b.order {
 		c := b.components[id]
 		spec := ComponentSpec{
 			ID:          id,
 			Parallelism: c.parallelism,
 			IsSpout:     c.spout != nil,
+			MaxPending:  capacities[id],
 		}
 		for _, s := range c.subs {
 			spec.Subs = append(spec.Subs, SubscriptionSpec{
