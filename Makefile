@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench figures examples clean
+.PHONY: all build vet test race bench bench-all figures examples clean
 
 all: build test
 
@@ -16,7 +16,12 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench runs the root benchmark suite once as JSON — the format the
+# perf trajectory files (BENCH_issue*_{before,after}.json) are kept in.
 bench:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x -count 1 -json .
+
+bench-all:
 	$(GO) test -bench=. -benchmem -benchtime 1x ./...
 
 fuzz:

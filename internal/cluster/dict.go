@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/document"
+	"repro/internal/topology"
+)
+
+// Wire dictionary: every data-plane connection carries its own string
+// dictionary, built incrementally on both ends. The sender replaces
+// each document in a tuple with a wireDoc referencing attr/val strings
+// by dense uint32 id, shipping each distinct string exactly once (in
+// the envelope's Dict delta, the frame that first references it); the
+// receiver extends its mirror dictionary from the delta and rebuilds
+// the documents. Scoping the dictionary to the connection — not to the
+// global symbol tables — keeps the wire format self-contained: a
+// severed and redialled connection starts from an empty dictionary on
+// both ends, so chaos-induced reconnects can never desynchronise ids,
+// and the two processes' symbol tables are free to intern in different
+// orders.
+
+// wireDoc is the dictionary-encoded form of a document.Document inside
+// a frameTuple: Refs holds the pairs as alternating attr,val
+// dictionary references, in the document's sorted-unique pair order.
+type wireDoc struct {
+	ID   uint64
+	Refs []uint32
+}
+
+func init() { Register(wireDoc{}) }
+
+// encodeTupleLocked rewrites every document payload of a frameTuple
+// into its dictionary-encoded form, collecting newly seen strings into
+// the envelope's Dict delta. Envelopes without document payloads pass
+// through untouched. The caller must hold c.mu; the dictionary state
+// advances only on this connection, and a failed send evicts the whole
+// connection, so sender and receiver can never disagree.
+//
+// The envelope and its Values map are copied, never mutated: the same
+// tuple may concurrently be delivered locally or retried on a fresh
+// connection with its own dictionary.
+func (c *conn) encodeTupleLocked(e *envelope) *envelope {
+	docs := 0
+	for _, v := range e.Tuple.Values {
+		if _, ok := v.(document.Document); ok {
+			docs++
+		}
+	}
+	if docs == 0 {
+		return e
+	}
+	if c.sendDict == nil {
+		c.sendDict = make(map[string]uint32)
+	}
+	var delta []string
+	vals := make(topology.Values, len(e.Tuple.Values))
+	for k, v := range e.Tuple.Values {
+		if d, ok := v.(document.Document); ok {
+			vals[k] = c.encodeDocLocked(d, &delta)
+		} else {
+			vals[k] = v
+		}
+	}
+	ne := *e
+	ne.Tuple.Values = vals
+	ne.Dict = delta
+	return &ne
+}
+
+func (c *conn) encodeDocLocked(d document.Document, delta *[]string) wireDoc {
+	pairs := d.Pairs()
+	refs := make([]uint32, 0, 2*len(pairs))
+	for _, p := range pairs {
+		refs = append(refs, c.refLocked(p.Attr, delta), c.refLocked(p.Val, delta))
+	}
+	return wireDoc{ID: d.ID, Refs: refs}
+}
+
+func (c *conn) refLocked(s string, delta *[]string) uint32 {
+	if id, ok := c.sendDict[s]; ok {
+		return id
+	}
+	id := uint32(len(c.sendDict))
+	c.sendDict[s] = id
+	*delta = append(*delta, s)
+	return id
+}
+
+// decodeTuple extends the receive-side dictionary with the frame's
+// delta and restores every wireDoc payload to a document.Document.
+// Only the connection's single reading goroutine calls this.
+func (c *conn) decodeTuple(e *envelope) error {
+	c.recvDict = append(c.recvDict, e.Dict...)
+	e.Dict = nil
+	for k, v := range e.Tuple.Values {
+		wd, ok := v.(wireDoc)
+		if !ok {
+			continue
+		}
+		d, err := c.decodeDoc(wd)
+		if err != nil {
+			return err
+		}
+		e.Tuple.Values[k] = d
+	}
+	return nil
+}
+
+func (c *conn) decodeDoc(w wireDoc) (document.Document, error) {
+	if len(w.Refs)%2 != 0 {
+		return document.Document{}, fmt.Errorf("cluster: wire doc %d has odd ref count %d", w.ID, len(w.Refs))
+	}
+	pairs := make([]document.Pair, len(w.Refs)/2)
+	for i := range pairs {
+		a, err := c.dictStr(w.Refs[2*i])
+		if err != nil {
+			return document.Document{}, err
+		}
+		v, err := c.dictStr(w.Refs[2*i+1])
+		if err != nil {
+			return document.Document{}, err
+		}
+		pairs[i] = document.Pair{Attr: a, Val: v}
+	}
+	// The pairs were produced from a Document's sorted-unique pair list
+	// on the send side, so FromSorted takes its verified fast path; a
+	// corrupted payload falls back to the full New construction.
+	return document.FromSorted(w.ID, pairs), nil
+}
+
+func (c *conn) dictStr(ref uint32) (string, error) {
+	if int(ref) >= len(c.recvDict) {
+		return "", fmt.Errorf("cluster: wire dictionary ref %d out of range (%d known)", ref, len(c.recvDict))
+	}
+	return c.recvDict[ref], nil
+}

@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"net"
+	"reflect"
+	"testing"
+
+	"repro/internal/document"
+	"repro/internal/topology"
+)
+
+func dictDoc(id uint64, pairs ...string) document.Document {
+	ps := make([]document.Pair, 0, len(pairs)/2)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		ps = append(ps, document.Pair{Attr: pairs[i], Val: document.EncodeString(pairs[i+1])})
+	}
+	return document.New(id, ps)
+}
+
+func tupleFrame(vals topology.Values) *envelope {
+	return &envelope{
+		Kind:       frameTuple,
+		TargetComp: "join",
+		TargetTask: 1,
+		Tuple:      topology.Tuple{Stream: "docs", Source: "reader", Values: vals},
+	}
+}
+
+// TestWireDictDelta drives the encoder/decoder pair directly: the first
+// frame referencing a string ships it in the delta, later frames
+// reference it by id with an empty delta (the repeated-window case),
+// and frames without documents pass through untouched (the
+// empty-dictionary case).
+func TestWireDictDelta(t *testing.T) {
+	sender, receiver := &conn{}, &conn{}
+	d := dictDoc(7, "user", "alice", "host", "web-1")
+
+	// Frame 1: every distinct string is new.
+	e1 := sender.encodeTupleLocked(tupleFrame(topology.Values{"doc": d, "window": 3}))
+	if len(e1.Dict) != 4 {
+		t.Fatalf("first frame delta = %v, want the 4 distinct strings", e1.Dict)
+	}
+	if _, ok := e1.Tuple.Values["doc"].(wireDoc); !ok {
+		t.Fatalf("doc value not dictionary-encoded: %T", e1.Tuple.Values["doc"])
+	}
+	if w := e1.Tuple.Values["window"]; w != 3 {
+		t.Errorf("non-document value altered: %v", w)
+	}
+	if err := receiver.decodeTuple(e1); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := e1.Tuple.Values["doc"].(document.Document)
+	if !ok || !got.Equal(d) || got.ID != d.ID {
+		t.Fatalf("decoded doc = %v, want %v", got, d)
+	}
+
+	// Frame 2: same strings again -> empty delta, still decodable.
+	d2 := dictDoc(8, "user", "alice", "host", "web-1")
+	e2 := sender.encodeTupleLocked(tupleFrame(topology.Values{"doc": d2, "window": 4}))
+	if len(e2.Dict) != 0 {
+		t.Fatalf("repeated-window delta = %v, want empty", e2.Dict)
+	}
+	if err := receiver.decodeTuple(e2); err != nil {
+		t.Fatal(err)
+	}
+	if got := e2.Tuple.Values["doc"].(document.Document); !got.Equal(d2) || got.ID != d2.ID {
+		t.Fatalf("decoded doc = %v, want %v", got, d2)
+	}
+
+	// Frame 3: one new string among known ones.
+	d3 := dictDoc(9, "user", "bob", "host", "web-1")
+	e3 := sender.encodeTupleLocked(tupleFrame(topology.Values{"doc": d3}))
+	if len(e3.Dict) != 1 {
+		t.Fatalf("incremental delta = %v, want exactly the new string", e3.Dict)
+	}
+	if err := receiver.decodeTuple(e3); err != nil {
+		t.Fatal(err)
+	}
+	if got := e3.Tuple.Values["doc"].(document.Document); !got.Equal(d3) {
+		t.Fatalf("decoded doc = %v, want %v", got, d3)
+	}
+
+	// Empty-dictionary case: a tuple without documents is not rewritten
+	// and decodes as a no-op even on a connection that never built a
+	// dictionary.
+	fresh := &conn{}
+	plain := tupleFrame(topology.Values{"count": 42})
+	if enc := fresh.encodeTupleLocked(plain); enc != plain {
+		t.Error("document-free tuple must pass through without copying")
+	}
+	if err := (&conn{}).decodeTuple(plain); err != nil {
+		t.Fatal(err)
+	}
+	if plain.Tuple.Values["count"] != 42 {
+		t.Errorf("document-free tuple altered: %v", plain.Tuple.Values)
+	}
+}
+
+// TestWireDictEnvelopeNotMutated checks the copy-on-write contract: the
+// original envelope must keep its plain document so local delivery and
+// retries on other connections see unencoded values.
+func TestWireDictEnvelopeNotMutated(t *testing.T) {
+	c := &conn{}
+	d := dictDoc(1, "a", "x")
+	orig := tupleFrame(topology.Values{"doc": d})
+	enc := c.encodeTupleLocked(orig)
+	if enc == orig {
+		t.Fatal("encoder must copy envelopes carrying documents")
+	}
+	if _, ok := orig.Tuple.Values["doc"].(document.Document); !ok {
+		t.Fatalf("original envelope mutated: %T", orig.Tuple.Values["doc"])
+	}
+}
+
+// TestWireDictBadRef checks that a corrupt frame (reference beyond the
+// dictionary) surfaces as an error instead of a silent wrong document.
+func TestWireDictBadRef(t *testing.T) {
+	c := &conn{}
+	e := tupleFrame(topology.Values{"doc": wireDoc{ID: 1, Refs: []uint32{99, 100}}})
+	if err := c.decodeTuple(e); err == nil {
+		t.Fatal("out-of-range dictionary ref must fail decoding")
+	}
+	odd := tupleFrame(topology.Values{"doc": wireDoc{ID: 1, Refs: []uint32{0}}})
+	if err := c.decodeTuple(odd); err == nil {
+		t.Fatal("odd ref count must fail decoding")
+	}
+}
+
+// TestWireDictGobRoundTrip round-trips dictionary-encoded frames
+// through real gob streams over a socket pair, including a second
+// frame reusing the first frame's dictionary entries.
+func TestWireDictGobRoundTrip(t *testing.T) {
+	a, b := net.Pipe()
+	sender, receiver := newConn(a), newConn(b)
+	defer sender.close()
+	defer receiver.close()
+
+	docs := []document.Document{
+		dictDoc(1, "user", "alice", "host", "web-1"),
+		dictDoc(2, "user", "alice", "region", "eu"),
+		dictDoc(3), // empty document
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		for i, d := range docs {
+			if err := sender.send(tupleFrame(topology.Values{"doc": d, "window": i})); err != nil {
+				errCh <- err
+				return
+			}
+		}
+		errCh <- nil
+	}()
+	for i, want := range docs {
+		e, err := receiver.recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		got, ok := e.Tuple.Values["doc"].(document.Document)
+		if !ok {
+			t.Fatalf("frame %d: doc arrived as %T", i, e.Tuple.Values["doc"])
+		}
+		if !got.Equal(want) || got.ID != want.ID {
+			t.Fatalf("frame %d: got %v want %v", i, got, want)
+		}
+		if !reflect.DeepEqual(e.Tuple.Values["window"], i) {
+			t.Errorf("frame %d: window = %v", i, e.Tuple.Values["window"])
+		}
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+}

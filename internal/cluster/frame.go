@@ -45,10 +45,13 @@ type envelope struct {
 	// frameStart: coordinator -> workers address book.
 	Addresses map[int]string
 
-	// frameTuple: data-plane delivery.
+	// frameTuple: data-plane delivery. Dict is the wire-dictionary
+	// delta: the attr/val strings first referenced by this frame's
+	// dictionary-encoded documents, in reference order (see dict.go).
 	TargetComp string
 	TargetTask int
 	Tuple      topology.Tuple
+	Dict       []string
 
 	// frameProbe / frameProbeReply: termination detection.
 	Seq        int
@@ -60,33 +63,50 @@ type envelope struct {
 	Stats topology.Stats
 }
 
-// conn wraps a net.Conn with a mutex-guarded gob encoder and a decoder.
+// conn wraps a net.Conn with a mutex-guarded gob encoder and a decoder,
+// plus the connection-scoped wire dictionaries (dict.go): sendDict maps
+// strings already shipped on this connection to their ids, recvDict is
+// the receiving mirror. Both start empty on every (re)dial.
 type conn struct {
 	raw net.Conn
 	enc *gob.Encoder
 	dec *gob.Decoder
 	mu  sync.Mutex
+
+	sendDict map[string]uint32 // guarded by mu
+	recvDict []string          // owned by the single reading goroutine
 }
 
 func newConn(raw net.Conn) *conn {
 	return &conn{raw: raw, enc: gob.NewEncoder(raw), dec: gob.NewDecoder(raw)}
 }
 
-// send writes one envelope; safe for concurrent use.
+// send writes one envelope; safe for concurrent use. Tuple frames are
+// dictionary-encoded against this connection's dictionary on the way
+// out (the envelope itself is never mutated).
 func (c *conn) send(e *envelope) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if e.Kind == frameTuple {
+		e = c.encodeTupleLocked(e)
+	}
 	if err := c.enc.Encode(e); err != nil {
 		return fmt.Errorf("cluster: send %d: %w", e.Kind, err)
 	}
 	return nil
 }
 
-// recv reads one envelope; the caller owns the read side.
+// recv reads one envelope; the caller owns the read side. Tuple frames
+// have their dictionary-encoded documents restored before delivery.
 func (c *conn) recv() (*envelope, error) {
 	var e envelope
 	if err := c.dec.Decode(&e); err != nil {
 		return nil, err
+	}
+	if e.Kind == frameTuple {
+		if err := c.decodeTuple(&e); err != nil {
+			return nil, err
+		}
 	}
 	return &e, nil
 }

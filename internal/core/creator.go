@@ -150,7 +150,7 @@ func (b *creatorBolt) localGroups(docs []document.Document) []partition.AssocGro
 	// Merger can run the whole algorithm on the combined sample.
 	groups := make([]partition.AssocGroup, 0, len(docs))
 	for _, d := range docs {
-		g := partition.AssocGroup{Pairs: partition.NewPairSet(d.Pairs()...), Load: 1, Docs: []uint64{d.ID}}
+		g := partition.AssocGroup{Pairs: partition.NewPairSetFromSyms(d.InternedPairs()), Load: 1, Docs: []uint64{d.ID}}
 		groups = append(groups, g)
 	}
 	return groups

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/symbol"
 )
 
 // Pair is a single attribute-value pair. Val holds the canonical
@@ -52,9 +54,18 @@ func PairFromKey(key string) Pair {
 // Document is an immutable schema-free document: an identifier plus a
 // set of attribute-value pairs held sorted by attribute name. At most
 // one pair per attribute exists (JSON object semantics).
+//
+// Alongside the canonical string pairs, a document carries the interned
+// symbol of every pair (see internal/symbol), so the hot kernels —
+// Classify, Merge, the FP-tree probe, partition assignment — compare
+// and hash integers instead of strings. The symbols are an internal
+// acceleration structure: the string API is unchanged and remains the
+// source of truth for display and serialisation.
 type Document struct {
 	ID    uint64
-	pairs []Pair // sorted by Attr, unique attrs
+	pairs []Pair        // sorted by Attr, unique attrs
+	syms  []symbol.Pair // parallel to pairs; interned under epoch
+	epoch uint64        // symbol-table epoch the syms were interned under
 }
 
 // New builds a document from the given pairs. Pairs are copied, sorted
@@ -73,7 +84,59 @@ func New(id uint64, pairs []Pair) Document {
 		}
 		out = append(out, p)
 	}
-	return Document{ID: id, pairs: out}
+	return newFromSortedUnique(id, out)
+}
+
+// FromSorted builds a document from pairs that are already sorted by
+// attribute and free of duplicate attributes — the trusted fast path
+// for payloads that were produced by New on the other side of a wire.
+// The invariant is verified in one linear pass; violating input falls
+// back to the full New construction, so a corrupted payload cannot
+// break the sorted-unique invariant. FromSorted takes ownership of the
+// slice.
+func FromSorted(id uint64, pairs []Pair) Document {
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i-1].Attr >= pairs[i].Attr {
+			return New(id, pairs)
+		}
+	}
+	return newFromSortedUnique(id, pairs)
+}
+
+// newFromSortedUnique interns the pair symbols and assembles the
+// document. The epoch is read before interning: if a (quiesce-only)
+// symbol.Reset races with construction, the stored epoch is already
+// stale and every symbol fast path safely falls back to strings.
+func newFromSortedUnique(id uint64, pairs []Pair) Document {
+	if len(pairs) == 0 {
+		return Document{ID: id, pairs: pairs}
+	}
+	epoch := symbol.Epoch()
+	syms := make([]symbol.Pair, len(pairs))
+	for i, p := range pairs {
+		syms[i] = symbol.InternPair(p.Attr, p.Val)
+	}
+	return Document{ID: id, pairs: pairs, syms: syms, epoch: epoch}
+}
+
+// Syms returns the document's interned pair symbols (parallel to
+// Pairs) and the symbol-table epoch they were interned under. The
+// returned slice must not be modified; it is nil for empty documents.
+func (d Document) Syms() ([]symbol.Pair, uint64) { return d.syms, d.epoch }
+
+// InternedPairs returns pair symbols valid for the current global
+// symbol epoch, re-interning when the document was built under an
+// older epoch (possible only after an explicit symbol.Reset). The
+// result is parallel to Pairs and must not be modified.
+func (d Document) InternedPairs() []symbol.Pair {
+	if d.epoch == symbol.Epoch() {
+		return d.syms
+	}
+	syms := make([]symbol.Pair, len(d.pairs))
+	for i, p := range d.pairs {
+		syms[i] = symbol.InternPair(p.Attr, p.Val)
+	}
+	return syms
 }
 
 // Pairs returns the document's pairs sorted by attribute. The returned
@@ -169,11 +232,39 @@ const (
 
 // Classify performs a single merge pass over both sorted pair sets and
 // returns the relation together with the number of shared pairs.
+//
+// When both documents carry symbols of the same epoch, shared
+// attributes and values are detected by integer equality; the string
+// comparison is only consulted to steer the merge cursor when the
+// attributes differ. Within one epoch the symbol tables are bijective,
+// so attribute IDs are equal exactly when the attribute strings are —
+// the two paths classify identically (fuzz-checked in fuzz_test.go).
 func Classify(a, b Document) (Relation, int) {
 	shared := 0
 	sharedAttr := false
 	i, j := 0, 0
 	ap, bp := a.pairs, b.pairs
+	if as, bs := a.syms, b.syms; as != nil && bs != nil && a.epoch == b.epoch {
+		for i < len(ap) && j < len(bp) {
+			sa, sb := as[i], bs[j]
+			if sa.Attr() == sb.Attr() {
+				sharedAttr = true
+				if sa != sb {
+					return RelConflicting, shared
+				}
+				shared++
+				i++
+				j++
+				continue
+			}
+			if ap[i].Attr < bp[j].Attr {
+				i++
+			} else {
+				j++
+			}
+		}
+		return classifyTail(shared, sharedAttr)
+	}
 	for i < len(ap) && j < len(bp) {
 		switch {
 		case ap[i].Attr < bp[j].Attr:
@@ -190,6 +281,10 @@ func Classify(a, b Document) (Relation, int) {
 			j++
 		}
 	}
+	return classifyTail(shared, sharedAttr)
+}
+
+func classifyTail(shared int, sharedAttr bool) (Relation, int) {
 	switch {
 	case shared > 0:
 		return RelJoinable, shared
@@ -222,10 +317,45 @@ func SharedPairs(a, b Document) int {
 // documents: the union of their pairs. The resulting document carries
 // the supplied id. Merge panics if the inputs conflict, since callers
 // must only merge documents that passed the join test.
+//
+// When both inputs carry symbols of the same epoch, the merge runs on
+// integer attribute IDs and the output document inherits its symbols
+// from the inputs without touching the intern tables.
 func Merge(id uint64, a, b Document) Document {
-	merged := make([]Pair, 0, len(a.pairs)+len(b.pairs))
 	i, j := 0, 0
 	ap, bp := a.pairs, b.pairs
+	if as, bs := a.syms, b.syms; as != nil && bs != nil && a.epoch == b.epoch {
+		merged := make([]Pair, 0, len(ap)+len(bp))
+		msyms := make([]symbol.Pair, 0, len(ap)+len(bp))
+		for i < len(ap) && j < len(bp) {
+			sa, sb := as[i], bs[j]
+			if sa.Attr() == sb.Attr() {
+				if sa != sb {
+					panic(fmt.Sprintf("document: Merge on conflicting documents %v and %v", a, b))
+				}
+				merged = append(merged, ap[i])
+				msyms = append(msyms, sa)
+				i++
+				j++
+				continue
+			}
+			if ap[i].Attr < bp[j].Attr {
+				merged = append(merged, ap[i])
+				msyms = append(msyms, sa)
+				i++
+			} else {
+				merged = append(merged, bp[j])
+				msyms = append(msyms, sb)
+				j++
+			}
+		}
+		merged = append(merged, ap[i:]...)
+		msyms = append(msyms, as[i:]...)
+		merged = append(merged, bp[j:]...)
+		msyms = append(msyms, bs[j:]...)
+		return Document{ID: id, pairs: merged, syms: msyms, epoch: a.epoch}
+	}
+	merged := make([]Pair, 0, len(ap)+len(bp))
 	for i < len(ap) && j < len(bp) {
 		switch {
 		case ap[i].Attr < bp[j].Attr:
@@ -245,5 +375,7 @@ func Merge(id uint64, a, b Document) Document {
 	}
 	merged = append(merged, ap[i:]...)
 	merged = append(merged, bp[j:]...)
-	return Document{ID: id, pairs: merged}
+	// The mixed-epoch path re-interns so the output is well-formed
+	// under the current epoch.
+	return newFromSortedUnique(id, merged)
 }

@@ -3,6 +3,8 @@ package document
 import (
 	"encoding/json"
 	"testing"
+
+	"repro/internal/symbol"
 )
 
 // FuzzParse exercises the JSON-to-document decoder: it must never
@@ -64,6 +66,63 @@ func FuzzClassify(f *testing.F) {
 		if Joinable(d1, d2) {
 			// Merge must not panic for joinable pairs.
 			Merge(3, d1, d2)
+		}
+	})
+}
+
+// stripSyms returns a copy of d without its interned symbols, forcing
+// Classify/Merge onto the string path.
+func stripSyms(d Document) Document {
+	return Document{ID: d.ID, pairs: d.pairs}
+}
+
+// FuzzInternedParity asserts that the symbol fast paths of Classify and
+// Merge agree exactly with the string-path implementations on arbitrary
+// documents: same relation, same shared count, and identical merged
+// output with well-formed symbols.
+func FuzzInternedParity(f *testing.F) {
+	f.Add("a", "1", "b", "2", "c", "3", byte(0))
+	f.Add("a", "1", "a", "2", "a", "3", byte(3))
+	f.Add("x", "", "", "y", "x", "", byte(7))
+	f.Add("same", "v", "same", "v", "same", "v", byte(1))
+	f.Fuzz(func(t *testing.T, a1, v1, a2, v2, a3, v3 string, mix byte) {
+		d1 := New(1, []Pair{{Attr: a1, Val: EncodeString(v1)}, {Attr: a2, Val: EncodeString(v2)}})
+		p2 := []Pair{{Attr: a3, Val: EncodeString(v3)}}
+		if mix&1 != 0 {
+			p2 = append(p2, Pair{Attr: a2, Val: EncodeString(v2)}) // shared pair
+		}
+		if mix&2 != 0 {
+			p2 = append(p2, Pair{Attr: a1, Val: EncodeString(v3)}) // potential conflict
+		}
+		d2 := New(2, p2)
+
+		rI, nI := Classify(d1, d2)
+		rS, nS := Classify(stripSyms(d1), stripSyms(d2))
+		if rI != rS || nI != nS {
+			t.Fatalf("interned Classify = %v/%d, string Classify = %v/%d\n  d1: %v\n  d2: %v",
+				rI, nI, rS, nS, d1, d2)
+		}
+		// Mixed paths (one side carrying symbols) must agree too.
+		if rM, nM := Classify(d1, stripSyms(d2)); rM != rS || nM != nS {
+			t.Fatalf("mixed Classify = %v/%d, string Classify = %v/%d", rM, nM, rS, nS)
+		}
+
+		if rI != RelConflicting {
+			mI := Merge(3, d1, d2)
+			mS := Merge(3, stripSyms(d1), stripSyms(d2))
+			if !mI.Equal(mS) || mI.ID != mS.ID {
+				t.Fatalf("interned Merge = %v, string Merge = %v", mI, mS)
+			}
+			// The fast-path output's symbols must stay parallel to its
+			// pairs under the epoch it claims.
+			syms, epoch := mI.Syms()
+			if syms != nil && epoch == symbol.Epoch() {
+				for i, p := range mI.Pairs() {
+					if want := symbol.InternPair(p.Attr, p.Val); syms[i] != want {
+						t.Fatalf("merged symbol %d = %v, want %v (pair %v)", i, syms[i], want, p)
+					}
+				}
+			}
 		}
 	})
 }

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"repro/internal/document"
+	"repro/internal/symbol"
 )
 
 // Order is the fixed global attribute ordering imposed on documents
@@ -21,17 +22,26 @@ import (
 // first use, so an Order stays total over a stream whose schema
 // evolves; their relative order is their order of first appearance,
 // which is applied consistently to inserts and probes.
+//
+// Besides the string ranks, the order maintains the interned symbol ID
+// of every attribute (see internal/symbol) plus the inverse mapping
+// ID -> rank, so the tree's hot paths rank attributes by array index
+// instead of string-map lookup. The ID side is rebuilt lazily when the
+// global symbol epoch changes.
 type Order struct {
 	rank  map[string]int
 	attrs []string
+
+	ids      []symbol.ID // parallel to attrs: interned attribute IDs
+	rankByID []int32     // indexed by symbol.ID; -1 = not in the order
+	epoch    uint64      // symbol epoch ids/rankByID were built under
 }
 
 // NewOrder derives the ordering from batch statistics.
 func NewOrder(stats *document.AttrStats) *Order {
-	o := &Order{rank: make(map[string]int)}
+	o := EmptyOrder()
 	for _, a := range stats.Order() {
-		o.rank[a] = len(o.attrs)
-		o.attrs = append(o.attrs, a)
+		o.register(a)
 	}
 	return o
 }
@@ -43,19 +53,76 @@ func NewOrderFromDocs(docs []document.Document) *Order {
 
 // EmptyOrder returns an ordering with no precomputed ranks; attributes
 // rank in order of first appearance.
-func EmptyOrder() *Order { return &Order{rank: make(map[string]int)} }
+func EmptyOrder() *Order {
+	return &Order{rank: make(map[string]int), epoch: symbol.Epoch()}
+}
+
+// register appends attr at the next rank and indexes its symbol ID.
+func (o *Order) register(attr string) int {
+	r := len(o.attrs)
+	o.rank[attr] = r
+	o.attrs = append(o.attrs, attr)
+	id := symbol.InternAttr(attr)
+	o.ids = append(o.ids, id)
+	o.noteID(id, r)
+	return r
+}
+
+func (o *Order) noteID(id symbol.ID, r int) {
+	for int(id) >= len(o.rankByID) {
+		o.rankByID = append(o.rankByID, -1)
+	}
+	o.rankByID[id] = int32(r)
+}
+
+// sync rebuilds the ID-side indexes when the global symbol epoch moved
+// (possible only after an explicit symbol.Reset). The string ranks are
+// the source of truth and survive unchanged.
+func (o *Order) sync() {
+	e := symbol.Epoch()
+	if e == o.epoch {
+		return
+	}
+	o.epoch = e
+	o.ids = o.ids[:0]
+	o.rankByID = o.rankByID[:0]
+	for r, a := range o.attrs {
+		id := symbol.InternAttr(a)
+		o.ids = append(o.ids, id)
+		o.noteID(id, r)
+	}
+}
 
 // Rank returns the position of attr in the ordering, registering it at
 // the end if unseen.
 func (o *Order) Rank(attr string) int {
+	o.sync()
 	if r, ok := o.rank[attr]; ok {
 		return r
 	}
-	r := len(o.attrs)
-	o.rank[attr] = r
-	o.attrs = append(o.attrs, attr)
+	return o.register(attr)
+}
+
+// rankOfSym ranks an attribute by its symbol ID, falling back to (and
+// indexing) the string path for attributes the ID index has not seen.
+// Callers must have invoked sync for the current epoch.
+func (o *Order) rankOfSym(id symbol.ID, attr string) int {
+	if int(id) < len(o.rankByID) {
+		if r := o.rankByID[id]; r >= 0 {
+			return int(r)
+		}
+	}
+	r, ok := o.rank[attr]
+	if !ok {
+		return o.register(attr)
+	}
+	o.noteID(id, r)
 	return r
 }
+
+// idAt returns the symbol ID of the attribute at the given rank.
+// Callers must have invoked sync for the current epoch.
+func (o *Order) idAt(rank int) symbol.ID { return o.ids[rank] }
 
 // Attrs lists all known attributes in rank order. The returned slice
 // is shared; callers must not modify it.

@@ -2,9 +2,11 @@ package fptree
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/document"
+	"repro/internal/symbol"
 )
 
 // node is a single FP-tree node: an attribute-value pair label, the
@@ -19,8 +21,12 @@ import (
 // instead of a scan. Only the children whose attribute is absent from
 // the probe must all be explored. This generalises the paper's
 // ubiquitous-attribute fast path (Sec. V-B) to every level of the tree.
+//
+// Labels are stored twice: the canonical string pair for display and
+// diagnostics, and the interned symbol pair the hot paths key on.
 type node struct {
 	pair     document.Pair
+	sym      symbol.Pair
 	parent   *node
 	groups   []*attrGroup
 	docs     []uint64
@@ -31,12 +37,12 @@ type node struct {
 
 // attrGroup holds all children of one node sharing an attribute.
 type attrGroup struct {
-	attr  string
-	byVal map[string]*node
+	attr  symbol.ID
+	byVal map[symbol.ID]*node
 	all   []*node
 }
 
-func (n *node) group(attr string) *attrGroup {
+func (n *node) group(attr symbol.ID) *attrGroup {
 	for _, g := range n.groups {
 		if g.attr == attr {
 			return g
@@ -45,37 +51,86 @@ func (n *node) group(attr string) *attrGroup {
 	return nil
 }
 
-// child returns the child labeled with p, or nil.
-func (n *node) child(p document.Pair) *node {
-	if g := n.group(p.Attr); g != nil {
-		return g.byVal[p.Val]
+// child returns the child labeled with the symbol pair s, or nil.
+func (n *node) child(s symbol.Pair) *node {
+	if g := n.group(s.Attr()); g != nil {
+		return g.byVal[s.Val()]
 	}
 	return nil
 }
 
-// addChild links a new child labeled p.
-func (n *node) addChild(p document.Pair, c *node) {
-	g := n.group(p.Attr)
+// addChild links a new child labeled with p / its symbol s.
+func (n *node) addChild(s symbol.Pair, c *node) {
+	g := n.group(s.Attr())
 	if g == nil {
-		g = &attrGroup{attr: p.Attr, byVal: make(map[string]*node)}
+		g = &attrGroup{attr: s.Attr(), byVal: make(map[symbol.ID]*node)}
 		n.groups = append(n.groups, g)
 	}
-	g.byVal[p.Val] = c
+	g.byVal[s.Val()] = c
 	g.all = append(g.all, c)
 }
 
 // Tree is the FP-tree used for local join computation. It is not safe
 // for concurrent use; each Joiner task owns one tree per window.
+//
+// All internal indexes are keyed by interned symbols (dense uint32
+// attribute/value IDs, see internal/symbol): the header table and
+// child maps hash one uint64 instead of two strings, the per-attribute
+// document counts live in an ID-indexed slice, and the probe scratch is
+// a stamped slice reused across JoinPartners calls so a probe performs
+// zero allocations of its own.
 type Tree struct {
 	order  *Order
 	root   *node
-	header map[document.Pair]*node
+	header map[symbol.Pair]*node
 
 	docCount   int
 	nodeCount  int
-	attrCounts map[string]int // documents containing each attribute
+	attrCounts []int // documents containing each attribute, indexed by attribute symbol ID
 	nextBranch int
 	maxDepth   int
+
+	// symEpoch is the symbol-table epoch the tree's IDs belong to. A
+	// symbol.Reset under a live tree would silently re-key everything,
+	// so the tree recaptures the epoch only while empty and panics
+	// otherwise (Reset is documented quiesce-only).
+	symEpoch uint64
+
+	// Cached NumUbiquitous (satellite fix: previously recomputed on
+	// every probe); invalidated by Insert and Reset.
+	numUbiq   int
+	ubiqValid bool
+
+	// Probe scratch: probeVal[a] is the probing document's value ID for
+	// attribute a when probeMark[a] holds the current stamp. Stamping
+	// makes clearing O(1) between probes.
+	probeVal   []symbol.ID
+	probeMark  []uint32
+	probeStamp uint32
+
+	// Insert scratch: the arranged pair sequence, reused across inserts.
+	arr arrangeBuf
+
+	// Probe result buffer backing JoinPartners (satellite fix: results
+	// previously grew element-wise from nil on every call).
+	result []uint64
+}
+
+// arrangeBuf sorts a document's pairs and symbols by global-order rank
+// without allocating. Ranks are unique per attribute, so the sort needs
+// no stability.
+type arrangeBuf struct {
+	pairs []document.Pair
+	syms  []symbol.Pair
+	ranks []int32
+}
+
+func (b *arrangeBuf) Len() int           { return len(b.pairs) }
+func (b *arrangeBuf) Less(i, j int) bool { return b.ranks[i] < b.ranks[j] }
+func (b *arrangeBuf) Swap(i, j int) {
+	b.pairs[i], b.pairs[j] = b.pairs[j], b.pairs[i]
+	b.syms[i], b.syms[j] = b.syms[j], b.syms[i]
+	b.ranks[i], b.ranks[j] = b.ranks[j], b.ranks[i]
 }
 
 // New creates an empty FP-tree using the given global attribute order.
@@ -84,10 +139,10 @@ func New(order *Order) *Tree {
 		order = EmptyOrder()
 	}
 	return &Tree{
-		order:      order,
-		root:       &node{},
-		header:     make(map[document.Pair]*node),
-		attrCounts: make(map[string]int),
+		order:    order,
+		root:     &node{},
+		header:   make(map[symbol.Pair]*node),
+		symEpoch: symbol.Epoch(),
 	}
 }
 
@@ -113,27 +168,62 @@ func (t *Tree) NodeCount() int { return t.nodeCount }
 // MaxDepth reports the longest root-to-leaf path length.
 func (t *Tree) MaxDepth() int { return t.maxDepth }
 
+// docSyms returns d's pair symbols under the current epoch, verifying
+// that the tree's own indexes are not stale. The epoch can legally move
+// only while the tree is empty (symbol.Reset is quiesce-only); all
+// per-ID state is restarted then.
+func (t *Tree) docSyms(d document.Document) []symbol.Pair {
+	if e := symbol.Epoch(); e != t.symEpoch {
+		if t.docCount != 0 || t.nodeCount != 0 {
+			panic("fptree: symbol epoch changed under a live tree (symbol.Reset is quiesce-only)")
+		}
+		t.symEpoch = e
+		t.attrCounts = nil
+		t.probeVal = nil
+		t.probeMark = nil
+		t.probeStamp = 0
+	}
+	t.order.sync()
+	return d.InternedPairs()
+}
+
+// arrange fills t.arr with d's pairs and symbols sorted by the global
+// attribute order.
+func (t *Tree) arrange(d document.Document, syms []symbol.Pair) {
+	b := &t.arr
+	b.pairs = append(b.pairs[:0], d.Pairs()...)
+	b.syms = append(b.syms[:0], syms...)
+	b.ranks = b.ranks[:0]
+	for k := range b.pairs {
+		b.ranks = append(b.ranks, int32(t.order.rankOfSym(b.syms[k].Attr(), b.pairs[k].Attr)))
+	}
+	sort.Sort(b)
+}
+
 // Insert adds a document to the tree: its pairs are arranged by the
 // global ordering, the shared prefix path is reused, new nodes extend
 // it, and the document id is recorded at the terminal node.
 func (t *Tree) Insert(d document.Document) {
-	arranged := t.order.Arrange(d)
+	syms := t.docSyms(d)
+	t.arrange(d, syms)
 	cur := t.root
-	for _, p := range arranged {
-		child := cur.child(p)
+	for k := range t.arr.pairs {
+		s := t.arr.syms[k]
+		child := cur.child(s)
 		if child == nil {
 			child = &node{
-				pair:   p,
+				pair:   t.arr.pairs[k],
+				sym:    s,
 				parent: cur,
 				depth:  cur.depth + 1,
 			}
 			t.nextBranch++
 			child.branchID = t.nextBranch
-			cur.addChild(p, child)
+			cur.addChild(s, child)
 			t.nodeCount++
 			// Chain into the header table.
-			child.next = t.header[p]
-			t.header[p] = child
+			child.next = t.header[s]
+			t.header[s] = child
 			if child.depth > t.maxDepth {
 				t.maxDepth = child.depth
 			}
@@ -142,26 +232,43 @@ func (t *Tree) Insert(d document.Document) {
 	}
 	cur.docs = append(cur.docs, d.ID)
 	t.docCount++
-	for _, p := range arranged {
-		t.attrCounts[p.Attr]++
+	for _, s := range t.arr.syms {
+		a := s.Attr()
+		if int(a) >= len(t.attrCounts) {
+			t.attrCounts = growInts(t.attrCounts, int(a)+1)
+		}
+		t.attrCounts[a]++
 	}
+	t.ubiqValid = false
+}
+
+func growInts(s []int, n int) []int {
+	for len(s) < n {
+		s = append(s, 0)
+	}
+	return s
 }
 
 // NumUbiquitous returns the number of leading attributes of the global
 // order that are present in every document currently stored. These
 // occupy the first levels of the tree and enable the FPTreeJoin fast
-// path (paper Sec. V-B).
+// path (paper Sec. V-B). The count is cached between inserts.
 func (t *Tree) NumUbiquitous() int {
-	if t.docCount == 0 {
-		return 0
+	if t.ubiqValid {
+		return t.numUbiq
 	}
 	n := 0
-	for _, a := range t.order.Attrs() {
-		if t.attrCounts[a] != t.docCount {
-			break
+	if t.docCount > 0 {
+		t.order.sync()
+		for j := 0; j < t.order.Len(); j++ {
+			a := t.order.idAt(j)
+			if int(a) >= len(t.attrCounts) || t.attrCounts[a] != t.docCount {
+				break
+			}
+			n++
 		}
-		n++
 	}
+	t.numUbiq, t.ubiqValid = n, true
 	return n
 }
 
@@ -172,39 +279,83 @@ func (t *Tree) NumUbiquitous() int {
 // wholesale — after which the traversal (Algorithm 3) walks the
 // remaining subtree, pruning on conflicts and collecting document ids
 // once at least one attribute-value pair is shared.
+//
+// The returned slice is owned by the tree and valid only until the next
+// JoinPartners call; callers that retain results must copy them or use
+// JoinPartnersAppend with their own buffer.
 func (t *Tree) JoinPartners(d document.Document) []uint64 {
-	var result []uint64
+	t.result = t.JoinPartnersAppend(t.result[:0], d)
+	return t.result
+}
+
+// JoinPartnersAppend is JoinPartners appending into dst, for callers
+// that manage their own result buffers.
+func (t *Tree) JoinPartnersAppend(dst []uint64, d document.Document) []uint64 {
+	if t.docCount == 0 {
+		return dst
+	}
+	syms := t.docSyms(d)
+	t.stampProbe(syms)
 	num := t.NumUbiquitous()
 	cur := t.root
 	shared := 0
-	attrs := t.order.Attrs()
 	for j := 0; j < num; j++ {
-		v, ok := d.Get(attrs[j])
-		if !ok {
+		a := t.order.idAt(j)
+		if int(a) >= len(t.probeMark) || t.probeMark[a] != t.probeStamp {
 			// The probing document lacks this (tree-)ubiquitous
 			// attribute: no conflict is possible on it, but all
 			// children must be explored; fall back to the general
 			// traversal from the current node.
 			break
 		}
-		child := cur.child(document.Pair{Attr: attrs[j], Val: v})
+		child := cur.child(symbol.MakePair(a, t.probeVal[a]))
 		if child == nil {
 			// Every stored document carries this attribute with some
 			// other value: all of them conflict with d.
-			return result
+			return dst
 		}
 		cur = child
 		shared++
-		result = appendExcluding(result, cur.docs, d.ID)
+		dst = appendExcluding(dst, cur.docs, d.ID)
 	}
-	// Probe lookups below are by attribute; a flat map beats repeated
-	// binary searches over the document's sorted pairs.
-	probe := make(map[string]string, d.Len())
-	for _, p := range d.Pairs() {
-		probe[p.Attr] = p.Val
+	return t.traverse(cur, d.ID, shared, dst)
+}
+
+// stampProbe loads the probing document into the stamped scratch:
+// probeVal[a] holds d's value ID for attribute a iff probeMark[a]
+// equals the (freshly bumped) probeStamp. No clearing is needed between
+// probes; on stamp wrap-around the marks are zeroed once.
+func (t *Tree) stampProbe(syms []symbol.Pair) {
+	t.probeStamp++
+	if t.probeStamp == 0 {
+		for i := range t.probeMark {
+			t.probeMark[i] = 0
+		}
+		t.probeStamp = 1
 	}
-	result = t.traverse(cur, probe, d.ID, shared, result)
-	return result
+	for _, s := range syms {
+		a := int(s.Attr())
+		if a >= len(t.probeMark) {
+			t.probeMark = growUint32s(t.probeMark, a+1)
+			t.probeVal = growIDs(t.probeVal, a+1)
+		}
+		t.probeMark[a] = t.probeStamp
+		t.probeVal[a] = s.Val()
+	}
+}
+
+func growUint32s(s []uint32, n int) []uint32 {
+	for len(s) < n {
+		s = append(s, 0)
+	}
+	return s
+}
+
+func growIDs(s []symbol.ID, n int) []symbol.ID {
+	for len(s) < n {
+		s = append(s, 0)
+	}
+	return s
 }
 
 // traverse is Algorithm 3: depth-first navigation that prunes a child
@@ -213,33 +364,38 @@ func (t *Tree) JoinPartners(d document.Document) []uint64 {
 // nodes whose branch shares at least one pair with the probe. Grouping
 // children by attribute turns the pruning into a direct lookup of the
 // single non-conflicting child.
-func (t *Tree) traverse(n *node, probe map[string]string, excludeID uint64, shared int, result []uint64) []uint64 {
+func (t *Tree) traverse(n *node, excludeID uint64, shared int, result []uint64) []uint64 {
 	for _, g := range n.groups {
-		if v, ok := probe[g.attr]; ok {
+		if a := int(g.attr); a < len(t.probeMark) && t.probeMark[a] == t.probeStamp {
 			// All children of this group with a different value
 			// conflict; only the equally-labeled child survives.
-			if child := g.byVal[v]; child != nil {
-				result = t.collectChild(child, probe, excludeID, shared+1, result)
+			if child := g.byVal[t.probeVal[a]]; child != nil {
+				result = t.collectChild(child, excludeID, shared+1, result)
 			}
 			continue
 		}
 		// Attribute absent from the probe: no conflict possible,
 		// every child must be explored.
 		for _, child := range g.all {
-			result = t.collectChild(child, probe, excludeID, shared, result)
+			result = t.collectChild(child, excludeID, shared, result)
 		}
 	}
 	return result
 }
 
-func (t *Tree) collectChild(child *node, probe map[string]string, excludeID uint64, shared int, result []uint64) []uint64 {
+func (t *Tree) collectChild(child *node, excludeID uint64, shared int, result []uint64) []uint64 {
 	if shared > 0 {
 		result = appendExcluding(result, child.docs, excludeID)
 	}
-	return t.traverse(child, probe, excludeID, shared, result)
+	return t.traverse(child, excludeID, shared, result)
 }
 
 func appendExcluding(dst []uint64, src []uint64, exclude uint64) []uint64 {
+	if need := len(dst) + len(src); need > cap(dst) {
+		grown := make([]uint64, len(dst), need+need/2)
+		copy(grown, dst)
+		dst = grown
+	}
 	for _, id := range src {
 		if id != exclude {
 			dst = append(dst, id)
@@ -251,8 +407,12 @@ func appendExcluding(dst []uint64, src []uint64, exclude uint64) []uint64 {
 // HeaderChainLen returns the number of nodes labeled with p, following
 // the header-table chain (used by tests and diagnostics).
 func (t *Tree) HeaderChainLen(p document.Pair) int {
+	s, ok := symbol.LookupPair(p.Attr, p.Val)
+	if !ok {
+		return 0
+	}
 	n := 0
-	for cur := t.header[p]; cur != nil; cur = cur.next {
+	for cur := t.header[s]; cur != nil; cur = cur.next {
 		n++
 	}
 	return n
@@ -316,13 +476,19 @@ func (t *Tree) Dump() string {
 
 // Reset evicts the entire tree, matching the paper's tumbling-window
 // semantics ("evict the entire tree once the window tumbles"), while
-// keeping the attribute ordering in place.
+// keeping the attribute ordering — and the reusable scratch buffers —
+// in place.
 func (t *Tree) Reset() {
 	t.root = &node{}
-	t.header = make(map[document.Pair]*node)
-	t.attrCounts = make(map[string]int)
+	t.header = make(map[symbol.Pair]*node)
+	for i := range t.attrCounts {
+		t.attrCounts[i] = 0
+	}
 	t.docCount = 0
 	t.nodeCount = 0
 	t.nextBranch = 0
 	t.maxDepth = 0
+	t.ubiqValid = false
+	// Stale probe marks cannot collide after the tree refills: a mark
+	// only matches the current stamp, which is bumped on every probe.
 }

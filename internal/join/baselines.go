@@ -2,6 +2,7 @@ package join
 
 import (
 	"repro/internal/document"
+	"repro/internal/symbol"
 )
 
 // NLJ is the Nested Loop Join baseline: every probe scans all stored
@@ -56,7 +57,12 @@ func (e *NLJ) Reset() { e.docs = nil }
 // posting lists lets HBJ overtake NLJ.
 type HBJ struct {
 	docs  []document.Document
-	index map[document.Pair][]int // pair -> indexes into docs
+	index map[symbol.Pair][]int // interned pair -> indexes into docs
+
+	// symEpoch is the symbol-table epoch the index keys belong to; it
+	// may only move while the engine is empty (symbol.Reset is
+	// quiesce-only).
+	symEpoch uint64
 
 	// seen de-duplicates successful partners per probe without
 	// reallocating: seen[i] == epoch marks doc i as already reported.
@@ -66,24 +72,38 @@ type HBJ struct {
 
 // NewHBJ creates an empty hash-based engine.
 func NewHBJ() *HBJ {
-	return &HBJ{index: make(map[document.Pair][]int)}
+	return &HBJ{index: make(map[symbol.Pair][]int), symEpoch: symbol.Epoch()}
 }
 
 // Name implements Engine.
 func (e *HBJ) Name() string { return "HBJ" }
 
+// docSyms returns d's pair symbols under the current epoch, guarding
+// the index keys against a symbol.Reset under a live engine.
+func (e *HBJ) docSyms(d document.Document) []symbol.Pair {
+	if se := symbol.Epoch(); se != e.symEpoch {
+		if len(e.docs) != 0 {
+			panic("join: symbol epoch changed under a live HBJ engine (symbol.Reset is quiesce-only)")
+		}
+		e.symEpoch = se
+	}
+	return d.InternedPairs()
+}
+
 // Insert implements Engine.
 func (e *HBJ) Insert(d document.Document) {
+	syms := e.docSyms(d)
 	idx := len(e.docs)
 	e.docs = append(e.docs, d)
 	e.seen = append(e.seen, 0)
-	for _, p := range d.Pairs() {
-		e.index[p] = append(e.index[p], idx)
+	for _, s := range syms {
+		e.index[s] = append(e.index[s], idx)
 	}
 }
 
 // Probe implements Engine.
 func (e *HBJ) Probe(d document.Document) []uint64 {
+	syms := e.docSyms(d)
 	e.epoch++
 	if e.epoch == 0 { // wrapped: clear stamps
 		for i := range e.seen {
@@ -92,8 +112,8 @@ func (e *HBJ) Probe(d document.Document) []uint64 {
 		e.epoch = 1
 	}
 	var out []uint64
-	for _, p := range d.Pairs() {
-		for _, idx := range e.index[p] {
+	for _, s := range syms {
+		for _, idx := range e.index[s] {
 			if e.seen[idx] == e.epoch {
 				continue // already verified through another pair
 			}
@@ -120,7 +140,7 @@ func (e *HBJ) Size() int { return len(e.docs) }
 // Reset implements Engine.
 func (e *HBJ) Reset() {
 	e.docs = nil
-	e.index = make(map[document.Pair][]int)
+	e.index = make(map[symbol.Pair][]int)
 	e.seen = nil
 	e.epoch = 0
 }

@@ -27,11 +27,15 @@ type Engine interface {
 	// Insert stores a document for matching against later probes.
 	Insert(d document.Document)
 	// Probe returns the ids of all stored documents joinable with d,
-	// excluding d itself. The order of ids is unspecified.
+	// excluding d itself. The order of ids is unspecified. The
+	// returned slice may be a buffer owned by the engine, valid only
+	// until the next Probe/ProbeInsert call; callers that retain it
+	// must copy.
 	Probe(d document.Document) []uint64
 	// ProbeInsert probes first, then stores the document; the
 	// streaming Joiner uses this so every joinable pair within a
-	// window is reported exactly once.
+	// window is reported exactly once. The result slice follows the
+	// same ownership rule as Probe.
 	ProbeInsert(d document.Document) []uint64
 	// Size reports the number of stored documents.
 	Size() int

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/document"
+	"repro/internal/symbol"
 )
 
 // AssocGroup is one association group: a set of attribute-value pairs
@@ -47,17 +48,29 @@ func (AssociationGroups) Groups(docs []document.Document) []AssocGroup {
 
 	// Sort ascending by document count (Algorithm 1 line 3); ties are
 	// broken by the docset signature, then by the first pair, for
-	// determinism across runs.
-	sort.Slice(egs, func(i, j int) bool {
-		if len(egs[i].docs) != len(egs[j].docs) {
-			return len(egs[i].docs) < len(egs[j].docs)
+	// determinism across runs. Sort keys are computed once per group
+	// rather than inside the comparator.
+	type egItem struct {
+		eg     eqGroup
+		sig    string
+		sorted []document.Pair
+	}
+	items := make([]egItem, len(egs))
+	for i, eg := range egs {
+		items[i] = egItem{eg: eg, sig: docsSignature(eg.docs), sorted: eg.pairs.Sorted()}
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if len(items[i].eg.docs) != len(items[j].eg.docs) {
+			return len(items[i].eg.docs) < len(items[j].eg.docs)
 		}
-		si, sj := docsSignature(egs[i].docs), docsSignature(egs[j].docs)
-		if si != sj {
-			return si < sj
+		if items[i].sig != items[j].sig {
+			return items[i].sig < items[j].sig
 		}
-		return lessPairSet(egs[i].pairs, egs[j].pairs)
+		return lessSortedPairs(items[i].sorted, items[j].sorted)
 	})
+	for i := range items {
+		egs[i] = items[i].eg
+	}
 
 	alive := make([]bool, len(egs))
 	for i := range alive {
@@ -93,14 +106,14 @@ func (AssociationGroups) Groups(docs []document.Document) []AssocGroup {
 // equivalenceGroups groups the attribute-value pairs occurring in
 // exactly the same set of documents (Definition 1).
 func equivalenceGroups(docs []document.Document) []eqGroup {
-	avInD := make(map[document.Pair][]uint64)
+	avInD := make(map[symbol.Pair][]uint64)
 	for _, d := range docs {
-		for _, p := range d.Pairs() {
-			avInD[p] = append(avInD[p], d.ID)
+		for _, sp := range d.InternedPairs() {
+			avInD[sp] = append(avInD[sp], d.ID)
 		}
 	}
 	bySig := make(map[string]*eqGroup)
-	for p, ids := range avInD {
+	for sp, ids := range avInD {
 		sortIDs(ids)
 		ids = dedupIDs(ids)
 		sig := docsSignature(ids)
@@ -109,7 +122,7 @@ func equivalenceGroups(docs []document.Document) []eqGroup {
 			g = &eqGroup{pairs: NewPairSet(), docs: ids}
 			bySig[sig] = g
 		}
-		g.pairs.Add(p)
+		g.pairs.AddSym(sp)
 	}
 	out := make([]eqGroup, 0, len(bySig))
 	for _, g := range bySig {
@@ -124,14 +137,24 @@ func equivalenceGroups(docs []document.Document) []eqGroup {
 // load — the assignment scheme of Alvanaki & Michel reused by the
 // paper.
 func AssignGroups(groups []AssocGroup, m int) *Table {
-	sorted := make([]AssocGroup, len(groups))
-	copy(sorted, groups)
-	sort.SliceStable(sorted, func(i, j int) bool {
-		if sorted[i].Load != sorted[j].Load {
-			return sorted[i].Load > sorted[j].Load
+	type agItem struct {
+		g      AssocGroup
+		sorted []document.Pair
+	}
+	items := make([]agItem, len(groups))
+	for i, g := range groups {
+		items[i] = agItem{g: g, sorted: g.Pairs.Sorted()}
+	}
+	sort.SliceStable(items, func(i, j int) bool {
+		if items[i].g.Load != items[j].g.Load {
+			return items[i].g.Load > items[j].g.Load
 		}
-		return lessPairSet(sorted[i].Pairs, sorted[j].Pairs)
+		return lessSortedPairs(items[i].sorted, items[j].sorted)
 	})
+	sorted := make([]AssocGroup, len(items))
+	for i := range items {
+		sorted[i] = items[i].g
+	}
 	parts := make([]PairSet, m)
 	loads := make([]int, m)
 	for i := range parts {
@@ -168,13 +191,28 @@ func Consolidate(local [][]AssocGroup) []AssocGroup {
 		}
 	}
 	// Deterministic processing order: larger pair sets first so subsets
-	// fold into the largest available superset.
-	sort.SliceStable(all, func(i, j int) bool {
+	// fold into the largest available superset. Sort keys are computed
+	// once per group rather than inside the comparator.
+	sortKeys := make([][]document.Pair, len(all))
+	for i := range all {
+		sortKeys[i] = all[i].Pairs.Sorted()
+	}
+	idxs := make([]int, len(all))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	sort.SliceStable(idxs, func(x, y int) bool {
+		i, j := idxs[x], idxs[y]
 		if len(all[i].Pairs) != len(all[j].Pairs) {
 			return len(all[i].Pairs) > len(all[j].Pairs)
 		}
-		return lessPairSet(all[i].Pairs, all[j].Pairs)
+		return lessSortedPairs(sortKeys[i], sortKeys[j])
 	})
+	reordered := make([]AssocGroup, len(all))
+	for x, i := range idxs {
+		reordered[x] = all[i]
+	}
+	all = reordered
 	alive := make([]bool, len(all))
 	for i := range alive {
 		alive[i] = true
@@ -204,19 +242,19 @@ func Consolidate(local [][]AssocGroup) []AssocGroup {
 	}
 	// Remove duplicated pairs from the larger of any two overlapping
 	// groups so the final groups are pairwise disjoint.
-	owner := make(map[document.Pair]int)
+	owner := make(map[symbol.Pair]int)
 	for idx, g := range merged {
-		for _, p := range g.Pairs.Sorted() {
-			prev, dup := owner[p]
+		for _, sp := range g.Pairs.sortedSyms() {
+			prev, dup := owner[sp]
 			if !dup {
-				owner[p] = idx
+				owner[sp] = idx
 				continue
 			}
 			if len(merged[prev].Pairs) >= len(merged[idx].Pairs) {
-				delete(merged[prev].Pairs, p)
-				owner[p] = idx
+				delete(merged[prev].Pairs, sp)
+				owner[sp] = idx
 			} else {
-				delete(merged[idx].Pairs, p)
+				delete(merged[idx].Pairs, sp)
 			}
 		}
 	}
@@ -298,8 +336,9 @@ func docsSignature(ids []uint64) string {
 	return b.String()
 }
 
-func lessPairSet(a, b PairSet) bool {
-	as, bs := a.Sorted(), b.Sorted()
+// lessSortedPairs compares two lexicographically sorted pair slices
+// (the output of PairSet.Sorted) lexicographically.
+func lessSortedPairs(as, bs []document.Pair) bool {
 	for i := 0; i < len(as) && i < len(bs); i++ {
 		if as[i] != bs[i] {
 			if as[i].Attr != bs[i].Attr {

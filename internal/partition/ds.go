@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/document"
+	"repro/internal/symbol"
 )
 
 // DisjointSets is the second competitor (Alvanaki & Michel): all
@@ -22,29 +23,29 @@ func (DisjointSets) Name() string { return "DS" }
 func (DisjointSets) Partition(docs []document.Document, m int) *Table {
 	uf := newUnionFind()
 	for _, d := range docs {
-		ps := d.Pairs()
-		if len(ps) == 0 {
+		syms := d.InternedPairs()
+		if len(syms) == 0 {
 			continue
 		}
-		first := uf.add(ps[0])
-		for _, p := range ps[1:] {
-			uf.union(first, uf.add(p))
+		first := uf.add(syms[0])
+		for _, sp := range syms[1:] {
+			uf.union(first, uf.add(sp))
 		}
 	}
 
 	// Collect components and count their documents (each document lies
 	// entirely inside one component).
-	compPairs := make(map[int][]document.Pair)
-	for p, id := range uf.ids {
+	compPairs := make(map[int][]symbol.Pair)
+	for sp, id := range uf.ids {
 		root := uf.find(id)
-		compPairs[root] = append(compPairs[root], p)
+		compPairs[root] = append(compPairs[root], sp)
 	}
 	compLoad := make(map[int]int)
 	for _, d := range docs {
 		if d.Len() == 0 {
 			continue
 		}
-		root := uf.find(uf.ids[d.Pairs()[0]])
+		root := uf.find(uf.ids[d.InternedPairs()[0]])
 		compLoad[root]++
 	}
 
@@ -72,8 +73,8 @@ func (DisjointSets) Partition(docs []document.Document, m int) *Table {
 				target = k
 			}
 		}
-		for _, p := range compPairs[r] {
-			parts[target].Add(p)
+		for _, sp := range compPairs[r] {
+			parts[target].AddSym(sp)
 		}
 		loads[target] += compLoad[r]
 	}
@@ -85,13 +86,13 @@ func (DisjointSets) Partition(docs []document.Document, m int) *Table {
 func (DisjointSets) Components(docs []document.Document) int {
 	uf := newUnionFind()
 	for _, d := range docs {
-		ps := d.Pairs()
-		if len(ps) == 0 {
+		syms := d.InternedPairs()
+		if len(syms) == 0 {
 			continue
 		}
-		first := uf.add(ps[0])
-		for _, p := range ps[1:] {
-			uf.union(first, uf.add(p))
+		first := uf.add(syms[0])
+		for _, sp := range syms[1:] {
+			uf.union(first, uf.add(sp))
 		}
 	}
 	roots := make(map[int]struct{})
@@ -102,23 +103,23 @@ func (DisjointSets) Components(docs []document.Document) int {
 }
 
 // unionFind is a standard weighted quick-union with path compression
-// over attribute-value pairs.
+// over interned attribute-value pairs.
 type unionFind struct {
-	ids    map[document.Pair]int
+	ids    map[symbol.Pair]int
 	parent []int
 	size   []int
 }
 
 func newUnionFind() *unionFind {
-	return &unionFind{ids: make(map[document.Pair]int)}
+	return &unionFind{ids: make(map[symbol.Pair]int)}
 }
 
-func (u *unionFind) add(p document.Pair) int {
-	if id, ok := u.ids[p]; ok {
+func (u *unionFind) add(sp symbol.Pair) int {
+	if id, ok := u.ids[sp]; ok {
 		return id
 	}
 	id := len(u.parent)
-	u.ids[p] = id
+	u.ids[sp] = id
 	u.parent = append(u.parent, id)
 	u.size = append(u.size, 1)
 	return id

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/document"
+	"repro/internal/symbol"
 )
 
 func intPair(a string, v int) document.Pair {
@@ -73,11 +74,11 @@ func TestAGGroupsDisjoint(t *testing.T) {
 	groups := AssociationGroups{}.Groups(fig3Docs())
 	seen := NewPairSet()
 	for _, g := range groups {
-		for p := range g.Pairs {
-			if seen.Has(p) {
-				t.Fatalf("pair %v appears in two association groups", p)
+		for sp := range g.Pairs {
+			if seen.HasSym(sp) {
+				t.Fatalf("pair %v appears in two association groups", sp)
 			}
-			seen.Add(p)
+			seen.AddSym(sp)
 		}
 	}
 }
@@ -268,7 +269,11 @@ func TestTableAddPair(t *testing.T) {
 	}
 	// Idempotent.
 	tbl.AddPair(1, intPair("z", 9))
-	if n := len(tbl.index[intPair("z", 9)]); n != 1 {
+	sp, ok := symbol.LookupPair(intPair("z", 9).Attr, intPair("z", 9).Val)
+	if !ok {
+		t.Fatal("AddPair did not intern the pair")
+	}
+	if n := len(tbl.index[sp]); n != 1 {
 		t.Errorf("duplicate index entries: %d", n)
 	}
 }
@@ -356,11 +361,11 @@ func TestQuickConsolidateDisjoint(t *testing.T) {
 			if len(g.Pairs) == 0 {
 				return false
 			}
-			for p := range g.Pairs {
-				if seen.Has(p) {
+			for sp := range g.Pairs {
+				if seen.HasSym(sp) {
 					return false
 				}
-				seen.Add(p)
+				seen.AddSym(sp)
 			}
 		}
 		return true

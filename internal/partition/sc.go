@@ -2,8 +2,10 @@ package partition
 
 import (
 	"sort"
+	"strings"
 
 	"repro/internal/document"
+	"repro/internal/symbol"
 )
 
 // SetCover is the set-cover-based competitor (Alvanaki & Michel),
@@ -21,7 +23,8 @@ func (SetCover) Name() string { return "SC" }
 // scSet is one distinct document pair-set with its multiplicity.
 type scSet struct {
 	pairs []document.Pair
-	count int // number of documents with exactly this pair set
+	syms  []symbol.Pair // parallel to pairs
+	count int           // number of documents with exactly this pair set
 }
 
 // Partition implements Partitioner.
@@ -43,7 +46,7 @@ func (SetCover) Partition(docs []document.Document, m int) *Table {
 			if used[i] {
 				continue
 			}
-			uncov, cov := coverSplit(s.pairs, covered)
+			uncov, cov := coverSplit(s.syms, covered)
 			if uncov > bestUncov || (uncov == bestUncov && cov < bestCov) {
 				best, bestUncov, bestCov = i, uncov, cov
 			}
@@ -52,9 +55,9 @@ func (SetCover) Partition(docs []document.Document, m int) *Table {
 			break // fewer distinct sets than partitions
 		}
 		used[best] = true
-		for _, pr := range sets[best].pairs {
-			parts[p].Add(pr)
-			covered.Add(pr)
+		for _, sp := range sets[best].syms {
+			parts[p].AddSym(sp)
+			covered.AddSym(sp)
 		}
 		loads[p] += sets[best].count
 	}
@@ -68,7 +71,7 @@ func (SetCover) Partition(docs []document.Document, m int) *Table {
 			if used[i] {
 				continue
 			}
-			uncov, _ := coverSplit(s.pairs, covered)
+			uncov, _ := coverSplit(s.syms, covered)
 			if len(s.pairs) < bestLen || (len(s.pairs) == bestLen && uncov > bestUncov) {
 				best, bestLen, bestUncov = i, len(s.pairs), uncov
 			}
@@ -81,16 +84,16 @@ func (SetCover) Partition(docs []document.Document, m int) *Table {
 		// Partition with the least load; ties broken by the most
 		// attribute-value pairs in common with the selected set.
 		target := 0
-		targetShared := sharedCount(s.pairs, parts[0])
+		targetShared := sharedCount(s.syms, parts[0])
 		for k := 1; k < m; k++ {
-			shared := sharedCount(s.pairs, parts[k])
+			shared := sharedCount(s.syms, parts[k])
 			if loads[k] < loads[target] || (loads[k] == loads[target] && shared > targetShared) {
 				target, targetShared = k, shared
 			}
 		}
-		for _, pr := range s.pairs {
-			parts[target].Add(pr)
-			covered.Add(pr)
+		for _, sp := range s.syms {
+			parts[target].AddSym(sp)
+			covered.AddSym(sp)
 		}
 		loads[target] += s.count
 	}
@@ -100,23 +103,25 @@ func (SetCover) Partition(docs []document.Document, m int) *Table {
 // distinctSets deduplicates document pair-sets, tracking multiplicity,
 // in deterministic order.
 func distinctSets(docs []document.Document) []scSet {
-	type entry struct {
-		set *scSet
-	}
 	byKey := make(map[string]*scSet)
 	var order []string
+	var kb strings.Builder
 	for _, d := range docs {
-		key := ""
+		kb.Reset()
 		for _, p := range d.Pairs() {
-			key += p.Key() + "\x00"
+			kb.WriteString(p.Key())
+			kb.WriteByte(0)
 		}
+		key := kb.String()
 		if s, ok := byKey[key]; ok {
 			s.count++
 			continue
 		}
 		pairs := make([]document.Pair, len(d.Pairs()))
 		copy(pairs, d.Pairs())
-		byKey[key] = &scSet{pairs: pairs, count: 1}
+		syms := make([]symbol.Pair, len(pairs))
+		copy(syms, d.InternedPairs())
+		byKey[key] = &scSet{pairs: pairs, syms: syms, count: 1}
 		order = append(order, key)
 	}
 	sort.Strings(order)
@@ -127,9 +132,9 @@ func distinctSets(docs []document.Document) []scSet {
 	return out
 }
 
-func coverSplit(pairs []document.Pair, covered PairSet) (uncov, cov int) {
-	for _, p := range pairs {
-		if covered.Has(p) {
+func coverSplit(syms []symbol.Pair, covered PairSet) (uncov, cov int) {
+	for _, sp := range syms {
+		if covered.HasSym(sp) {
 			cov++
 		} else {
 			uncov++
@@ -138,10 +143,10 @@ func coverSplit(pairs []document.Pair, covered PairSet) (uncov, cov int) {
 	return uncov, cov
 }
 
-func sharedCount(pairs []document.Pair, ps PairSet) int {
+func sharedCount(syms []symbol.Pair, ps PairSet) int {
 	n := 0
-	for _, p := range pairs {
-		if ps.Has(p) {
+	for _, sp := range syms {
+		if ps.HasSym(sp) {
 			n++
 		}
 	}

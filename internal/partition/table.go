@@ -16,30 +16,63 @@ import (
 	"strings"
 
 	"repro/internal/document"
+	"repro/internal/symbol"
 )
 
-// PairSet is a set of attribute-value pairs.
-type PairSet map[document.Pair]struct{}
+// PairSet is a set of attribute-value pairs, keyed by their interned
+// symbols (see internal/symbol): membership tests hash one uint64
+// instead of two strings. The string-typed methods intern (Add) or
+// look up (Has) transparently; Sorted resolves back to strings in the
+// same deterministic lexicographic order as before interning.
+//
+// Like every symbol-keyed structure, a PairSet is bound to the symbol
+// epoch it was built under; symbol.Reset is quiesce-only and must not
+// run while a PairSet is live.
+type PairSet map[symbol.Pair]struct{}
 
-// NewPairSet builds a set from pairs.
+// NewPairSet builds a set from pairs, interning them.
 func NewPairSet(pairs ...document.Pair) PairSet {
 	s := make(PairSet, len(pairs))
 	for _, p := range pairs {
-		s[p] = struct{}{}
+		s.Add(p)
 	}
 	return s
 }
 
-// Add inserts a pair.
-func (s PairSet) Add(p document.Pair) { s[p] = struct{}{} }
+// NewPairSetFromSyms builds a set from already-interned pair symbols —
+// the allocation-free path for pairs coming out of a Document.
+func NewPairSetFromSyms(syms []symbol.Pair) PairSet {
+	s := make(PairSet, len(syms))
+	for _, sp := range syms {
+		s[sp] = struct{}{}
+	}
+	return s
+}
 
-// Has reports membership.
-func (s PairSet) Has(p document.Pair) bool { _, ok := s[p]; return ok }
+// Add inserts a pair, interning it.
+func (s PairSet) Add(p document.Pair) { s[symbol.InternPair(p.Attr, p.Val)] = struct{}{} }
+
+// AddSym inserts an already-interned pair symbol.
+func (s PairSet) AddSym(sp symbol.Pair) { s[sp] = struct{}{} }
+
+// Has reports membership. A pair whose attribute or value was never
+// interned cannot be in any set.
+func (s PairSet) Has(p document.Pair) bool {
+	sp, ok := symbol.LookupPair(p.Attr, p.Val)
+	if !ok {
+		return false
+	}
+	_, ok = s[sp]
+	return ok
+}
+
+// HasSym reports membership of an already-interned pair symbol.
+func (s PairSet) HasSym(sp symbol.Pair) bool { _, ok := s[sp]; return ok }
 
 // AddAll inserts every pair of o.
 func (s PairSet) AddAll(o PairSet) {
-	for p := range o {
-		s[p] = struct{}{}
+	for sp := range o {
+		s[sp] = struct{}{}
 	}
 }
 
@@ -48,19 +81,20 @@ func (s PairSet) SubsetOf(o PairSet) bool {
 	if len(s) > len(o) {
 		return false
 	}
-	for p := range s {
-		if !o.Has(p) {
+	for sp := range s {
+		if _, ok := o[sp]; !ok {
 			return false
 		}
 	}
 	return true
 }
 
-// Sorted returns the pairs in deterministic order.
+// Sorted returns the pairs in deterministic (lexicographic) order.
 func (s PairSet) Sorted() []document.Pair {
 	out := make([]document.Pair, 0, len(s))
-	for p := range s {
-		out = append(out, p)
+	for sp := range s {
+		a, v := symbol.PairStrings(sp)
+		out = append(out, document.Pair{Attr: a, Val: v})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Attr != out[j].Attr {
@@ -71,13 +105,40 @@ func (s PairSet) Sorted() []document.Pair {
 	return out
 }
 
+// sortedSyms returns the pair symbols ordered lexicographically by
+// their resolved strings — the same order as Sorted.
+func (s PairSet) sortedSyms() []symbol.Pair {
+	type kv struct {
+		sp   symbol.Pair
+		a, v string
+	}
+	items := make([]kv, 0, len(s))
+	for sp := range s {
+		a, v := symbol.PairStrings(sp)
+		items = append(items, kv{sp, a, v})
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].a != items[j].a {
+			return items[i].a < items[j].a
+		}
+		return items[i].v < items[j].v
+	})
+	out := make([]symbol.Pair, len(items))
+	for i, it := range items {
+		out[i] = it.sp
+	}
+	return out
+}
+
 // Table is a complete partitioning: m pair sets, one per machine, plus
-// an inverted index for O(#pairs) document assignment.
+// an inverted index for O(#pairs) document assignment. The index is
+// keyed by interned pair symbols, so routing a document hashes one
+// uint64 per pair.
 type Table struct {
 	M          int
 	Partitions []PairSet
 
-	index map[document.Pair][]int
+	index map[symbol.Pair][]int
 }
 
 // NewTable builds a table over the given partitions (len == m) and
@@ -86,11 +147,11 @@ func NewTable(parts []PairSet) *Table {
 	t := &Table{
 		M:          len(parts),
 		Partitions: parts,
-		index:      make(map[document.Pair][]int),
+		index:      make(map[symbol.Pair][]int),
 	}
 	for i, ps := range parts {
-		for p := range ps {
-			t.index[p] = append(t.index[p], i)
+		for sp := range ps {
+			t.index[sp] = append(t.index[sp], i)
 		}
 	}
 	return t
@@ -98,7 +159,17 @@ func NewTable(parts []PairSet) *Table {
 
 // Covers reports whether the pair belongs to any partition.
 func (t *Table) Covers(p document.Pair) bool {
-	_, ok := t.index[p]
+	sp, ok := symbol.LookupPair(p.Attr, p.Val)
+	if !ok {
+		return false
+	}
+	_, ok = t.index[sp]
+	return ok
+}
+
+// coversSym reports whether an interned pair belongs to any partition.
+func (t *Table) coversSym(sp symbol.Pair) bool {
+	_, ok := t.index[sp]
 	return ok
 }
 
@@ -108,11 +179,16 @@ func (t *Table) Covers(p document.Pair) bool {
 // machines to guarantee join completeness.
 func (t *Table) Assign(d document.Document) []int {
 	var out []int
-	seen := make(map[int]struct{}, 2)
-	for _, p := range d.Pairs() {
-		for _, idx := range t.index[p] {
-			if _, dup := seen[idx]; !dup {
-				seen[idx] = struct{}{}
+	for _, sp := range d.InternedPairs() {
+		for _, idx := range t.index[sp] {
+			dup := false
+			for _, have := range out {
+				if have == idx {
+					dup = true
+					break
+				}
+			}
+			if !dup {
 				out = append(out, idx)
 			}
 		}
@@ -127,8 +203,8 @@ func (t *Table) Assign(d document.Document) []int {
 // uncovered pair could be the only link to a joinable partner (paper
 // Sec. VI-A and VII-E.4).
 func (t *Table) FullyCovered(d document.Document) bool {
-	for _, p := range d.Pairs() {
-		if !t.Covers(p) {
+	for _, sp := range d.InternedPairs() {
+		if !t.coversSym(sp) {
 			return false
 		}
 	}
@@ -138,9 +214,10 @@ func (t *Table) FullyCovered(d document.Document) bool {
 // UncoveredPairs returns the pairs of d not present in any partition.
 func (t *Table) UncoveredPairs(d document.Document) []document.Pair {
 	var out []document.Pair
-	for _, p := range d.Pairs() {
-		if !t.Covers(p) {
-			out = append(out, p)
+	pairs := d.Pairs()
+	for i, sp := range d.InternedPairs() {
+		if !t.coversSym(sp) {
+			out = append(out, pairs[i])
 		}
 	}
 	return out
@@ -168,11 +245,12 @@ func (t *Table) AddPair(idx int, p document.Pair) {
 	if idx < 0 || idx >= t.M {
 		panic(fmt.Sprintf("partition: AddPair index %d out of range [0,%d)", idx, t.M))
 	}
-	if t.Partitions[idx].Has(p) {
+	sp := symbol.InternPair(p.Attr, p.Val)
+	if t.Partitions[idx].HasSym(sp) {
 		return
 	}
-	t.Partitions[idx].Add(p)
-	t.index[p] = append(t.index[p], idx)
+	t.Partitions[idx].AddSym(sp)
+	t.index[sp] = append(t.index[sp], idx)
 }
 
 // AddDocument adds every uncovered pair of d to the currently
@@ -188,8 +266,8 @@ func (t *Table) AddDocument(d document.Document) {
 		best, bestShared := -1, -1
 		for _, idx := range matched {
 			shared := 0
-			for _, p := range d.Pairs() {
-				if t.Partitions[idx].Has(p) {
+			for _, sp := range d.InternedPairs() {
+				if t.Partitions[idx].HasSym(sp) {
 					shared++
 				}
 			}
@@ -208,9 +286,10 @@ func (t *Table) AddDocument(d document.Document) {
 			}
 		}
 	}
-	for _, p := range d.Pairs() {
-		if !t.Covers(p) {
-			t.AddPair(target, p)
+	pairs := d.Pairs()
+	for i, sp := range d.InternedPairs() {
+		if !t.coversSym(sp) {
+			t.AddPair(target, pairs[i])
 		}
 	}
 }

@@ -1,0 +1,200 @@
+// Package symbol implements the dictionary-encoding layer the hot
+// paths of the system share: attribute and value strings are interned
+// into dense uint32 IDs once, and every subsequent hash, comparison and
+// map lookup operates on integers instead of strings — the standard
+// move of columnar engines (Abadi et al.) and of the FP-growth
+// literature the paper builds on, where items are integer IDs.
+//
+// Two process-global tables (one for attributes, one for values) serve
+// the document, fptree and partition layers. Lookups are lock-free
+// (one atomic load plus a map access); interning a new string takes a
+// mutex only on first sight. IDs are dense and assigned in first-use
+// order, so slices indexed by ID stay small.
+//
+// # Epochs
+//
+// Symbol IDs are only meaningful relative to the table generation that
+// produced them. Reset clears the global tables and bumps the global
+// epoch; every Document records the epoch its symbols were interned
+// under, and the consumers (Classify/Merge, the FP-tree, partition
+// tables) fall back to string comparison or re-intern when epochs do
+// not match. Reset is a quiesce-point operation: it must only be
+// called when no FP-tree, partition table or wire dictionary built
+// under the old epoch is still in use — the runtime itself never
+// resets mid-run (the tumbling-window lifecycle evicts trees wholesale
+// and the wire dictionaries are scoped per connection instead, see
+// DESIGN.md "Symbol interning").
+package symbol
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ID is a dense symbol identifier, valid within one table epoch.
+type ID uint32
+
+// Pair packs an attribute symbol and a value symbol into one
+// comparable word, so a full attribute-value pair hashes and compares
+// as a single uint64.
+type Pair uint64
+
+// MakePair packs attribute and value IDs.
+func MakePair(a, v ID) Pair { return Pair(uint64(a)<<32 | uint64(v)) }
+
+// Attr unpacks the attribute ID.
+func (p Pair) Attr() ID { return ID(p >> 32) }
+
+// Val unpacks the value ID.
+func (p Pair) Val() ID { return ID(p) }
+
+// Table is one string interning dictionary: string -> dense ID and
+// back. The zero value is not ready; use NewTable. Lookup, String and
+// Len are safe for concurrent use with Intern; Reset requires external
+// quiescence (see the package comment).
+type Table struct {
+	mu   sync.Mutex
+	ids  atomic.Pointer[sync.Map] // string -> ID
+	strs atomic.Pointer[[]string] // ID -> string
+}
+
+// NewTable creates an empty table.
+func NewTable() *Table {
+	t := &Table{}
+	t.ids.Store(&sync.Map{})
+	strs := make([]string, 0, 64)
+	t.strs.Store(&strs)
+	return t
+}
+
+// Intern returns the ID for s, assigning the next dense ID on first
+// sight. Safe for concurrent use.
+func (t *Table) Intern(s string) ID {
+	if v, ok := t.ids.Load().Load(s); ok {
+		return v.(ID)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ids := t.ids.Load()
+	if v, ok := ids.Load(s); ok {
+		return v.(ID)
+	}
+	strs := *t.strs.Load()
+	id := ID(len(strs))
+	// Appending may write into the shared backing array one slot past
+	// every published length; readers never touch that slot until the
+	// new header is atomically published below.
+	ns := append(strs, s)
+	t.strs.Store(&ns)
+	ids.Store(s, id)
+	return id
+}
+
+// Lookup returns the ID for s without interning it.
+func (t *Table) Lookup(s string) (ID, bool) {
+	if v, ok := t.ids.Load().Load(s); ok {
+		return v.(ID), true
+	}
+	return 0, false
+}
+
+// String resolves an ID back to its string; unknown IDs resolve to "".
+func (t *Table) String(id ID) string {
+	strs := *t.strs.Load()
+	if int(id) < len(strs) {
+		return strs[id]
+	}
+	return ""
+}
+
+// Len reports the number of interned strings.
+func (t *Table) Len() int { return len(*t.strs.Load()) }
+
+// reset clears the table in place. Callers must guarantee quiescence.
+func (t *Table) reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ids.Store(&sync.Map{})
+	strs := make([]string, 0, 64)
+	t.strs.Store(&strs)
+}
+
+// Global tables and epoch. The attribute and value spaces are kept
+// separate so both stay dense: slices indexed by attribute ID (probe
+// scratch, attribute counts, order ranks) would otherwise be diluted
+// by the much larger value space.
+var (
+	attrTable = NewTable()
+	valTable  = NewTable()
+	epoch     atomic.Uint64
+)
+
+// InternAttr interns an attribute name in the global attribute table.
+func InternAttr(s string) ID { return attrTable.Intern(s) }
+
+// InternVal interns a canonical value in the global value table.
+func InternVal(s string) ID { return valTable.Intern(s) }
+
+// LookupAttr resolves an attribute name without interning it.
+func LookupAttr(s string) (ID, bool) { return attrTable.Lookup(s) }
+
+// LookupVal resolves a canonical value without interning it.
+func LookupVal(s string) (ID, bool) { return valTable.Lookup(s) }
+
+// AttrString resolves an attribute ID; unknown IDs resolve to "".
+func AttrString(id ID) string { return attrTable.String(id) }
+
+// ValString resolves a value ID; unknown IDs resolve to "".
+func ValString(id ID) string { return valTable.String(id) }
+
+// AttrCount reports the number of distinct attributes interned — the
+// upper bound for slices indexed by attribute ID.
+func AttrCount() int { return attrTable.Len() }
+
+// ValCount reports the number of distinct values interned.
+func ValCount() int { return valTable.Len() }
+
+// InternPair interns both halves of an attribute-value pair.
+func InternPair(attr, val string) Pair {
+	return MakePair(attrTable.Intern(attr), valTable.Intern(val))
+}
+
+// LookupPair resolves a pair without interning; ok is false when
+// either half is unknown (the pair then cannot be in any interned
+// structure).
+func LookupPair(attr, val string) (Pair, bool) {
+	a, ok := attrTable.Lookup(attr)
+	if !ok {
+		return 0, false
+	}
+	v, ok := valTable.Lookup(val)
+	if !ok {
+		return 0, false
+	}
+	return MakePair(a, v), true
+}
+
+// PairStrings resolves both halves of a pair.
+func PairStrings(p Pair) (attr, val string) {
+	return attrTable.String(p.Attr()), valTable.String(p.Val())
+}
+
+// Epoch returns the current global epoch. IDs obtained under an older
+// epoch are invalid against the current tables.
+func Epoch() uint64 { return epoch.Load() }
+
+// Reset clears both global tables and bumps the epoch. It is a
+// quiesce-point operation: no structure holding IDs of the old epoch
+// may be used afterwards. The runtime never calls it mid-run; it
+// exists for tests and for embedders that tear the whole pipeline down
+// between streams.
+func Reset() {
+	// Bump the epoch before clearing: a racing reader that still sees
+	// the old tables also still sees an epoch it can compare against,
+	// and a reader that already sees the new tables observes a new
+	// epoch. (Reset is documented quiesce-only; the ordering just keeps
+	// misuse detectable instead of silently wrong.)
+	epoch.Add(1)
+	attrTable.reset()
+	valTable.reset()
+}

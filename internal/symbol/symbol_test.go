@@ -1,0 +1,123 @@
+package symbol
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestTableInternRoundTrip(t *testing.T) {
+	tb := NewTable()
+	a := tb.Intern("alpha")
+	b := tb.Intern("beta")
+	if a == b {
+		t.Fatalf("distinct strings got equal IDs: %d", a)
+	}
+	if got := tb.Intern("alpha"); got != a {
+		t.Errorf("re-intern changed ID: %d != %d", got, a)
+	}
+	if got := tb.String(a); got != "alpha" {
+		t.Errorf("String(%d) = %q, want alpha", a, got)
+	}
+	if id, ok := tb.Lookup("beta"); !ok || id != b {
+		t.Errorf("Lookup(beta) = %d,%v", id, ok)
+	}
+	if _, ok := tb.Lookup("missing"); ok {
+		t.Error("Lookup of unseen string reported ok")
+	}
+	if tb.String(ID(999)) != "" {
+		t.Error("unknown ID must resolve to empty string")
+	}
+	if tb.Len() != 2 {
+		t.Errorf("Len = %d, want 2", tb.Len())
+	}
+}
+
+func TestTableDenseIDs(t *testing.T) {
+	tb := NewTable()
+	for i := 0; i < 100; i++ {
+		id := tb.Intern(fmt.Sprintf("s%03d", i))
+		if int(id) != i {
+			t.Fatalf("Intern #%d got ID %d; IDs must be dense in first-use order", i, id)
+		}
+	}
+}
+
+func TestPairPacking(t *testing.T) {
+	p := MakePair(3, 0xDEADBEEF)
+	if p.Attr() != 3 || p.Val() != 0xDEADBEEF {
+		t.Fatalf("round trip: attr=%d val=%x", p.Attr(), p.Val())
+	}
+	if MakePair(1, 2) == MakePair(2, 1) {
+		t.Fatal("attr/val must not be symmetric in the packing")
+	}
+}
+
+func TestGlobalPairIntern(t *testing.T) {
+	p1 := InternPair("attr-global-test", "sval-global-test")
+	p2, ok := LookupPair("attr-global-test", "sval-global-test")
+	if !ok || p1 != p2 {
+		t.Fatalf("LookupPair = %v,%v want %v,true", p2, ok, p1)
+	}
+	a, v := PairStrings(p1)
+	if a != "attr-global-test" || v != "sval-global-test" {
+		t.Fatalf("PairStrings = %q,%q", a, v)
+	}
+	if _, ok := LookupPair("attr-global-test", "never-interned-val"); ok {
+		t.Error("LookupPair with unknown value must miss")
+	}
+}
+
+func TestConcurrentIntern(t *testing.T) {
+	tb := NewTable()
+	const workers, n = 8, 400
+	var wg sync.WaitGroup
+	ids := make([][]ID, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		ids[w] = make([]ID, n)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				ids[w][i] = tb.Intern(fmt.Sprintf("k%d", i))
+				// Interleave lock-free readers with writers.
+				_ = tb.String(ids[w][i])
+				_, _ = tb.Lookup("k0")
+			}
+		}()
+	}
+	wg.Wait()
+	if tb.Len() != n {
+		t.Fatalf("Len = %d, want %d", tb.Len(), n)
+	}
+	for w := 1; w < workers; w++ {
+		for i := 0; i < n; i++ {
+			if ids[w][i] != ids[0][i] {
+				t.Fatalf("worker %d got ID %d for k%d, worker 0 got %d", w, ids[w][i], i, ids[0][i])
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if got := tb.String(ids[0][i]); got != fmt.Sprintf("k%d", i) {
+			t.Fatalf("String(%d) = %q", ids[0][i], got)
+		}
+	}
+}
+
+func TestResetBumpsEpochAndClears(t *testing.T) {
+	before := Epoch()
+	InternAttr("epoch-test-attr")
+	Reset()
+	if Epoch() != before+1 {
+		t.Fatalf("Epoch = %d, want %d", Epoch(), before+1)
+	}
+	if _, ok := LookupAttr("epoch-test-attr"); ok {
+		t.Error("Reset must clear the attribute table")
+	}
+	// Interning after a reset restarts from dense ID 0.
+	id := InternAttr("epoch-test-attr2")
+	if id != 0 {
+		t.Errorf("first post-reset ID = %d, want 0", id)
+	}
+}
