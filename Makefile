@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-all figures examples clean
+.PHONY: all build vet test race bench bench-all bench-guard figures examples clean
 
 all: build test
 
@@ -24,6 +24,16 @@ bench:
 bench-all:
 	$(GO) test -bench=. -benchmem -benchtime 1x ./...
 
+# bench-guard reruns the guarded hot-path benchmarks (the join engines
+# the telemetry layer instruments, plus the telemetry on/off comparison)
+# and fails if any guarded ns/op regressed more than 5% against the
+# recorded baseline. The macro benches run few iterations because one
+# op ingests thousands of documents; the micro benches sample heavily.
+bench-guard:
+	$(GO) test -run '^$$' -bench '^(BenchmarkFig11aFPJServerLog|BenchmarkFig11bFPJNoBench|BenchmarkTelemetryOverhead)$$' -benchtime 2x -count 2 -json . > bench_guard_current.json
+	$(GO) test -run '^$$' -bench '^(BenchmarkFPTreeInsert|BenchmarkJoinableClassify)$$' -benchtime 2000x -count 2 -json . >> bench_guard_current.json
+	$(GO) run ./cmd/sfj-benchguard -baseline BENCH_issue2_after.json -current bench_guard_current.json
+
 fuzz:
 	$(GO) test ./internal/document/ -fuzz FuzzParse -fuzztime 30s
 
@@ -42,3 +52,4 @@ examples:
 
 clean:
 	$(GO) clean ./...
+	rm -f bench_guard_current.json

@@ -20,6 +20,7 @@ import (
 	"repro/internal/fptree"
 	"repro/internal/join"
 	"repro/internal/partition"
+	"repro/internal/telemetry"
 )
 
 // benchScale keeps benchmark iterations affordable.
@@ -257,5 +258,59 @@ func BenchmarkAblationRouting(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// --- Telemetry overhead ----------------------------------------------
+
+// BenchmarkTelemetryOverhead measures the cost the telemetry layer adds
+// to the hottest document path: one windowed FPJ ingesting a window,
+// once with instruments detached (the nil no-op path every uninstrumented
+// run takes) and once with live counters, gauges and the probe-latency
+// histogram attached. The "on" variant pays one clock pair per document;
+// the delta between the two sub-benches is the per-document overhead the
+// 5% bench-guard budget covers.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	docs := datagen.NewServerLog(42).Window(2000)
+	for _, mode := range []string{"off", "on"} {
+		b.Run(mode, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng, err := join.New("FPJ")
+				if err != nil {
+					b.Fatal(err)
+				}
+				w := join.NewWindowed(eng)
+				if mode == "on" {
+					reg := telemetry.NewRegistry()
+					w.SetInstruments(join.Instruments{
+						ProbeSeconds: reg.Histogram("join_probe_seconds"),
+						Results:      reg.Counter("join_results_total"),
+						Duplicates:   reg.Counter("join_duplicates_total"),
+						WindowDocs:   reg.Gauge("join_window_docs"),
+						TreeNodes:    reg.Gauge("join_fptree_nodes"),
+					})
+				}
+				for _, d := range docs {
+					w.Process(d)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTelemetrySystemEndToEnd tracks the instrumented whole-system
+// run next to BenchmarkSystemEndToEnd's uninstrumented one.
+func BenchmarkTelemetrySystemEndToEnd(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := core.NewRunner(core.Config{
+			M: 4, Creators: 2, Assigners: 2,
+			WindowSize: 300, Windows: 3,
+			Source: datagen.NewServerLog(int64(i)),
+		}, core.WithTelemetry(telemetry.NewRegistry())).Run()
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -1,0 +1,123 @@
+// Command sfj-benchguard gates performance regressions: it compares the
+// ns/op of selected hot-path benchmarks between a recorded baseline and
+// a current run, and exits non-zero when any guarded benchmark slowed
+// down by more than the tolerance. Both files are `go test -json`
+// streams (the format the repo's BENCH_issue*_{before,after}.json
+// trajectory files use); plain `go test -bench` text output is accepted
+// too.
+//
+//	go test -run '^$' -bench Fig11aFPJServerLog -json . > current.json
+//	sfj-benchguard -baseline BENCH_issue2_after.json -current current.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// event is the subset of the test2json stream the guard reads.
+type event struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// benchLine matches one benchmark result line; the -N suffix is the
+// GOMAXPROCS tag and is stripped so runs on different machines compare.
+var benchLine = regexp.MustCompile(`(?m)^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op`)
+
+// parse extracts ns/op per benchmark from a results file, keeping the
+// minimum across -count repetitions (the least-noisy sample).
+func parse(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	// Reassemble the output stream: test2json splits lines across
+	// events, so concatenate every Output payload; non-JSON lines are
+	// taken verbatim (plain -bench output).
+	var text strings.Builder
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "{") {
+			var ev event
+			if err := json.Unmarshal([]byte(line), &ev); err == nil {
+				if ev.Action == "output" {
+					text.WriteString(ev.Output)
+				}
+				continue
+			}
+		}
+		text.WriteString(line)
+		text.WriteByte('\n')
+	}
+	out := make(map[string]float64)
+	for _, m := range benchLine.FindAllStringSubmatch(text.String(), -1) {
+		name := m[1]
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		if prev, ok := out[name]; !ok || ns < prev {
+			out[name] = ns
+		}
+	}
+	return out, nil
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_issue2_after.json", "baseline `file` (go test -json stream)")
+		currentPath  = flag.String("current", "", "current `file` (go test -json stream)")
+		benches      = flag.String("bench", "Fig11aFPJServerLog,Fig11bFPJNoBench,FPTreeInsert,JoinableClassify",
+			"comma-separated guarded benchmark names (without the Benchmark prefix)")
+		tolerance = flag.Float64("tolerance", 0.05, "maximum allowed relative ns/op increase")
+	)
+	flag.Parse()
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "sfj-benchguard: -current is required")
+		os.Exit(2)
+	}
+	baseline, err := parse(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sfj-benchguard: baseline: %v\n", err)
+		os.Exit(2)
+	}
+	current, err := parse(*currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sfj-benchguard: current: %v\n", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	fmt.Printf("%-28s %14s %14s %8s\n", "benchmark", "baseline ns/op", "current ns/op", "delta")
+	for _, short := range strings.Split(*benches, ",") {
+		name := "Benchmark" + strings.TrimSpace(short)
+		base, okB := baseline[name]
+		cur, okC := current[name]
+		switch {
+		case !okB:
+			fmt.Printf("%-28s %14s\n", short, "missing")
+			failed = true
+		case !okC:
+			fmt.Printf("%-28s %14.0f %14s\n", short, base, "missing")
+			failed = true
+		default:
+			delta := cur/base - 1
+			verdict := ""
+			if delta > *tolerance {
+				verdict = "  REGRESSION"
+				failed = true
+			}
+			fmt.Printf("%-28s %14.0f %14.0f %7.1f%%%s\n", short, base, cur, 100*delta, verdict)
+		}
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "sfj-benchguard: hot-path regression beyond %.0f%% (or missing benchmark)\n", 100**tolerance)
+		os.Exit(1)
+	}
+	fmt.Printf("ok: all guarded benchmarks within %.0f%% of baseline\n", 100**tolerance)
+}

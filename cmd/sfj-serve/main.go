@@ -7,6 +7,7 @@
 //	curl -X POST localhost:8080/documents --data-binary @batch.ndjson
 //	curl -X POST localhost:8080/tumble
 //	curl localhost:8080/stats
+//	curl localhost:8080/metrics
 package main
 
 import (
@@ -17,17 +18,23 @@ import (
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	var (
-		addr   = flag.String("addr", "127.0.0.1:8080", "listen address")
-		engine = flag.String("engine", "FPJ", "join engine: FPJ, NLJ or HBJ")
-		window = flag.Int("window", 0, "auto-tumble after N documents (0 = manual /tumble only)")
+		addr    = flag.String("addr", "127.0.0.1:8080", "listen address")
+		engine  = flag.String("engine", "FPJ", "join engine: FPJ, NLJ or HBJ")
+		window  = flag.Int("window", 0, "auto-tumble after N documents (0 = manual /tumble only)")
+		telemOn = flag.Bool("telemetry", true, "expose /metrics and /debug/stats")
 	)
 	flag.Parse()
 
-	s, err := server.New(server.Config{Engine: *engine, WindowSize: *window})
+	cfg := server.Config{Engine: *engine, WindowSize: *window}
+	if *telemOn {
+		cfg.Telemetry = telemetry.NewRegistry()
+	}
+	s, err := server.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,5 +44,8 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	fmt.Printf("sfj-serve listening on %s (engine=%s window=%d)\n", *addr, *engine, *window)
+	if *telemOn {
+		fmt.Printf("scrape metrics: curl http://%s/metrics\n", *addr)
+	}
 	log.Fatal(httpServer.ListenAndServe())
 }

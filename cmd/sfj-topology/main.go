@@ -19,33 +19,36 @@ import (
 	"os/exec"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/partition"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	var (
-		dataset    = flag.String("dataset", "rwData", "dataset: rwData or nbData")
-		algo       = flag.String("algo", "AG", "partitioner: AG, SC or DS")
-		engine     = flag.String("engine", "FPJ", "local join engine: FPJ, NLJ or HBJ")
-		m          = flag.Int("m", 8, "number of partitions / joiners")
-		creators   = flag.Int("creators", 2, "partition creator tasks")
-		assigners  = flag.Int("assigners", 6, "assigner tasks")
-		windows    = flag.Int("windows", 6, "number of windows")
-		windowSize = flag.Int("window-size", 1200, "documents per window")
-		theta      = flag.Float64("theta", 0.2, "repartitioning threshold θ")
-		delta      = flag.Int("delta", 3, "partition update threshold δ")
-		expansion  = flag.String("expansion", "auto", "attribute expansion: auto, off or forced")
-		maxPending = flag.Int("max-pending", 0, "mailbox capacity per task; producers block when full (0 = unbounded)")
-		seed       = flag.Int64("seed", 42, "generator seed")
-		clusterN   = flag.Int("cluster", 0, "run across N TCP workers in this process (0 = plain in-process)")
-		processes  = flag.Bool("processes", false, "with -cluster N: spawn the N workers as separate OS processes")
-		workerSpec = flag.String("worker", "", "internal: run as cluster worker, format id:count:coordinatorAddr")
-		input      = flag.String("input", "", "read JSON-lines documents from this file ('-' = stdin) instead of a generator")
-		verbose    = flag.Bool("v", false, "print per-window statistics")
+		dataset     = flag.String("dataset", "rwData", "dataset: rwData or nbData")
+		algo        = flag.String("algo", "AG", "partitioner: AG, SC or DS")
+		engine      = flag.String("engine", "FPJ", "local join engine: FPJ, NLJ or HBJ")
+		m           = flag.Int("m", 8, "number of partitions / joiners")
+		creators    = flag.Int("creators", 2, "partition creator tasks")
+		assigners   = flag.Int("assigners", 6, "assigner tasks")
+		windows     = flag.Int("windows", 6, "number of windows")
+		windowSize  = flag.Int("window-size", 1200, "documents per window")
+		theta       = flag.Float64("theta", 0.2, "repartitioning threshold θ")
+		delta       = flag.Int("delta", 3, "partition update threshold δ")
+		expansion   = flag.String("expansion", "auto", "attribute expansion: auto, off or forced")
+		maxPending  = flag.Int("max-pending", 0, "mailbox capacity per task; producers block when full (0 = unbounded)")
+		seed        = flag.Int64("seed", 42, "generator seed")
+		clusterN    = flag.Int("cluster", 0, "run across N TCP workers in this process (0 = plain in-process)")
+		processes   = flag.Bool("processes", false, "with -cluster N: spawn the N workers as separate OS processes")
+		workerSpec  = flag.String("worker", "", "internal: run as cluster worker, format id:count:coordinatorAddr")
+		input       = flag.String("input", "", "read JSON-lines documents from this file ('-' = stdin) instead of a generator")
+		metricsAddr = flag.String("metrics-addr", "", "expose /metrics + /debug/stats on this address during the run (e.g. 127.0.0.1:9090; with -worker, use :0 per process)")
+		verbose     = flag.Bool("v", false, "print per-window statistics")
 	)
 	flag.Parse()
 
@@ -107,11 +110,21 @@ func main() {
 	}
 
 	if *workerSpec != "" {
-		if err := runWorker(*workerSpec, cfg); err != nil {
+		if err := runWorker(*workerSpec, cfg, *metricsAddr); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		return
+	}
+
+	var opts []core.Option
+	if *metricsAddr != "" && !*processes {
+		// With -processes, each spawned worker serves its own endpoint
+		// (the flag is re-issued to them) and prints its resolved port.
+		opts = append(opts,
+			core.WithTelemetry(telemetry.NewRegistry()),
+			core.WithMetricsAddr(*metricsAddr))
+		fmt.Printf("scrape metrics during the run: curl http://%s/metrics\n", *metricsAddr)
 	}
 
 	var report *core.Report
@@ -131,11 +144,11 @@ func main() {
 	case *clusterN > 0:
 		fmt.Printf("running %s/%s over %d TCP workers: m=%d windows=%d x %d docs\n",
 			*dataset, *algo, *clusterN, *m, *windows, *windowSize)
-		report, err = core.ClusterRun(cfg, *clusterN)
+		report, err = core.NewRunner(cfg, append(opts, core.WithWorkers(*clusterN))...).Run()
 	default:
 		fmt.Printf("running %s/%s in process: m=%d windows=%d x %d docs\n",
 			*dataset, *algo, *m, *windows, *windowSize)
-		report, err = core.Run(cfg)
+		report, err = core.NewRunner(cfg, opts...).Run()
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -150,6 +163,13 @@ func main() {
 			if lat, ok := report.Topology.Latency[comp]; ok {
 				fmt.Printf("  latency %-9s %s\n", comp, lat)
 			}
+		}
+		if snap := report.Telemetry; len(snap.Counters) > 0 {
+			fmt.Printf("  telemetry: join_pairs=%d deliveries=%d broadcasts=%d update_requests=%d\n",
+				snap.SumCounter("join_pairs_total"),
+				snap.SumCounter("partition_deliveries_total"),
+				snap.SumCounter("partition_broadcasts_total"),
+				snap.SumCounter("partition_update_requests_total"))
 		}
 	}
 	fmt.Printf("summary: %s\n", report)
@@ -207,8 +227,10 @@ func runProcesses(n int) error {
 
 // runWorker executes one cluster worker inside this process (spawned by
 // runProcesses). Every worker builds the identical topology from the
-// shared flags; the placement decides which tasks run here.
-func runWorker(spec string, cfg core.Config) error {
+// shared flags; the placement decides which tasks run here. A non-empty
+// metricsAddr exposes the worker's own scrape endpoint for the duration
+// of the run (pass :0 so concurrent workers don't collide on a port).
+func runWorker(spec string, cfg core.Config, metricsAddr string) error {
 	parts := strings.SplitN(spec, ":", 3)
 	if len(parts) != 3 {
 		return fmt.Errorf("bad -worker spec %q", spec)
@@ -224,6 +246,9 @@ func runWorker(spec string, cfg core.Config) error {
 	coordAddr := parts[2]
 
 	core.RegisterGobTypes()
+	if metricsAddr != "" {
+		cfg.Telemetry = telemetry.NewRegistry()
+	}
 	builder, report, err := core.NewTopology(cfg)
 	if err != nil {
 		return err
@@ -239,6 +264,21 @@ func runWorker(spec string, cfg core.Config) error {
 	w, err := cluster.NewWorker(id, count, builder, coordAddr)
 	if err != nil {
 		return err
+	}
+	if metricsAddr != "" {
+		w.Telemetry = cfg.Telemetry
+		w.MetricsAddr = metricsAddr
+		// The endpoint binds inside Run; report the resolved port (the
+		// spec recommends :0) as soon as it is up.
+		go func() {
+			for i := 0; i < 200; i++ {
+				if a := w.ScrapeAddr(); a != "" {
+					fmt.Printf("worker %d metrics at http://%s/metrics\n", id, a)
+					return
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		}()
 	}
 	if err := w.Run(); err != nil {
 		return err

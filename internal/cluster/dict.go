@@ -79,8 +79,10 @@ func (c *conn) encodeDocLocked(d document.Document, delta *[]string) wireDoc {
 
 func (c *conn) refLocked(s string, delta *[]string) uint32 {
 	if id, ok := c.sendDict[s]; ok {
+		c.dictHits.Inc()
 		return id
 	}
+	c.dictMisses.Inc()
 	id := uint32(len(c.sendDict))
 	c.sendDict[s] = id
 	*delta = append(*delta, s)

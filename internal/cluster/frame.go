@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
 
@@ -75,10 +76,36 @@ type conn struct {
 
 	sendDict map[string]uint32 // guarded by mu
 	recvDict []string          // owned by the single reading goroutine
+
+	// Optional wire-dictionary instruments (nil-safe no-ops): hits are
+	// strings resolved from the connection dictionary, misses are
+	// strings shipped in a frame's Dict delta.
+	dictHits   *telemetry.Counter
+	dictMisses *telemetry.Counter
 }
 
 func newConn(raw net.Conn) *conn {
 	return &conn{raw: raw, enc: gob.NewEncoder(raw), dec: gob.NewDecoder(raw)}
+}
+
+// countingConn counts bytes crossing a data-plane socket into telemetry
+// counters; with nil counters it is a transparent wrapper.
+type countingConn struct {
+	net.Conn
+	sent  *telemetry.Counter
+	recvd *telemetry.Counter
+}
+
+func (c countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.recvd.Add(int64(n))
+	return n, err
+}
+
+func (c countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.sent.Add(int64(n))
+	return n, err
 }
 
 // send writes one envelope; safe for concurrent use. Tuple frames are

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
 
@@ -24,6 +25,12 @@ type mailbox struct {
 	capacity int // 0 = unbounded
 	peak     int // high-water mark of len(buf), for tests/metrics
 	closed   bool
+
+	// Optional live instruments (nil-safe no-ops when telemetry is
+	// off), mirroring the in-process runtime's mailbox.
+	depth       *telemetry.Gauge
+	blockedNS   *telemetry.Counter
+	blockedPuts *telemetry.Counter
 }
 
 func newMailbox(capacity int) *mailbox {
@@ -38,8 +45,19 @@ func newMailbox(capacity int) *mailbox {
 func (m *mailbox) put(t topology.Tuple) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for m.capacity > 0 && len(m.buf) >= m.capacity && !m.closed {
-		m.notFull.Wait()
+	if m.capacity > 0 && len(m.buf) >= m.capacity && !m.closed {
+		// Only a put that actually blocks pays for the clock reads.
+		var start time.Time
+		if m.blockedNS != nil {
+			start = time.Now()
+			m.blockedPuts.Inc()
+		}
+		for m.capacity > 0 && len(m.buf) >= m.capacity && !m.closed {
+			m.notFull.Wait()
+		}
+		if m.blockedNS != nil {
+			m.blockedNS.Add(int64(time.Since(start)))
+		}
 	}
 	if m.closed {
 		return false
@@ -48,6 +66,7 @@ func (m *mailbox) put(t topology.Tuple) bool {
 	if len(m.buf) > m.peak {
 		m.peak = len(m.buf)
 	}
+	m.depth.SetInt(len(m.buf))
 	m.notEmpty.Signal()
 	return true
 }
@@ -63,6 +82,7 @@ func (m *mailbox) get() (topology.Tuple, bool) {
 	}
 	t := m.buf[0]
 	m.buf = m.buf[1:]
+	m.depth.SetInt(len(m.buf))
 	m.notFull.Signal()
 	return t, true
 }
@@ -89,6 +109,13 @@ func (m *mailbox) peakLen() int {
 type peer struct {
 	mu sync.Mutex
 	c  *conn
+	// dialled counts successful dials on this slot; dials after the
+	// first are redials of a broken link.
+	dialled int
+	// backoff mirrors the current retry backoff in seconds while a send
+	// to this peer is healing (0 when healthy); nil when telemetry is
+	// off.
+	backoff *telemetry.Gauge
 }
 
 // outEdge is one outbound subscription resolved against the placement.
@@ -131,6 +158,19 @@ type Worker struct {
 	RetryBackoff    time.Duration
 	RetryBackoffMax time.Duration
 
+	// Telemetry, when set before Run, instruments the worker's transport
+	// and tasks: frames/bytes sent, dictionary hit rate, redials,
+	// per-peer backoff state, mailbox depth, and per-component
+	// executed/emitted counts. Series carry a worker="<id>" label so
+	// scrapes from different workers stay distinguishable after
+	// aggregation. Nil (the default) keeps every instrument a no-op.
+	Telemetry *telemetry.Registry
+	// MetricsAddr, when set before Run, serves Telemetry on that address
+	// (Prometheus text at /metrics, JSON at /debug/stats) for the whole
+	// run. Use "127.0.0.1:0" for an ephemeral port; ScrapeAddr reports
+	// the bound address.
+	MetricsAddr string
+
 	listener  net.Listener
 	addresses map[int]string
 	peers     map[int]*peer
@@ -154,6 +194,25 @@ type Worker struct {
 
 	boltWG  sync.WaitGroup
 	spoutWG sync.WaitGroup
+
+	// Transport instruments resolved once from Telemetry at Run start
+	// (all nil when telemetry is off).
+	tel struct {
+		framesSent  *telemetry.Counter
+		sendRetries *telemetry.Counter
+		dials       *telemetry.Counter
+		redials     *telemetry.Counter
+		dictHits    *telemetry.Counter
+		dictMisses  *telemetry.Counter
+		bytesSent   *telemetry.Counter
+		bytesRecv   *telemetry.Counter
+		copies      *telemetry.Counter
+		copiesDone  *telemetry.Counter
+		dropped     *telemetry.Counter
+		exec        map[string]*telemetry.Counter
+		emit        map[string]*telemetry.Counter
+	}
+	metricsSrv atomic.Pointer[telemetry.Server]
 }
 
 // NewWorker prepares a worker for the given topology and cluster size.
@@ -245,10 +304,63 @@ func (w *Worker) Listen() (string, error) {
 	return ln.Addr().String(), nil
 }
 
+// initTelemetry resolves the worker's transport instruments and
+// attaches mailbox instruments to the hosted task queues. Called once
+// at the start of Run; a nil Telemetry leaves everything a no-op.
+func (w *Worker) initTelemetry() {
+	reg := w.Telemetry
+	if reg == nil {
+		return
+	}
+	id := fmt.Sprint(w.id)
+	w.tel.framesSent = reg.Counter(telemetry.Name("cluster_frames_sent_total", "worker", id))
+	w.tel.sendRetries = reg.Counter(telemetry.Name("cluster_send_retries_total", "worker", id))
+	w.tel.dials = reg.Counter(telemetry.Name("cluster_peer_dials_total", "worker", id))
+	w.tel.redials = reg.Counter(telemetry.Name("cluster_peer_redials_total", "worker", id))
+	w.tel.dictHits = reg.Counter(telemetry.Name("cluster_dict_hits_total", "worker", id))
+	w.tel.dictMisses = reg.Counter(telemetry.Name("cluster_dict_misses_total", "worker", id))
+	w.tel.bytesSent = reg.Counter(telemetry.Name("cluster_bytes_sent_total", "worker", id))
+	w.tel.bytesRecv = reg.Counter(telemetry.Name("cluster_bytes_received_total", "worker", id))
+	w.tel.copies = reg.Counter(telemetry.Name("cluster_copies_sent_total", "worker", id))
+	w.tel.copiesDone = reg.Counter(telemetry.Name("cluster_copies_executed_total", "worker", id))
+	w.tel.dropped = reg.Counter(telemetry.Name("cluster_copies_dropped_total", "worker", id))
+	w.tel.exec = make(map[string]*telemetry.Counter, len(w.spec))
+	w.tel.emit = make(map[string]*telemetry.Counter, len(w.spec))
+	for _, comp := range w.spec {
+		// Same base names as the in-process runtime, so a cross-worker
+		// SumCounter matches a single-process run's totals.
+		w.tel.exec[comp.ID] = reg.Counter(telemetry.Name("topology_tuples_executed_total", "component", comp.ID, "worker", id))
+		w.tel.emit[comp.ID] = reg.Counter(telemetry.Name("topology_tuples_emitted_total", "component", comp.ID, "worker", id))
+	}
+	for compID, boxes := range w.boxes {
+		for task, box := range boxes {
+			if box == nil {
+				continue
+			}
+			box.depth = reg.Gauge(telemetry.Name("cluster_mailbox_depth", "worker", id, "component", compID, "task", fmt.Sprint(task)))
+			box.blockedNS = reg.Counter(telemetry.Name("cluster_backpressure_blocked_ns_total", "worker", id, "component", compID))
+			box.blockedPuts = reg.Counter(telemetry.Name("cluster_backpressure_blocked_puts_total", "worker", id, "component", compID))
+		}
+	}
+}
+
+// ScrapeAddr reports the bound address of the worker's metrics endpoint
+// ("" until Run starts one via MetricsAddr).
+func (w *Worker) ScrapeAddr() string { return w.metricsSrv.Load().Addr() }
+
 // Run connects to the coordinator, serves the data plane and executes
 // the local tasks until the coordinator signals stop. It blocks for the
 // whole run.
 func (w *Worker) Run() error {
+	w.initTelemetry()
+	if w.MetricsAddr != "" {
+		srv, err := telemetry.Serve(w.MetricsAddr, w.Telemetry)
+		if err != nil {
+			return err
+		}
+		w.metricsSrv.Store(srv)
+		defer srv.Close()
+	}
 	dataAddr, err := w.Listen()
 	if err != nil {
 		return err
@@ -340,6 +452,8 @@ func (w *Worker) runBolt(comp topology.ComponentSpec, task int, bolt topology.Bo
 		w.safeExecute(comp.ID, task, bolt, tuple, col)
 		w.execCount[comp.ID].Add(1)
 		w.executed.Add(1)
+		w.tel.exec[comp.ID].Inc()
+		w.tel.copiesDone.Inc()
 	}
 	bolt.Cleanup()
 }
@@ -387,7 +501,7 @@ func (w *Worker) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
-		go w.readLoop(newConn(raw))
+		go w.readLoop(newConn(countingConn{Conn: raw, sent: w.tel.bytesSent, recvd: w.tel.bytesRecv}))
 	}
 }
 
@@ -415,10 +529,14 @@ func (w *Worker) deliverLocal(comp string, task int, t topology.Tuple) bool {
 	if task < 0 || task >= len(boxes) || boxes[task] == nil {
 		w.recordFailure(comp, task, "tuple for task not hosted here")
 		w.executed.Add(1) // compensate sender's count
+		w.tel.copiesDone.Inc()
+		w.tel.dropped.Inc()
 		return false
 	}
 	if !boxes[task].put(t) {
 		w.executed.Add(1)
+		w.tel.copiesDone.Inc()
+		w.tel.dropped.Inc()
 		return false
 	}
 	return true
@@ -434,6 +552,10 @@ func (w *Worker) peerFor(id int) *peer {
 	p, ok := w.peers[id]
 	if !ok {
 		p = &peer{}
+		if w.Telemetry != nil {
+			p.backoff = w.Telemetry.Gauge(telemetry.Name("cluster_peer_backoff_seconds",
+				"worker", fmt.Sprint(w.id), "peer", fmt.Sprint(id)))
+		}
 		w.peers[id] = p
 	}
 	return p
@@ -455,7 +577,10 @@ func (w *Worker) sendToPeer(id int, e *envelope) error {
 	backoff := w.RetryBackoff
 	var lastErr error
 	for attempt := 0; attempt <= w.SendRetries; attempt++ {
+		w.tel.framesSent.Inc()
 		if attempt > 0 {
+			w.tel.sendRetries.Inc()
+			p.backoff.Set(backoff.Seconds())
 			time.Sleep(backoff + time.Duration(rand.Int63n(int64(backoff)+1)))
 			backoff *= 2
 			if backoff > w.RetryBackoffMax {
@@ -468,7 +593,12 @@ func (w *Worker) sendToPeer(id int, e *envelope) error {
 				lastErr = fmt.Errorf("cluster: dial worker %d: %w", id, err)
 				continue
 			}
-			p.c = newConn(raw)
+			w.tel.dials.Inc()
+			if p.dialled++; p.dialled > 1 {
+				w.tel.redials.Inc()
+			}
+			p.c = newConn(countingConn{Conn: raw, sent: w.tel.bytesSent, recvd: w.tel.bytesRecv})
+			p.c.dictHits, p.c.dictMisses = w.tel.dictHits, w.tel.dictMisses
 			go monitorPeer(p, p.c)
 		}
 		if err := p.c.send(e); err != nil {
@@ -479,6 +609,7 @@ func (w *Worker) sendToPeer(id int, e *envelope) error {
 			lastErr = err
 			continue
 		}
+		p.backoff.Set(0)
 		return nil
 	}
 	return lastErr
@@ -507,6 +638,7 @@ func monitorPeer(p *peer, c *conn) {
 // still reached.
 func (w *Worker) dispatch(comp string, task int, t topology.Tuple) bool {
 	w.sent.Add(1)
+	w.tel.copies.Inc()
 	target := w.placement.WorkerFor(comp, task)
 	if target == w.id {
 		return w.deliverLocal(comp, task, t)
@@ -515,6 +647,8 @@ func (w *Worker) dispatch(comp string, task int, t topology.Tuple) bool {
 	if err != nil {
 		w.recordFailure(comp, task, err)
 		w.executed.Add(1) // compensate so termination is still reached
+		w.tel.copiesDone.Inc()
+		w.tel.dropped.Inc()
 		return false
 	}
 	return true
@@ -607,6 +741,7 @@ func (c *workerCollector) EmitTo(stream string, v topology.Values) {
 		}
 	}
 	c.w.emitted[c.comp].Add(delivered)
+	c.w.tel.emit[c.comp].Add(delivered)
 }
 
 // EmitDirect implements topology.Collector.
@@ -625,4 +760,5 @@ func (c *workerCollector) EmitDirect(stream string, task int, v topology.Values)
 		}
 	}
 	c.w.emitted[c.comp].Add(delivered)
+	c.w.tel.emit[c.comp].Add(delivered)
 }

@@ -1,12 +1,15 @@
 package core
 
 import (
+	"fmt"
+	"sort"
+
 	"repro/internal/document"
 	"repro/internal/expansion"
 	"repro/internal/metrics"
 	"repro/internal/partition"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
-	"sort"
 )
 
 // assignerBolt is the Assigner of Fig. 2: a dispatcher that forwards
@@ -55,15 +58,39 @@ type assignerBolt struct {
 	repartitionW int // window a repartition was requested for (-1: none)
 
 	numJoiners int
+
+	// Live instruments (nil-safe no-ops when cfg.Telemetry is off):
+	// routing counters plus the per-window replication and Gini gauges
+	// computed at every window close.
+	tel struct {
+		documents   *telemetry.Counter
+		deliveries  *telemetry.Counter
+		broadcasts  *telemetry.Counter
+		updates     *telemetry.Counter
+		reparts     *telemetry.Counter
+		replication *telemetry.Gauge
+		gini        *telemetry.Gauge
+	}
 }
 
 func newAssignerBolt(cfg Config, task int) *assignerBolt {
-	return &assignerBolt{
+	b := &assignerBolt{
 		cfg:          cfg,
 		task:         task,
 		unseen:       make(map[document.Pair]int),
 		repartitionW: -1,
 	}
+	if reg := cfg.Telemetry; reg != nil {
+		id := fmt.Sprint(task)
+		b.tel.documents = reg.Counter(telemetry.Name("partition_documents_total", "task", id))
+		b.tel.deliveries = reg.Counter(telemetry.Name("partition_deliveries_total", "task", id))
+		b.tel.broadcasts = reg.Counter(telemetry.Name("partition_broadcasts_total", "task", id))
+		b.tel.updates = reg.Counter(telemetry.Name("partition_update_requests_total", "task", id))
+		b.tel.reparts = reg.Counter(telemetry.Name("partition_repartition_triggers_total", "task", id))
+		b.tel.replication = reg.Gauge(telemetry.Name("partition_window_replication", "task", id))
+		b.tel.gini = reg.Gauge(telemetry.Name("partition_window_gini", "task", id))
+	}
+	return b
 }
 
 // Prepare implements topology.Bolt.
@@ -176,8 +203,11 @@ func (b *assignerBolt) route(d document.Document, c topology.Collector) {
 		c.EmitDirect(streamToJoin, j, topology.Values{"doc": d, "window": b.window, "targets": targets})
 	}
 	b.deliveries += len(targets)
+	b.tel.documents.Inc()
+	b.tel.deliveries.Add(int64(len(targets)))
 	if broadcast {
 		b.broadcasts++
+		b.tel.broadcasts.Inc()
 	}
 }
 
@@ -210,6 +240,7 @@ func (b *assignerBolt) targets(d document.Document, c topology.Collector) ([]int
 		}
 		if hitDelta {
 			b.updates++
+			b.tel.updates.Inc()
 			c.EmitTo(streamUpdate, topology.Values{"msg": updateMsg{Doc: d}})
 		}
 		return b.allJoiners(), true
@@ -227,14 +258,17 @@ func (b *assignerBolt) finishWindow(w int, c topology.Collector) {
 	gini := 0.0
 	if b.documents > 0 {
 		repl = float64(b.deliveries) / float64(b.documents)
-		gini = metrics.GiniInt(b.perJoiner)
+		gini, _ = metrics.SafeGini(b.perJoiner)
 	}
+	b.tel.replication.Set(repl)
+	b.tel.gini.Set(gini)
 	if b.baselineSet && b.documents > 0 {
 		// θ trigger: replication grew by more than θ relative to the
 		// baseline, or the load balance worsened by more than θ.
 		if metrics.RelChange(b.baselineRepl, repl) > b.cfg.Theta ||
 			gini-b.baselineGini > b.cfg.Theta {
 			b.repartitioned = true
+			b.tel.reparts.Inc()
 			// Engage the local barrier directly; the merger's relay
 			// covers the peer assigners.
 			if w+1 > b.repartitionW {

@@ -3,7 +3,6 @@ package core
 import (
 	"encoding/gob"
 
-	"repro/internal/cluster"
 	"repro/internal/document"
 	"repro/internal/expansion"
 	"repro/internal/partition"
@@ -47,6 +46,7 @@ func NewTopology(cfg Config) (*topology.Builder, *Report, error) {
 func buildTopology(cfg Config, report *Report) *topology.Builder {
 	b := topology.NewBuilder()
 	b.MaxPending(cfg.MaxPending)
+	b.Telemetry(cfg.Telemetry)
 	b.SetSpout("reader", func(int) topology.Spout {
 		return newReaderSpout(cfg.Source, cfg.WindowSize, cfg.Windows)
 	}, 1)
@@ -101,19 +101,9 @@ func buildTopology(cfg Config, report *Report) *topology.Builder {
 // round-robin placement; the collector's Report is shared because the
 // workers run in this process. A multi-process deployment would ship
 // the report through a sink instead (see cmd/sfj-topology).
+//
+// Deprecated: ClusterRun is a thin wrapper kept for compatibility; use
+// NewRunner(cfg, WithWorkers(workers)).Run().
 func ClusterRun(cfg Config, workers int) (*Report, error) {
-	cfg, err := cfg.withDefaults()
-	if err != nil {
-		return nil, err
-	}
-	RegisterGobTypes()
-	report := &Report{}
-	stats, err := cluster.Run(func() *topology.Builder {
-		return buildTopology(cfg, report)
-	}, workers)
-	if err != nil {
-		return nil, err
-	}
-	report.Topology = stats
-	return report, nil
+	return NewRunner(cfg, WithWorkers(workers)).Run()
 }

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/metrics"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
 
@@ -17,15 +18,40 @@ type collectorBolt struct {
 	report *Report
 
 	windows map[int]*windowAgg
+
+	// Live instruments (nil-safe no-ops when cfg.Telemetry is off):
+	// global totals plus the cluster-wide replication/Gini of the last
+	// completed window, computed as soon as every assigner's partial for
+	// that window has arrived.
+	tel struct {
+		joinPairs     *telemetry.Counter
+		docsJoined    *telemetry.Counter
+		tableVersions *telemetry.Counter
+		repartitions  *telemetry.Counter
+		windowsDone   *telemetry.Counter
+		replication   *telemetry.Gauge
+		gini          *telemetry.Gauge
+	}
 }
 
 type windowAgg struct {
 	stats         *metrics.WindowStats
 	repartitioned bool
+	partials      int // assigner partials received
 }
 
 func newCollectorBolt(cfg Config, report *Report) *collectorBolt {
-	return &collectorBolt{cfg: cfg, report: report, windows: make(map[int]*windowAgg)}
+	b := &collectorBolt{cfg: cfg, report: report, windows: make(map[int]*windowAgg)}
+	if reg := cfg.Telemetry; reg != nil {
+		b.tel.joinPairs = reg.Counter("collector_join_pairs_total")
+		b.tel.docsJoined = reg.Counter("collector_docs_joined_total")
+		b.tel.tableVersions = reg.Counter("collector_table_versions_total")
+		b.tel.repartitions = reg.Counter("collector_repartitions_total")
+		b.tel.windowsDone = reg.Counter("collector_windows_completed_total")
+		b.tel.replication = reg.Gauge("partition_global_replication")
+		b.tel.gini = reg.Gauge("partition_global_gini")
+	}
+	return b
 }
 
 // Prepare implements topology.Bolt.
@@ -49,15 +75,27 @@ func (b *collectorBolt) Execute(t topology.Tuple, _ topology.Collector) {
 		if msg.Repartitioned {
 			agg.repartitioned = true
 		}
+		if agg.partials++; agg.partials == b.cfg.Assigners {
+			// Window complete across all assigners: publish the global
+			// routing quality live, the same numbers the final Report's
+			// RunStats will carry.
+			b.tel.windowsDone.Inc()
+			b.tel.replication.Set(agg.stats.Replication())
+			b.tel.gini.Set(agg.stats.LoadBalance())
+		}
 	case streamJoinerStats:
 		msg := t.Values["msg"].(joinerStatsMsg)
 		b.report.JoinPairs += msg.Pairs
 		b.report.DocsJoined += msg.Docs
+		b.tel.joinPairs.Add(int64(msg.Pairs))
+		b.tel.docsJoined.Add(int64(msg.Docs))
 	case streamMergerEvents:
 		msg := t.Values["msg"].(mergerEventMsg)
 		b.report.TableVersions++
+		b.tel.tableVersions.Inc()
 		if msg.Recomputed {
 			b.report.Repartitions++
+			b.tel.repartitions.Inc()
 		}
 	}
 }
@@ -83,4 +121,7 @@ func (b *collectorBolt) Cleanup() {
 		agg.stats.Repartitioned = agg.repartitioned
 		b.report.Run.Add(agg.stats)
 	}
+	// Publish the run's headline aggregates as gauges so the final
+	// snapshot (and any post-run scrape) carries them.
+	b.report.Run.PublishTo(b.cfg.Telemetry)
 }

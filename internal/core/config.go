@@ -18,6 +18,7 @@ import (
 	"repro/internal/join"
 	"repro/internal/metrics"
 	"repro/internal/partition"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
 
@@ -120,6 +121,11 @@ type Config struct {
 	// OnResult, when set, receives every join result. It is called
 	// from Joiner task goroutines and must be safe for concurrent use.
 	OnResult func(join.Result)
+	// Telemetry, when set, instruments the whole run — topology
+	// executors, join engines, partitioning — into the given registry,
+	// and the final Report carries its snapshot. Nil (the default) keeps
+	// every instrument a no-op.
+	Telemetry *telemetry.Registry
 }
 
 // withDefaults fills unset fields with the paper's defaults.
@@ -179,6 +185,9 @@ type Report struct {
 	TableVersions int
 	// Topology carries the substrate counters.
 	Topology topology.Stats
+	// Telemetry is the final snapshot of Config.Telemetry (zero when
+	// telemetry was off): the same series a live /metrics scrape shows.
+	Telemetry telemetry.Snapshot
 }
 
 // String renders the headline numbers.

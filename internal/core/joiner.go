@@ -1,8 +1,11 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/document"
 	"repro/internal/join"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
 
@@ -39,6 +42,9 @@ type joinerBolt struct {
 	// window tumbles when all of them reported.
 	markers      map[int]int
 	numAssigners int
+
+	// Live instruments (nil-safe no-ops when cfg.Telemetry is off).
+	telPairs *telemetry.Counter // pairs this joiner owns and emits
 }
 
 type pendingDoc struct {
@@ -53,7 +59,7 @@ func newJoinerBolt(cfg Config, task int) *joinerBolt {
 		// unknown engine here is a programming error.
 		panic(err)
 	}
-	return &joinerBolt{
+	b := &joinerBolt{
 		cfg:      cfg,
 		task:     task,
 		windowed: join.NewWindowed(eng),
@@ -61,6 +67,18 @@ func newJoinerBolt(cfg Config, task int) *joinerBolt {
 		pending:  make(map[int][]pendingDoc),
 		markers:  make(map[int]int),
 	}
+	if reg := cfg.Telemetry; reg != nil {
+		id := fmt.Sprint(task)
+		b.telPairs = reg.Counter(telemetry.Name("join_pairs_total", "task", id))
+		b.windowed.SetInstruments(join.Instruments{
+			ProbeSeconds: reg.Histogram(telemetry.Name("join_probe_seconds", "task", id)),
+			Results:      reg.Counter(telemetry.Name("join_results_total", "task", id)),
+			Duplicates:   reg.Counter(telemetry.Name("join_duplicates_total", "task", id)),
+			WindowDocs:   reg.Gauge(telemetry.Name("join_window_docs", "task", id)),
+			TreeNodes:    reg.Gauge(telemetry.Name("join_fptree_nodes", "task", id)),
+		})
+	}
+	return b
 }
 
 // Prepare implements topology.Bolt.
@@ -99,6 +117,7 @@ func (b *joinerBolt) process(p pendingDoc, c topology.Collector) {
 			continue
 		}
 		b.pairs++
+		b.telPairs.Inc()
 		if b.cfg.OnResult != nil {
 			b.cfg.OnResult(res)
 		}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/expansion"
 	"repro/internal/join"
 	"repro/internal/partition"
+	"repro/internal/telemetry"
 )
 
 // Pipeline is the single-process façade over the paper's algorithms:
@@ -31,6 +32,23 @@ func NewPipeline(engine string) (*Pipeline, error) {
 		return nil, err
 	}
 	return &Pipeline{windowed: join.NewWindowed(eng), nextID: 1}, nil
+}
+
+// Instrument attaches live telemetry to the pipeline's joiner under the
+// single-task join_* series (the same vocabulary the scale-out joiners
+// publish per task). A nil registry detaches all instruments.
+func (p *Pipeline) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		p.windowed.SetInstruments(join.Instruments{})
+		return
+	}
+	p.windowed.SetInstruments(join.Instruments{
+		ProbeSeconds: reg.Histogram("join_probe_seconds"),
+		Results:      reg.Counter("join_results_total"),
+		Duplicates:   reg.Counter("join_duplicates_total"),
+		WindowDocs:   reg.Gauge("join_window_docs"),
+		TreeNodes:    reg.Gauge("join_fptree_nodes"),
+	})
 }
 
 // Process matches a document against the current window and stores it,

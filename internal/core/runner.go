@@ -1,0 +1,236 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/telemetry"
+)
+
+// Runner is the unified entry point for executing the system: one API
+// covers the in-process runtime and the TCP cluster runtime, configured
+// through functional options.
+//
+//	report, err := core.NewRunner(cfg).Run()                          // in-process
+//	report, err := core.NewRunner(cfg, core.WithWorkers(4)).Run()     // 4 TCP workers
+//	report, err := core.NewRunner(cfg,
+//		core.WithWorkers(4),
+//		core.WithTelemetry(reg),
+//		core.WithChaos(&core.Chaos{Delay: time.Millisecond}),
+//	).Run()
+//
+// The legacy Run and ClusterRun helpers are thin wrappers over Runner.
+type Runner struct {
+	cfg         Config
+	workers     int
+	metricsAddr string
+	chaos       *Chaos
+	workerReg   func(worker int) *telemetry.Registry
+	workerHook  func(worker int, w *cluster.Worker)
+}
+
+// Option configures a Runner.
+type Option func(*Runner)
+
+// WithWorkers runs the topology across n TCP-connected in-process
+// workers instead of the single-process runtime. n must be >= 1.
+func WithWorkers(n int) Option {
+	return func(r *Runner) { r.workers = n }
+}
+
+// WithTelemetry instruments the run into reg — topology executors,
+// cluster transport, join engines and partitioning — and attaches its
+// final snapshot to Report.Telemetry. Equivalent to setting
+// Config.Telemetry.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(r *Runner) { r.cfg.Telemetry = reg }
+}
+
+// WithMetricsAddr serves the run's telemetry registry on addr for the
+// duration of the run (Prometheus text at /metrics, JSON at
+// /debug/stats). Requires WithTelemetry (or Config.Telemetry).
+func WithMetricsAddr(addr string) Option {
+	return func(r *Runner) { r.metricsAddr = addr }
+}
+
+// WithChaos interposes a fault-injection proxy on every worker's
+// data-plane listener. Requires WithWorkers.
+func WithChaos(c *Chaos) Option {
+	return func(r *Runner) { r.chaos = c }
+}
+
+// WithWorkerTelemetry gives every cluster worker its own registry,
+// overriding WithTelemetry for the components hosted on that worker and
+// for its transport series — the multi-process deployment shape, where
+// each worker scrapes separately. The per-worker snapshots are merged
+// into Report.Telemetry at the end of the run.
+func WithWorkerTelemetry(f func(worker int) *telemetry.Registry) Option {
+	return func(r *Runner) { r.workerReg = f }
+}
+
+// WithWorkerHook exposes each cluster worker to the caller right before
+// it starts — for setting MetricsAddr, retry tuning, or capturing the
+// worker for mid-run inspection in tests.
+func WithWorkerHook(f func(worker int, w *cluster.Worker)) Option {
+	return func(r *Runner) { r.workerHook = f }
+}
+
+// Chaos configures fault injection for a cluster run: every
+// worker-to-worker link runs through a cluster.ChaosProxy.
+type Chaos struct {
+	// Delay is added to every byte batch crossing a data-plane link.
+	Delay time.Duration
+	// OnProxy, when set, receives each worker's proxy right after it
+	// starts, so a test can script severs and pauses mid-run.
+	OnProxy func(worker int, p *cluster.ChaosProxy)
+}
+
+// NewRunner prepares a run of the system with the given configuration
+// and options. Nothing executes until Run.
+func NewRunner(cfg Config, opts ...Option) *Runner {
+	r := &Runner{cfg: cfg}
+	for _, opt := range opts {
+		opt(r)
+	}
+	return r
+}
+
+// Run executes the configured run and blocks until the stream is
+// exhausted and the topology has fully drained.
+func (r *Runner) Run() (*Report, error) {
+	cfg, err := r.cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if r.workers < 0 {
+		return nil, fmt.Errorf("core: WithWorkers(%d) < 1", r.workers)
+	}
+	if r.workers == 0 {
+		if r.chaos != nil {
+			return nil, fmt.Errorf("core: WithChaos requires WithWorkers")
+		}
+		if r.workerReg != nil {
+			return nil, fmt.Errorf("core: WithWorkerTelemetry requires WithWorkers")
+		}
+		if r.workerHook != nil {
+			return nil, fmt.Errorf("core: WithWorkerHook requires WithWorkers")
+		}
+	}
+	if r.metricsAddr != "" {
+		if cfg.Telemetry == nil {
+			return nil, fmt.Errorf("core: WithMetricsAddr requires WithTelemetry")
+		}
+		srv, err := telemetry.Serve(r.metricsAddr, cfg.Telemetry)
+		if err != nil {
+			return nil, err
+		}
+		defer srv.Close()
+	}
+	if r.workers == 0 {
+		return r.runLocal(cfg)
+	}
+	return r.runCluster(cfg)
+}
+
+// runLocal executes on the in-process topology runtime.
+func (r *Runner) runLocal(cfg Config) (*Report, error) {
+	report := &Report{}
+	topo, err := buildTopology(cfg, report).Build()
+	if err != nil {
+		return nil, err
+	}
+	report.Topology = topo.Run()
+	report.Telemetry = cfg.Telemetry.Snapshot()
+	return report, nil
+}
+
+// runCluster executes across TCP-connected in-process workers: the same
+// plumbing as a multi-process deployment — coordinator handshake,
+// gob-framed data plane, double-probe termination — without spawning
+// processes. Every worker constructs the topology from the same code
+// and instantiates only its placed tasks.
+func (r *Runner) runCluster(cfg Config) (*Report, error) {
+	RegisterGobTypes()
+	coord, err := cluster.NewCoordinator(r.workers)
+	if err != nil {
+		return nil, err
+	}
+	report := &Report{}
+	workers := make([]*cluster.Worker, r.workers)
+	regs := make([]*telemetry.Registry, 0, r.workers+1)
+	if cfg.Telemetry != nil {
+		regs = append(regs, cfg.Telemetry)
+	}
+	var proxies []*cluster.ChaosProxy
+	defer func() {
+		for _, p := range proxies {
+			p.Close()
+		}
+	}()
+	for i := 0; i < r.workers; i++ {
+		wcfg := cfg
+		if r.workerReg != nil {
+			wcfg.Telemetry = r.workerReg(i)
+			if wcfg.Telemetry != nil {
+				regs = append(regs, wcfg.Telemetry)
+			}
+		}
+		w, err := cluster.NewWorker(i, r.workers, buildTopology(wcfg, report), coord.Addr())
+		if err != nil {
+			return nil, err
+		}
+		w.Telemetry = wcfg.Telemetry
+		if r.chaos != nil {
+			addr, err := w.Listen()
+			if err != nil {
+				return nil, err
+			}
+			proxy, err := cluster.NewChaosProxy(addr)
+			if err != nil {
+				return nil, err
+			}
+			if r.chaos.Delay > 0 {
+				proxy.SetDelay(r.chaos.Delay)
+			}
+			w.AdvertiseAddr = proxy.Addr()
+			proxies = append(proxies, proxy)
+			if r.chaos.OnProxy != nil {
+				r.chaos.OnProxy(i, proxy)
+			}
+		}
+		if r.workerHook != nil {
+			r.workerHook(i, w)
+		}
+		workers[i] = w
+	}
+	errs := make(chan error, r.workers)
+	for _, w := range workers {
+		w := w
+		go func() { errs <- w.Run() }()
+	}
+	stats, err := coord.Run()
+	for i := 0; i < r.workers; i++ {
+		if werr := <-errs; werr != nil && err == nil {
+			err = werr
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	report.Topology = stats
+	// Merge every distinct registry's snapshot: series are disjoint
+	// (each task runs on exactly one worker and transport series carry
+	// worker labels), so the merge is the whole-cluster picture.
+	seen := make(map[*telemetry.Registry]bool, len(regs))
+	var snaps []telemetry.Snapshot
+	for _, reg := range regs {
+		if seen[reg] {
+			continue
+		}
+		seen[reg] = true
+		snaps = append(snaps, reg.Snapshot())
+	}
+	report.Telemetry = telemetry.Merge(snaps...)
+	return report, nil
+}

@@ -3,17 +3,11 @@ package core
 // Run streams the configured number of windows through the paper's
 // topology on the in-process runtime and returns the collected metrics.
 // The call blocks until the stream is exhausted and the topology has
-// fully drained. For the TCP-distributed variant see ClusterRun.
+// fully drained.
+//
+// Deprecated: Run is a thin wrapper kept for compatibility; use
+// NewRunner(cfg).Run(), which also covers cluster execution, telemetry
+// and fault injection through options.
 func Run(cfg Config) (*Report, error) {
-	cfg, err := cfg.withDefaults()
-	if err != nil {
-		return nil, err
-	}
-	report := &Report{}
-	topo, err := buildTopology(cfg, report).Build()
-	if err != nil {
-		return nil, err
-	}
-	report.Topology = topo.Run()
-	return report, nil
+	return NewRunner(cfg).Run()
 }

@@ -21,6 +21,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/metrics"
 	"repro/internal/partition"
+	"repro/internal/telemetry"
 )
 
 // Scale sizes the experiments. The paper streams 46M documents over a
@@ -186,9 +187,18 @@ func runSystem(key runKey, sc Scale) (point, error) {
 		Expansion:   expansionFor(key.dataset, key.algo),
 		Source:      source,
 	}
-	report, err := core.Run(cfg)
+	// Run with telemetry attached: the snapshot cross-checks the
+	// report's headline counters, so every experiment doubles as an
+	// end-to-end consistency test of the instrumentation.
+	report, err := core.NewRunner(cfg, core.WithTelemetry(telemetry.NewRegistry())).Run()
 	if err != nil {
 		return point{}, err
+	}
+	if got := report.Telemetry.SumCounter("join_pairs_total"); got != int64(report.JoinPairs) {
+		return point{}, fmt.Errorf("experiments: telemetry join_pairs_total=%d disagrees with report.JoinPairs=%d", got, report.JoinPairs)
+	}
+	if got := report.Telemetry.SumCounter("partition_deliveries_total"); got != int64(report.DocsJoined) {
+		return point{}, fmt.Errorf("experiments: telemetry partition_deliveries_total=%d disagrees with report.DocsJoined=%d", got, report.DocsJoined)
 	}
 	p := summarise(report, key.m)
 	runMu.Lock()

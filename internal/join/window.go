@@ -1,7 +1,10 @@
 package join
 
 import (
+	"time"
+
 	"repro/internal/document"
+	"repro/internal/telemetry"
 )
 
 // Result is one joined pair together with the merged output document
@@ -31,6 +34,46 @@ type Windowed struct {
 	pairsEmitted  int
 	docsProcessed int
 	duplicates    int
+
+	ins Instruments
+	// fpj caches the engine's concrete type when TreeNodes is attached,
+	// so the per-document size refresh skips the type assertion.
+	fpj *FPJ
+}
+
+// Instruments are the optional live metrics of a windowed joiner. Every
+// field is nil-safe, so the zero value is a complete no-op; populate
+// the fields from a telemetry.Registry and attach with SetInstruments.
+type Instruments struct {
+	// ProbeSeconds profiles each probe-then-insert against the engine.
+	ProbeSeconds *telemetry.Histogram
+	// Results counts join results produced by the engine.
+	Results *telemetry.Counter
+	// Duplicates counts suppressed duplicate deliveries.
+	Duplicates *telemetry.Counter
+	// WindowDocs tracks the number of documents stored in the current
+	// window.
+	WindowDocs *telemetry.Gauge
+	// TreeNodes tracks the engine's FP-tree node count; it stays zero
+	// for engines without a tree (NLJ, HBJ).
+	TreeNodes *telemetry.Gauge
+}
+
+// SetInstruments attaches live metrics to the windowed joiner.
+func (w *Windowed) SetInstruments(ins Instruments) {
+	w.ins = ins
+	w.fpj = nil
+	if ins.TreeNodes != nil {
+		w.fpj, _ = w.engine.(*FPJ)
+	}
+}
+
+// updateSizes refreshes the window-size gauges after state changed.
+func (w *Windowed) updateSizes() {
+	w.ins.WindowDocs.SetInt(len(w.store))
+	if w.fpj != nil {
+		w.ins.TreeNodes.SetInt(w.fpj.Tree().NodeCount())
+	}
 }
 
 // NewWindowed builds a windowed joiner on top of the given engine.
@@ -52,13 +95,23 @@ func (w *Windowed) Engine() Engine { return w.engine }
 func (w *Windowed) Process(d document.Document) []Result {
 	if _, dup := w.seen[d.ID]; dup {
 		w.duplicates++
+		w.ins.Duplicates.Inc()
 		return nil
 	}
 	w.seen[d.ID] = struct{}{}
 	w.docsProcessed++
+	// Only an attached histogram pays for the clock reads.
+	var start time.Time
+	if w.ins.ProbeSeconds != nil {
+		start = time.Now()
+	}
 	partners := w.engine.ProbeInsert(d)
+	if w.ins.ProbeSeconds != nil {
+		w.ins.ProbeSeconds.Observe(time.Since(start))
+	}
 	if len(partners) == 0 {
 		w.store[d.ID] = d
+		w.updateSizes()
 		return nil
 	}
 	results := make([]Result, 0, len(partners))
@@ -73,6 +126,8 @@ func (w *Windowed) Process(d document.Document) []Result {
 	}
 	w.store[d.ID] = d
 	w.pairsEmitted += len(results)
+	w.ins.Results.Add(int64(len(results)))
+	w.updateSizes()
 	return results
 }
 
@@ -86,6 +141,7 @@ func (w *Windowed) Tumble() (docs, pairs int) {
 	w.docsProcessed = 0
 	w.pairsEmitted = 0
 	w.duplicates = 0
+	w.updateSizes()
 	return docs, pairs
 }
 

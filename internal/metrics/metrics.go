@@ -9,41 +9,60 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"repro/internal/telemetry"
 )
+
+// Real is any numeric load type Gini accepts.
+type Real interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64 |
+		~float32 | ~float64
+}
 
 // Gini computes the Gini coefficient of the given non-negative loads.
 // 0 means perfectly equal distribution; values approach 1 as a single
-// element dominates. An empty or all-zero input yields 0.
-func Gini(loads []float64) float64 {
+// element dominates. An empty or all-zero input yields 0. A negative
+// load is a measurement error and yields a non-nil error (with the
+// coefficient of the clamped-to-zero loads, so a caller that chooses
+// to proceed still gets a defined value).
+func Gini[T Real](loads []T) (float64, error) {
+	g, clamped := SafeGini(loads)
+	if clamped > 0 {
+		return g, fmt.Errorf("metrics: %d negative load(s) clamped to 0", clamped)
+	}
+	return g, nil
+}
+
+// SafeGini is the never-failing Gini used on live telemetry paths: a
+// negative load (a measurement error) is clamped to zero and counted in
+// the second return value instead of propagating an error — a bad
+// sample must never kill a worker or a scrape.
+func SafeGini[T Real](loads []T) (g float64, clamped int) {
 	n := len(loads)
 	if n == 0 {
-		return 0
+		return 0, 0
 	}
 	sorted := make([]float64, n)
-	copy(sorted, loads)
+	for i, v := range loads {
+		f := float64(v)
+		if f < 0 {
+			f = 0
+			clamped++
+		}
+		sorted[i] = f
+	}
 	sort.Float64s(sorted)
 	var sum, weighted float64
 	for i, v := range sorted {
-		if v < 0 {
-			panic(fmt.Sprintf("metrics: negative load %g", v))
-		}
 		sum += v
 		weighted += float64(i+1) * v
 	}
 	if sum == 0 {
-		return 0
+		return 0, clamped
 	}
 	// G = (2*Σ i*x_i)/(n*Σ x_i) - (n+1)/n for ascending-sorted x.
-	return 2*weighted/(float64(n)*sum) - float64(n+1)/float64(n)
-}
-
-// GiniInt is Gini over integer loads.
-func GiniInt(loads []int) float64 {
-	f := make([]float64, len(loads))
-	for i, v := range loads {
-		f[i] = float64(v)
-	}
-	return Gini(f)
+	return 2*weighted/(float64(n)*sum) - float64(n+1)/float64(n), clamped
 }
 
 // WindowStats aggregates the routing statistics of one time window.
@@ -112,7 +131,8 @@ func (w *WindowStats) MaxProcessingLoad() float64 {
 
 // LoadBalance is the Gini coefficient over the per-joiner loads.
 func (w *WindowStats) LoadBalance() float64 {
-	return GiniInt(w.PerJoiner)
+	g, _ := SafeGini(w.PerJoiner)
+	return g
 }
 
 // String summarises the window for logs.
@@ -183,6 +203,46 @@ func (r *RunStats) Summary() string {
 	fmt.Fprintf(&b, "windows=%d avg_repl=%.3f avg_gini=%.3f avg_maxload=%.3f repart=%.1f%%",
 		len(r.Windows), r.AvgReplication(), r.AvgLoadBalance(), r.AvgMaxProcessingLoad(), r.RepartitionRate())
 	return b.String()
+}
+
+// View renders the window's derived metrics under the telemetry series
+// vocabulary — the same names the live partition_window_* gauges use —
+// so post-hoc analysis and dashboards read one naming scheme.
+func (w *WindowStats) View() map[string]float64 {
+	return map[string]float64{
+		"partition_window_documents":   float64(w.Documents),
+		"partition_window_deliveries":  float64(w.Deliveries),
+		"partition_window_replication": w.Replication(),
+		"partition_window_gini":        w.LoadBalance(),
+		"partition_window_max_load":    w.MaxProcessingLoad(),
+		"partition_window_broadcasts":  float64(w.Broadcasts),
+		"partition_window_updates":     float64(w.Updates),
+	}
+}
+
+// View renders the run's aggregate metrics under the telemetry series
+// vocabulary.
+func (r *RunStats) View() map[string]float64 {
+	return map[string]float64{
+		"run_windows":              float64(len(r.Windows)),
+		"run_avg_replication":      r.AvgReplication(),
+		"run_avg_gini":             r.AvgLoadBalance(),
+		"run_avg_max_load":         r.AvgMaxProcessingLoad(),
+		"run_repartition_rate_pct": r.RepartitionRate(),
+	}
+}
+
+// PublishTo writes the run's aggregate view into a telemetry registry
+// as gauges, so a post-run scrape (or Report.Telemetry snapshot)
+// carries the paper's headline numbers next to the live counters. A nil
+// registry is a no-op.
+func (r *RunStats) PublishTo(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	for name, v := range r.View() {
+		reg.Gauge(name).Set(v)
+	}
 }
 
 // RelChange returns the relative increase of cur over base, guarding

@@ -5,19 +5,30 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/telemetry"
 )
 
 func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
 
+func mustGini[T Real](t *testing.T, loads []T) float64 {
+	t.Helper()
+	g, err := Gini(loads)
+	if err != nil {
+		t.Fatalf("Gini(%v): %v", loads, err)
+	}
+	return g
+}
+
 func TestGiniEqualLoads(t *testing.T) {
-	if g := Gini([]float64{5, 5, 5, 5}); !almost(g, 0) {
+	if g := mustGini(t, []float64{5, 5, 5, 5}); !almost(g, 0) {
 		t.Errorf("Gini equal = %g, want 0", g)
 	}
 }
 
 func TestGiniSingleDominant(t *testing.T) {
 	// One of n elements holds everything: G = (n-1)/n.
-	g := Gini([]float64{0, 0, 0, 100})
+	g := mustGini(t, []float64{0, 0, 0, 100})
 	if !almost(g, 0.75) {
 		t.Errorf("Gini dominant = %g, want 0.75", g)
 	}
@@ -25,31 +36,54 @@ func TestGiniSingleDominant(t *testing.T) {
 
 func TestGiniKnownValue(t *testing.T) {
 	// For loads 1,2,3,4: G = 0.25 (classic textbook value).
-	g := Gini([]float64{1, 2, 3, 4})
+	g := mustGini(t, []float64{1, 2, 3, 4})
 	if !almost(g, 0.25) {
 		t.Errorf("Gini(1..4) = %g, want 0.25", g)
 	}
 }
 
 func TestGiniEdgeCases(t *testing.T) {
-	if g := Gini(nil); g != 0 {
+	if g := mustGini[float64](t, nil); g != 0 {
 		t.Errorf("Gini(nil) = %g", g)
 	}
-	if g := Gini([]float64{0, 0}); g != 0 {
+	if g := mustGini(t, []float64{0, 0}); g != 0 {
 		t.Errorf("Gini(zeros) = %g", g)
 	}
-	if g := Gini([]float64{7}); !almost(g, 0) {
+	if g := mustGini(t, []float64{7}); !almost(g, 0) {
 		t.Errorf("Gini(single) = %g", g)
 	}
 }
 
-func TestGiniPanicsOnNegative(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("negative load did not panic")
-		}
-	}()
-	Gini([]float64{1, -1})
+// TestGiniNegativeLoad: a negative load (a measurement error) must not
+// panic — Gini reports an error, SafeGini clamps and counts. A panic on
+// a live telemetry path would kill the worker serving the scrape.
+func TestGiniNegativeLoad(t *testing.T) {
+	g, err := Gini([]float64{1, -1})
+	if err == nil {
+		t.Error("negative load must yield an error")
+	}
+	if clamped, _ := Gini([]float64{1, 0}); !almost(g, clamped) {
+		t.Errorf("errored Gini = %g, want the clamped value %g", g, clamped)
+	}
+	sg, n := SafeGini([]int{3, -2, 1})
+	if n != 1 {
+		t.Errorf("SafeGini clamped = %d, want 1", n)
+	}
+	want, _ := Gini([]int{3, 0, 1})
+	if !almost(sg, want) {
+		t.Errorf("SafeGini = %g, want %g", sg, want)
+	}
+}
+
+// TestGiniGenericTypes: one generic Gini covers the old Gini/GiniInt
+// split.
+func TestGiniGenericTypes(t *testing.T) {
+	gi := mustGini(t, []int{1, 2, 3, 4})
+	gf := mustGini(t, []float64{1, 2, 3, 4})
+	g32 := mustGini(t, []int32{1, 2, 3, 4})
+	if !almost(gi, gf) || !almost(gi, g32) || !almost(gi, 0.25) {
+		t.Errorf("generic Gini disagrees: int=%g float64=%g int32=%g", gi, gf, g32)
+	}
 }
 
 func TestQuickGiniRange(t *testing.T) {
@@ -60,8 +94,8 @@ func TestQuickGiniRange(t *testing.T) {
 		for i := range loads {
 			loads[i] = float64(r.Intn(1000))
 		}
-		g := Gini(loads)
-		return g >= -1e-12 && g <= 1
+		g, err := Gini(loads)
+		return err == nil && g >= -1e-12 && g <= 1
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Error(err)
@@ -78,7 +112,9 @@ func TestQuickGiniScaleInvariant(t *testing.T) {
 			loads[i] = float64(1 + r.Intn(100))
 			scaled[i] = loads[i] * 7
 		}
-		return almost(Gini(loads), Gini(scaled))
+		ga, _ := Gini(loads)
+		gb, _ := Gini(scaled)
+		return almost(ga, gb)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
@@ -163,4 +199,25 @@ func TestSummaryStrings(t *testing.T) {
 	if s := r.Summary(); s == "" {
 		t.Error("empty Summary")
 	}
+}
+
+func TestViewsAndPublish(t *testing.T) {
+	w := NewWindowStats(2)
+	w.RecordDelivery([]int{0, 1}, true)
+	view := w.View()
+	if !almost(view["partition_window_replication"], 2) {
+		t.Errorf("window view replication = %g, want 2", view["partition_window_replication"])
+	}
+	var r RunStats
+	r.Add(w)
+	reg := telemetry.NewRegistry()
+	r.PublishTo(reg)
+	snap := reg.Snapshot()
+	if got := snap.Gauge("run_avg_replication"); !almost(got, 2) {
+		t.Errorf("published run_avg_replication = %g, want 2", got)
+	}
+	if got := snap.Gauge("run_windows"); got != 1 {
+		t.Errorf("published run_windows = %g, want 1", got)
+	}
+	r.PublishTo(nil) // must be a no-op, not a panic
 }

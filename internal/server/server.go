@@ -9,6 +9,8 @@
 //	POST /documents   one JSON object, or NDJSON for a batch
 //	POST /tumble      close the current window
 //	GET  /stats       processing counters
+//	GET  /metrics     Prometheus text exposition (when telemetry is on)
+//	GET  /debug/stats JSON telemetry snapshot (when telemetry is on)
 //	GET  /healthz     liveness
 package server
 
@@ -22,6 +24,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/join"
+	"repro/internal/telemetry"
 )
 
 // Config parameterises the service.
@@ -33,6 +36,10 @@ type Config struct {
 	WindowSize int
 	// MaxBodyBytes caps request bodies (default 8 MiB).
 	MaxBodyBytes int64
+	// Telemetry, when non-nil, receives the service counters and the
+	// pipeline's join instruments, and Handler additionally mounts the
+	// registry's /metrics and /debug/stats scrape routes.
+	Telemetry *telemetry.Registry
 }
 
 // Server is the HTTP handler set.
@@ -43,6 +50,15 @@ type Server struct {
 	pipeline *core.Pipeline
 	inWindow int
 	stats    Stats
+
+	// Live instruments mirroring Stats (nil-safe no-ops when telemetry
+	// is off).
+	tel struct {
+		documents   *telemetry.Counter
+		pairs       *telemetry.Counter
+		windows     *telemetry.Counter
+		parseErrors *telemetry.Counter
+	}
 }
 
 // Stats are the service counters returned by GET /stats.
@@ -71,7 +87,15 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{cfg: cfg, pipeline: p}, nil
+	s := &Server{cfg: cfg, pipeline: p}
+	if reg := cfg.Telemetry; reg != nil {
+		p.Instrument(reg)
+		s.tel.documents = reg.Counter("server_documents_total")
+		s.tel.pairs = reg.Counter("server_join_pairs_total")
+		s.tel.windows = reg.Counter("server_windows_total")
+		s.tel.parseErrors = reg.Counter("server_parse_errors_total")
+	}
+	return s, nil
 }
 
 // Handler returns the routed HTTP handler.
@@ -84,6 +108,11 @@ func (s *Server) Handler() http.Handler {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
+	if reg := s.cfg.Telemetry; reg != nil {
+		scrape := reg.Handler()
+		mux.Handle("GET /metrics", scrape)
+		mux.Handle("GET /debug/stats", scrape)
+	}
 	return mux
 }
 
@@ -106,14 +135,17 @@ func (s *Server) handleDocuments(w http.ResponseWriter, r *http.Request) {
 		rs, err := s.pipeline.ProcessJSON(line)
 		if err != nil {
 			s.stats.ParseErrors++
+			s.tel.parseErrors.Inc()
 			http.Error(w, fmt.Sprintf("document %d: %v", ingested+1, err), http.StatusBadRequest)
 			return
 		}
 		ingested++
 		s.stats.Documents++
+		s.tel.documents.Inc()
 		s.inWindow++
 		results = append(results, encodeResults(rs)...)
 		s.stats.JoinPairs += len(rs)
+		s.tel.pairs.Add(int64(len(rs)))
 		if s.cfg.WindowSize > 0 && s.inWindow >= s.cfg.WindowSize {
 			s.tumbleLocked()
 		}
@@ -139,6 +171,7 @@ func (s *Server) handleTumble(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) tumbleLocked() (docs, pairs int) {
 	docs, pairs = s.pipeline.Tumble()
 	s.stats.Windows++
+	s.tel.windows.Inc()
 	s.inWindow = 0
 	return docs, pairs
 }

@@ -8,6 +8,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"repro/internal/telemetry"
 )
 
 func newTestServer(t *testing.T, cfg Config) *httptest.Server {
@@ -245,5 +247,63 @@ func TestBodyLimit(t *testing.T) {
 	resp, _ := post(t, ts.URL+"/documents", big)
 	if resp.StatusCode == http.StatusOK {
 		t.Error("oversized body accepted")
+	}
+}
+
+func TestTelemetryEndpoints(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	ts := newTestServer(t, Config{Telemetry: reg})
+	post(t, ts.URL+"/documents", `{"a":1}`+"\n"+`{"a":1,"b":2}`+"\n")
+	post(t, ts.URL+"/tumble", "")
+	post(t, ts.URL+"/documents", `{"broken`)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET /metrics status %d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		"server_documents_total 2",
+		"server_join_pairs_total 1",
+		"server_windows_total 1",
+		"server_parse_errors_total 1",
+		"# TYPE join_probe_seconds histogram",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%.600s", want, body)
+		}
+	}
+
+	resp, err = http.Get(ts.URL + "/debug/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal([]byte(readAll(t, resp)), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["join_results_total"] != 1 {
+		t.Errorf("debug snapshot join_results_total = %d, want 1", snap.Counters["join_results_total"])
+	}
+}
+
+// TestTelemetryOffNoEndpoints: without a registry the scrape routes
+// stay unrouted.
+func TestTelemetryOffNoEndpoints(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /metrics without telemetry = %d, want 404", resp.StatusCode)
 	}
 }

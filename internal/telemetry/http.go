@@ -1,0 +1,158 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// WritePrometheus renders every series in the Prometheus text
+// exposition format, sorted by series name so scrapes are
+// deterministic. Histograms render with log2 bucket bounds converted
+// to seconds.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	s := r.Snapshot()
+	s.WritePrometheus(w)
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text format.
+func (s Snapshot) WritePrometheus(w io.Writer) {
+	typed := make(map[string]string)
+	names := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for k := range s.Counters {
+		typed[BaseName(k)] = "counter"
+		names = append(names, k)
+	}
+	for k := range s.Gauges {
+		typed[BaseName(k)] = "gauge"
+		names = append(names, k)
+	}
+	for k := range s.Histograms {
+		typed[BaseName(k)] = "histogram"
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	seenType := make(map[string]bool)
+	for _, name := range names {
+		base := BaseName(name)
+		if !seenType[base] {
+			seenType[base] = true
+			fmt.Fprintf(w, "# TYPE %s %s\n", base, typed[base])
+		}
+		switch typed[base] {
+		case "counter":
+			fmt.Fprintf(w, "%s %d\n", name, s.Counters[name])
+		case "gauge":
+			fmt.Fprintf(w, "%s %g\n", name, s.Gauges[name])
+		case "histogram":
+			writePromHistogram(w, name, s.Histograms[name])
+		}
+	}
+}
+
+// writePromHistogram renders one histogram series: cumulative buckets
+// with le bounds in seconds, then sum and count.
+func writePromHistogram(w io.Writer, series string, h HistogramSnapshot) {
+	base, labels := splitSeries(series)
+	withLE := func(le string) string {
+		if labels == "" {
+			return fmt.Sprintf("%s_bucket{le=%q}", base, le)
+		}
+		return fmt.Sprintf("%s_bucket{%s,le=%q}", base, labels, le)
+	}
+	plain := func(suffix string) string {
+		if labels == "" {
+			return base + suffix
+		}
+		return base + suffix + "{" + labels + "}"
+	}
+	var cum int64
+	for i, n := range h.Buckets {
+		cum += n
+		if n == 0 {
+			continue
+		}
+		// Bucket i holds observations < 2^i nanoseconds.
+		le := float64(int64(1)<<uint(i)) / 1e9
+		fmt.Fprintf(w, "%s %d\n", withLE(fmt.Sprintf("%g", le)), cum)
+	}
+	fmt.Fprintf(w, "%s %d\n", withLE("+Inf"), h.Count)
+	fmt.Fprintf(w, "%s %g\n", plain("_sum"), float64(h.SumNS)/1e9)
+	fmt.Fprintf(w, "%s %d\n", plain("_count"), h.Count)
+}
+
+// splitSeries separates `base{a="b"}` into base and inner labels
+// (`a="b"`; empty for bare names).
+func splitSeries(series string) (base, labels string) {
+	i := strings.IndexByte(series, '{')
+	if i < 0 {
+		return series, ""
+	}
+	return series[:i], strings.TrimSuffix(series[i+1:], "}")
+}
+
+// Handler serves the registry over HTTP:
+//
+//	GET /metrics      Prometheus text exposition
+//	GET /debug/stats  JSON snapshot
+//	GET /healthz      liveness
+//
+// Mount it on its own port (Serve) or under an existing mux.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /debug/stats", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetEscapeHTML(false)
+		_ = enc.Encode(r.Snapshot())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// Server is a running scrape endpoint started by Serve.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr reports the bound listen address.
+func (s *Server) Addr() string {
+	if s == nil || s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the endpoint. Safe on nil.
+func (s *Server) Close() {
+	if s == nil {
+		return
+	}
+	_ = s.srv.Close()
+}
+
+// Serve exposes the registry's Handler on addr (e.g. "127.0.0.1:0" for
+// an ephemeral port) in a background goroutine and returns the running
+// endpoint. The caller closes it when the run ends.
+func Serve(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: r.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{ln: ln, srv: srv}, nil
+}

@@ -1,0 +1,419 @@
+// Package telemetry is the repository's low-overhead metrics runtime:
+// atomic counters, gauges and log-bucketed latency histograms held in a
+// named registry, scraped live over HTTP (Prometheus text and JSON) or
+// captured as a Snapshot for reports and tests.
+//
+// Design constraints, in order:
+//
+//   - Zero cost when off. Every instrument is nil-safe: a nil *Registry
+//     hands out nil instruments, and Add/Set/Observe on a nil receiver
+//     is a single predictable branch. Hot paths keep unconditional
+//     instrument calls instead of sprinkling `if telemetry != nil`.
+//   - One atomic op per event when on. Instruments are resolved by name
+//     once (at task construction) and then touched lock-free; the
+//     registry lock is only taken at resolution and scrape time.
+//   - Live and post-hoc views share one vocabulary. The same series
+//     names appear in /metrics scrapes, /debug/stats JSON, and the
+//     Report.Telemetry snapshot, so a test can assert against the
+//     numbers an operator would see on a dashboard.
+//
+// Series are identified by a full name that may embed Prometheus-style
+// labels, e.g. `join_results_total{task="3"}`; Name composes them
+// deterministically.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value
+// is ready to use; all methods are safe on a nil receiver (no-ops).
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reports the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic float64 instantaneous value. The zero value is
+// ready to use; all methods are safe on a nil receiver (no-ops).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(floatBits(v))
+}
+
+// SetInt stores an integer value; a convenience for depth/size gauges.
+func (g *Gauge) SetInt(v int) { g.Set(float64(v)) }
+
+// Add adjusts the gauge by delta (CAS loop).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, floatBits(floatFrom(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value reports the current value (0 for a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return floatFrom(g.bits.Load())
+}
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+func floatFrom(b uint64) float64 { return math.Float64frombits(b) }
+
+// histBuckets is the number of log2 buckets: bucket i counts
+// observations v (in nanoseconds) with 2^(i-1) <= v < 2^i, i.e.
+// bits.Len64(v) == i. 2^48 ns ≈ 78 hours, far beyond any latency the
+// system can observe in one run.
+const histBuckets = 48
+
+// Histogram is a log2-bucketed latency histogram: one atomic add per
+// observation, exact count and sum, bucketed distribution for
+// percentile estimates. All methods are safe on a nil receiver.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) { h.ObserveNS(int64(d)) }
+
+// ObserveNS records one observation in nanoseconds.
+func (h *Histogram) ObserveNS(ns int64) {
+	if h == nil {
+		return
+	}
+	if ns < 0 {
+		ns = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(ns)
+	i := bits.Len64(uint64(ns))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.buckets[i].Add(1)
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reports the accumulated observation time.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// snapshot captures the histogram's state.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), SumNS: h.sum.Load()}
+	top := 0
+	var buckets [histBuckets]int64
+	for i := range h.buckets {
+		buckets[i] = h.buckets[i].Load()
+		if buckets[i] != 0 {
+			top = i + 1
+		}
+	}
+	s.Buckets = append([]int64(nil), buckets[:top]...)
+	return s
+}
+
+// Registry is a named set of instruments. The zero value is not usable;
+// construct with NewRegistry. A nil *Registry is a valid "telemetry
+// off" registry: it hands out nil instruments and empty snapshots.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter resolves (creating on first use) the named counter. A nil
+// registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge resolves (creating on first use) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram resolves (creating on first use) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Name composes a series name from a base metric name and label
+// key/value pairs: Name("x_total", "component", "joiner") yields
+// `x_total{component="joiner"}`. Labels render in the order given;
+// callers pass them in a fixed order so the same series always gets
+// the same name.
+func Name(base string, labels ...string) string {
+	if len(labels) == 0 {
+		return base
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", labels[i], labels[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// BaseName strips the label part off a series name.
+func BaseName(series string) string {
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		return series[:i]
+	}
+	return series
+}
+
+// Snapshot is a point-in-time copy of every series in a registry. It
+// marshals to the JSON served at /debug/stats and rides on
+// core.Report.Telemetry so tests consume the same numbers a live
+// scrape would show.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// HistogramSnapshot is the captured state of one histogram.
+type HistogramSnapshot struct {
+	Count int64 `json:"count"`
+	SumNS int64 `json:"sum_ns"`
+	// Buckets[i] counts observations v with bits.Len64(v) == i, i.e.
+	// v in [2^(i-1), 2^i) nanoseconds; trailing zero buckets are
+	// trimmed.
+	Buckets []int64 `json:"buckets,omitempty"`
+}
+
+// Snapshot captures every series. A nil registry yields the zero
+// snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(counters)),
+		Gauges:     make(map[string]float64, len(gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(hists)),
+	}
+	for k, c := range counters {
+		s.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		s.Gauges[k] = g.Value()
+	}
+	for k, h := range hists {
+		s.Histograms[k] = h.snapshot()
+	}
+	return s
+}
+
+// Counter reads one counter series from the snapshot (0 when absent).
+func (s Snapshot) Counter(series string) int64 { return s.Counters[series] }
+
+// Gauge reads one gauge series from the snapshot (0 when absent).
+func (s Snapshot) Gauge(series string) float64 { return s.Gauges[series] }
+
+// SumCounter sums every counter series with the given base name across
+// all label combinations — e.g. SumCounter("join_results_total") adds
+// up the per-task series.
+func (s Snapshot) SumCounter(base string) int64 {
+	var sum int64
+	for name, v := range s.Counters {
+		if BaseName(name) == base {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// Diff returns this snapshot minus prev: counters and histogram
+// counts/sums subtract (series absent from prev pass through), gauges
+// keep their current value. Use it to carve one window or one request
+// out of cumulative counters.
+func (s Snapshot) Diff(prev Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   make(map[string]int64, len(s.Counters)),
+		Gauges:     make(map[string]float64, len(s.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+	}
+	for k, v := range s.Counters {
+		out.Counters[k] = v - prev.Counters[k]
+	}
+	for k, v := range s.Gauges {
+		out.Gauges[k] = v
+	}
+	for k, v := range s.Histograms {
+		p := prev.Histograms[k]
+		d := HistogramSnapshot{Count: v.Count - p.Count, SumNS: v.SumNS - p.SumNS}
+		d.Buckets = append([]int64(nil), v.Buckets...)
+		for i := range p.Buckets {
+			if i < len(d.Buckets) {
+				d.Buckets[i] -= p.Buckets[i]
+			}
+		}
+		out.Histograms[k] = d
+	}
+	return out
+}
+
+// Merge combines snapshots from separate registries (e.g. one per
+// cluster worker) into the whole-system view: counters and histogram
+// counts/sums/buckets add up; a gauge takes the last non-zero value
+// seen, which is exact when the snapshots' series are disjoint.
+func Merge(snaps ...Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	for _, s := range snaps {
+		for k, v := range s.Counters {
+			out.Counters[k] += v
+		}
+		for k, v := range s.Gauges {
+			if v != 0 || out.Gauges[k] == 0 {
+				out.Gauges[k] = v
+			}
+		}
+		for k, v := range s.Histograms {
+			m := out.Histograms[k]
+			m.Count += v.Count
+			m.SumNS += v.SumNS
+			if len(v.Buckets) > len(m.Buckets) {
+				m.Buckets = append(m.Buckets, make([]int64, len(v.Buckets)-len(m.Buckets))...)
+			}
+			for i, n := range v.Buckets {
+				m.Buckets[i] += n
+			}
+			out.Histograms[k] = m
+		}
+	}
+	return out
+}
+
+// Series lists every series name in the snapshot, sorted.
+func (s Snapshot) Series() []string {
+	out := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for k := range s.Counters {
+		out = append(out, k)
+	}
+	for k := range s.Gauges {
+		out = append(out, k)
+	}
+	for k := range s.Histograms {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,200 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total")
+	g := r.Gauge("x")
+	h := r.Histogram("x_seconds")
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	c.Add(5)
+	c.Inc()
+	g.Set(1)
+	g.Add(2)
+	g.SetInt(3)
+	h.Observe(time.Millisecond)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	if s := r.Snapshot(); len(s.Counters) != 0 || len(s.Gauges) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("tuples_total")
+	c.Add(3)
+	c.Inc()
+	if got := c.Value(); got != 4 {
+		t.Errorf("counter = %d, want 4", got)
+	}
+	if r.Counter("tuples_total") != c {
+		t.Error("same name must resolve to the same counter")
+	}
+
+	g := r.Gauge("depth")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("gauge = %g, want 1.5", got)
+	}
+
+	h := r.Histogram("lat_seconds")
+	h.Observe(100 * time.Nanosecond)
+	h.Observe(100 * time.Nanosecond)
+	h.Observe(time.Millisecond)
+	if h.Count() != 3 {
+		t.Errorf("hist count = %d", h.Count())
+	}
+	if h.Sum() != time.Millisecond+200*time.Nanosecond {
+		t.Errorf("hist sum = %s", h.Sum())
+	}
+	snap := r.Snapshot()
+	hs := snap.Histograms["lat_seconds"]
+	var total int64
+	for _, b := range hs.Buckets {
+		total += b
+	}
+	if total != 3 {
+		t.Errorf("bucket total = %d, want 3", total)
+	}
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("c_total")
+			h := r.Histogram("h_seconds")
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.ObserveNS(int64(j))
+				r.Gauge("g").Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c_total").Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := r.Gauge("g").Value(); got != 8000 {
+		t.Errorf("gauge = %g, want 8000", got)
+	}
+	if got := r.Histogram("h_seconds").Count(); got != 8000 {
+		t.Errorf("hist count = %d, want 8000", got)
+	}
+}
+
+func TestNameAndBaseName(t *testing.T) {
+	if got := Name("x_total"); got != "x_total" {
+		t.Errorf("Name = %q", got)
+	}
+	got := Name("x_total", "component", "joiner", "task", "3")
+	want := `x_total{component="joiner",task="3"}`
+	if got != want {
+		t.Errorf("Name = %q, want %q", got, want)
+	}
+	if BaseName(got) != "x_total" {
+		t.Errorf("BaseName = %q", BaseName(got))
+	}
+}
+
+func TestSnapshotSumAndDiff(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Name("join_results_total", "task", "0")).Add(3)
+	r.Counter(Name("join_results_total", "task", "1")).Add(4)
+	r.Gauge("g").Set(9)
+	r.Histogram("h").ObserveNS(10)
+	prev := r.Snapshot()
+	if got := prev.SumCounter("join_results_total"); got != 7 {
+		t.Errorf("SumCounter = %d, want 7", got)
+	}
+
+	r.Counter(Name("join_results_total", "task", "0")).Add(5)
+	r.Histogram("h").ObserveNS(20)
+	diff := r.Snapshot().Diff(prev)
+	if got := diff.Counter(Name("join_results_total", "task", "0")); got != 5 {
+		t.Errorf("diff counter = %d, want 5", got)
+	}
+	if got := diff.Counter(Name("join_results_total", "task", "1")); got != 0 {
+		t.Errorf("diff counter = %d, want 0", got)
+	}
+	if got := diff.Histograms["h"].Count; got != 1 {
+		t.Errorf("diff hist count = %d, want 1", got)
+	}
+	if got := diff.Gauge("g"); got != 9 {
+		t.Errorf("diff gauge = %g, want 9 (gauges pass through)", got)
+	}
+}
+
+func TestPrometheusRendering(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Name("frames_total", "peer", "1")).Add(2)
+	r.Gauge("depth").Set(3)
+	r.Histogram(Name("lat_seconds", "component", "joiner")).Observe(300 * time.Nanosecond)
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE frames_total counter",
+		`frames_total{peer="1"} 2`,
+		"# TYPE depth gauge",
+		"depth 3",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{component="joiner",le="+Inf"} 1`,
+		`lat_seconds_count{component="joiner"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("docs_total").Add(11)
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "docs_total 11") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+
+	resp, err = http.Get("http://" + srv.Addr() + "/debug/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if snap.Counter("docs_total") != 11 {
+		t.Errorf("/debug/stats counter = %d", snap.Counter("docs_total"))
+	}
+}

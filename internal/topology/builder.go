@@ -3,6 +3,8 @@ package topology
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // SpoutFactory builds one spout instance per task.
@@ -45,6 +47,10 @@ type Builder struct {
 
 	// maxPending is the default mailbox capacity (0 = unbounded).
 	maxPending int
+
+	// telemetry, when set, instruments the built runtime (see
+	// Builder.Telemetry).
+	telemetry *telemetry.Registry
 }
 
 // NewBuilder creates an empty topology builder.
@@ -158,6 +164,16 @@ func (d *BoltDecl) MaxPending(n int) *BoltDecl {
 	n2 := n
 	d.c.maxPending = &n2
 	return d
+}
+
+// Telemetry instruments the built runtime with live metrics in reg:
+// per-component executed/emitted tuple counters and execute-latency
+// histograms, per-task mailbox depth gauges, and blocked-on-
+// backpressure time per component. A nil registry (the default) keeps
+// every instrument a no-op.
+func (b *Builder) Telemetry(reg *telemetry.Registry) *Builder {
+	b.telemetry = reg
+	return b
 }
 
 func streamOf(stream []string) string {

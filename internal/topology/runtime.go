@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // mailbox is a FIFO queue with blocking receive and, when capacity is
@@ -23,6 +25,13 @@ type mailbox struct {
 	capacity int // 0 = unbounded
 	peak     int // high-water mark of len(buf), for tests/metrics
 	closed   bool
+
+	// Optional live instruments (nil-safe no-ops when telemetry is
+	// off): queue depth, and time producers spent blocked on a full
+	// mailbox.
+	depth       *telemetry.Gauge
+	blockedNS   *telemetry.Counter
+	blockedPuts *telemetry.Counter
 }
 
 func newMailbox(capacity int) *mailbox {
@@ -37,8 +46,19 @@ func newMailbox(capacity int) *mailbox {
 func (m *mailbox) put(t Tuple) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for m.capacity > 0 && len(m.buf) >= m.capacity && !m.closed {
-		m.notFull.Wait()
+	if m.capacity > 0 && len(m.buf) >= m.capacity && !m.closed {
+		// Only a put that actually blocks pays for the clock reads.
+		var start time.Time
+		if m.blockedNS != nil {
+			start = time.Now()
+			m.blockedPuts.Inc()
+		}
+		for m.capacity > 0 && len(m.buf) >= m.capacity && !m.closed {
+			m.notFull.Wait()
+		}
+		if m.blockedNS != nil {
+			m.blockedNS.Add(int64(time.Since(start)))
+		}
 	}
 	if m.closed {
 		return false
@@ -47,6 +67,7 @@ func (m *mailbox) put(t Tuple) bool {
 	if len(m.buf) > m.peak {
 		m.peak = len(m.buf)
 	}
+	m.depth.SetInt(len(m.buf))
 	m.notEmpty.Signal()
 	return true
 }
@@ -62,6 +83,7 @@ func (m *mailbox) get() (Tuple, bool) {
 	}
 	t := m.buf[0]
 	m.buf = m.buf[1:]
+	m.depth.SetInt(len(m.buf))
 	m.notFull.Signal()
 	return t, true
 }
@@ -98,6 +120,12 @@ type component struct {
 	boxes       []*mailbox
 	// edges by stream id.
 	edges map[string][]*edge
+
+	// Live instruments, resolved once at Build (nil when telemetry is
+	// off): executed/emitted tuple counters and execute latency.
+	telExec *telemetry.Counter
+	telEmit *telemetry.Counter
+	telLat  *telemetry.Histogram
 }
 
 // Stats aggregates per-component counters after a run.
@@ -174,8 +202,19 @@ func (b *Builder) Build() (*Topology, error) {
 			decl:        decl,
 			edges:       make(map[string][]*edge),
 		}
+		if reg := b.telemetry; reg != nil {
+			comp.telExec = reg.Counter(telemetry.Name("topology_tuples_executed_total", "component", id))
+			comp.telEmit = reg.Counter(telemetry.Name("topology_tuples_emitted_total", "component", id))
+			comp.telLat = reg.Histogram(telemetry.Name("topology_execute_seconds", "component", id))
+		}
 		for i := 0; i < decl.parallelism; i++ {
-			comp.boxes = append(comp.boxes, newMailbox(capacities[id]))
+			box := newMailbox(capacities[id])
+			if reg := b.telemetry; reg != nil {
+				box.depth = reg.Gauge(telemetry.Name("topology_mailbox_depth", "component", id, "task", fmt.Sprint(i)))
+				box.blockedNS = reg.Counter(telemetry.Name("topology_backpressure_blocked_ns_total", "component", id))
+				box.blockedPuts = reg.Counter(telemetry.Name("topology_backpressure_blocked_puts_total", "component", id))
+			}
+			comp.boxes = append(comp.boxes, box)
 		}
 		rt.components[id] = comp
 		rt.emitted[id] = &atomic.Int64{}
@@ -247,6 +286,7 @@ func (c *collector) emitAnchored(stream string, v Values, roots []uint64) {
 		}
 	}
 	c.rt.emitted[c.comp.id].Add(delivered)
+	c.comp.telEmit.Add(delivered)
 }
 
 func (c *collector) EmitDirect(stream string, task int, v Values) {
@@ -264,6 +304,7 @@ func (c *collector) EmitDirect(stream string, task int, v Values) {
 		}
 	}
 	c.rt.emitted[c.comp.id].Add(delivered)
+	c.comp.telEmit.Add(delivered)
 }
 
 // deliver routes one tuple copy into a mailbox (blocking while the
@@ -316,7 +357,10 @@ func (t *Topology) Run() Stats {
 					col.roots = tuple.anchors
 					start := time.Now()
 					execute(rt, comp, task, bolt, tuple, col)
-					rt.latency.observe(comp.id, time.Since(start))
+					elapsed := time.Since(start)
+					rt.latency.observe(comp.id, elapsed)
+					comp.telLat.Observe(elapsed)
+					comp.telExec.Inc()
 					col.roots = nil
 					if rt.acker != nil && tuple.ackID != 0 {
 						rt.acker.ack(tuple.anchors, tuple.ackID)
