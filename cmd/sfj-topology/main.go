@@ -10,6 +10,12 @@
 //	sfj-topology -cluster 3            # distribute over 3 TCP workers
 //	sfj-topology -input logs.jsonl     # external JSON-lines stream
 //	sfj-datagen -n 5000 | sfj-topology -input -
+//
+// Failover demo — checkpoint into a directory, hard-kill one of the
+// workers mid-run, and watch the run recover on the survivors with the
+// exact same join result:
+//
+//	sfj-topology -cluster 4 -recover /tmp/sfj-ckpt -kill-worker 1:300
 package main
 
 import (
@@ -19,12 +25,14 @@ import (
 	"os/exec"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/partition"
+	"repro/internal/state"
 	"repro/internal/telemetry"
 )
 
@@ -47,6 +55,8 @@ func main() {
 		processes   = flag.Bool("processes", false, "with -cluster N: spawn the N workers as separate OS processes")
 		workerSpec  = flag.String("worker", "", "internal: run as cluster worker, format id:count:coordinatorAddr")
 		input       = flag.String("input", "", "read JSON-lines documents from this file ('-' = stdin) instead of a generator")
+		recoverDir  = flag.String("recover", "", "checkpoint operator state into this directory; -cluster runs additionally survive worker failures (requires a generated -dataset)")
+		killWorker  = flag.String("kill-worker", "", "fault-injection demo, format id:afterMs — hard-kill that in-process cluster worker after the delay (needs -cluster N and -recover)")
 		metricsAddr = flag.String("metrics-addr", "", "expose /metrics + /debug/stats on this address during the run (e.g. 127.0.0.1:9090; with -worker, use :0 per process)")
 		verbose     = flag.Bool("v", false, "print per-window statistics")
 	)
@@ -118,6 +128,68 @@ func main() {
 	}
 
 	var opts []core.Option
+	var ckptStore state.Store
+	if *recoverDir != "" {
+		if *input != "" {
+			fmt.Fprintln(os.Stderr, "-recover requires a generated -dataset: the reader replays the stream after a failure, which an external -input cannot reproduce")
+			os.Exit(2)
+		}
+		if *processes {
+			fmt.Fprintln(os.Stderr, "-recover is not supported with -processes (the in-process runner owns the restart loop)")
+			os.Exit(2)
+		}
+		store, err := state.NewFSStore(*recoverDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		ckptStore = store
+		name, s := *dataset, *seed
+		opts = append(opts, core.WithRecovery(core.Recovery{
+			Store: store,
+			NewSource: func() datagen.Generator {
+				g, _ := datagen.ByName(name, s)
+				return g
+			},
+		}))
+	}
+	if *killWorker != "" {
+		if *clusterN <= 0 || *processes {
+			fmt.Fprintln(os.Stderr, "-kill-worker needs an in-process cluster run (-cluster N without -processes)")
+			os.Exit(2)
+		}
+		if ckptStore == nil {
+			fmt.Fprintln(os.Stderr, "-kill-worker needs -recover: without checkpoints the kill just fails the run")
+			os.Exit(2)
+		}
+		var victim int
+		var afterMs int
+		if _, err := fmt.Sscanf(*killWorker, "%d:%d", &victim, &afterMs); err != nil {
+			fmt.Fprintf(os.Stderr, "bad -kill-worker spec %q, want id:afterMs\n", *killWorker)
+			os.Exit(2)
+		}
+		killCfg := cfg
+		var once sync.Once
+		opts = append(opts, core.WithWorkerHook(func(i int, w *cluster.Worker) {
+			if i != victim {
+				return
+			}
+			// Only the first attempt's worker is killed; the hook fires
+			// again for the recovered placement. The delay counts from
+			// the first complete checkpoint cut, so the kill always has
+			// state to recover (and the demo is robust to machine speed).
+			once.Do(func() {
+				go func() {
+					for core.CheckpointCut(killCfg, ckptStore) < 0 {
+						time.Sleep(2 * time.Millisecond)
+					}
+					time.Sleep(time.Duration(afterMs) * time.Millisecond)
+					fmt.Printf("killing worker %d\n", victim)
+					w.Kill()
+				}()
+			})
+		}))
+	}
 	if *metricsAddr != "" && !*processes {
 		// With -processes, each spawned worker serves its own endpoint
 		// (the flag is re-issued to them) and prints its resolved port.
@@ -174,6 +246,9 @@ func main() {
 	}
 	fmt.Printf("summary: %s\n", report)
 	fmt.Printf("join pairs: %d  documents joined: %d\n", report.JoinPairs, report.DocsJoined)
+	if report.Restarts > 0 {
+		fmt.Printf("recovered from %d worker failure(s): restored from the last checkpoint cut and replayed\n", report.Restarts)
+	}
 	if reader != nil && reader.Err() != nil {
 		fmt.Fprintf(os.Stderr, "input stream error: %v\n", reader.Err())
 		os.Exit(1)

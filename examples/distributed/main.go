@@ -30,13 +30,13 @@ func main() {
 		}
 	}
 
-	local, err := core.Run(mkCfg())
+	local, err := core.NewRunner(mkCfg()).Run()
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("in-process :", local)
 
-	clustered, err := core.ClusterRun(mkCfg(), 3)
+	clustered, err := core.NewRunner(mkCfg(), core.WithWorkers(3)).Run()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -44,13 +44,13 @@ func main() {
 		tableOn.NonEmpty(), m, spec.ExpectedReplication(m))
 
 	// End to end: the full topology on nbData with expansion enabled.
-	report, err := core.Run(core.Config{
+	report, err := core.NewRunner(core.Config{
 		M:          m,
 		WindowSize: 1000,
 		Windows:    4,
 		Expansion:  core.ExpansionAuto,
 		Source:     datagen.NewNoBench(12),
-	})
+	}).Run()
 	if err != nil {
 		log.Fatal(err)
 	}

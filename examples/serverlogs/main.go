@@ -51,7 +51,7 @@ func main() {
 		},
 	}
 
-	report, err := core.Run(cfg)
+	report, err := core.NewRunner(cfg).Run()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sort"
@@ -8,6 +9,22 @@ import (
 
 	"repro/internal/topology"
 )
+
+// WorkerDied reports that a worker's control plane failed mid-run —
+// the process crashed, was killed, or partitioned away. The
+// coordinator aborts the surviving workers before returning it, so a
+// caller holding checkpoints can re-place the dead worker's tasks and
+// restart from the last consistent cut (errors.As to detect).
+type WorkerDied struct {
+	Worker int
+	Err    error
+}
+
+func (e *WorkerDied) Error() string {
+	return fmt.Sprintf("cluster: worker %d died: %v", e.Worker, e.Err)
+}
+
+func (e *WorkerDied) Unwrap() error { return e.Err }
 
 // Coordinator accepts worker registrations, distributes the address
 // book, detects global termination and collects the final statistics.
@@ -94,6 +111,7 @@ func (c *Coordinator) Run() (topology.Stats, error) {
 	for seq := 0; ; seq++ {
 		sent, exec, done, err := c.probe(conns, seq)
 		if err != nil {
+			c.abortSurvivors(conns, err)
 			return topology.Stats{}, err
 		}
 		if done && sent == exec && sent == prevSent && exec == prevExec {
@@ -117,13 +135,17 @@ func (c *Coordinator) Run() (topology.Stats, error) {
 	defer c.clearDeadlines(conns)
 	for _, id := range ids {
 		if err := conns[id].send(&envelope{Kind: frameStop}); err != nil {
-			return merged, err
+			wd := &WorkerDied{Worker: id, Err: err}
+			c.abortSurvivors(conns, wd)
+			return merged, wd
 		}
 	}
 	for _, id := range ids {
 		done, err := c.await(conns[id], frameDone)
 		if err != nil {
-			return merged, err
+			wd := &WorkerDied{Worker: id, Err: err}
+			c.abortSurvivors(conns, wd)
+			return merged, wd
 		}
 		for comp, n := range done.Stats.Emitted {
 			merged.Emitted[comp] += n
@@ -159,21 +181,40 @@ func (c *Coordinator) clearDeadlines(conns map[int]*conn) {
 	}
 }
 
+// abortSurvivors tells every worker except the one named by a
+// WorkerDied error (when err is one) to abandon the run, best-effort:
+// survivors must not hang in the quiescence protocol waiting for
+// tuples a dead peer will never deliver.
+func (c *Coordinator) abortSurvivors(conns map[int]*conn, err error) {
+	dead := -1
+	var wd *WorkerDied
+	if errors.As(err, &wd) {
+		dead = wd.Worker
+	}
+	for id, cn := range conns {
+		if id == dead {
+			continue
+		}
+		_ = cn.send(&envelope{Kind: frameAbort})
+	}
+}
+
 // probe runs one synchronous probe round under the control-plane
-// timeout.
+// timeout. A send or reply failure is attributed to the worker whose
+// control connection broke and surfaces as *WorkerDied.
 func (c *Coordinator) probe(conns map[int]*conn, seq int) (sent, exec int64, done bool, err error) {
 	c.setDeadlines(conns)
 	defer c.clearDeadlines(conns)
 	done = true
-	for _, cn := range conns {
+	for id, cn := range conns {
 		if err := cn.send(&envelope{Kind: frameProbe, Seq: seq}); err != nil {
-			return 0, 0, false, err
+			return 0, 0, false, &WorkerDied{Worker: id, Err: err}
 		}
 	}
-	for _, cn := range conns {
+	for id, cn := range conns {
 		reply, err := c.await(cn, frameProbeReply)
 		if err != nil {
-			return 0, 0, false, err
+			return 0, 0, false, &WorkerDied{Worker: id, Err: err}
 		}
 		sent += reply.Sent
 		exec += reply.Executed

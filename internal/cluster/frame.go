@@ -32,6 +32,10 @@ const (
 	frameProbeReply
 	frameStop
 	frameDone
+	// frameAbort tells a worker to abandon the run immediately (a peer
+	// worker died); the worker tears its tasks down without the usual
+	// quiescence protocol and Run returns ErrAborted.
+	frameAbort
 )
 
 // envelope is the single wire message type; unused fields stay at their

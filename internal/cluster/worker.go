@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
@@ -10,6 +11,14 @@ import (
 
 	"repro/internal/telemetry"
 	"repro/internal/topology"
+)
+
+// ErrKilled is returned by Run on a worker that was hard-killed via
+// Kill; ErrAborted on a worker told by the coordinator to abandon the
+// run because a peer died.
+var (
+	ErrKilled  = errors.New("cluster: worker killed")
+	ErrAborted = errors.New("cluster: run aborted")
 )
 
 // mailbox is the worker-local FIFO queue (semantics identical to the
@@ -176,6 +185,13 @@ type Worker struct {
 	peers     map[int]*peer
 	peersMu   sync.Mutex
 
+	// killed flips once on Kill or frameAbort; lifeMu guards the
+	// listener and control connection handles Kill needs to close from
+	// another goroutine.
+	killed atomic.Bool
+	lifeMu sync.Mutex
+	ctrl   *conn
+
 	// boxes holds mailboxes for locally hosted bolt tasks:
 	// component -> task -> mailbox (nil when not hosted here).
 	boxes map[string][]*mailbox
@@ -289,6 +305,8 @@ func NewWorker(id, workers int, b *topology.Builder, coordAddr string) (*Worker,
 // and advertise the proxy's address instead (AdvertiseAddr). Run calls
 // Listen itself when the caller did not.
 func (w *Worker) Listen() (string, error) {
+	w.lifeMu.Lock()
+	defer w.lifeMu.Unlock()
 	if w.listener != nil {
 		return w.listener.Addr().String(), nil
 	}
@@ -302,6 +320,61 @@ func (w *Worker) Listen() (string, error) {
 	}
 	w.listener = ln
 	return ln.Addr().String(), nil
+}
+
+// Kill hard-stops the worker from another goroutine, simulating a
+// process crash: the data-plane listener, control connection, task
+// mailboxes and peer links all close immediately, with no quiescence
+// handshake. The coordinator observes the dead control plane on its
+// next probe and aborts the surviving workers. Run returns ErrKilled.
+func (w *Worker) Kill() {
+	w.kill()
+	w.lifeMu.Lock()
+	if w.ctrl != nil {
+		w.ctrl.close()
+	}
+	w.lifeMu.Unlock()
+}
+
+// kill performs the shared teardown of Kill and frameAbort: flip the
+// killed flag, stop accepting peer traffic, close the task mailboxes so
+// bolts drain out, and drop the peer links. It never waits — callers
+// that need quiescence call drainTasks afterwards.
+func (w *Worker) kill() {
+	if !w.killed.CompareAndSwap(false, true) {
+		return
+	}
+	w.lifeMu.Lock()
+	if w.listener != nil {
+		w.listener.Close()
+	}
+	w.lifeMu.Unlock()
+	for _, boxes := range w.boxes {
+		for _, box := range boxes {
+			if box != nil {
+				box.close()
+			}
+		}
+	}
+	w.peersMu.Lock()
+	for _, p := range w.peers {
+		p.mu.Lock()
+		if p.c != nil {
+			p.c.close()
+			p.c = nil
+		}
+		p.mu.Unlock()
+	}
+	w.peersMu.Unlock()
+}
+
+// drainTasks waits for the local task goroutines to wind down after a
+// kill/abort. Spouts observe the killed flag on their next NextTuple
+// and bolts exit once their closed mailboxes drain; peer sends fail
+// fast (bounded retries) and compensate, so this terminates promptly.
+func (w *Worker) drainTasks() {
+	w.spoutWG.Wait()
+	w.boltWG.Wait()
 }
 
 // initTelemetry resolves the worker's transport instruments and
@@ -377,6 +450,14 @@ func (w *Worker) Run() error {
 	}
 	coord := newConn(raw)
 	defer coord.close()
+	w.lifeMu.Lock()
+	w.ctrl = coord
+	killed := w.killed.Load()
+	w.lifeMu.Unlock()
+	if killed { // Kill raced the dial
+		coord.close()
+		return ErrKilled
+	}
 	if err := coord.send(&envelope{Kind: frameHello, WorkerID: w.id, DataAddr: dataAddr}); err != nil {
 		return err
 	}
@@ -392,9 +473,17 @@ func (w *Worker) Run() error {
 	for {
 		e, err := coord.recv()
 		if err != nil {
+			if w.killed.Load() {
+				w.drainTasks()
+				return ErrKilled
+			}
 			return fmt.Errorf("cluster: worker %d control: %w", w.id, err)
 		}
 		switch e.Kind {
+		case frameAbort:
+			w.kill()
+			w.drainTasks()
+			return ErrAborted
 		case frameProbe:
 			reply := &envelope{
 				Kind:       frameProbeReply,
@@ -443,6 +532,9 @@ func (w *Worker) runBolt(comp topology.ComponentSpec, task int, bolt topology.Bo
 	ctx := &topology.TaskContext{Component: comp.ID, Task: task, NumTasks: comp.Parallelism, Parallelism: parallelism}
 	bolt.Prepare(ctx)
 	col := &workerCollector{w: w, comp: comp.ID, task: task}
+	if rec, ok := bolt.(topology.Recoverer); ok {
+		rec.Recover(col)
+	}
 	box := w.boxes[comp.ID][task]
 	for {
 		tuple, ok := box.get()
@@ -464,7 +556,7 @@ func (w *Worker) runSpout(comp topology.ComponentSpec, task int, spout topology.
 	ctx := &topology.TaskContext{Component: comp.ID, Task: task, NumTasks: comp.Parallelism, Parallelism: parallelism}
 	spout.Open(ctx)
 	col := &workerCollector{w: w, comp: comp.ID, task: task}
-	for w.safeNext(comp.ID, task, spout, col) {
+	for !w.killed.Load() && w.safeNext(comp.ID, task, spout, col) {
 	}
 	spout.Close()
 }

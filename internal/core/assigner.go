@@ -52,11 +52,23 @@ type assignerBolt struct {
 	// computation window the assigner buffers documents and window
 	// punctuation until the resulting table arrives, preserving the
 	// paper's deployment order.
-	waiting      bool
-	waitWindow   int
-	buffered     []topology.Tuple
-	repartitionW int // window a repartition was requested for (-1: none)
+	//
+	// pendingRepart is the set of windows whose punctuation must engage
+	// the barrier (a repartition was requested at the end of the
+	// preceding window). It is a set, not a single high-water mark: two
+	// θ verdicts in consecutive windows each schedule their own
+	// computation window, and a later verdict must not swallow an
+	// earlier window's still-pending barrier.
+	waiting       bool
+	waitWindow    int
+	buffered      []topology.Tuple
+	pendingRepart map[int]bool
 
+	// lastDecision is the verdict emitted for the most recently
+	// finished window, kept for the recovery re-emission (see Recover).
+	lastDecision decisionMsg
+
+	cp         *checkpointer
 	numJoiners int
 
 	// Live instruments (nil-safe no-ops when cfg.Telemetry is off):
@@ -75,10 +87,12 @@ type assignerBolt struct {
 
 func newAssignerBolt(cfg Config, task int) *assignerBolt {
 	b := &assignerBolt{
-		cfg:          cfg,
-		task:         task,
-		unseen:       make(map[document.Pair]int),
-		repartitionW: -1,
+		cfg:           cfg,
+		task:          task,
+		unseen:        make(map[document.Pair]int),
+		pendingRepart: make(map[int]bool),
+		lastDecision:  decisionMsg{Window: -1, Task: task},
+		cp:            newCheckpointer(cfg, "assigner", task),
 	}
 	if reg := cfg.Telemetry; reg != nil {
 		id := fmt.Sprint(task)
@@ -100,6 +114,21 @@ func (b *assignerBolt) Prepare(ctx *topology.TaskContext) {
 		b.numJoiners = b.cfg.M
 	}
 	b.perJoiner = make([]int, b.numJoiners)
+	b.cp.restore(b)
+}
+
+// Recover implements topology.Recoverer: the verdict for the cut
+// window was emitted just before the snapshot and may have died in
+// flight with the crashed attempt, yet the creators cannot close the
+// next window without every assigner's verdict — so a restored
+// assigner re-emits it. Creators deduplicate verdicts by task, and the
+// merger's resched high-water mark ignores verdicts it already
+// relayed, so the re-emission is idempotent.
+func (b *assignerBolt) Recover(c topology.Collector) {
+	if b.lastDecision.Window < 0 {
+		return
+	}
+	c.EmitTo(streamRepartition, topology.Values{"msg": b.lastDecision})
 }
 
 // Cleanup implements topology.Bolt.
@@ -121,9 +150,7 @@ func (b *assignerBolt) Execute(t topology.Tuple, c topology.Collector) {
 		// the creators compute at the end of window w+1, so the
 		// barrier engages after that window's punctuation.
 		msg := t.Values["msg"].(decisionMsg)
-		if msg.Window+1 > b.repartitionW {
-			b.repartitionW = msg.Window + 1
-		}
+		b.pendingRepart[msg.Window+1] = true
 	}
 }
 
@@ -136,11 +163,16 @@ func (b *assignerBolt) handleStreamTuple(t topology.Tuple, c topology.Collector)
 		w := t.Values["window"].(int)
 		b.finishWindow(w, c)
 		// Engage the deployment barrier after every window whose
-		// sample produces a new table: the first window, and the
-		// window following a repartition request.
-		if b.version == 0 || w == b.repartitionW {
+		// sample produces a new table: the first window, and any
+		// window with a pending repartition request.
+		if b.version == 0 || b.pendingRepart[w] {
 			b.waiting = true
 			b.waitWindow = w
+		}
+		// The punctuation carries the checkpoint barrier: this task
+		// has now fully incorporated window w, snapshot it.
+		if _, ok := topology.CheckpointID(t); ok {
+			b.cp.save(w, b)
 		}
 	}
 }
@@ -166,8 +198,10 @@ func (b *assignerBolt) adoptTable(msg tableMsg, c topology.Collector) {
 	}
 	if b.waiting && msg.Window >= b.waitWindow {
 		b.waiting = false
-		if msg.Window >= b.repartitionW {
-			b.repartitionW = -1
+		for w := range b.pendingRepart {
+			if w <= msg.Window {
+				delete(b.pendingRepart, w)
+			}
 		}
 		b.drain(c)
 	}
@@ -271,9 +305,7 @@ func (b *assignerBolt) finishWindow(w int, c topology.Collector) {
 			b.tel.reparts.Inc()
 			// Engage the local barrier directly; the merger's relay
 			// covers the peer assigners.
-			if w+1 > b.repartitionW {
-				b.repartitionW = w + 1
-			}
+			b.pendingRepart[w+1] = true
 		}
 	} else if b.awaitingBase && b.documents > 0 {
 		b.baselineRepl = repl
@@ -283,11 +315,8 @@ func (b *assignerBolt) finishWindow(w int, c topology.Collector) {
 	}
 	// Every window produces an explicit verdict: the creators wait for
 	// all of them before deciding whether the next window recomputes.
-	c.EmitTo(streamRepartition, topology.Values{"msg": decisionMsg{
-		Window:      w,
-		Task:        b.task,
-		Repartition: b.repartitioned,
-	}})
+	b.lastDecision = decisionMsg{Window: w, Task: b.task, Repartition: b.repartitioned}
+	c.EmitTo(streamRepartition, topology.Values{"msg": b.lastDecision})
 
 	c.EmitTo(streamAssignerStats, topology.Values{"msg": assignerStatsMsg{
 		Window:        w,
@@ -298,8 +327,15 @@ func (b *assignerBolt) finishWindow(w int, c topology.Collector) {
 		Broadcasts:    b.broadcasts,
 		Updates:       b.updates,
 		Repartitioned: b.repartitioned,
+		Checkpoint:    b.cp != nil,
 	}})
-	c.EmitTo(streamJoinerWindow, topology.Values{"window": w, "task": b.task})
+	// The joiner punctuation relays the window's checkpoint barrier
+	// downstream, keeping the joiners' snapshots on the same cut.
+	jwend := topology.Values{"window": w, "task": b.task}
+	if b.cp != nil {
+		topology.WithCheckpoint(jwend, w)
+	}
+	c.EmitTo(streamJoinerWindow, jwend)
 
 	b.documents = 0
 	b.deliveries = 0

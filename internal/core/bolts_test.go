@@ -393,6 +393,74 @@ func TestAssignerEmitsDecisionEveryWindow(t *testing.T) {
 	}
 }
 
+// TestAssignerConsecutiveRepartitionBarriers is the regression test
+// for the pendingRepart bookkeeping: two θ verdicts in consecutive
+// windows each schedule their own computation window, and the later
+// notice must not swallow the earlier window's still-pending barrier.
+// (The old implementation kept a single high-water window: resched(0)
+// armed the barrier for window 1, resched(1) overwrote it with window
+// 2, and window 2's documents then streamed through on the stale
+// table.)
+func TestAssignerConsecutiveRepartitionBarriers(t *testing.T) {
+	cfg := testConfig()
+	b := newAssignerBolt(cfg, 0)
+	b.Prepare(&topology.TaskContext{Parallelism: map[string]int{"joiner": 3}})
+	c := &fakeCollector{}
+	b.Execute(topology.Tuple{Stream: streamTable, Values: topology.Values{
+		"msg": newTableMsg(1, intPair2("a", 1)),
+	}}, c)
+	b.Execute(wendTuple(0), c)
+	// The merger relays repartition verdicts for windows 0 and 1
+	// back-to-back (two θ triggers in consecutive windows).
+	b.Execute(topology.Tuple{Stream: streamResched, Values: topology.Values{
+		"msg": decisionMsg{Window: 0, Task: -1, Repartition: true},
+	}}, c)
+	b.Execute(topology.Tuple{Stream: streamResched, Values: topology.Values{
+		"msg": decisionMsg{Window: 1, Task: -1, Repartition: true},
+	}}, c)
+	// Window 1 closes: its computation is pending, the barrier must
+	// engage despite the later verdict.
+	b.Execute(wendTuple(1), c)
+	if !b.waiting {
+		t.Fatal("barrier not engaged for window 1's pending recomputation")
+	}
+	pre := len(c.byStream(streamToJoin))
+	b.Execute(docTuple(2, document.New(9, []document.Pair{intPair2("a", 1)})), c)
+	if n := len(c.byStream(streamToJoin)); n != pre {
+		t.Fatalf("window 2 document routed through the engaged barrier")
+	}
+	// Window 1's recomputed table releases the first barrier and drains;
+	// window 2's pending barrier must survive the release.
+	m := newTableMsg(2, intPair2("a", 1))
+	m.Window = 1
+	m.Recomputed = true
+	b.Execute(topology.Tuple{Stream: streamTable, Values: topology.Values{"msg": m}}, c)
+	if b.waiting {
+		t.Fatal("barrier not released by the awaited table")
+	}
+	if n := len(c.byStream(streamToJoin)); n != pre+1 {
+		t.Fatalf("buffered window 2 document not drained: %d", n)
+	}
+	b.Execute(wendTuple(2), c)
+	if !b.waiting {
+		t.Fatal("window 2's barrier swallowed by the earlier release")
+	}
+	b.Execute(docTuple(3, document.New(10, []document.Pair{intPair2("a", 1)})), c)
+	if n := len(c.byStream(streamToJoin)); n != pre+1 {
+		t.Fatal("window 3 document routed through the second barrier")
+	}
+	m2 := newTableMsg(3, intPair2("a", 1))
+	m2.Window = 2
+	m2.Recomputed = true
+	b.Execute(topology.Tuple{Stream: streamTable, Values: topology.Values{"msg": m2}}, c)
+	if b.waiting {
+		t.Fatal("second barrier not released")
+	}
+	if len(b.pendingRepart) != 0 {
+		t.Errorf("pendingRepart not drained: %v", b.pendingRepart)
+	}
+}
+
 func TestAssignerStaleTableIgnored(t *testing.T) {
 	cfg := testConfig()
 	b := newAssignerBolt(cfg, 0)

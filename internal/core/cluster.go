@@ -48,7 +48,7 @@ func buildTopology(cfg Config, report *Report) *topology.Builder {
 	b.MaxPending(cfg.MaxPending)
 	b.Telemetry(cfg.Telemetry)
 	b.SetSpout("reader", func(int) topology.Spout {
-		return newReaderSpout(cfg.Source, cfg.WindowSize, cfg.Windows)
+		return newReaderSpout(cfg)
 	}, 1)
 
 	b.SetBolt("creator", func(task int) topology.Bolt {

@@ -13,16 +13,33 @@ import (
 // Storm's metrics): it merges the assigners' per-window routing
 // partials into global window statistics, accumulates join counters and
 // merger events, and assembles the final Report during Cleanup.
+//
+// All counters accumulate per window inside windowAgg rather than
+// directly on the Report: a window is complete once every assigner
+// partial and every joiner partial for it arrived, completed windows
+// form a prefix of the stream (the per-link tuple order guarantees
+// window w's partials all precede window w+1's from the same task), and
+// that prefix is exactly what a checkpoint snapshot captures. Only the
+// merger's table-version events are not window-attributable; across a
+// recovery they count actual broadcasts, including the recovery
+// re-broadcast.
 type collectorBolt struct {
 	cfg    Config
 	report *Report
 
 	windows map[int]*windowAgg
 
+	// Run-wide accumulators fed by merger events; copied into the
+	// Report during Cleanup.
+	tableVersions int
+	repartitions  int
+
+	cp *checkpointer
+
 	// Live instruments (nil-safe no-ops when cfg.Telemetry is off):
 	// global totals plus the cluster-wide replication/Gini of the last
-	// completed window, computed as soon as every assigner's partial for
-	// that window has arrived.
+	// completed window, computed as soon as every partial for that
+	// window has arrived.
 	tel struct {
 		joinPairs     *telemetry.Counter
 		docsJoined    *telemetry.Counter
@@ -38,10 +55,20 @@ type windowAgg struct {
 	stats         *metrics.WindowStats
 	repartitioned bool
 	partials      int // assigner partials received
+	jdone         int // joiner partials received
+	pairs         int // join pairs reported for this window
+	docs          int // documents the joiners incorporated
+	ckpt          bool
+	done          bool
 }
 
 func newCollectorBolt(cfg Config, report *Report) *collectorBolt {
-	b := &collectorBolt{cfg: cfg, report: report, windows: make(map[int]*windowAgg)}
+	b := &collectorBolt{
+		cfg:     cfg,
+		report:  report,
+		windows: make(map[int]*windowAgg),
+		cp:      newCheckpointer(cfg, "collector", 0),
+	}
 	if reg := cfg.Telemetry; reg != nil {
 		b.tel.joinPairs = reg.Counter("collector_join_pairs_total")
 		b.tel.docsJoined = reg.Counter("collector_docs_joined_total")
@@ -55,7 +82,9 @@ func newCollectorBolt(cfg Config, report *Report) *collectorBolt {
 }
 
 // Prepare implements topology.Bolt.
-func (b *collectorBolt) Prepare(*topology.TaskContext) {}
+func (b *collectorBolt) Prepare(*topology.TaskContext) {
+	b.cp.restore(b)
+}
 
 // Execute implements topology.Bolt.
 func (b *collectorBolt) Execute(t topology.Tuple, _ topology.Collector) {
@@ -75,28 +104,49 @@ func (b *collectorBolt) Execute(t topology.Tuple, _ topology.Collector) {
 		if msg.Repartitioned {
 			agg.repartitioned = true
 		}
-		if agg.partials++; agg.partials == b.cfg.Assigners {
-			// Window complete across all assigners: publish the global
-			// routing quality live, the same numbers the final Report's
-			// RunStats will carry.
-			b.tel.windowsDone.Inc()
-			b.tel.replication.Set(agg.stats.Replication())
-			b.tel.gini.Set(agg.stats.LoadBalance())
+		if msg.Checkpoint {
+			agg.ckpt = true
 		}
+		agg.partials++
+		b.maybeComplete(msg.Window, agg)
 	case streamJoinerStats:
 		msg := t.Values["msg"].(joinerStatsMsg)
-		b.report.JoinPairs += msg.Pairs
-		b.report.DocsJoined += msg.Docs
+		agg := b.window(msg.Window)
+		agg.pairs += msg.Pairs
+		agg.docs += msg.Docs
+		if msg.Checkpoint {
+			agg.ckpt = true
+		}
+		agg.jdone++
 		b.tel.joinPairs.Add(int64(msg.Pairs))
 		b.tel.docsJoined.Add(int64(msg.Docs))
+		b.maybeComplete(msg.Window, agg)
 	case streamMergerEvents:
 		msg := t.Values["msg"].(mergerEventMsg)
-		b.report.TableVersions++
+		b.tableVersions++
 		b.tel.tableVersions.Inc()
 		if msg.Recomputed {
-			b.report.Repartitions++
+			b.repartitions++
 			b.tel.repartitions.Inc()
 		}
+	}
+}
+
+// maybeComplete fires once per window, when the last of its partials
+// arrives: it publishes the live routing-quality gauges and — when the
+// window carried a checkpoint barrier — snapshots the collector. The
+// completed windows form a prefix of the stream, so the snapshot at
+// window w holds the full, final statistics of windows 0..w.
+func (b *collectorBolt) maybeComplete(w int, agg *windowAgg) {
+	if agg.done || agg.partials < b.cfg.Assigners || agg.jdone < b.cfg.M {
+		return
+	}
+	agg.done = true
+	b.tel.windowsDone.Inc()
+	b.tel.replication.Set(agg.stats.Replication())
+	b.tel.gini.Set(agg.stats.LoadBalance())
+	if agg.ckpt {
+		b.cp.save(w, b)
 	}
 }
 
@@ -109,7 +159,8 @@ func (b *collectorBolt) window(w int) *windowAgg {
 	return agg
 }
 
-// Cleanup assembles the per-window statistics in stream order.
+// Cleanup assembles the per-window statistics in stream order and
+// copies the run-wide accumulators into the Report.
 func (b *collectorBolt) Cleanup() {
 	ids := make([]int, 0, len(b.windows))
 	for w := range b.windows {
@@ -120,7 +171,11 @@ func (b *collectorBolt) Cleanup() {
 		agg := b.windows[w]
 		agg.stats.Repartitioned = agg.repartitioned
 		b.report.Run.Add(agg.stats)
+		b.report.JoinPairs += agg.pairs
+		b.report.DocsJoined += agg.docs
 	}
+	b.report.TableVersions = b.tableVersions
+	b.report.Repartitions = b.repartitions
 	// Publish the run's headline aggregates as gauges so the final
 	// snapshot (and any post-run scrape) carries them.
 	b.report.Run.PublishTo(b.cfg.Telemetry)

@@ -126,6 +126,15 @@ type Config struct {
 	// and the final Report carries its snapshot. Nil (the default) keeps
 	// every instrument a no-op.
 	Telemetry *telemetry.Registry
+
+	// recovery is the checkpoint/restore plumbing threaded in by the
+	// Runner (WithRecovery); nil keeps checkpointing off.
+	recovery *recoveryPlumb
+	// onResultWindowed, when set, supersedes OnResult and additionally
+	// receives the window each result belongs to — the Runner's result
+	// stager needs the window to keep delivery exactly-once across a
+	// recovery restart.
+	onResultWindowed func(window int, res join.Result)
 }
 
 // withDefaults fills unset fields with the paper's defaults.
@@ -180,6 +189,10 @@ type Report struct {
 	// Repartitions counts partition recomputations after the initial
 	// creation.
 	Repartitions int
+	// Restarts counts recovery restarts: how many times a worker died
+	// and the run was re-placed and restored from the last checkpoint
+	// cut (0 on a run without failover).
+	Restarts int
 	// TableVersions counts all partition-table broadcasts, including
 	// δ-gated updates.
 	TableVersions int

@@ -35,15 +35,22 @@ type creatorBolt struct {
 
 	buffers map[int][]document.Document
 
-	// decisions[w] counts assigner verdicts received for window w;
-	// requested[w] records whether any of them asked to repartition.
-	decisions map[int]int
+	// decisions[w] is the set of assigner tasks whose verdict for
+	// window w arrived; requested[w] records whether any of them asked
+	// to repartition. Verdicts deduplicate by task: a recovering
+	// assigner re-emits its last verdict (it may have died in flight),
+	// and counting a task twice would close the next window before a
+	// genuinely missing verdict arrived.
+	decisions map[int]map[int]bool
 	requested map[int]bool
 
 	// pendingWend holds window-end punctuation waiting for complete
-	// decisions of the preceding window, in arrival order.
+	// decisions of the preceding window, in arrival order; ckptWend
+	// marks the windows whose punctuation carried a checkpoint barrier.
 	pendingWend []int
-	nextWindow  int // the next window this creator will close
+	ckptWend    map[int]bool
+
+	cp *checkpointer
 }
 
 func newCreatorBolt(cfg Config, task int) *creatorBolt {
@@ -51,8 +58,10 @@ func newCreatorBolt(cfg Config, task int) *creatorBolt {
 		cfg:       cfg,
 		task:      task,
 		buffers:   make(map[int][]document.Document),
-		decisions: make(map[int]int),
+		decisions: make(map[int]map[int]bool),
 		requested: make(map[int]bool),
+		ckptWend:  make(map[int]bool),
+		cp:        newCheckpointer(cfg, "creator", task),
 	}
 }
 
@@ -62,6 +71,7 @@ func (b *creatorBolt) Prepare(ctx *topology.TaskContext) {
 	if b.numAssigners == 0 {
 		b.numAssigners = b.cfg.Assigners
 	}
+	b.cp.restore(b)
 }
 
 // Cleanup implements topology.Bolt.
@@ -76,7 +86,10 @@ func (b *creatorBolt) Execute(t topology.Tuple, c topology.Collector) {
 		b.buffers[w] = append(b.buffers[w], d)
 	case streamRepartition:
 		msg := t.Values["msg"].(decisionMsg)
-		b.decisions[msg.Window]++
+		if b.decisions[msg.Window] == nil {
+			b.decisions[msg.Window] = make(map[int]bool)
+		}
+		b.decisions[msg.Window][msg.Task] = true
 		if msg.Repartition {
 			b.requested[msg.Window] = true
 		}
@@ -84,6 +97,9 @@ func (b *creatorBolt) Execute(t topology.Tuple, c topology.Collector) {
 	case streamWindowEnd:
 		w := t.Values["window"].(int)
 		b.pendingWend = append(b.pendingWend, w)
+		if _, ok := topology.CheckpointID(t); ok {
+			b.ckptWend[w] = true
+		}
 		b.drainWend(c)
 	case streamExpansion:
 		msg := t.Values["msg"].(expansionMsg)
@@ -103,7 +119,7 @@ func (b *creatorBolt) Execute(t topology.Tuple, c topology.Collector) {
 func (b *creatorBolt) drainWend(c topology.Collector) {
 	for len(b.pendingWend) > 0 {
 		w := b.pendingWend[0]
-		if w > 0 && b.decisions[w-1] < b.numAssigners {
+		if w > 0 && len(b.decisions[w-1]) < b.numAssigners {
 			return // verdicts for w-1 still outstanding
 		}
 		b.pendingWend = b.pendingWend[1:]
@@ -118,13 +134,21 @@ func (b *creatorBolt) closeWindow(w int, c topology.Collector) {
 	computing := w == 0 || b.requested[w-1]
 	delete(b.decisions, w-1)
 	delete(b.requested, w-1)
-	msg := creatorWindowMsg{Window: w, Task: b.task, Computing: computing}
+	msg := creatorWindowMsg{Window: w, Task: b.task, Computing: computing, Checkpoint: b.ckptWend[w]}
 	if computing {
 		msg.Proposal = b.propose(b.buffers[w])
 	} else {
 		delete(b.buffers, w) // sample not needed
 	}
 	c.EmitTo(streamCreatorWindow, topology.Values{"msg": msg})
+	// Window w is resolved at this task: snapshot at the barrier. The
+	// sample buffers are deliberately not part of the snapshot — on a
+	// restart the replayed stream rebuilds them — so the snapshot is
+	// just the decision bookkeeping.
+	if b.ckptWend[w] {
+		delete(b.ckptWend, w)
+		b.cp.save(w, b)
+	}
 }
 
 // propose derives this creator's expansion proposal from its sample

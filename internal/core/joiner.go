@@ -39,9 +39,13 @@ type joinerBolt struct {
 	pending map[int][]pendingDoc
 
 	// markers counts per-window punctuation from the assigners; the
-	// window tumbles when all of them reported.
+	// window tumbles when all of them reported. ckptW marks windows
+	// whose punctuation carried a checkpoint barrier.
 	markers      map[int]int
+	ckptW        map[int]bool
 	numAssigners int
+
+	cp *checkpointer
 
 	// Live instruments (nil-safe no-ops when cfg.Telemetry is off).
 	telPairs *telemetry.Counter // pairs this joiner owns and emits
@@ -66,6 +70,8 @@ func newJoinerBolt(cfg Config, task int) *joinerBolt {
 		targets:  make(map[uint64][]int),
 		pending:  make(map[int][]pendingDoc),
 		markers:  make(map[int]int),
+		ckptW:    make(map[int]bool),
+		cp:       newCheckpointer(cfg, "joiner", task),
 	}
 	if reg := cfg.Telemetry; reg != nil {
 		id := fmt.Sprint(task)
@@ -87,6 +93,7 @@ func (b *joinerBolt) Prepare(ctx *topology.TaskContext) {
 	if b.numAssigners == 0 {
 		b.numAssigners = b.cfg.Assigners
 	}
+	b.cp.restore(b)
 }
 
 // Cleanup implements topology.Bolt.
@@ -106,6 +113,9 @@ func (b *joinerBolt) Execute(t topology.Tuple, c topology.Collector) {
 	case streamJoinerWindow:
 		w := t.Values["window"].(int)
 		b.markers[w]++
+		if _, ok := topology.CheckpointID(t); ok {
+			b.ckptW[w] = true
+		}
 		b.maybeTumble(c)
 	}
 }
@@ -118,7 +128,9 @@ func (b *joinerBolt) process(p pendingDoc, c topology.Collector) {
 		}
 		b.pairs++
 		b.telPairs.Inc()
-		if b.cfg.OnResult != nil {
+		if b.cfg.onResultWindowed != nil {
+			b.cfg.onResultWindowed(b.current, res)
+		} else if b.cfg.OnResult != nil {
 			b.cfg.OnResult(res)
 		}
 		c.EmitTo(streamResults, topology.Values{
@@ -153,17 +165,28 @@ func (b *joinerBolt) ownsPair(left, right uint64) bool {
 // punctuated it, replaying buffered documents of the next window.
 func (b *joinerBolt) maybeTumble(c topology.Collector) {
 	for b.markers[b.current] == b.numAssigners {
-		delete(b.markers, b.current)
+		w := b.current
+		ckpt := b.ckptW[w]
+		delete(b.markers, w)
+		delete(b.ckptW, w)
 		docs, _ := b.windowed.Tumble()
 		c.EmitTo(streamJoinerStats, topology.Values{"msg": joinerStatsMsg{
-			Window: b.current,
-			Task:   b.task,
-			Docs:   docs,
-			Pairs:  b.pairs,
+			Window:     w,
+			Task:       b.task,
+			Docs:       docs,
+			Pairs:      b.pairs,
+			Checkpoint: ckpt,
 		}})
 		b.pairs = 0
 		b.targets = make(map[uint64][]int)
 		b.current++
+		// Snapshot at the barrier, post-tumble and pre-replay: the
+		// state is "window w incorporated, next window empty"; the
+		// buffered next-window documents are deliberately dropped — a
+		// restart's replayed stream re-delivers them.
+		if ckpt {
+			b.cp.save(w, b)
+		}
 		for _, p := range b.pending[b.current] {
 			b.process(p, c)
 		}

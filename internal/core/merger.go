@@ -23,6 +23,16 @@ type mergerBolt struct {
 	table       *partition.Table
 	spec        *expansion.Expansion
 
+	// lastTableWindow/lastTableRecomputed describe the most recent full
+	// table broadcast (δ flushes reset lastTableWindow to -1). A
+	// recovering merger needs them to re-broadcast its table with the
+	// right deployment semantics — see Recover.
+	lastTableWindow     int
+	lastTableRecomputed bool
+
+	cp       *checkpointer
+	restored bool
+
 	// working accumulates δ updates between broadcasts. Broadcasting a
 	// fresh table clone for every single update would congest the
 	// Merger — the very failure mode Sec. VI-A's δ gate exists to
@@ -37,20 +47,72 @@ type mergerBolt struct {
 // computing); after the merger broadcasts the consensus expansion, the
 // computing creators answer with their local groups.
 type computeRound struct {
-	reports   int
-	computing map[int]bool
-	proposals []*expansion.Expansion
-	groups    [][]partition.AssocGroup
-	specSent  bool
-	spec      *expansion.Expansion
+	reports    int
+	computing  map[int]bool
+	proposals  []*expansion.Expansion
+	groups     [][]partition.AssocGroup
+	specSent   bool
+	spec       *expansion.Expansion
+	checkpoint bool
 }
 
 func newMergerBolt(cfg Config) *mergerBolt {
-	return &mergerBolt{cfg: cfg, rounds: make(map[int]*computeRound), initial: true, lastResched: -1}
+	return &mergerBolt{
+		cfg:             cfg,
+		rounds:          make(map[int]*computeRound),
+		initial:         true,
+		lastResched:     -1,
+		lastTableWindow: -1,
+		cp:              newCheckpointer(cfg, "merger", 0),
+	}
 }
 
 // Prepare implements topology.Bolt.
-func (b *mergerBolt) Prepare(*topology.TaskContext) {}
+func (b *mergerBolt) Prepare(*topology.TaskContext) {
+	b.restored = b.cp.restore(b)
+}
+
+// Recover implements topology.Recoverer: a restored merger re-emits
+// the control state the checkpoint cut dropped in flight.
+//
+// The table re-broadcast releases assigners parked at a deployment
+// barrier: their snapshots are taken at the window punctuation, before
+// the awaited table's separate Execute, so the cut always restores
+// them pre-adoption and the original broadcast tuple is lost with the
+// crashed attempt. Re-broadcasting under a fresh version is safe for
+// assigners that are not waiting — the content is what the merger
+// already held (δ-lineage tables only add coverage, and routing
+// completeness holds under any mix of δ versions). The Recomputed flag
+// is re-asserted only when the cut window itself produced the table,
+// i.e. exactly when no assigner can have adopted it before its own
+// snapshot.
+//
+// The resched re-emission covers the symmetric race for the
+// repartition notice: an assigner whose snapshot predates the notice
+// would otherwise miss its deployment barrier after the restart.
+func (b *mergerBolt) Recover(c topology.Collector) {
+	if !b.restored {
+		return
+	}
+	if b.table != nil {
+		b.version++
+		c.EmitTo(streamTable, topology.Values{"msg": tableMsg{
+			Version:    b.version,
+			Window:     b.cp.restoreWindow,
+			Table:      b.table,
+			Expansion:  b.spec,
+			Recomputed: b.lastTableRecomputed && b.lastTableWindow == b.cp.restoreWindow,
+		}})
+		c.EmitTo(streamMergerEvents, topology.Values{"msg": mergerEventMsg{Version: b.version}})
+	}
+	if b.lastResched >= 0 {
+		c.EmitTo(streamResched, topology.Values{"msg": decisionMsg{
+			Window:      b.lastResched,
+			Task:        -1,
+			Repartition: true,
+		}})
+	}
+}
 
 // Cleanup implements topology.Bolt.
 func (b *mergerBolt) Cleanup() {}
@@ -63,6 +125,9 @@ func (b *mergerBolt) Execute(t topology.Tuple, c topology.Collector) {
 		msg := t.Values["msg"].(creatorWindowMsg)
 		r := b.round(msg.Window)
 		r.reports++
+		if msg.Checkpoint {
+			r.checkpoint = true
+		}
 		if msg.Computing {
 			r.computing[msg.Task] = true
 			r.proposals = append(r.proposals, msg.Proposal)
@@ -70,6 +135,9 @@ func (b *mergerBolt) Execute(t topology.Tuple, c topology.Collector) {
 		if r.reports == b.cfg.Creators {
 			if len(r.computing) == 0 {
 				delete(b.rounds, msg.Window)
+				if r.checkpoint {
+					b.cp.save(msg.Window, b)
+				}
 				return
 			}
 			r.spec = consensusExpansion(r.proposals)
@@ -87,6 +155,9 @@ func (b *mergerBolt) Execute(t topology.Tuple, c topology.Collector) {
 		if r.specSent && len(r.computing) == 0 {
 			b.buildTable(msg.Window, r, c)
 			delete(b.rounds, msg.Window)
+			if r.checkpoint {
+				b.cp.save(msg.Window, b)
+			}
 		}
 	case streamUpdate:
 		msg := t.Values["msg"].(updateMsg)
@@ -141,6 +212,8 @@ func (b *mergerBolt) buildTable(window int, r *computeRound, c topology.Collecto
 	b.dirty = false
 	b.version++
 	recomputed := !b.initial
+	b.lastTableWindow = window
+	b.lastTableRecomputed = recomputed
 	c.EmitTo(streamTable, topology.Values{"msg": tableMsg{
 		Version:    b.version,
 		Window:     window,
@@ -185,6 +258,8 @@ func (b *mergerBolt) flushUpdates(c topology.Collector) {
 	b.working = nil
 	b.dirty = false
 	b.version++
+	b.lastTableWindow = -1
+	b.lastTableRecomputed = false
 	c.EmitTo(streamTable, topology.Values{"msg": tableMsg{
 		Version:   b.version,
 		Window:    -1,

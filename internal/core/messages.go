@@ -65,6 +65,10 @@ type creatorWindowMsg struct {
 	Task      int
 	Computing bool
 	Proposal  *expansion.Expansion
+	// Checkpoint propagates the window's checkpoint barrier to the
+	// merger, which has no direct window punctuation of its own: the
+	// merger snapshots window Window once its round resolves.
+	Checkpoint bool
 }
 
 // expansionMsg is the merger's consensus expansion decision for a
@@ -126,15 +130,20 @@ type assignerStatsMsg struct {
 	Broadcasts    int
 	Updates       int
 	Repartitioned bool
+	// Checkpoint propagates the window's checkpoint barrier to the
+	// collector, which snapshots a window once every assigner and
+	// joiner partial for it has arrived.
+	Checkpoint bool
 }
 
 // joinerStatsMsg is one joiner's contribution to a window's join
 // counters.
 type joinerStatsMsg struct {
-	Window int
-	Task   int
-	Docs   int
-	Pairs  int
+	Window     int
+	Task       int
+	Docs       int
+	Pairs      int
+	Checkpoint bool
 }
 
 // mergerEventMsg reports a table broadcast for accounting.

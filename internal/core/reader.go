@@ -9,22 +9,49 @@ import (
 // readerSpout is the JsonReader of Fig. 2: it draws documents from a
 // generator, stamps them with their window index, and emits window
 // punctuation after every WindowSize documents.
+//
+// With recovery enabled the reader plays two extra roles. It is the
+// checkpoint-barrier source: every window punctuation carries the
+// window index as a checkpoint barrier id (topology.WithCheckpoint),
+// and the annotation rides the existing punctuation streams through
+// assigners to joiners, aligning every task's snapshots on window
+// boundaries. And on a restart it is the replay source: the reader is
+// the one stateful-looking component that is not restored — instead a
+// fresh deterministic generator regenerates the stream and the reader
+// discards the windows at or below the recovery cut, resuming emission
+// at the first window the restored tasks have not incorporated.
 type readerSpout struct {
 	source     datagen.Generator
 	windowSize int
 	windows    int
+	checkpoint bool
+	skip       int // windows to regenerate and discard before emitting
 
 	window int
 	buf    []document.Document
 	pos    int
 }
 
-func newReaderSpout(source datagen.Generator, windowSize, windows int) *readerSpout {
-	return &readerSpout{source: source, windowSize: windowSize, windows: windows}
+func newReaderSpout(cfg Config) *readerSpout {
+	s := &readerSpout{
+		source:     cfg.Source,
+		windowSize: cfg.WindowSize,
+		windows:    cfg.Windows,
+		checkpoint: cfg.recovery != nil,
+	}
+	if cfg.recovery != nil && cfg.recovery.restoreWindow >= 0 {
+		s.skip = cfg.recovery.restoreWindow + 1
+	}
+	return s
 }
 
-// Open implements topology.Spout.
-func (s *readerSpout) Open(*topology.TaskContext) {}
+// Open implements topology.Spout: on a recovery restart it fast-
+// forwards the generator past the checkpointed prefix of the stream.
+func (s *readerSpout) Open(*topology.TaskContext) {
+	for ; s.window < s.skip && s.window < s.windows; s.window++ {
+		s.source.Window(s.windowSize)
+	}
+}
 
 // Close implements topology.Spout.
 func (s *readerSpout) Close() {}
@@ -45,8 +72,13 @@ func (s *readerSpout) NextTuple(c topology.Collector) bool {
 		c.EmitTo(streamDocs, topology.Values{"doc": d, "window": s.window})
 		return true
 	}
-	// Window exhausted: punctuate and advance.
-	c.EmitTo(streamWindowEnd, topology.Values{"window": s.window})
+	// Window exhausted: punctuate and advance. The punctuation doubles
+	// as the checkpoint barrier for this window when recovery is on.
+	values := topology.Values{"window": s.window}
+	if s.checkpoint {
+		topology.WithCheckpoint(values, s.window)
+	}
+	c.EmitTo(streamWindowEnd, values)
 	s.window++
 	s.buf = nil
 	return s.window < s.windows

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/datagen"
+	"repro/internal/state"
 	"repro/internal/telemetry"
 )
 
@@ -28,6 +31,7 @@ type Runner struct {
 	chaos       *Chaos
 	workerReg   func(worker int) *telemetry.Registry
 	workerHook  func(worker int, w *cluster.Worker)
+	recovery    *Recovery
 }
 
 // Option configures a Runner.
@@ -76,6 +80,37 @@ func WithWorkerHook(f func(worker int, w *cluster.Worker)) Option {
 	return func(r *Runner) { r.workerHook = f }
 }
 
+// Recovery configures the operator-state layer: every stateful task
+// snapshots its state into Store at each window boundary (the
+// checkpoint barrier rides the window punctuation), and a cluster run
+// survives worker deaths by re-placing the topology on the surviving
+// workers and restoring from the last consistent checkpoint cut.
+type Recovery struct {
+	// Store persists the snapshots. Required. state.NewMemStore() for
+	// tests and single-host runs, state.NewFSStore(dir) for a store an
+	// external tool can inspect. The run owns the store: any snapshots
+	// left from an earlier run are cleared when Run starts.
+	Store state.Store
+	// MaxRestarts bounds how many worker deaths one run survives;
+	// <= 0 defaults to workers-1 (every death survivable down to a
+	// single worker).
+	MaxRestarts int
+	// NewSource returns a fresh generator producing the same stream as
+	// Config.Source. Required for failover: the reader is not restored
+	// from a snapshot — a recovering attempt re-creates it and fast-
+	// forwards past the windows already incorporated in the cut, which
+	// needs the stream to be reproducible from the start. When Config.
+	// Source is nil, NewSource() also provides the first attempt's
+	// source.
+	NewSource func() datagen.Generator
+}
+
+// WithRecovery enables checkpointing (and, for cluster runs, worker
+// failover) for the run.
+func WithRecovery(rec Recovery) Option {
+	return func(r *Runner) { r.recovery = &rec }
+}
+
 // Chaos configures fault injection for a cluster run: every
 // worker-to-worker link runs through a cluster.ChaosProxy.
 type Chaos struct {
@@ -99,6 +134,17 @@ func NewRunner(cfg Config, opts ...Option) *Runner {
 // Run executes the configured run and blocks until the stream is
 // exhausted and the topology has fully drained.
 func (r *Runner) Run() (*Report, error) {
+	if r.recovery != nil {
+		if r.recovery.Store == nil {
+			return nil, fmt.Errorf("core: WithRecovery requires Recovery.Store")
+		}
+		if r.workers > 0 && r.recovery.NewSource == nil {
+			return nil, fmt.Errorf("core: worker failover requires Recovery.NewSource (the reader replays the stream from a fresh generator)")
+		}
+		if r.cfg.Source == nil && r.recovery.NewSource != nil {
+			r.cfg.Source = r.recovery.NewSource()
+		}
+	}
 	cfg, err := r.cfg.withDefaults()
 	if err != nil {
 		return nil, err
@@ -133,8 +179,17 @@ func (r *Runner) Run() (*Report, error) {
 	return r.runCluster(cfg)
 }
 
-// runLocal executes on the in-process topology runtime.
+// runLocal executes on the in-process topology runtime. With recovery
+// configured the run checkpoints (useful for producing a store a later
+// cluster run can inspect) but never restores — there is no worker to
+// lose.
 func (r *Runner) runLocal(cfg Config) (*Report, error) {
+	if r.recovery != nil {
+		if err := clearStore(r.recovery.Store); err != nil {
+			return nil, err
+		}
+		cfg.recovery = &recoveryPlumb{store: r.recovery.Store, restoreWindow: -1}
+	}
 	report := &Report{}
 	topo, err := buildTopology(cfg, report).Build()
 	if err != nil {
@@ -145,20 +200,83 @@ func (r *Runner) runLocal(cfg Config) (*Report, error) {
 	return report, nil
 }
 
-// runCluster executes across TCP-connected in-process workers: the same
-// plumbing as a multi-process deployment — coordinator handshake,
-// gob-framed data plane, double-probe termination — without spawning
-// processes. Every worker constructs the topology from the same code
-// and instantiates only its placed tasks.
+// runCluster executes across TCP-connected in-process workers. Without
+// recovery it is a single attempt; with recovery it loops: when a
+// worker dies mid-run, the topology is re-placed across the survivors
+// and every stateful task restores from the last checkpoint cut — the
+// highest window every required task snapshotted. Snapshots above the
+// cut are pruned before the restart (attempts must not mix), the
+// staged join results past the cut are discarded (the replay
+// regenerates them), and the reader replays the stream from a fresh
+// generator, skipping the windows the cut already incorporated.
 func (r *Runner) runCluster(cfg Config) (*Report, error) {
+	if r.recovery == nil {
+		return r.runClusterAttempt(cfg, r.workers)
+	}
+	maxRestarts := r.recovery.MaxRestarts
+	if maxRestarts <= 0 {
+		maxRestarts = r.workers - 1
+	}
+	if err := clearStore(r.recovery.Store); err != nil {
+		return nil, err
+	}
+	stager := newResultStager(cfg.OnResult)
+	workers := r.workers
+	restarts := 0
+	restoreFrom := -1
+	for {
+		acfg := cfg
+		acfg.OnResult = nil
+		acfg.onResultWindowed = stager.record
+		acfg.recovery = &recoveryPlumb{store: r.recovery.Store, restoreWindow: restoreFrom}
+		if restoreFrom >= 0 {
+			acfg.Source = r.recovery.NewSource()
+		}
+		report, err := r.runClusterAttempt(acfg, workers)
+		if err == nil {
+			report.Restarts = restarts
+			stager.flush()
+			return report, nil
+		}
+		var wd *cluster.WorkerDied
+		if !errors.As(err, &wd) || restarts >= maxRestarts || workers <= 1 {
+			return nil, err
+		}
+		cut := state.Cut(r.recovery.Store, requiredTasks(cfg))
+		if cut < 0 {
+			return nil, fmt.Errorf("core: worker died before the first checkpoint cut completed: %w", err)
+		}
+		// Drop every snapshot above the cut: the next attempt snapshots
+		// those windows again, and mixing attempts would let a stale
+		// high-window snapshot (with e.g. a diverged table-version
+		// counter) into a later cut.
+		for _, task := range r.recovery.Store.Tasks() {
+			if perr := r.recovery.Store.Prune(task, cut); perr != nil {
+				return nil, fmt.Errorf("core: pruning %s above window %d: %w", task, cut, perr)
+			}
+		}
+		stager.prune(cut)
+		restoreFrom = cut
+		workers--
+		restarts++
+	}
+}
+
+// runClusterAttempt is one placement of the topology across the given
+// number of workers: the same plumbing as a multi-process deployment —
+// coordinator handshake, gob-framed data plane, double-probe
+// termination — without spawning processes. Every worker constructs
+// the topology from the same code and instantiates only its placed
+// tasks.
+func (r *Runner) runClusterAttempt(cfg Config, nworkers int) (*Report, error) {
 	RegisterGobTypes()
-	coord, err := cluster.NewCoordinator(r.workers)
+	coord, err := cluster.NewCoordinator(nworkers)
 	if err != nil {
 		return nil, err
 	}
 	report := &Report{}
-	workers := make([]*cluster.Worker, r.workers)
-	regs := make([]*telemetry.Registry, 0, r.workers+1)
+	workers := make([]*cluster.Worker, nworkers)
+	regs := make([]*telemetry.Registry, 0, nworkers+1)
 	if cfg.Telemetry != nil {
 		regs = append(regs, cfg.Telemetry)
 	}
@@ -168,7 +286,7 @@ func (r *Runner) runCluster(cfg Config) (*Report, error) {
 			p.Close()
 		}
 	}()
-	for i := 0; i < r.workers; i++ {
+	for i := 0; i < nworkers; i++ {
 		wcfg := cfg
 		if r.workerReg != nil {
 			wcfg.Telemetry = r.workerReg(i)
@@ -176,7 +294,7 @@ func (r *Runner) runCluster(cfg Config) (*Report, error) {
 				regs = append(regs, wcfg.Telemetry)
 			}
 		}
-		w, err := cluster.NewWorker(i, r.workers, buildTopology(wcfg, report), coord.Addr())
+		w, err := cluster.NewWorker(i, nworkers, buildTopology(wcfg, report), coord.Addr())
 		if err != nil {
 			return nil, err
 		}
@@ -204,13 +322,13 @@ func (r *Runner) runCluster(cfg Config) (*Report, error) {
 		}
 		workers[i] = w
 	}
-	errs := make(chan error, r.workers)
+	errs := make(chan error, nworkers)
 	for _, w := range workers {
 		w := w
 		go func() { errs <- w.Run() }()
 	}
 	stats, err := coord.Run()
-	for i := 0; i < r.workers; i++ {
+	for i := 0; i < nworkers; i++ {
 		if werr := <-errs; werr != nil && err == nil {
 			err = werr
 		}

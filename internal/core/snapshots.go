@@ -1,0 +1,301 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"io"
+	"sort"
+
+	"repro/internal/document"
+	"repro/internal/expansion"
+	"repro/internal/metrics"
+	"repro/internal/partition"
+)
+
+// This file holds the state.Snapshotter implementations of the Fig. 2
+// bolts. A snapshot is always taken at a window boundary (the
+// checkpoint barrier rides the window punctuation), so everything tied
+// to in-flight windows — sample buffers, routed-but-unpunctuated
+// documents, deployment-barrier buffers, unresolved merger rounds — is
+// deliberately absent: a restart replays the stream from the window
+// after the cut and regenerates all of it. What a snapshot carries is
+// exactly the state that survives window boundaries.
+//
+// All pair-bearing state serialises through canonical strings
+// (document.Pair, partition.Table's custom gob), never through interned
+// symbols: symbol values are process-local and a restored attempt may
+// intern in a different order.
+
+// assignerState is the snapshot of one assignerBolt at the close of a
+// window. Per-window routing counters are zero at that point (just
+// reset by finishWindow) and are not carried.
+type assignerState struct {
+	Version int
+	Table   *partition.Table
+	Spec    *expansion.Expansion
+	Unseen  map[document.Pair]int
+
+	BaselineSet  bool
+	BaselineRepl float64
+	BaselineGini float64
+	AwaitingBase bool
+
+	Waiting       bool
+	WaitWindow    int
+	PendingRepart []int
+
+	LastDecision decisionMsg
+}
+
+// Snapshot implements state.Snapshotter.
+func (b *assignerBolt) Snapshot(w io.Writer) error {
+	st := assignerState{
+		Version:      b.version,
+		Table:        b.table,
+		Spec:         b.spec,
+		Unseen:       b.unseen,
+		BaselineSet:  b.baselineSet,
+		BaselineRepl: b.baselineRepl,
+		BaselineGini: b.baselineGini,
+		AwaitingBase: b.awaitingBase,
+		Waiting:      b.waiting,
+		WaitWindow:   b.waitWindow,
+		LastDecision: b.lastDecision,
+	}
+	for w := range b.pendingRepart {
+		st.PendingRepart = append(st.PendingRepart, w)
+	}
+	sort.Ints(st.PendingRepart)
+	return gob.NewEncoder(w).Encode(&st)
+}
+
+// Restore implements state.Snapshotter.
+func (b *assignerBolt) Restore(r io.Reader) error {
+	var st assignerState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return err
+	}
+	b.version = st.Version
+	b.table = st.Table
+	b.spec = st.Spec
+	b.unseen = st.Unseen
+	if b.unseen == nil {
+		b.unseen = make(map[document.Pair]int)
+	}
+	b.baselineSet = st.BaselineSet
+	b.baselineRepl = st.BaselineRepl
+	b.baselineGini = st.BaselineGini
+	b.awaitingBase = st.AwaitingBase
+	b.waiting = st.Waiting
+	b.waitWindow = st.WaitWindow
+	b.buffered = nil
+	b.pendingRepart = make(map[int]bool, len(st.PendingRepart))
+	for _, w := range st.PendingRepart {
+		b.pendingRepart[w] = true
+	}
+	b.lastDecision = st.LastDecision
+	return nil
+}
+
+// creatorState is the snapshot of one creatorBolt at the close of a
+// window: just the verdict bookkeeping. The sample buffers and pending
+// punctuation are rebuilt by the replayed stream.
+type creatorState struct {
+	// Decisions maps a window to the sorted set of assigner tasks whose
+	// verdict arrived; Requested marks windows with a positive verdict.
+	Decisions map[int][]int
+	Requested map[int]bool
+}
+
+// Snapshot implements state.Snapshotter.
+func (b *creatorBolt) Snapshot(w io.Writer) error {
+	st := creatorState{
+		Decisions: make(map[int][]int, len(b.decisions)),
+		Requested: b.requested,
+	}
+	for win, tasks := range b.decisions {
+		ts := make([]int, 0, len(tasks))
+		for t := range tasks {
+			ts = append(ts, t)
+		}
+		sort.Ints(ts)
+		st.Decisions[win] = ts
+	}
+	return gob.NewEncoder(w).Encode(&st)
+}
+
+// Restore implements state.Snapshotter.
+func (b *creatorBolt) Restore(r io.Reader) error {
+	var st creatorState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return err
+	}
+	b.decisions = make(map[int]map[int]bool, len(st.Decisions))
+	for win, tasks := range st.Decisions {
+		set := make(map[int]bool, len(tasks))
+		for _, t := range tasks {
+			set[t] = true
+		}
+		b.decisions[win] = set
+	}
+	b.requested = st.Requested
+	if b.requested == nil {
+		b.requested = make(map[int]bool)
+	}
+	b.buffers = make(map[int][]document.Document)
+	b.pendingWend = nil
+	b.ckptWend = make(map[int]bool)
+	return nil
+}
+
+// mergerState is the snapshot of the mergerBolt at the resolution of a
+// window's round. Unresolved rounds are dropped — the restored creators
+// re-emit their reports for every replayed window.
+type mergerState struct {
+	Version     int
+	Initial     bool
+	LastResched int
+
+	Table *partition.Table
+	Spec  *expansion.Expansion
+
+	LastTableWindow     int
+	LastTableRecomputed bool
+
+	Working *partition.Table
+	Dirty   bool
+}
+
+// Snapshot implements state.Snapshotter.
+func (b *mergerBolt) Snapshot(w io.Writer) error {
+	st := mergerState{
+		Version:             b.version,
+		Initial:             b.initial,
+		LastResched:         b.lastResched,
+		Table:               b.table,
+		Spec:                b.spec,
+		LastTableWindow:     b.lastTableWindow,
+		LastTableRecomputed: b.lastTableRecomputed,
+		Working:             b.working,
+		Dirty:               b.dirty,
+	}
+	return gob.NewEncoder(w).Encode(&st)
+}
+
+// Restore implements state.Snapshotter.
+func (b *mergerBolt) Restore(r io.Reader) error {
+	var st mergerState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return err
+	}
+	b.version = st.Version
+	b.initial = st.Initial
+	b.lastResched = st.LastResched
+	b.table = st.Table
+	b.spec = st.Spec
+	b.lastTableWindow = st.LastTableWindow
+	b.lastTableRecomputed = st.LastTableRecomputed
+	b.working = st.Working
+	b.dirty = st.Dirty
+	b.rounds = make(map[int]*computeRound)
+	return nil
+}
+
+// joinerState is the snapshot of one joinerBolt right after a tumble:
+// the next window's index and the windowed engine's own snapshot
+// (which serialises through internal/join's Snapshotter).
+type joinerState struct {
+	Current  int
+	Windowed []byte
+}
+
+// Snapshot implements state.Snapshotter.
+func (b *joinerBolt) Snapshot(w io.Writer) error {
+	var buf bytes.Buffer
+	if err := b.windowed.Snapshot(&buf); err != nil {
+		return err
+	}
+	st := joinerState{Current: b.current, Windowed: buf.Bytes()}
+	return gob.NewEncoder(w).Encode(&st)
+}
+
+// Restore implements state.Snapshotter.
+func (b *joinerBolt) Restore(r io.Reader) error {
+	var st joinerState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return err
+	}
+	if err := b.windowed.Restore(bytes.NewReader(st.Windowed)); err != nil {
+		return err
+	}
+	b.current = st.Current
+	b.targets = make(map[uint64][]int)
+	b.pending = make(map[int][]pendingDoc)
+	b.markers = make(map[int]int)
+	b.ckptW = make(map[int]bool)
+	b.pairs = 0
+	return nil
+}
+
+// collectorState is the snapshot of the collectorBolt at the completion
+// of a window: the statistics of the completed-window prefix plus the
+// merger-event accumulators.
+type collectorState struct {
+	TableVersions int
+	Repartitions  int
+	Windows       map[int]collectorWindowState
+}
+
+type collectorWindowState struct {
+	Stats         metrics.WindowStats
+	Repartitioned bool
+	Pairs         int
+	Docs          int
+}
+
+// Snapshot implements state.Snapshotter. Only completed windows are
+// carried — they form a prefix of the stream, and the replay will
+// regenerate every partial past the cut.
+func (b *collectorBolt) Snapshot(w io.Writer) error {
+	st := collectorState{
+		TableVersions: b.tableVersions,
+		Repartitions:  b.repartitions,
+		Windows:       make(map[int]collectorWindowState),
+	}
+	for win, agg := range b.windows {
+		if !agg.done {
+			continue
+		}
+		st.Windows[win] = collectorWindowState{
+			Stats:         *agg.stats,
+			Repartitioned: agg.repartitioned,
+			Pairs:         agg.pairs,
+			Docs:          agg.docs,
+		}
+	}
+	return gob.NewEncoder(w).Encode(&st)
+}
+
+// Restore implements state.Snapshotter.
+func (b *collectorBolt) Restore(r io.Reader) error {
+	var st collectorState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return err
+	}
+	b.tableVersions = st.TableVersions
+	b.repartitions = st.Repartitions
+	b.windows = make(map[int]*windowAgg, len(st.Windows))
+	for win, ws := range st.Windows {
+		stats := ws.Stats
+		b.windows[win] = &windowAgg{
+			stats:         &stats,
+			repartitioned: ws.Repartitioned,
+			partials:      b.cfg.Assigners,
+			jdone:         b.cfg.M,
+			pairs:         ws.Pairs,
+			docs:          ws.Docs,
+			done:          true,
+		}
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package fptree
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/document"
+	"repro/internal/symbol"
+)
+
+// Snapshot / Restore implement the operator-state contract
+// (internal/state.Snapshotter) for the FP-tree. The serialized form is
+// symbol-aware: node labels and the attribute order travel as strings
+// and are re-interned on restore, so a snapshot taken in one process
+// (or symbol epoch) rebuilds an equivalent tree in another.
+//
+// The encoding preserves everything JoinPartners' traversal order
+// depends on — attribute-group order, child order within a group, the
+// per-node document id order, and branch ids (whose ascending order
+// reconstructs the header chains) — so a restored tree yields
+// byte-identical JoinPartners results.
+
+// treeGob is the wire form of a Tree.
+type treeGob struct {
+	Attrs      []string  // global attribute order, rank order
+	Nodes      []nodeGob // pre-order: parents precede children, sibling order preserved
+	DocCount   int
+	MaxDepth   int
+	AttrCounts []attrCountGob // sorted by attribute name
+}
+
+// nodeGob is the wire form of one tree node.
+type nodeGob struct {
+	Parent   int // index into Nodes; -1 = child of the root
+	Attr     string
+	Val      string
+	BranchID int
+	Docs     []uint64
+}
+
+type attrCountGob struct {
+	Attr  string
+	Count int
+}
+
+// Snapshot writes the tree's complete state to w.
+func (t *Tree) Snapshot(w io.Writer) error {
+	g := treeGob{
+		Attrs:    append([]string(nil), t.order.Attrs()...),
+		DocCount: t.docCount,
+		MaxDepth: t.maxDepth,
+	}
+	g.Nodes = make([]nodeGob, 0, t.nodeCount)
+	var walk func(n *node, parentIdx int)
+	walk = func(n *node, parentIdx int) {
+		idx := len(g.Nodes)
+		g.Nodes = append(g.Nodes, nodeGob{
+			Parent:   parentIdx,
+			Attr:     n.pair.Attr,
+			Val:      n.pair.Val,
+			BranchID: n.branchID,
+			Docs:     n.docs,
+		})
+		for _, grp := range n.groups {
+			for _, c := range grp.all {
+				walk(c, idx)
+			}
+		}
+	}
+	for _, grp := range t.root.groups {
+		for _, c := range grp.all {
+			walk(c, -1)
+		}
+	}
+	// Attribute counts keyed by name (IDs are epoch-local), sorted so
+	// the snapshot bytes are deterministic.
+	for id, cnt := range t.attrCounts {
+		if cnt != 0 {
+			g.AttrCounts = append(g.AttrCounts, attrCountGob{Attr: symbol.AttrString(symbol.ID(id)), Count: cnt})
+		}
+	}
+	sort.Slice(g.AttrCounts, func(i, j int) bool { return g.AttrCounts[i].Attr < g.AttrCounts[j].Attr })
+	return gob.NewEncoder(w).Encode(g)
+}
+
+// Restore rebuilds the tree from a Snapshot stream, replacing all
+// current contents. Symbols are re-interned under the current epoch.
+func (t *Tree) Restore(r io.Reader) error {
+	var g treeGob
+	if err := gob.NewDecoder(r).Decode(&g); err != nil {
+		return fmt.Errorf("fptree: decode snapshot: %w", err)
+	}
+	order := EmptyOrder()
+	for _, a := range g.Attrs {
+		order.register(a)
+	}
+	*t = Tree{
+		order:    order,
+		root:     &node{},
+		header:   make(map[symbol.Pair]*node),
+		symEpoch: symbol.Epoch(),
+		docCount: g.DocCount,
+		maxDepth: g.MaxDepth,
+	}
+	nodes := make([]*node, len(g.Nodes))
+	for i, ng := range g.Nodes {
+		parent := t.root
+		if ng.Parent >= 0 {
+			if ng.Parent >= i {
+				return fmt.Errorf("fptree: snapshot node %d references later parent %d", i, ng.Parent)
+			}
+			parent = nodes[ng.Parent]
+		}
+		s := symbol.InternPair(ng.Attr, ng.Val)
+		n := &node{
+			pair:     document.Pair{Attr: ng.Attr, Val: ng.Val},
+			sym:      s,
+			parent:   parent,
+			depth:    parent.depth + 1,
+			branchID: ng.BranchID,
+			docs:     ng.Docs,
+		}
+		parent.addChild(s, n)
+		nodes[i] = n
+		t.nodeCount++
+		if n.branchID > t.nextBranch {
+			t.nextBranch = n.branchID
+		}
+	}
+	// Header chains are push-front in creation order, so the head is
+	// the newest node: replaying pushes in ascending branch id rebuilds
+	// every chain exactly.
+	byBranch := append([]*node(nil), nodes...)
+	sort.Slice(byBranch, func(i, j int) bool { return byBranch[i].branchID < byBranch[j].branchID })
+	for _, n := range byBranch {
+		n.next = t.header[n.sym]
+		t.header[n.sym] = n
+	}
+	for _, ac := range g.AttrCounts {
+		id := symbol.InternAttr(ac.Attr)
+		if int(id) >= len(t.attrCounts) {
+			t.attrCounts = growInts(t.attrCounts, int(id)+1)
+		}
+		t.attrCounts[id] = ac.Count
+	}
+	return nil
+}

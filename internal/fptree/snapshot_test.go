@@ -1,0 +1,206 @@
+package fptree
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/document"
+	"repro/internal/state"
+	"repro/internal/symbol"
+)
+
+// snapshotRoundTrip snapshots src and restores it into a fresh tree.
+func snapshotRoundTrip(t *testing.T, src *Tree) *Tree {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := src.Snapshot(&buf); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	dst := New(nil)
+	if err := dst.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	return dst
+}
+
+// assertTreesEquivalent checks that two trees agree on every
+// observable: structural stats, the attribute order, header chains,
+// the rendered dump, and — most importantly — byte-identical
+// JoinPartners results for every probe document.
+func assertTreesEquivalent(t *testing.T, orig, restored *Tree, probes []document.Document) {
+	t.Helper()
+	if orig.DocCount() != restored.DocCount() {
+		t.Fatalf("DocCount %d != %d", restored.DocCount(), orig.DocCount())
+	}
+	if orig.NodeCount() != restored.NodeCount() {
+		t.Fatalf("NodeCount %d != %d", restored.NodeCount(), orig.NodeCount())
+	}
+	if orig.MaxDepth() != restored.MaxDepth() {
+		t.Fatalf("MaxDepth %d != %d", restored.MaxDepth(), orig.MaxDepth())
+	}
+	if orig.NumUbiquitous() != restored.NumUbiquitous() {
+		t.Fatalf("NumUbiquitous %d != %d", restored.NumUbiquitous(), orig.NumUbiquitous())
+	}
+	if got, want := restored.Order().Attrs(), orig.Order().Attrs(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("order %v != %v", got, want)
+	}
+	if got, want := restored.Dump(), orig.Dump(); got != want {
+		t.Fatalf("dump mismatch:\n--- restored\n%s\n--- original\n%s", got, want)
+	}
+	for _, p := range probes {
+		want := append([]uint64(nil), orig.JoinPartners(p)...)
+		got := restored.JoinPartners(p)
+		// Order matters: the restored traversal must be byte-identical,
+		// not merely set-equal.
+		if !reflect.DeepEqual(got, want) && !(len(got) == 0 && len(want) == 0) {
+			t.Fatalf("JoinPartners(doc %d) = %v, want %v", p.ID, got, want)
+		}
+	}
+}
+
+func TestTreeSnapshotRoundTrip(t *testing.T) {
+	docs := tableIDocs()
+	tree := Build(docs)
+	restored := snapshotRoundTrip(t, tree)
+	assertTreesEquivalent(t, tree, restored, docs)
+
+	// The restored tree must keep absorbing inserts with consistent
+	// branch ids and header chains.
+	extra := document.New(99, []document.Pair{
+		{Attr: "b", Val: document.EncodeInt(7)},
+		{Attr: "c", Val: document.EncodeInt(9)},
+	})
+	tree.Insert(extra)
+	restored.Insert(extra)
+	assertTreesEquivalent(t, tree, restored, append(docs, extra))
+}
+
+func TestTreeSnapshotEmpty(t *testing.T) {
+	tree := New(nil)
+	restored := snapshotRoundTrip(t, tree)
+	assertTreesEquivalent(t, tree, restored, tableIDocs())
+}
+
+// TestTreeSnapshotGolden pins the snapshot to a deterministic byte
+// encoding: two snapshots of equal trees are identical, and the
+// envelope helper round-trips through the state contract.
+func TestTreeSnapshotGolden(t *testing.T) {
+	build := func() *Tree { return Build(tableIDocs()) }
+	var a, b bytes.Buffer
+	if err := build().Snapshot(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().Snapshot(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("snapshot bytes are not deterministic for identical trees")
+	}
+
+	enc, err := state.Encode("fptree", build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := New(nil)
+	if err := state.Decode("fptree", enc, restored); err != nil {
+		t.Fatal(err)
+	}
+	assertTreesEquivalent(t, build(), restored, tableIDocs())
+}
+
+// TestTreeSnapshotSurvivesEpochReset proves the snapshot is
+// symbol-aware: restoring after a global symbol.Reset re-interns every
+// label under the new epoch and still answers probes identically.
+func TestTreeSnapshotSurvivesEpochReset(t *testing.T) {
+	docs := tableIDocs()
+	tree := Build(docs)
+	var buf bytes.Buffer
+	if err := tree.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wantDump := tree.Dump()
+	var wantPartners [][]uint64
+	for _, d := range docs {
+		wantPartners = append(wantPartners, append([]uint64(nil), tree.JoinPartners(d)...))
+	}
+
+	symbol.Reset()
+
+	restored := New(nil)
+	if err := restored.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("restore after epoch reset: %v", err)
+	}
+	if got := restored.Dump(); got != wantDump {
+		t.Fatalf("dump after epoch reset:\n%s\nwant:\n%s", got, wantDump)
+	}
+	// Probes must be rebuilt after Reset: their interned symbols are
+	// stale. Re-parsing through document.New re-interns them.
+	for i, d := range docs {
+		fresh := document.New(d.ID, d.Pairs())
+		got := restored.JoinPartners(fresh)
+		if !reflect.DeepEqual(got, wantPartners[i]) && !(len(got) == 0 && len(wantPartners[i]) == 0) {
+			t.Fatalf("JoinPartners(doc %d) after epoch reset = %v, want %v", d.ID, got, wantPartners[i])
+		}
+	}
+}
+
+func TestTreeRestoreRejectsGarbage(t *testing.T) {
+	tree := New(nil)
+	if err := tree.Restore(bytes.NewReader([]byte("not a gob stream"))); err == nil {
+		t.Fatal("garbage restore accepted")
+	}
+}
+
+// randomDocs builds n random documents over a small attribute/value
+// space so prefix sharing, header chains and ubiquitous attributes all
+// occur.
+func randomDocs(rng *rand.Rand, n int) []document.Document {
+	attrs := []string{"a", "b", "c", "d", "e", "f"}
+	docs := make([]document.Document, 0, n)
+	for i := 0; i < n; i++ {
+		var ps []document.Pair
+		for _, a := range attrs {
+			if rng.Intn(3) > 0 {
+				ps = append(ps, document.Pair{Attr: a, Val: document.EncodeInt(int64(rng.Intn(4)))})
+			}
+		}
+		docs = append(docs, document.New(uint64(i+1), ps))
+	}
+	return docs
+}
+
+// FuzzSnapshotRestore feeds randomized document batches through a
+// snapshot → restore cycle and requires byte-identical JoinPartners
+// output from the restored tree for every probe.
+func FuzzSnapshotRestore(f *testing.F) {
+	f.Add(int64(1), uint8(8))
+	f.Add(int64(42), uint8(20))
+	f.Add(int64(7), uint8(1))
+	f.Add(int64(0), uint8(0))
+	f.Fuzz(func(t *testing.T, seed int64, n uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		docs := randomDocs(rng, int(n)%48)
+		tree := Build(docs)
+		var buf bytes.Buffer
+		if err := tree.Snapshot(&buf); err != nil {
+			t.Fatalf("snapshot: %v", err)
+		}
+		restored := New(nil)
+		if err := restored.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("restore: %v", err)
+		}
+		probes := append(append([]document.Document(nil), docs...), randomDocs(rng, 8)...)
+		for _, p := range probes {
+			want := append([]uint64(nil), tree.JoinPartners(p)...)
+			got := restored.JoinPartners(p)
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed=%d n=%d: JoinPartners(%d) = %v, want %v", seed, n, p.ID, got, want)
+			}
+		}
+	})
+}

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"repro/internal/document"
+	"repro/internal/state"
 )
 
 // Pair is one joined document pair of the result, ordered so that
@@ -41,6 +42,11 @@ type Engine interface {
 	Size() int
 	// Reset evicts all state when the tumbling window closes.
 	Reset()
+	// Engines implement the operator-state contract (see
+	// internal/state): Snapshot serializes the engine's window state
+	// symbol-awarely and Restore rebuilds it, re-interning under the
+	// current symbol epoch.
+	state.Snapshotter
 }
 
 // New constructs an engine by algorithm name.

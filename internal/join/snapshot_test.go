@@ -1,0 +1,143 @@
+package join
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/document"
+	"repro/internal/state"
+)
+
+func snapDocs() []document.Document {
+	mk := func(id uint64, kv ...string) document.Document {
+		var ps []document.Pair
+		for i := 0; i < len(kv); i += 2 {
+			ps = append(ps, document.Pair{Attr: kv[i], Val: document.EncodeString(kv[i+1])})
+		}
+		return document.New(id, ps)
+	}
+	return []document.Document{
+		mk(1, "a", "x", "b", "y"),
+		mk(2, "a", "x", "c", "z"),
+		mk(3, "b", "y", "c", "z"),
+		mk(4, "a", "q"),
+		mk(5, "a", "x", "b", "y", "c", "z"),
+	}
+}
+
+// TestEngineSnapshotRoundTrip proves every engine restores to a state
+// that answers identical probes mid-window.
+func TestEngineSnapshotRoundTrip(t *testing.T) {
+	docs := snapDocs()
+	for _, name := range []string{"FPJ", "NLJ", "HBJ"} {
+		t.Run(name, func(t *testing.T) {
+			src, err := New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range docs[:3] {
+				src.Insert(d)
+			}
+			var buf bytes.Buffer
+			if err := src.Snapshot(&buf); err != nil {
+				t.Fatalf("snapshot: %v", err)
+			}
+			dst, _ := New(name)
+			if err := dst.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+				t.Fatalf("restore: %v", err)
+			}
+			if dst.Size() != src.Size() {
+				t.Fatalf("size %d != %d", dst.Size(), src.Size())
+			}
+			for _, probe := range docs {
+				want := append([]uint64(nil), src.Probe(probe)...)
+				got := append([]uint64(nil), dst.Probe(probe)...)
+				if len(got) == 0 && len(want) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("Probe(%d) = %v, want %v", probe.ID, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestWindowedSnapshotMidWindow snapshots a windowed joiner part-way
+// through a window and checks that the restored joiner continues the
+// window identically: same results for the remaining documents, same
+// duplicate suppression, same tumble counters, same merged-doc ids.
+func TestWindowedSnapshotMidWindow(t *testing.T) {
+	docs := snapDocs()
+	for _, name := range []string{"FPJ", "NLJ", "HBJ"} {
+		t.Run(name, func(t *testing.T) {
+			mkWindowed := func() *Windowed {
+				e, err := New(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return NewWindowed(e)
+			}
+			src := mkWindowed()
+			for _, d := range docs[:3] {
+				src.Process(d)
+			}
+			enc, err := state.Encode("windowed", src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dst := mkWindowed()
+			if err := state.Decode("windowed", enc, dst); err != nil {
+				t.Fatal(err)
+			}
+			if dst.Size() != src.Size() {
+				t.Fatalf("size %d != %d", dst.Size(), src.Size())
+			}
+
+			// A duplicate delivery must stay suppressed after restore.
+			if res := dst.Process(docs[1]); res != nil {
+				t.Fatalf("restored joiner re-processed a seen document: %v", res)
+			}
+			src.Process(docs[1])
+
+			// The remaining documents must produce identical results,
+			// including the merged document ids (nextID continuation).
+			for _, d := range docs[3:] {
+				want := src.Process(d)
+				got := dst.Process(d)
+				if len(got) != len(want) {
+					t.Fatalf("Process(%d): %d results, want %d", d.ID, len(got), len(want))
+				}
+				for i := range want {
+					if got[i].Left != want[i].Left || got[i].Right != want[i].Right {
+						t.Fatalf("Process(%d)[%d] = (%d,%d), want (%d,%d)",
+							d.ID, i, got[i].Left, got[i].Right, want[i].Left, want[i].Right)
+					}
+					if got[i].Merged.ID != want[i].Merged.ID {
+						t.Fatalf("Process(%d)[%d] merged id %d, want %d",
+							d.ID, i, got[i].Merged.ID, want[i].Merged.ID)
+					}
+				}
+			}
+
+			wantDocs, wantPairs := src.Tumble()
+			gotDocs, gotPairs := dst.Tumble()
+			if gotDocs != wantDocs || gotPairs != wantPairs {
+				t.Fatalf("Tumble = (%d,%d), want (%d,%d)", gotDocs, gotPairs, wantDocs, wantPairs)
+			}
+		})
+	}
+}
+
+func TestWindowedSnapshotEngineMismatch(t *testing.T) {
+	src := NewWindowed(NewNLJ())
+	enc, err := state.Encode("windowed", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := NewWindowed(NewFPJ())
+	if err := state.Decode("windowed", enc, dst); err == nil {
+		t.Fatal("engine mismatch accepted")
+	}
+}

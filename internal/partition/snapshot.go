@@ -1,0 +1,28 @@
+package partition
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Snapshot implements the operator-state contract
+// (internal/state.Snapshotter) for the routing table. It reuses the
+// table's symbol-aware gob form: partitions serialize as sorted string
+// pairs and re-intern on decode, so a snapshot restores across
+// processes and symbol epochs; the pair index is derived state and is
+// rebuilt by the decoder.
+func (t *Table) Snapshot(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(t)
+}
+
+// Restore implements state.Snapshotter, replacing the receiver's
+// contents.
+func (t *Table) Restore(r io.Reader) error {
+	var decoded Table
+	if err := gob.NewDecoder(r).Decode(&decoded); err != nil {
+		return fmt.Errorf("partition: restore table: %w", err)
+	}
+	*t = decoded
+	return nil
+}

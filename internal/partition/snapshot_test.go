@@ -1,0 +1,117 @@
+package partition
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/document"
+	"repro/internal/state"
+	"repro/internal/symbol"
+)
+
+func snapshotTable() *Table {
+	return NewTable([]PairSet{
+		NewPairSet(intPair("a", 1), intPair("b", 2)),
+		NewPairSet(intPair("a", 2), intPair("c", 3)),
+		NewPairSet(intPair("d", 4)),
+	})
+}
+
+func assertTablesEqual(t *testing.T, orig, restored *Table) {
+	t.Helper()
+	if restored.M != orig.M {
+		t.Fatalf("M = %d, want %d", restored.M, orig.M)
+	}
+	for i := range orig.Partitions {
+		if got, want := restored.Partitions[i].Sorted(), orig.Partitions[i].Sorted(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("partition %d: %v != %v", i, got, want)
+		}
+	}
+	// The rebuilt index must route identically, including multi-target
+	// assignment and the broadcast fallback.
+	probes := []document.Document{
+		document.New(1, []document.Pair{intPair("a", 1)}),
+		document.New(2, []document.Pair{intPair("a", 1), intPair("c", 3)}),
+		document.New(3, []document.Pair{intPair("z", 9)}),
+	}
+	for _, d := range probes {
+		gotT, gotB := restored.Route(d)
+		wantT, wantB := orig.Route(d)
+		if gotB != wantB || !reflect.DeepEqual(gotT, wantT) {
+			t.Fatalf("Route(%d) = %v,%v want %v,%v", d.ID, gotT, gotB, wantT, wantB)
+		}
+	}
+}
+
+func TestTableSnapshotRoundTrip(t *testing.T) {
+	orig := snapshotTable()
+	enc, err := state.Encode("table", orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := &Table{}
+	if err := state.Decode("table", enc, restored); err != nil {
+		t.Fatal(err)
+	}
+	assertTablesEqual(t, orig, restored)
+
+	// Restored tables must keep absorbing δ updates.
+	doc := document.New(9, []document.Pair{intPair("a", 1), intPair("e", 5)})
+	orig.AddDocument(doc)
+	restored.AddDocument(doc)
+	assertTablesEqual(t, orig, restored)
+}
+
+// TestTableSnapshotGolden pins determinism: equal tables snapshot to
+// identical bytes (partitions serialize sorted).
+func TestTableSnapshotGolden(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := snapshotTable().Snapshot(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := snapshotTable().Snapshot(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("table snapshot bytes are not deterministic")
+	}
+}
+
+// TestTableSnapshotSurvivesEpochReset proves the snapshot re-interns
+// its pairs: a table restored after symbol.Reset routes identically.
+func TestTableSnapshotSurvivesEpochReset(t *testing.T) {
+	orig := snapshotTable()
+	var buf bytes.Buffer
+	if err := orig.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wantParts := make([][]document.Pair, len(orig.Partitions))
+	for i, ps := range orig.Partitions {
+		wantParts[i] = ps.Sorted()
+	}
+
+	symbol.Reset()
+
+	restored := &Table{}
+	if err := restored.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("restore after epoch reset: %v", err)
+	}
+	for i := range wantParts {
+		if got := restored.Partitions[i].Sorted(); !reflect.DeepEqual(got, wantParts[i]) {
+			t.Fatalf("partition %d after epoch reset: %v != %v", i, got, wantParts[i])
+		}
+	}
+	d := document.New(1, []document.Pair{intPair("a", 1)})
+	targets, broadcast := restored.Route(d)
+	if broadcast || len(targets) != 1 || targets[0] != 0 {
+		t.Fatalf("Route after epoch reset = %v,%v", targets, broadcast)
+	}
+}
+
+func TestTableRestoreRejectsGarbage(t *testing.T) {
+	restored := &Table{}
+	if err := restored.Restore(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("garbage restore accepted")
+	}
+}

@@ -1,0 +1,138 @@
+// Package state defines the explicit operator-state contract the
+// scale-out join's stateful components implement: a Snapshotter that
+// can serialize itself into (and restore itself from) an opaque byte
+// stream, a small versioned + checksummed envelope wrapped around
+// every snapshot, and a pluggable Store keyed by (task, window) that
+// holds the per-window checkpoint history a recovering run restores
+// from.
+//
+// The envelope exists so a restore can fail loudly instead of
+// misinterpreting bytes: it records a magic number, a format version,
+// the snapshot kind (e.g. "fptree", "assigner") and a CRC32 of the
+// payload. Payloads themselves are symbol-aware — components that
+// intern strings (the FP-tree, partition tables, documents) serialize
+// the strings and re-intern on restore, so a snapshot taken in one
+// process (or symbol epoch) restores correctly in another.
+package state
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Snapshotter is the operator-state contract: a component that can
+// write its complete durable state to w and later rebuild itself from
+// the same bytes. Restore must leave the receiver equivalent to the
+// snapshotted original for all subsequent operations; it may assume
+// the receiver is freshly constructed (zero operational state).
+type Snapshotter interface {
+	Snapshot(w io.Writer) error
+	Restore(r io.Reader) error
+}
+
+// Envelope format constants.
+const (
+	// magic identifies a state envelope ("SFJS" = schema-free join
+	// state).
+	magic = "SFJS"
+	// FormatVersion is the envelope format version written by this
+	// package. Readers reject versions they do not understand.
+	FormatVersion = 1
+	// maxKindLen bounds the kind string so a corrupt header cannot ask
+	// for an absurd allocation.
+	maxKindLen = 255
+)
+
+// WriteEnvelope frames payload for kind into w: magic, format
+// version, kind, payload length, payload, CRC32 (IEEE) of the payload.
+func WriteEnvelope(w io.Writer, kind string, payload []byte) error {
+	if len(kind) == 0 || len(kind) > maxKindLen {
+		return fmt.Errorf("state: invalid snapshot kind %q", kind)
+	}
+	var hdr bytes.Buffer
+	hdr.WriteString(magic)
+	hdr.WriteByte(FormatVersion)
+	hdr.WriteByte(byte(len(kind)))
+	hdr.WriteString(kind)
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(payload)))
+	hdr.Write(n[:])
+	if _, err := w.Write(hdr.Bytes()); err != nil {
+		return fmt.Errorf("state: write envelope header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("state: write envelope payload: %w", err)
+	}
+	binary.BigEndian.PutUint32(n[:], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(n[:]); err != nil {
+		return fmt.Errorf("state: write envelope checksum: %w", err)
+	}
+	return nil
+}
+
+// ReadEnvelope parses an envelope from r, verifies magic, version,
+// kind and checksum, and returns the payload.
+func ReadEnvelope(r io.Reader, wantKind string) ([]byte, error) {
+	var m [6]byte // magic + version + kind length
+	if _, err := io.ReadFull(r, m[:]); err != nil {
+		return nil, fmt.Errorf("state: read envelope header: %w", err)
+	}
+	if string(m[:4]) != magic {
+		return nil, fmt.Errorf("state: bad magic %q (not a state snapshot)", m[:4])
+	}
+	if m[4] != FormatVersion {
+		return nil, fmt.Errorf("state: unsupported envelope version %d (want %d)", m[4], FormatVersion)
+	}
+	kind := make([]byte, int(m[5]))
+	if _, err := io.ReadFull(r, kind); err != nil {
+		return nil, fmt.Errorf("state: read envelope kind: %w", err)
+	}
+	if string(kind) != wantKind {
+		return nil, fmt.Errorf("state: snapshot kind %q, want %q", kind, wantKind)
+	}
+	var n [4]byte
+	if _, err := io.ReadFull(r, n[:]); err != nil {
+		return nil, fmt.Errorf("state: read envelope length: %w", err)
+	}
+	payload := make([]byte, binary.BigEndian.Uint32(n[:]))
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("state: read envelope payload: %w", err)
+	}
+	if _, err := io.ReadFull(r, n[:]); err != nil {
+		return nil, fmt.Errorf("state: read envelope checksum: %w", err)
+	}
+	if got, want := crc32.ChecksumIEEE(payload), binary.BigEndian.Uint32(n[:]); got != want {
+		return nil, fmt.Errorf("state: checksum mismatch (payload %08x, recorded %08x)", got, want)
+	}
+	return payload, nil
+}
+
+// Encode snapshots s and frames the result in an envelope of the
+// given kind.
+func Encode(kind string, s Snapshotter) ([]byte, error) {
+	var payload bytes.Buffer
+	if err := s.Snapshot(&payload); err != nil {
+		return nil, fmt.Errorf("state: snapshot %s: %w", kind, err)
+	}
+	var out bytes.Buffer
+	if err := WriteEnvelope(&out, kind, payload.Bytes()); err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
+}
+
+// Decode verifies the envelope of data against kind and restores s
+// from the payload.
+func Decode(kind string, data []byte, s Snapshotter) error {
+	payload, err := ReadEnvelope(bytes.NewReader(data), kind)
+	if err != nil {
+		return err
+	}
+	if err := s.Restore(bytes.NewReader(payload)); err != nil {
+		return fmt.Errorf("state: restore %s: %w", kind, err)
+	}
+	return nil
+}

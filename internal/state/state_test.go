@@ -1,0 +1,180 @@
+package state
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// blob is a trivial Snapshotter for exercising the envelope helpers.
+type blob struct{ data []byte }
+
+func (b *blob) Snapshot(w io.Writer) error {
+	_, err := w.Write(b.data)
+	return err
+}
+func (b *blob) Restore(r io.Reader) error {
+	data, err := io.ReadAll(r)
+	b.data = data
+	return err
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	payload := []byte("the quick brown fox")
+	var buf bytes.Buffer
+	if err := WriteEnvelope(&buf, "test", payload); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ReadEnvelope(bytes.NewReader(buf.Bytes()), "test")
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload mismatch: %q != %q", got, payload)
+	}
+}
+
+func TestEnvelopeRejectsWrongKind(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteEnvelope(&buf, "fptree", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadEnvelope(bytes.NewReader(buf.Bytes()), "assigner"); err == nil {
+		t.Fatal("wrong kind accepted")
+	}
+}
+
+func TestEnvelopeRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteEnvelope(&buf, "test", []byte("payload-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// Flip a payload byte: checksum must catch it.
+	bad := append([]byte(nil), raw...)
+	bad[len(bad)-6] ^= 0xff
+	if _, err := ReadEnvelope(bytes.NewReader(bad), "test"); err == nil {
+		t.Fatal("corrupted payload accepted")
+	}
+
+	// Break the magic.
+	bad = append([]byte(nil), raw...)
+	bad[0] = 'X'
+	if _, err := ReadEnvelope(bytes.NewReader(bad), "test"); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+
+	// Unknown version.
+	bad = append([]byte(nil), raw...)
+	bad[4] = 99
+	if _, err := ReadEnvelope(bytes.NewReader(bad), "test"); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+
+	// Truncation.
+	if _, err := ReadEnvelope(bytes.NewReader(raw[:len(raw)-2]), "test"); err == nil {
+		t.Fatal("truncated envelope accepted")
+	}
+}
+
+func TestEncodeDecode(t *testing.T) {
+	src := &blob{data: []byte("state bytes")}
+	enc, err := Encode("blob", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := &blob{}
+	if err := Decode("blob", enc, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst.data, src.data) {
+		t.Fatalf("restore mismatch: %q != %q", dst.data, src.data)
+	}
+	if err := Decode("other", enc, dst); err == nil {
+		t.Fatal("kind mismatch accepted")
+	}
+}
+
+func testStore(t *testing.T, s Store) {
+	t.Helper()
+	if _, ok := s.MaxWindow("a"); ok {
+		t.Fatal("empty store reported a window")
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.Save("a/0", 0, []byte("a0w0")))
+	must(s.Save("a/0", 1, []byte("a0w1")))
+	must(s.Save("b/1", 0, []byte("b1w0")))
+
+	if got, err := s.Load("a/0", 1); err != nil || string(got) != "a0w1" {
+		t.Fatalf("load a/0@1 = %q, %v", got, err)
+	}
+	if _, err := s.Load("a/0", 7); err == nil {
+		t.Fatal("missing window loaded")
+	}
+	if w, ok := s.MaxWindow("a/0"); !ok || w != 1 {
+		t.Fatalf("MaxWindow(a/0) = %d, %v", w, ok)
+	}
+	tasks := s.Tasks()
+	if len(tasks) != 2 || tasks[0] != "a/0" || tasks[1] != "b/1" {
+		t.Fatalf("Tasks() = %v", tasks)
+	}
+
+	// Overwrite is replace, not append.
+	must(s.Save("a/0", 1, []byte("a0w1'")))
+	if got, _ := s.Load("a/0", 1); string(got) != "a0w1'" {
+		t.Fatalf("overwrite: %q", got)
+	}
+
+	if got := s.Windows("a/0"); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("Windows(a/0) = %v", got)
+	}
+
+	must(s.Prune("a/0", 0))
+	if _, err := s.Load("a/0", 1); err == nil {
+		t.Fatal("pruned window still loads")
+	}
+	if got, _ := s.Load("a/0", 0); string(got) != "a0w0" {
+		t.Fatal("prune removed a window at or below the cut")
+	}
+}
+
+func TestMemStore(t *testing.T) { testStore(t, NewMemStore()) }
+
+func TestFSStore(t *testing.T) {
+	s, err := NewFSStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	testStore(t, s)
+}
+
+func TestCut(t *testing.T) {
+	s := NewMemStore()
+	if c := Cut(s, []string{"a", "b"}); c != -1 {
+		t.Fatalf("empty cut = %d", c)
+	}
+	s.Save("a", 0, nil)
+	s.Save("a", 1, nil)
+	s.Save("a", 2, nil)
+	s.Save("b", 0, nil)
+	s.Save("b", 1, nil)
+	if c := Cut(s, []string{"a", "b"}); c != 1 {
+		t.Fatalf("cut = %d, want 1", c)
+	}
+	if c := Cut(s, []string{"a", "b", "c"}); c != -1 {
+		t.Fatalf("cut with missing task = %d, want -1", c)
+	}
+	// A task that skipped a window (out-of-order checkpointing) caps
+	// the cut at the highest window in the intersection, not at the
+	// minimum of maxima.
+	s.Save("b", 3, nil)
+	if c := Cut(s, []string{"a", "b"}); c != 1 {
+		t.Fatalf("cut with gap = %d, want 1", c)
+	}
+}

@@ -1,0 +1,107 @@
+package topology
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCheckpointAnnotationRoundTrip(t *testing.T) {
+	values := Values{"window": 3}
+	if _, ok := CheckpointID(Tuple{Values: values}); ok {
+		t.Fatal("unannotated tuple must carry no barrier")
+	}
+	WithCheckpoint(values, 3)
+	id, ok := CheckpointID(Tuple{Values: values})
+	if !ok || id != 3 {
+		t.Fatalf("CheckpointID = %d/%v, want 3/true", id, ok)
+	}
+	// The annotation must not disturb the payload fields.
+	if values["window"] != 3 {
+		t.Error("payload field clobbered by the annotation")
+	}
+}
+
+// barrierSpout emits n annotated punctuation tuples.
+type barrierSpout struct{ n, next int }
+
+func (s *barrierSpout) Open(*TaskContext) {}
+func (s *barrierSpout) Close()            {}
+func (s *barrierSpout) NextTuple(c Collector) bool {
+	if s.next >= s.n {
+		return false
+	}
+	c.Emit(WithCheckpoint(Values{"window": s.next}, s.next))
+	s.next++
+	return s.next < s.n
+}
+
+// recoveringBolt records the order of Recover relative to Execute and
+// forwards what it sees.
+type recoveringBolt struct {
+	mu        *sync.Mutex
+	recovered *bool
+	barriers  *[]int
+	fail      func(string)
+}
+
+func (b *recoveringBolt) Prepare(*TaskContext) {}
+func (b *recoveringBolt) Cleanup()             {}
+func (b *recoveringBolt) Recover(c Collector) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(*b.barriers) > 0 {
+		b.fail("Recover called after Execute")
+	}
+	*b.recovered = true
+	// Re-emission during Recover must reach downstream consumers.
+	c.Emit(Values{"v": -1})
+}
+func (b *recoveringBolt) Execute(t Tuple, c Collector) {
+	id, ok := CheckpointID(t)
+	if !ok {
+		b.fail("barrier annotation lost in transit")
+		return
+	}
+	b.mu.Lock()
+	*b.barriers = append(*b.barriers, id)
+	b.mu.Unlock()
+	c.Emit(Values{"v": id})
+}
+
+// TestRecovererRunsBeforeFirstExecute: the runtime must call Recover
+// exactly once, after Prepare and before any Execute, and the
+// collector it hands out must deliver downstream.
+func TestRecovererRunsBeforeFirstExecute(t *testing.T) {
+	mu := &sync.Mutex{}
+	recovered := false
+	var barriers []int
+	fail := func(msg string) { t.Error(msg) }
+
+	b := NewBuilder()
+	b.SetSpout("src", func(int) Spout { return &barrierSpout{n: 4} }, 1)
+	b.SetBolt("mid", func(int) Bolt {
+		return &recoveringBolt{mu: mu, recovered: &recovered, barriers: &barriers, fail: fail}
+	}, 1).AllGrouping("src")
+	sink, smu, got := newSinkFactory()
+	b.SetBolt("sink", sink, 1).AllGrouping("mid")
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo.Run()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if !recovered {
+		t.Fatal("Recover never called")
+	}
+	if len(barriers) != 4 {
+		t.Fatalf("barriers executed = %v, want 4", barriers)
+	}
+	smu.Lock()
+	defer smu.Unlock()
+	// 4 forwarded barriers + 1 re-emission from Recover.
+	if n := len(got[0]); n != 5 {
+		t.Errorf("sink received %d tuples, want 5 (Recover re-emission included)", n)
+	}
+}

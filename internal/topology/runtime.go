@@ -349,6 +349,9 @@ func (t *Topology) Run() Stats {
 				ctx := &TaskContext{Component: comp.id, Task: task, NumTasks: comp.parallelism, topo: rt}
 				bolt.Prepare(ctx)
 				col := &collector{rt: rt, comp: comp, task: task}
+				if rec, ok := bolt.(Recoverer); ok {
+					rec.Recover(col)
+				}
 				for {
 					tuple, ok := comp.boxes[task].get()
 					if !ok {
