@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-all bench-guard figures examples clean
+.PHONY: all build vet test race chaos bench bench-all bench-guard figures examples clean
 
 all: build test
 
@@ -15,6 +15,16 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# chaos runs the schedule-driven fault-injection parity suites under
+# the race detector: seeded sever/delay/refuse schedules against the
+# reliable transport (cluster level) and the full Fig. 2 pipeline with
+# heartbeat failure detection and checkpoint recovery (core level).
+# The seeds are fixed inside the tests, so a failure names the exact
+# reproducible fault sequence.
+chaos:
+	$(GO) test -race -count 1 ./internal/cluster/ -run 'TestScheduledChaosParity|TestResendAfterSever|TestHungWorkerLeaseExpiry|TestRandomScheduleDeterministic' -v
+	$(GO) test -race -count 1 ./internal/core/ -run 'TestClusterScheduledChaosParity|TestClusterHungWorkerRecovery|TestClusterSecondFailureMidRecovery' -v
 
 # bench runs the root benchmark suite once as JSON — the format the
 # perf trajectory files (BENCH_issue*_{before,after}.json) are kept in.
@@ -32,7 +42,7 @@ bench-all:
 bench-guard:
 	$(GO) test -run '^$$' -bench '^(BenchmarkFig11aFPJServerLog|BenchmarkFig11bFPJNoBench|BenchmarkTelemetryOverhead)$$' -benchtime 2x -count 2 -json . > bench_guard_current.json
 	$(GO) test -run '^$$' -bench '^(BenchmarkFPTreeInsert|BenchmarkJoinableClassify)$$' -benchtime 2000x -count 2 -json . >> bench_guard_current.json
-	$(GO) run ./cmd/sfj-benchguard -baseline BENCH_issue4_after.json -current bench_guard_current.json
+	$(GO) run ./cmd/sfj-benchguard -baseline BENCH_issue5_after.json -current bench_guard_current.json
 
 # go test accepts a single -fuzz pattern per invocation, so each fuzz
 # target gets its own line.

@@ -11,10 +11,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/server"
@@ -38,14 +43,39 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Bound every phase of a connection's life: a client that stalls
+	// mid-request (or never sends one) must not pin a handler goroutine
+	// and a connection slot forever.
 	httpServer := &http.Server{
 		Addr:              *addr,
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
 	fmt.Printf("sfj-serve listening on %s (engine=%s window=%d)\n", *addr, *engine, *window)
 	if *telemOn {
 		fmt.Printf("scrape metrics: curl http://%s/metrics\n", *addr)
 	}
-	log.Fatal(httpServer.ListenAndServe())
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests instead
+	// of dropping them mid-response: a batch ingest cut off halfway
+	// would leave the caller unsure which documents were accepted.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpServer.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("sfj-serve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpServer.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("sfj-serve: shutdown: %v", err)
+	}
 }

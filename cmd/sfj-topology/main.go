@@ -58,6 +58,10 @@ func main() {
 		recoverDir  = flag.String("recover", "", "checkpoint operator state into this directory; -cluster runs additionally survive worker failures (requires a generated -dataset)")
 		killWorker  = flag.String("kill-worker", "", "fault-injection demo, format id:afterMs — hard-kill that in-process cluster worker after the delay (needs -cluster N and -recover)")
 		metricsAddr = flag.String("metrics-addr", "", "expose /metrics + /debug/stats on this address during the run (e.g. 127.0.0.1:9090; with -worker, use :0 per process)")
+		heartbeat   = flag.Duration("heartbeat-interval", 0, "with -cluster N: worker liveness heartbeat interval (0 = default 250ms)")
+		lease       = flag.Duration("lease-timeout", 0, "with -cluster N: coordinator declares a silent worker dead after this (0 = default 10s; a hung worker then enters checkpoint recovery when -recover is set)")
+		chaosSeed   = flag.Int64("chaos-seed", 0, "with -cluster N: run behind fault-injecting proxies driven by a deterministic schedule derived from this seed (0 = off)")
+		chaosEvents = flag.Int("chaos-events", 6, "with -chaos-seed: number of scheduled fault events")
 		verbose     = flag.Bool("v", false, "print per-window statistics")
 	)
 	flag.Parse()
@@ -189,6 +193,33 @@ func main() {
 				}()
 			})
 		}))
+	}
+	if *heartbeat > 0 || *lease > 0 {
+		if *clusterN <= 0 || *processes {
+			fmt.Fprintln(os.Stderr, "-heartbeat-interval/-lease-timeout need an in-process cluster run (-cluster N without -processes)")
+			os.Exit(2)
+		}
+		hb, ls := *heartbeat, *lease
+		if hb == 0 {
+			hb = 250 * time.Millisecond
+		}
+		if ls == 0 {
+			ls = 10 * time.Second
+		}
+		opts = append(opts, core.WithHeartbeat(hb, ls))
+	}
+	if *chaosSeed != 0 {
+		if *clusterN <= 0 || *processes {
+			fmt.Fprintln(os.Stderr, "-chaos-seed needs an in-process cluster run (-cluster N without -processes)")
+			os.Exit(2)
+		}
+		// Anchor the schedule to the run's stream: total documents is a
+		// lower bound on dispatched copies, so every event actually
+		// fires before the stream ends.
+		sched := cluster.RandomSchedule(*chaosSeed, *chaosEvents, *clusterN, int64(*windows**windowSize))
+		opts = append(opts, core.WithChaos(&core.Chaos{Schedule: &sched}))
+		fmt.Printf("chaos schedule: seed=%d events=%d (re-run with the same seed to reproduce the fault sequence)\n",
+			*chaosSeed, len(sched.Events))
 	}
 	if *metricsAddr != "" && !*processes {
 		// With -processes, each spawned worker serves its own endpoint

@@ -87,6 +87,17 @@ func (p *ChaosProxy) SeverAll() {
 	}
 }
 
+// Links reports the number of live proxied connections. A link only
+// counts once the proxy has accepted it and dialled upstream, so a
+// test that wants SeverAll to bite should wait for Links > 0: a peer's
+// dial can complete at the kernel level (and its first frames sit in
+// socket buffers) before the proxy has registered the connection.
+func (p *ChaosProxy) Links() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.links)
+}
+
 // StopAccepting closes the listener so new dials are refused
 // (connection refused, not a hang). ResumeAccepting reopens it on the
 // same port.

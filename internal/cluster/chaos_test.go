@@ -84,21 +84,26 @@ func awaitResult(t *testing.T, result chan runResult) topology.Stats {
 }
 
 // awaitQuiesce polls the workers' transport counters until nothing is
-// queued, executing, or in flight (sent == executed, stable across two
-// consecutive reads) — the in-process mirror of the coordinator's
-// double-probe argument.
+// queued, executing, in flight, or awaiting an ack (sent == executed
+// and empty resend buffers, stable across two consecutive reads) — the
+// in-process mirror of the coordinator's double-probe argument. The
+// unacked condition matters to tests that sever immediately after: a
+// frame still in a resend buffer would be replayed on a fresh link,
+// re-establishing the very connections the test expects evicted.
 func awaitQuiesce(t *testing.T, ws []*Worker) {
 	t.Helper()
 	deadline := time.Now().Add(10 * time.Second)
 	var prevSent, prevExec int64 = -1, -2
 	for time.Now().Before(deadline) {
 		var sent, exec int64
+		unacked := 0
 		for _, w := range ws {
 			s, e := w.Counters()
 			sent += s
 			exec += e
+			unacked += w.UnackedFrames()
 		}
-		if sent == exec && sent == prevSent && exec == prevExec {
+		if sent == exec && unacked == 0 && sent == prevSent && exec == prevExec {
 			return
 		}
 		prevSent, prevExec = sent, exec

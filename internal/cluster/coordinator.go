@@ -5,16 +5,18 @@ import (
 	"fmt"
 	"net"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/topology"
 )
 
 // WorkerDied reports that a worker's control plane failed mid-run —
-// the process crashed, was killed, or partitioned away. The
-// coordinator aborts the surviving workers before returning it, so a
-// caller holding checkpoints can re-place the dead worker's tasks and
-// restart from the last consistent cut (errors.As to detect).
+// the process crashed, was killed, partitioned away, or went silent
+// past its heartbeat lease. The coordinator aborts the surviving
+// workers before returning it, so a caller holding checkpoints can
+// re-place the dead worker's tasks and restart from the last
+// consistent cut (errors.As to detect).
 type WorkerDied struct {
 	Worker int
 	Err    error
@@ -34,6 +36,14 @@ func (e *WorkerDied) Unwrap() error { return e.Err }
 // of delivered tuple copies equals the global number of executed
 // tuples, and two consecutive probe rounds observe identical values,
 // no tuple can be queued, executing, or in flight on any wire.
+//
+// Failure detection is two-layered. Reactively, each worker connection
+// has a dedicated reader goroutine, so a broken control socket surfaces
+// immediately as WorkerDied. Proactively, every frame a worker sends —
+// probe replies and the periodic heartbeats — refreshes its lease; a
+// worker silent longer than LeaseTimeout is declared dead even though
+// its sockets are still open, which is how a hung (not crashed)
+// process is caught.
 type Coordinator struct {
 	workers int
 	ln      net.Listener
@@ -46,6 +56,47 @@ type Coordinator struct {
 	// trips on a genuinely dead or partitioned worker. Zero disables
 	// the bound.
 	ProbeTimeout time.Duration
+
+	// LeaseTimeout is the heartbeat suspicion window: a worker whose
+	// control plane stays silent — no heartbeat, no probe reply, no
+	// frame of any kind — for longer than this is declared dead
+	// (WorkerDied) even with its sockets healthy. It should be several
+	// multiples of the workers' HeartbeatInterval. Zero disables lease
+	// expiry; socket errors and ProbeTimeout still apply.
+	LeaseTimeout time.Duration
+}
+
+// workerLink is the coordinator's per-worker control state: the
+// connection, a reader goroutine forwarding protocol replies, and the
+// lease clock. readErr is set before inbox closes, so a receiver that
+// observes the close also observes the error.
+type workerLink struct {
+	id       int
+	c        *conn
+	inbox    chan *envelope
+	lastBeat atomic.Int64 // unix nanos of the last frame from this worker
+	readErr  error
+}
+
+// read pumps the connection: every arriving frame refreshes the lease,
+// and protocol replies (probe replies, final stats) are forwarded to
+// the round-trip logic. The inbox is never closed with frames
+// outstanding the coordinator still awaits, because the protocol has
+// at most one reply in flight per worker.
+func (l *workerLink) read() {
+	for {
+		e, err := l.c.recv()
+		if err != nil {
+			l.readErr = err
+			close(l.inbox)
+			return
+		}
+		l.lastBeat.Store(time.Now().UnixNano())
+		switch e.Kind {
+		case frameProbeReply, frameDone:
+			l.inbox <- e
+		}
+	}
 }
 
 // NewCoordinator listens for the given number of workers on a loopback
@@ -64,7 +115,12 @@ func NewCoordinatorOn(addr string, workers int) (*Coordinator, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: coordinator listen: %w", err)
 	}
-	return &Coordinator{workers: workers, ln: ln, ProbeTimeout: 30 * time.Second}, nil
+	return &Coordinator{
+		workers:      workers,
+		ln:           ln,
+		ProbeTimeout: 30 * time.Second,
+		LeaseTimeout: 10 * time.Second,
+	}, nil
 }
 
 // Addr is the coordinator's control address for workers to dial.
@@ -74,9 +130,9 @@ func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
 // statistics. It blocks until the cluster has terminated.
 func (c *Coordinator) Run() (topology.Stats, error) {
 	defer c.ln.Close()
-	conns := make(map[int]*conn, c.workers)
+	links := make(map[int]*workerLink, c.workers)
 	addresses := make(map[int]string, c.workers)
-	for len(conns) < c.workers {
+	for len(links) < c.workers {
 		raw, err := c.ln.Accept()
 		if err != nil {
 			return topology.Stats{}, fmt.Errorf("cluster: accept: %w", err)
@@ -87,31 +143,38 @@ func (c *Coordinator) Run() (topology.Stats, error) {
 			cn.close()
 			return topology.Stats{}, fmt.Errorf("cluster: bad hello: %v", err)
 		}
-		if _, dup := conns[hello.WorkerID]; dup {
+		if _, dup := links[hello.WorkerID]; dup {
 			cn.close()
 			return topology.Stats{}, fmt.Errorf("cluster: duplicate worker id %d", hello.WorkerID)
 		}
-		conns[hello.WorkerID] = cn
+		l := &workerLink{id: hello.WorkerID, c: cn, inbox: make(chan *envelope, 4)}
+		l.lastBeat.Store(time.Now().UnixNano())
+		links[hello.WorkerID] = l
 		addresses[hello.WorkerID] = hello.DataAddr
 	}
 	defer func() {
-		for _, cn := range conns {
-			cn.close()
+		for _, l := range links {
+			l.c.close()
 		}
 	}()
+	for _, l := range links {
+		go l.read()
+	}
 
-	for _, cn := range conns {
-		if err := cn.send(&envelope{Kind: frameStart, Addresses: addresses}); err != nil {
-			return topology.Stats{}, err
+	for id, l := range links {
+		if err := c.sendCtl(l, &envelope{Kind: frameStart, Addresses: addresses}); err != nil {
+			wd := &WorkerDied{Worker: id, Err: err}
+			c.abortSurvivors(links, wd)
+			return topology.Stats{}, wd
 		}
 	}
 
 	// Probe until two consecutive identical quiescent snapshots.
 	var prevSent, prevExec int64 = -1, -2
 	for seq := 0; ; seq++ {
-		sent, exec, done, err := c.probe(conns, seq)
+		sent, exec, done, err := c.probe(links, seq)
 		if err != nil {
-			c.abortSurvivors(conns, err)
+			c.abortSurvivors(links, err)
 			return topology.Stats{}, err
 		}
 		if done && sent == exec && sent == prevSent && exec == prevExec {
@@ -126,25 +189,23 @@ func (c *Coordinator) Run() (topology.Stats, error) {
 
 	// Stop everyone and merge their statistics.
 	merged := topology.Stats{Emitted: make(map[string]int64), Executed: make(map[string]int64)}
-	ids := make([]int, 0, len(conns))
-	for id := range conns {
+	ids := make([]int, 0, len(links))
+	for id := range links {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
-	c.setDeadlines(conns)
-	defer c.clearDeadlines(conns)
 	for _, id := range ids {
-		if err := conns[id].send(&envelope{Kind: frameStop}); err != nil {
+		if err := c.sendCtl(links[id], &envelope{Kind: frameStop}); err != nil {
 			wd := &WorkerDied{Worker: id, Err: err}
-			c.abortSurvivors(conns, wd)
+			c.abortSurvivors(links, wd)
 			return merged, wd
 		}
 	}
 	for _, id := range ids {
-		done, err := c.await(conns[id], frameDone)
+		done, err := c.awaitFrame(links[id], frameDone)
 		if err != nil {
 			wd := &WorkerDied{Worker: id, Err: err}
-			c.abortSurvivors(conns, wd)
+			c.abortSurvivors(links, wd)
 			return merged, wd
 		}
 		for comp, n := range done.Stats.Emitted {
@@ -160,59 +221,47 @@ func (c *Coordinator) Run() (topology.Stats, error) {
 	return merged, nil
 }
 
-// setDeadlines arms the control-plane timeout on every worker
-// connection; clearDeadlines disarms it between rounds.
-func (c *Coordinator) setDeadlines(conns map[int]*conn) {
-	if c.ProbeTimeout <= 0 {
-		return
+// sendCtl writes one control frame under a write-only deadline (the
+// read side belongs to the link's reader goroutine and must not be
+// poisoned by a read deadline).
+func (c *Coordinator) sendCtl(l *workerLink, e *envelope) error {
+	if c.ProbeTimeout > 0 {
+		l.c.setWriteDeadline(time.Now().Add(c.ProbeTimeout))
+		defer l.c.setWriteDeadline(time.Time{})
 	}
-	deadline := time.Now().Add(c.ProbeTimeout)
-	for _, cn := range conns {
-		cn.setDeadline(deadline)
-	}
-}
-
-func (c *Coordinator) clearDeadlines(conns map[int]*conn) {
-	if c.ProbeTimeout <= 0 {
-		return
-	}
-	for _, cn := range conns {
-		cn.setDeadline(time.Time{})
-	}
+	return l.c.send(e)
 }
 
 // abortSurvivors tells every worker except the one named by a
 // WorkerDied error (when err is one) to abandon the run, best-effort:
 // survivors must not hang in the quiescence protocol waiting for
 // tuples a dead peer will never deliver.
-func (c *Coordinator) abortSurvivors(conns map[int]*conn, err error) {
+func (c *Coordinator) abortSurvivors(links map[int]*workerLink, err error) {
 	dead := -1
 	var wd *WorkerDied
 	if errors.As(err, &wd) {
 		dead = wd.Worker
 	}
-	for id, cn := range conns {
+	for id, l := range links {
 		if id == dead {
 			continue
 		}
-		_ = cn.send(&envelope{Kind: frameAbort})
+		_ = c.sendCtl(l, &envelope{Kind: frameAbort})
 	}
 }
 
-// probe runs one synchronous probe round under the control-plane
-// timeout. A send or reply failure is attributed to the worker whose
-// control connection broke and surfaces as *WorkerDied.
-func (c *Coordinator) probe(conns map[int]*conn, seq int) (sent, exec int64, done bool, err error) {
-	c.setDeadlines(conns)
-	defer c.clearDeadlines(conns)
+// probe runs one probe round. A send failure, reader error, probe
+// timeout or lease expiry is attributed to the worker whose control
+// plane faulted and surfaces as *WorkerDied.
+func (c *Coordinator) probe(links map[int]*workerLink, seq int) (sent, exec int64, done bool, err error) {
 	done = true
-	for id, cn := range conns {
-		if err := cn.send(&envelope{Kind: frameProbe, Seq: seq}); err != nil {
+	for id, l := range links {
+		if err := c.sendCtl(l, &envelope{Kind: frameProbe, Seq: seq}); err != nil {
 			return 0, 0, false, &WorkerDied{Worker: id, Err: err}
 		}
 	}
-	for id, cn := range conns {
-		reply, err := c.await(cn, frameProbeReply)
+	for id, l := range links {
+		reply, err := c.awaitFrame(l, frameProbeReply)
 		if err != nil {
 			return 0, 0, false, &WorkerDied{Worker: id, Err: err}
 		}
@@ -225,17 +274,52 @@ func (c *Coordinator) probe(conns map[int]*conn, seq int) (sent, exec int64, don
 	return sent, exec, done, nil
 }
 
-// await reads envelopes until one of the expected kind arrives.
-func (c *Coordinator) await(cn *conn, kind frameKind) (*envelope, error) {
+// awaitFrame waits for the next frame of the expected kind from one
+// worker, bounded by ProbeTimeout and, independently, by the worker's
+// heartbeat lease — so a hung worker that swallows probes without its
+// socket breaking still fails fast, at lease granularity rather than
+// the full probe timeout.
+func (c *Coordinator) awaitFrame(l *workerLink, kind frameKind) (*envelope, error) {
+	var timeout <-chan time.Time
+	if c.ProbeTimeout > 0 {
+		tm := time.NewTimer(c.ProbeTimeout)
+		defer tm.Stop()
+		timeout = tm.C
+	}
+	tick := time.NewTicker(c.leaseTick())
+	defer tick.Stop()
 	for {
-		e, err := cn.recv()
-		if err != nil {
-			return nil, fmt.Errorf("cluster: await %d: %w", kind, err)
-		}
-		if e.Kind == kind {
-			return e, nil
+		select {
+		case e, ok := <-l.inbox:
+			if !ok {
+				return nil, fmt.Errorf("cluster: await %d: %w", kind, l.readErr)
+			}
+			if e.Kind == kind {
+				return e, nil
+			}
+		case <-tick.C:
+			if c.LeaseTimeout > 0 {
+				silent := time.Since(time.Unix(0, l.lastBeat.Load()))
+				if silent > c.LeaseTimeout {
+					return nil, fmt.Errorf("cluster: lease expired: silent for %v (> %v) without a heartbeat", silent.Round(time.Millisecond), c.LeaseTimeout)
+				}
+			}
+		case <-timeout:
+			return nil, fmt.Errorf("cluster: timeout after %v awaiting frame %d", c.ProbeTimeout, kind)
 		}
 	}
+}
+
+// leaseTick is how often awaitFrame re-checks the lease clock.
+func (c *Coordinator) leaseTick() time.Duration {
+	if c.LeaseTimeout <= 0 {
+		return time.Hour // effectively never; the select still works
+	}
+	d := c.LeaseTimeout / 4
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
 }
 
 // Run executes a topology across n in-process workers communicating

@@ -37,9 +37,13 @@ func init() { Register(wireDoc{}) }
 // advances only on this connection, and a failed send evicts the whole
 // connection, so sender and receiver can never disagree.
 //
-// The envelope and its Values map are copied, never mutated: the same
-// tuple may concurrently be delivered locally or retried on a fresh
-// connection with its own dictionary.
+// The envelope and its Values map are copied, never mutated — this is
+// the contract the reliable-delivery layer's resend path relies on:
+// the peer's resend buffer holds the *raw* envelope (plain strings,
+// no dictionary references), so a frame replayed after a sever is
+// re-encoded here against the fresh connection's empty dictionary. A
+// buffered frame that kept its first encoding would reference ids the
+// new connection never shipped.
 func (c *conn) encodeTupleLocked(e *envelope) *envelope {
 	docs := 0
 	for _, v := range e.Tuple.Values {

@@ -36,6 +36,15 @@ const (
 	// worker died); the worker tears its tasks down without the usual
 	// quiescence protocol and Run returns ErrAborted.
 	frameAbort
+	// frameHeartbeat is a worker -> coordinator liveness beacon on the
+	// control plane; any frame refreshes the worker's lease, heartbeats
+	// exist so an idle worker still proves it is scheduled and serving.
+	frameHeartbeat
+	// frameAck is a receiver -> sender cumulative acknowledgement on the
+	// data plane, written back on the inbound connection: every data
+	// frame with DataSeq <= AckSeq has been delivered (or deduplicated)
+	// and may leave the sender's resend buffer.
+	frameAck
 )
 
 // envelope is the single wire message type; unused fields stay at their
@@ -57,6 +66,18 @@ type envelope struct {
 	TargetTask int
 	Tuple      topology.Tuple
 	Dict       []string
+
+	// Reliable delivery (frameTuple / frameAck). FromWorker names the
+	// sending worker (so the receiver keys its dedup cursor and routes
+	// piggybacked acks; -1 on frames that predate a worker identity).
+	// DataSeq is the per peer-pair monotonic data sequence number (1-
+	// based; 0 marks an unsequenced frame, delivered without dedup).
+	// AckSeq is the cumulative ack — on frameAck it is the payload, on
+	// frameTuple it piggybacks the sender's receive-side cursor for the
+	// destination worker.
+	FromWorker int
+	DataSeq    uint64
+	AckSeq     uint64
 
 	// frameProbe / frameProbeReply: termination detection.
 	Seq        int
@@ -148,6 +169,11 @@ func (c *conn) close() { _ = c.raw.Close() }
 // zero time clears the bound. A deadline hit surfaces as a send/recv
 // error, turning a silently hung peer into an actionable failure.
 func (c *conn) setDeadline(t time.Time) { _ = c.raw.SetDeadline(t) }
+
+// setWriteDeadline bounds only writes — for connections whose read
+// side is owned by a long-lived reader goroutine that must not be
+// poisoned by a read deadline.
+func (c *conn) setWriteDeadline(t time.Time) { _ = c.raw.SetWriteDeadline(t) }
 
 // Register makes a concrete type transferable inside tuple Values.
 // Packages that define tuple payload types call this from an init

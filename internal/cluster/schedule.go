@@ -1,0 +1,194 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ChaosAction enumerates the faults a ChaosSchedule can inject through
+// a ChaosProxy.
+type ChaosAction int
+
+const (
+	// ChaosSever cuts every live link through the proxy mid-stream.
+	ChaosSever ChaosAction = iota
+	// ChaosDelay adds the event's Delay to each forwarded chunk.
+	ChaosDelay
+	// ChaosClearDelay restores pass-through forwarding.
+	ChaosClearDelay
+	// ChaosRefuse closes the proxy listener so new dials are refused.
+	ChaosRefuse
+	// ChaosResume re-opens the listener after ChaosRefuse.
+	ChaosResume
+)
+
+// String names the action for logs and test failure messages.
+func (a ChaosAction) String() string {
+	switch a {
+	case ChaosSever:
+		return "sever"
+	case ChaosDelay:
+		return "delay"
+	case ChaosClearDelay:
+		return "clear-delay"
+	case ChaosRefuse:
+		return "refuse"
+	case ChaosResume:
+		return "resume"
+	}
+	return fmt.Sprintf("ChaosAction(%d)", int(a))
+}
+
+// ChaosEvent is one scripted fault: when the cluster-wide count of
+// dispatched tuple copies reaches AtCopies, Action fires on the proxy
+// of worker Worker (-1 = every proxy). Anchoring events to stream
+// positions rather than wall-clock instants is what makes a schedule
+// reproducible: the same seed and the same stream hit the same fault
+// at the same tuple, however fast the host happens to run.
+//
+// For, when positive, schedules the counter-action that long after the
+// event fires: a delay is cleared, a refusing listener resumes. Severs
+// need no counter-action — the reliable transport redials and replays
+// on its own. A ChaosRefuse with For == 0 refuses for the rest of the
+// run; schedules that must terminate should always give refusals a
+// bounded For.
+type ChaosEvent struct {
+	AtCopies int64
+	Worker   int
+	Action   ChaosAction
+	Delay    time.Duration
+	For      time.Duration
+}
+
+// ChaosSchedule is a deterministic fault script for a cluster run:
+// events fire in AtCopies order as the stream progresses. Seed records
+// the generator seed for schedules built by RandomSchedule, so a
+// failing run's exact fault sequence can be reproduced from one
+// number.
+type ChaosSchedule struct {
+	Seed   int64
+	Events []ChaosEvent
+}
+
+// RandomSchedule derives a schedule of n events from seed: fault kind,
+// victim worker and stream offset are all drawn from a seeded PRNG.
+// Two runs with the same seed, worker count and copy budget schedule
+// identical faults at identical stream positions. maxCopies should be
+// a (rough) lower bound on the run's total dispatched copies so the
+// whole schedule actually fires.
+func RandomSchedule(seed int64, n, workers int, maxCopies int64) ChaosSchedule {
+	rng := rand.New(rand.NewSource(seed))
+	events := make([]ChaosEvent, 0, n)
+	for i := 0; i < n; i++ {
+		ev := ChaosEvent{
+			AtCopies: 1 + rng.Int63n(maxCopies),
+			Worker:   rng.Intn(workers+1) - 1, // -1 severs/delays/refuses everywhere
+		}
+		switch rng.Intn(3) {
+		case 0:
+			ev.Action = ChaosSever
+		case 1:
+			ev.Action = ChaosDelay
+			ev.Delay = time.Duration(1+rng.Intn(3)) * time.Millisecond
+			ev.For = time.Duration(5+rng.Intn(20)) * time.Millisecond
+		case 2:
+			ev.Action = ChaosRefuse
+			ev.For = time.Duration(5+rng.Intn(20)) * time.Millisecond
+		}
+		events = append(events, ev)
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].AtCopies < events[j].AtCopies })
+	return ChaosSchedule{Seed: seed, Events: events}
+}
+
+// Run drives the schedule against the proxies: it polls copies — the
+// caller's view of the cluster-wide dispatched-copy count — and fires
+// each event once its threshold is reached, in order. It returns when
+// every event has fired and every timed counter-action has run, or
+// promptly after stop closes (pending counter-actions then run
+// immediately, so no proxy is left refusing dials). Run is typically
+// launched on its own goroutine for the duration of a cluster attempt.
+func (s ChaosSchedule) Run(proxies []*ChaosProxy, copies func() int64, stop <-chan struct{}) {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for _, ev := range s.Events {
+		for copies() < ev.AtCopies {
+			select {
+			case <-stop:
+				return
+			case <-time.After(200 * time.Microsecond):
+			}
+		}
+		targets := proxies
+		if ev.Worker >= 0 && ev.Worker < len(proxies) {
+			targets = proxies[ev.Worker : ev.Worker+1]
+		}
+		// A sever with nothing established is a silent no-op (and peers
+		// whose dials are in flight but not yet registered by the proxy
+		// escape it entirely), so wait for a live link on the targets:
+		// the event means "cut the traffic at this stream offset", not
+		// "maybe cut it, if the dial raced well". If the targets never
+		// carry a link, the wait ends with the run (stop).
+		if ev.Action == ChaosSever {
+			for liveLinks(targets) == 0 {
+				select {
+				case <-stop:
+					return
+				case <-time.After(200 * time.Microsecond):
+				}
+			}
+		}
+		fireChaos(targets, ev.Action, ev.Delay)
+		if ev.For > 0 {
+			ev := ev
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				select {
+				case <-stop:
+				case <-time.After(ev.For):
+				}
+				revertChaos(targets, ev.Action)
+			}()
+		}
+	}
+}
+
+func liveLinks(targets []*ChaosProxy) int {
+	n := 0
+	for _, p := range targets {
+		n += p.Links()
+	}
+	return n
+}
+
+func fireChaos(targets []*ChaosProxy, action ChaosAction, delay time.Duration) {
+	for _, p := range targets {
+		switch action {
+		case ChaosSever:
+			p.SeverAll()
+		case ChaosDelay:
+			p.SetDelay(delay)
+		case ChaosClearDelay:
+			p.SetDelay(0)
+		case ChaosRefuse:
+			p.StopAccepting()
+		case ChaosResume:
+			_ = p.ResumeAccepting()
+		}
+	}
+}
+
+func revertChaos(targets []*ChaosProxy, action ChaosAction) {
+	for _, p := range targets {
+		switch action {
+		case ChaosDelay:
+			p.SetDelay(0)
+		case ChaosRefuse:
+			_ = p.ResumeAccepting() // no-op error once the proxy closed
+		}
+	}
+}

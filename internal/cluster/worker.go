@@ -21,6 +21,12 @@ var (
 	ErrAborted = errors.New("cluster: run aborted")
 )
 
+// errPeerClosed is the only way a reliable peer send fails: the worker
+// is shutting down (killed, aborted, or stopped) and will never deliver
+// the frame. The dispatcher compensates so termination is still
+// reached.
+var errPeerClosed = errors.New("cluster: peer slot closed")
+
 // mailbox is the worker-local FIFO queue (semantics identical to the
 // in-process runtime's mailbox): blocking receive, and blocking send
 // when a positive capacity is set. A readLoop blocked on a full
@@ -111,20 +117,64 @@ func (m *mailbox) peakLen() int {
 	return m.peak
 }
 
-// peer is one outbound data-plane connection slot. Its mutex
-// serialises dial/send/heal per peer, so a slow or unreachable worker
-// delays only the tuples routed to it — dispatches to other peers
-// proceed in parallel.
+// peer is one outbound data-plane link slot, now a reliable-delivery
+// queue: dispatchers append frames (blocking while the bounded resend
+// buffer is full), a dedicated sender goroutine writes them in
+// sequence order, and frames leave the buffer only when the receiver's
+// cumulative ack covers them — so a severed link replays everything
+// unacknowledged on the fresh connection instead of dropping it. The
+// mutex serialises queue state, dial and send per peer; a slow or
+// unreachable worker delays only the tuples routed to it.
 type peer struct {
-	mu sync.Mutex
-	c  *conn
+	mu      sync.Mutex
+	notFull *sync.Cond // dispatchers wait here while buf is at capacity
+	work    *sync.Cond // the sender goroutine waits here for frames
+	c       *conn
 	// dialled counts successful dials on this slot; dials after the
 	// first are redials of a broken link.
 	dialled int
+	// closed flips when the worker shuts down: blocked dispatchers and
+	// the sender goroutine wake and give up.
+	closed bool
+
+	// Reliable-delivery state, guarded by mu. buf holds the frames with
+	// DataSeq in (acked, nextSeq], oldest first: buf[0].DataSeq ==
+	// acked+1. sentTo is the highest sequence written to the current
+	// connection; eviction resets it to acked so the next connection
+	// replays the whole unacknowledged suffix. maxSent is the all-time
+	// high-water mark, distinguishing first sends from resends.
+	buf     []*envelope
+	nextSeq uint64
+	acked   uint64
+	sentTo  uint64
+	maxSent uint64
+
+	// rng provides the retry-backoff jitter, seeded per (worker, peer)
+	// pair so chaos runs under a fixed seed reproduce their timing.
+	rng *rand.Rand
 	// backoff mirrors the current retry backoff in seconds while a send
 	// to this peer is healing (0 when healthy); nil when telemetry is
 	// off.
 	backoff *telemetry.Gauge
+}
+
+// inbound is the receive-side reliable-delivery state for one sending
+// peer. It persists across that peer's connections: delivered is the
+// cumulative dedup cursor (a replayed frame at or below it is dropped),
+// acked is how far the sender has been told, and c is the freshest
+// inbound connection — where acks are written back. The mutex also
+// serialises check-and-deliver across connections, so a straggler read
+// on a dying link and the replay on its successor cannot race or
+// reorder one sender's frames.
+type inbound struct {
+	mu        sync.Mutex
+	c         *conn
+	delivered uint64
+	acked     uint64
+	// needAck forces a re-ack even when delivered == acked: set when a
+	// duplicate arrives or the sender shows up on a fresh connection —
+	// both mean an earlier ack may have died with the old link.
+	needAck bool
 }
 
 // outEdge is one outbound subscription resolved against the placement.
@@ -159,13 +209,38 @@ type Worker struct {
 
 	// DialTimeout bounds every outbound dial (peers and coordinator).
 	DialTimeout time.Duration
-	// SendRetries is how many times a failed peer send is retried on a
-	// freshly dialled connection before the tuple copy is dropped and
-	// compensated. Waits between attempts grow exponentially from
-	// RetryBackoff to RetryBackoffMax, with jitter.
-	SendRetries     int
+	// SendRetries is retained for configuration compatibility but no
+	// longer bounds data-plane delivery: frames are retried with backoff
+	// until the receiver acknowledges them or the run ends. Dropping
+	// after N attempts would reintroduce the at-most-once hole the
+	// resend buffer exists to close.
+	SendRetries int
+	// RetryBackoff and RetryBackoffMax shape the capped exponential
+	// backoff (with seeded jitter) between redial/resend attempts.
 	RetryBackoff    time.Duration
 	RetryBackoffMax time.Duration
+	// ResendBuffer caps how many unacknowledged frames one peer link
+	// buffers for replay; a dispatcher hitting the cap blocks, turning a
+	// long outage into backpressure instead of unbounded memory.
+	ResendBuffer int
+	// AckInterval is the receiver's idle ack timer: cumulative acks are
+	// piggybacked on reverse-direction data frames and forced out at
+	// least this often, bounding how long a sender's buffer stays full
+	// on a quiet link.
+	AckInterval time.Duration
+	// AckEvery is the receiver's inline ack threshold: a cumulative ack
+	// is written immediately after this many deliveries since the last
+	// one, without waiting for the idle timer.
+	AckEvery int
+	// HeartbeatInterval is how often the worker beats on its control
+	// plane so the coordinator's lease sees it alive even when idle;
+	// <= 0 disables heartbeats.
+	HeartbeatInterval time.Duration
+	// RandSeed seeds the per-peer backoff jitter generators. 0 (the
+	// default) derives a fixed seed from the worker id, so two runs with
+	// identical configuration draw identical jitter — the property the
+	// deterministic chaos schedules rely on.
+	RandSeed int64
 
 	// Telemetry, when set before Run, instruments the worker's transport
 	// and tasks: frames/bytes sent, dictionary hit rate, redials,
@@ -185,12 +260,26 @@ type Worker struct {
 	peers     map[int]*peer
 	peersMu   sync.Mutex
 
+	// inbound tracks receive-side dedup/ack state per sending peer.
+	inbound   map[int]*inbound
+	inboundMu sync.Mutex
+
 	// killed flips once on Kill or frameAbort; lifeMu guards the
 	// listener and control connection handles Kill needs to close from
-	// another goroutine.
+	// another goroutine. hung simulates a wedged process (Hang).
 	killed atomic.Bool
+	hung   atomic.Bool
 	lifeMu sync.Mutex
 	ctrl   *conn
+
+	// peersClosed marks that closePeers ran: peer slots created after
+	// it (by a dispatcher racing shutdown) are born closed. stop ends
+	// the worker's auxiliary goroutines (ack ticker, heartbeats);
+	// senderWG tracks the per-peer sender goroutines.
+	peersClosed atomic.Bool
+	stop        chan struct{}
+	stopOnce    sync.Once
+	senderWG    sync.WaitGroup
 
 	// boxes holds mailboxes for locally hosted bolt tasks:
 	// component -> task -> mailbox (nil when not hosted here).
@@ -225,6 +314,12 @@ type Worker struct {
 		copies      *telemetry.Counter
 		copiesDone  *telemetry.Counter
 		dropped     *telemetry.Counter
+		acksSent    *telemetry.Counter
+		acksRecv    *telemetry.Counter
+		resent      *telemetry.Counter
+		dedup       *telemetry.Counter
+		heartbeats  *telemetry.Counter
+		buffered    *telemetry.Gauge
 		exec        map[string]*telemetry.Counter
 		emit        map[string]*telemetry.Counter
 	}
@@ -251,15 +346,21 @@ func NewWorker(id, workers int, b *topology.Builder, coordAddr string) (*Worker,
 		placement: placement,
 		coordAddr: coordAddr,
 		peers:     make(map[int]*peer),
+		inbound:   make(map[int]*inbound),
 		boxes:     make(map[string][]*mailbox),
 		edges:     make(map[string]map[string][]*outEdge),
 		emitted:   make(map[string]*atomic.Int64),
 		execCount: make(map[string]*atomic.Int64),
+		stop:      make(chan struct{}),
 
-		DialTimeout:     2 * time.Second,
-		SendRetries:     4,
-		RetryBackoff:    5 * time.Millisecond,
-		RetryBackoffMax: 250 * time.Millisecond,
+		DialTimeout:       2 * time.Second,
+		SendRetries:       4,
+		RetryBackoff:      5 * time.Millisecond,
+		RetryBackoffMax:   250 * time.Millisecond,
+		ResendBuffer:      1024,
+		AckInterval:       2 * time.Millisecond,
+		AckEvery:          64,
+		HeartbeatInterval: 250 * time.Millisecond,
 	}
 	for _, comp := range spec {
 		w.specByID[comp.ID] = comp
@@ -336,6 +437,14 @@ func (w *Worker) Kill() {
 	w.lifeMu.Unlock()
 }
 
+// Hang simulates a wedged worker process for tests: heartbeats stop
+// and every control frame is swallowed unanswered, while the data
+// plane and the local tasks keep running — the failure mode a crash
+// can't produce and socket errors can't surface. The coordinator's
+// lease expires, the worker is declared dead (WorkerDied) and the
+// run enters the same recovery path as a hard kill.
+func (w *Worker) Hang() { w.hung.Store(true) }
+
 // kill performs the shared teardown of Kill and frameAbort: flip the
 // killed flag, stop accepting peer traffic, close the task mailboxes so
 // bolts drain out, and drop the peer links. It never waits — callers
@@ -356,22 +465,43 @@ func (w *Worker) kill() {
 			}
 		}
 	}
+	w.closePeers()
+	w.stopAux()
+}
+
+// closePeers marks every peer slot closed, dropping its connection and
+// waking blocked dispatchers and the sender goroutine so both give up.
+// The peersClosed flag makes slots created afterwards (a dispatcher
+// racing shutdown) born closed, so no sender goroutine outlives the
+// worker.
+func (w *Worker) closePeers() {
+	w.peersClosed.Store(true)
 	w.peersMu.Lock()
 	for _, p := range w.peers {
 		p.mu.Lock()
+		p.closed = true
 		if p.c != nil {
 			p.c.close()
 			p.c = nil
 		}
+		p.notFull.Broadcast()
+		p.work.Broadcast()
 		p.mu.Unlock()
 	}
 	w.peersMu.Unlock()
 }
 
+// stopAux ends the worker's auxiliary goroutines (ack ticker,
+// heartbeats); idempotent.
+func (w *Worker) stopAux() {
+	w.stopOnce.Do(func() { close(w.stop) })
+}
+
 // drainTasks waits for the local task goroutines to wind down after a
 // kill/abort. Spouts observe the killed flag on their next NextTuple
 // and bolts exit once their closed mailboxes drain; peer sends fail
-// fast (bounded retries) and compensate, so this terminates promptly.
+// fast (the closed slots reject frames) and compensate, so this
+// terminates promptly.
 func (w *Worker) drainTasks() {
 	w.spoutWG.Wait()
 	w.boltWG.Wait()
@@ -397,6 +527,12 @@ func (w *Worker) initTelemetry() {
 	w.tel.copies = reg.Counter(telemetry.Name("cluster_copies_sent_total", "worker", id))
 	w.tel.copiesDone = reg.Counter(telemetry.Name("cluster_copies_executed_total", "worker", id))
 	w.tel.dropped = reg.Counter(telemetry.Name("cluster_copies_dropped_total", "worker", id))
+	w.tel.acksSent = reg.Counter(telemetry.Name("cluster_acks_sent_total", "worker", id))
+	w.tel.acksRecv = reg.Counter(telemetry.Name("cluster_acks_received_total", "worker", id))
+	w.tel.resent = reg.Counter(telemetry.Name("cluster_resent_frames_total", "worker", id))
+	w.tel.dedup = reg.Counter(telemetry.Name("cluster_dedup_dropped_total", "worker", id))
+	w.tel.heartbeats = reg.Counter(telemetry.Name("cluster_heartbeats_sent_total", "worker", id))
+	w.tel.buffered = reg.Gauge(telemetry.Name("cluster_resend_buffered", "worker", id))
 	w.tel.exec = make(map[string]*telemetry.Counter, len(w.spec))
 	w.tel.emit = make(map[string]*telemetry.Counter, len(w.spec))
 	for _, comp := range w.spec {
@@ -443,6 +579,16 @@ func (w *Worker) Run() error {
 	}
 	go w.acceptLoop()
 	defer w.listener.Close()
+	// Whatever way Run exits, close the peer slots and stop the
+	// auxiliary goroutines, then wait for the per-peer senders — they
+	// hold no resources a later run could trip on, but tests inspect
+	// telemetry the moment Run returns.
+	defer func() {
+		w.closePeers()
+		w.stopAux()
+		w.senderWG.Wait()
+	}()
+	go w.ackTicker()
 
 	raw, err := net.DialTimeout("tcp", w.coordAddr, w.DialTimeout)
 	if err != nil {
@@ -467,6 +613,7 @@ func (w *Worker) Run() error {
 	}
 	w.addresses = start.Addresses
 
+	go w.heartbeatLoop(coord)
 	w.startTasks()
 
 	// Control loop: answer probes until stop.
@@ -477,7 +624,16 @@ func (w *Worker) Run() error {
 				w.drainTasks()
 				return ErrKilled
 			}
+			// The control link died under us — the coordinator is gone,
+			// or it expired this worker's lease and cut the link. Tear
+			// the tasks down and drain before returning: leaving them
+			// running would leak goroutines past Run.
+			w.kill()
+			w.drainTasks()
 			return fmt.Errorf("cluster: worker %d control: %w", w.id, err)
+		}
+		if w.hung.Load() {
+			continue // a wedged process answers nothing (see Hang)
 		}
 		switch e.Kind {
 		case frameAbort:
@@ -607,7 +763,168 @@ func (w *Worker) readLoop(c *conn) {
 		if e.Kind != frameTuple {
 			continue
 		}
+		// A piggybacked cumulative ack rides on reverse-direction data
+		// traffic: it acknowledges frames we sent to e.FromWorker on our
+		// outbound link to it.
+		if e.AckSeq > 0 {
+			if p := w.peerIfAny(e.FromWorker); p != nil {
+				w.advanceAcked(p, e.AckSeq)
+			}
+		}
+		if e.DataSeq == 0 {
+			// Unsequenced frame (no reliable-delivery state): deliver as
+			// is. Kept for robustness; every current sender sequences.
+			w.deliverLocal(e.TargetComp, e.TargetTask, e.Tuple)
+			continue
+		}
+		in := w.inboundFor(e.FromWorker)
+		in.mu.Lock()
+		if in.c != c {
+			// The sender showed up on a fresh connection: any ack written
+			// to the old one may have died with it, so re-ack even if our
+			// cursor says the sender already knows.
+			in.c = c
+			in.needAck = true
+		}
+		if e.DataSeq <= in.delivered {
+			// Replay of a frame that already made it — the ack got lost,
+			// not the data. Drop the duplicate (exactly-once in effect)
+			// and make sure a fresh ack goes out so the sender's resend
+			// buffer drains.
+			w.tel.dedup.Inc()
+			in.needAck = true
+			in.mu.Unlock()
+			continue
+		}
+		if e.DataSeq != in.delivered+1 {
+			// Impossible under the protocol: per-connection sequences
+			// ascend and a replay starts at acked+1 <= delivered+1.
+			// Record it and deliver anyway — wedging the link on a
+			// corrupted counter would be worse than a gap.
+			w.recordFailure(e.TargetComp, e.TargetTask,
+				fmt.Sprintf("sequence gap from worker %d: got %d after %d", e.FromWorker, e.DataSeq, in.delivered))
+		}
+		in.delivered = e.DataSeq
+		// Deliver while holding in.mu: the cursor update and the mailbox
+		// put must be atomic per sender, or a straggler read on a dying
+		// connection could reorder against the replay on its successor.
 		w.deliverLocal(e.TargetComp, e.TargetTask, e.Tuple)
+		if in.delivered-in.acked >= uint64(w.AckEvery) {
+			w.sendAckLocked(in)
+		}
+		in.mu.Unlock()
+	}
+}
+
+// inboundFor returns the receive-side state for one sending peer,
+// creating it on first contact.
+func (w *Worker) inboundFor(id int) *inbound {
+	w.inboundMu.Lock()
+	defer w.inboundMu.Unlock()
+	in, ok := w.inbound[id]
+	if !ok {
+		in = &inbound{}
+		w.inbound[id] = in
+	}
+	return in
+}
+
+// deliveredTo reports the cumulative delivery cursor for frames from
+// the given peer — the value piggybacked as AckSeq on data frames
+// flowing the other way.
+func (w *Worker) deliveredTo(id int) uint64 {
+	in := w.inboundFor(id)
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.delivered
+}
+
+// notePiggyback records that a cumulative ack up to seq was handed to
+// the transport on a data frame, so the idle timer stops re-sending
+// dedicated acks for the same ground. If the frame dies on the wire its
+// connection dies with it, the sender replays, and the duplicates force
+// a fresh ack — the optimism self-corrects.
+func (w *Worker) notePiggyback(id int, seq uint64) {
+	if seq == 0 {
+		return
+	}
+	in := w.inboundFor(id)
+	in.mu.Lock()
+	if seq > in.acked {
+		in.acked = seq
+	}
+	in.mu.Unlock()
+}
+
+// sendAckLocked writes a cumulative ack covering everything delivered
+// from this sender, on the sender's freshest inbound connection. The
+// caller holds in.mu. A write failure is ignored: the link is dying,
+// the sender will replay on its successor, and the duplicates will
+// force a new ack.
+func (w *Worker) sendAckLocked(in *inbound) {
+	if in.c == nil || (!in.needAck && in.delivered <= in.acked) {
+		return
+	}
+	if err := in.c.send(&envelope{Kind: frameAck, WorkerID: w.id, AckSeq: in.delivered}); err != nil {
+		return
+	}
+	in.acked = in.delivered
+	in.needAck = false
+	w.tel.acksSent.Inc()
+}
+
+// ackTicker is the idle ack timer: every AckInterval it flushes a
+// cumulative ack to any sender with deliveries the piggyback and
+// inline paths have not yet acknowledged.
+func (w *Worker) ackTicker() {
+	if w.AckInterval <= 0 {
+		return
+	}
+	t := time.NewTicker(w.AckInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			w.inboundMu.Lock()
+			ins := make([]*inbound, 0, len(w.inbound))
+			for _, in := range w.inbound {
+				ins = append(ins, in)
+			}
+			w.inboundMu.Unlock()
+			for _, in := range ins {
+				in.mu.Lock()
+				w.sendAckLocked(in)
+				in.mu.Unlock()
+			}
+		}
+	}
+}
+
+// heartbeatLoop beats on the control plane every HeartbeatInterval so
+// the coordinator's lease sees the worker alive even when its tasks
+// are idle. A hung worker (Hang) stops beating without any socket
+// breaking — exactly the silence the lease timeout exists to catch.
+func (w *Worker) heartbeatLoop(coord *conn) {
+	if w.HeartbeatInterval <= 0 {
+		return
+	}
+	t := time.NewTicker(w.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			if w.hung.Load() {
+				continue
+			}
+			if coord.send(&envelope{Kind: frameHeartbeat, WorkerID: w.id}) != nil {
+				return
+			}
+			w.tel.heartbeats.Inc()
+		}
 	}
 }
 
@@ -634,100 +951,230 @@ func (w *Worker) deliverLocal(comp string, task int, t topology.Tuple) bool {
 	return true
 }
 
-// peerFor returns the connection slot for a worker, creating it on
-// first use. The global peersMu guards only the map; dialling and
-// sending happen under the slot's own lock, so one unreachable peer
-// never blocks dispatches to the others.
+// peerFor returns the reliable-delivery slot for a worker, creating it
+// (and its sender goroutine) on first use. The global peersMu guards
+// only the map; queueing, dialling and sending happen under the slot's
+// own lock, so one unreachable peer never blocks dispatches to the
+// others.
 func (w *Worker) peerFor(id int) *peer {
 	w.peersMu.Lock()
 	defer w.peersMu.Unlock()
 	p, ok := w.peers[id]
 	if !ok {
-		p = &peer{}
+		p = &peer{rng: rand.New(rand.NewSource(w.peerSeed(id)))}
+		p.notFull = sync.NewCond(&p.mu)
+		p.work = sync.NewCond(&p.mu)
 		if w.Telemetry != nil {
 			p.backoff = w.Telemetry.Gauge(telemetry.Name("cluster_peer_backoff_seconds",
 				"worker", fmt.Sprint(w.id), "peer", fmt.Sprint(id)))
 		}
+		if w.peersClosed.Load() {
+			p.closed = true
+		}
 		w.peers[id] = p
+		if !p.closed {
+			w.senderWG.Add(1)
+			go w.runPeerSender(id, p)
+		}
 	}
 	return p
 }
 
-// sendToPeer delivers one envelope to a peer worker, dialling lazily
-// with a timeout. A broken cached connection is evicted and redialled
-// with capped exponential backoff plus jitter; after SendRetries
-// failed heal attempts the error is returned and the caller falls
-// back to drop-and-compensate.
+// peerIfAny returns the slot for a worker without creating one — the
+// read loop uses it to route piggybacked acks, which must not conjure
+// a sender for a peer this worker never dispatches to.
+func (w *Worker) peerIfAny(id int) *peer {
+	w.peersMu.Lock()
+	defer w.peersMu.Unlock()
+	return w.peers[id]
+}
+
+// peerSeed derives the deterministic jitter seed for one peer link
+// from the worker's RandSeed (or a fixed default) and both endpoint
+// ids — distinct per ordered pair, reproducible across runs.
+func (w *Worker) peerSeed(id int) int64 {
+	seed := w.RandSeed
+	if seed == 0 {
+		seed = 1
+	}
+	return seed*1000003 + int64(w.id)*8191 + int64(id)
+}
+
+// sendToPeer hands one data frame to the peer's reliable-delivery
+// queue: the frame gets the next per-pair sequence number and sits in
+// the resend buffer until the receiver's cumulative ack covers it. The
+// call blocks while the buffer is at capacity (backpressure, not
+// loss) and fails only when the worker is shutting down — the one case
+// left for the caller's drop-and-compensate path.
 func (w *Worker) sendToPeer(id int, e *envelope) error {
-	addr, ok := w.addresses[id]
-	if !ok {
+	if _, ok := w.addresses[id]; !ok {
 		return fmt.Errorf("cluster: no address for worker %d", id)
 	}
 	p := w.peerFor(id)
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	for !p.closed && w.ResendBuffer > 0 && len(p.buf) >= w.ResendBuffer {
+		p.notFull.Wait()
+	}
+	if p.closed {
+		return errPeerClosed
+	}
+	p.nextSeq++
+	e.FromWorker = w.id
+	e.DataSeq = p.nextSeq
+	p.buf = append(p.buf, e)
+	w.tel.buffered.Add(1)
+	p.work.Signal()
+	return nil
+}
+
+// runPeerSender is the per-peer writer goroutine: it dials lazily with
+// capped exponential backoff plus seeded jitter, writes buffered
+// frames in sequence order, and on any connection failure evicts the
+// link and replays the unacknowledged suffix on the next one. Frames
+// are retried until acked or the worker shuts down — transient severs
+// degrade latency, never correctness; only lease expiry at the
+// coordinator escalates to checkpoint recovery.
+func (w *Worker) runPeerSender(id int, p *peer) {
+	defer w.senderWG.Done()
 	backoff := w.RetryBackoff
-	var lastErr error
-	for attempt := 0; attempt <= w.SendRetries; attempt++ {
-		w.tel.framesSent.Inc()
-		if attempt > 0 {
-			w.tel.sendRetries.Inc()
-			p.backoff.Set(backoff.Seconds())
-			time.Sleep(backoff + time.Duration(rand.Int63n(int64(backoff)+1)))
-			backoff *= 2
-			if backoff > w.RetryBackoffMax {
-				backoff = w.RetryBackoffMax
-			}
+	for {
+		p.mu.Lock()
+		for !p.closed && p.sentTo >= p.nextSeq {
+			p.work.Wait()
+		}
+		if p.closed {
+			p.mu.Unlock()
+			return
 		}
 		if p.c == nil {
-			raw, err := net.DialTimeout("tcp", addr, w.DialTimeout)
-			if err != nil {
-				lastErr = fmt.Errorf("cluster: dial worker %d: %w", id, err)
+			addr := w.addresses[id]
+			p.mu.Unlock() // never hold the slot across a dial
+			raw, derr := net.DialTimeout("tcp", addr, w.DialTimeout)
+			p.mu.Lock()
+			if p.closed {
+				if derr == nil {
+					raw.Close()
+				}
+				p.mu.Unlock()
+				return
+			}
+			if derr != nil {
+				backoff = w.retryPause(p, backoff) // unlocks p.mu
 				continue
 			}
 			w.tel.dials.Inc()
 			if p.dialled++; p.dialled > 1 {
 				w.tel.redials.Inc()
 			}
-			p.c = newConn(countingConn{Conn: raw, sent: w.tel.bytesSent, recvd: w.tel.bytesRecv})
-			p.c.dictHits, p.c.dictMisses = w.tel.dictHits, w.tel.dictMisses
-			go monitorPeer(p, p.c)
+			c := newConn(countingConn{Conn: raw, sent: w.tel.bytesSent, recvd: w.tel.bytesRecv})
+			c.dictHits, c.dictMisses = w.tel.dictHits, w.tel.dictMisses
+			p.c = c
+			// Replay everything unacknowledged on the fresh link. The
+			// buffered envelopes hold raw strings (the dictionary encode
+			// copies at write time), so the resends are re-encoded
+			// against the new connection's empty dictionary.
+			p.sentTo = p.acked
+			go w.ackLoop(p, c)
 		}
-		if err := p.c.send(e); err != nil {
-			// Evict the poisoned connection; the next attempt (or the
-			// next dispatch) redials from scratch.
-			p.c.close()
-			p.c = nil
-			lastErr = err
+		if p.sentTo >= p.nextSeq { // an ack outran the queue meanwhile
+			p.mu.Unlock()
 			continue
 		}
+		e := p.buf[p.sentTo-p.acked]
+		e.AckSeq = w.deliveredTo(id) // piggyback our receive cursor
+		c := p.c
+		w.tel.framesSent.Inc()
+		if e.DataSeq <= p.maxSent {
+			w.tel.resent.Inc()
+		} else {
+			p.maxSent = e.DataSeq
+		}
+		if err := c.send(e); err != nil {
+			c.close()
+			p.c = nil
+			backoff = w.retryPause(p, backoff) // unlocks p.mu
+			continue
+		}
+		p.sentTo = e.DataSeq
 		p.backoff.Set(0)
-		return nil
+		p.mu.Unlock()
+		backoff = w.RetryBackoff
+		w.notePiggyback(id, e.AckSeq)
 	}
-	return lastErr
 }
 
-// monitorPeer watches an outbound data-plane connection for breakage.
-// Peers never send envelopes back on these links, so recv returning
-// means the link died (or the peer shut down): the cached connection
-// is evicted proactively instead of waiting for a dispatch to write
-// into a dead socket — TCP acknowledges the first such write locally,
-// which would lose the tuple without any observable error.
-func monitorPeer(p *peer, c *conn) {
-	_, _ = c.recv() // blocks until the link breaks
+// retryPause records a failed attempt and sleeps the current backoff
+// plus jitter, releasing p.mu first (acks must keep flowing while the
+// sender waits). It returns the next backoff. The caller holds p.mu.
+func (w *Worker) retryPause(p *peer, backoff time.Duration) time.Duration {
+	w.tel.sendRetries.Inc()
+	p.backoff.Set(backoff.Seconds())
+	jitter := time.Duration(p.rng.Int63n(int64(backoff) + 1))
+	p.mu.Unlock()
+	time.Sleep(backoff + jitter)
+	next := backoff * 2
+	if next > w.RetryBackoffMax {
+		next = w.RetryBackoffMax
+	}
+	return next
+}
+
+// ackLoop owns the read side of one outbound connection: the receiver
+// writes cumulative acks back on it. An ack releases the covered
+// prefix of the resend buffer; a read error means the link died, so
+// the loop evicts it and wakes the sender to redial and replay — even
+// when no new dispatch would have touched the peer again.
+func (w *Worker) ackLoop(p *peer, c *conn) {
+	for {
+		e, err := c.recv()
+		if err != nil {
+			p.mu.Lock()
+			if p.c == c {
+				c.close()
+				p.c = nil
+				p.sentTo = p.acked
+				p.work.Signal()
+			}
+			p.mu.Unlock()
+			return
+		}
+		if e.Kind != frameAck {
+			continue
+		}
+		w.tel.acksRecv.Inc()
+		w.advanceAcked(p, e.AckSeq)
+	}
+}
+
+// advanceAcked applies a cumulative ack to a peer's resend buffer,
+// releasing the covered prefix and waking dispatchers blocked on a
+// full buffer. Stale and duplicate acks are no-ops.
+func (w *Worker) advanceAcked(p *peer, seq uint64) {
 	p.mu.Lock()
-	if p.c == c {
-		c.close()
-		p.c = nil
+	if seq > p.acked {
+		if seq > p.nextSeq {
+			seq = p.nextSeq // corrupt ack; never release unsent frames
+		}
+		n := seq - p.acked
+		w.tel.buffered.Add(-float64(n))
+		p.buf = p.buf[n:]
+		p.acked = seq
+		if p.sentTo < seq {
+			p.sentTo = seq
+		}
+		p.notFull.Broadcast()
 	}
 	p.mu.Unlock()
 }
 
 // dispatch routes one tuple copy to (comp, task), local or remote, and
-// reports whether the copy was delivered (for a remote copy: handed to
-// a healthy connection). The sent counter is incremented exactly once
-// per copy; a dropped copy compensates executed so termination is
-// still reached.
+// reports whether the copy was accepted (for a remote copy: sequenced
+// into the peer's resend buffer, which guarantees delivery while the
+// run lives). The sent counter is incremented exactly once per copy —
+// resends never re-count. A copy refused because the worker is
+// shutting down compensates executed so abort termination is still
+// reached.
 func (w *Worker) dispatch(comp string, task int, t topology.Tuple) bool {
 	w.sent.Add(1)
 	w.tel.copies.Inc()
@@ -747,7 +1194,10 @@ func (w *Worker) dispatch(comp string, task int, t topology.Tuple) bool {
 }
 
 // shutdown stops local tasks after the coordinator declared global
-// quiescence.
+// quiescence. Quiescence (sent == executed, twice) implies every
+// buffered frame has been delivered and executed, so closing the peer
+// slots here can never strand a tuple — at most it discards resend
+// copies whose acks were still in flight.
 func (w *Worker) shutdown() {
 	w.spoutWG.Wait() // spouts are already exhausted at this point
 	for _, boxes := range w.boxes {
@@ -758,22 +1208,14 @@ func (w *Worker) shutdown() {
 		}
 	}
 	w.boltWG.Wait()
-	w.peersMu.Lock()
-	for _, p := range w.peers {
-		p.mu.Lock()
-		if p.c != nil {
-			p.c.close()
-			p.c = nil
-		}
-		p.mu.Unlock()
-	}
-	w.peersMu.Unlock()
+	w.closePeers()
+	w.stopAux()
 }
 
 // PeerConnections reports how many outbound peer connections are
 // currently cached and believed healthy — after a network fault the
-// breakage monitors drive this back to zero until the next dispatch
-// redials.
+// ack loops evict the dead links, driving this back to zero until a
+// pending or new frame makes the sender redial.
 func (w *Worker) PeerConnections() int {
 	w.peersMu.Lock()
 	defer w.peersMu.Unlock()
@@ -783,6 +1225,23 @@ func (w *Worker) PeerConnections() int {
 		if p.c != nil {
 			n++
 		}
+		p.mu.Unlock()
+	}
+	return n
+}
+
+// UnackedFrames reports how many data frames sit in this worker's
+// resend buffers awaiting a peer's cumulative ack. Zero means every
+// dispatched copy is known delivered — the transport-level analogue of
+// quiescence, and the condition under which a sever leaves nothing to
+// replay.
+func (w *Worker) UnackedFrames() int {
+	w.peersMu.Lock()
+	defer w.peersMu.Unlock()
+	n := 0
+	for _, p := range w.peers {
+		p.mu.Lock()
+		n += len(p.buf)
 		p.mu.Unlock()
 	}
 	return n

@@ -43,19 +43,23 @@ func (s *gateSource) Window(n int) []document.Document {
 
 // waitClusterQuiesce polls the workers' transport counters until
 // sent == executed holds across two consecutive reads — the in-process
-// mirror of the coordinator's double-probe termination argument.
+// mirror of the coordinator's double-probe termination argument — and
+// every resend buffer is empty, so a sever injected right after finds
+// nothing to replay onto a fresh connection.
 func waitClusterQuiesce(t *testing.T, ws []*cluster.Worker) {
 	t.Helper()
 	deadline := time.Now().Add(20 * time.Second)
 	var prevSent, prevExec int64 = -1, -2
 	for time.Now().Before(deadline) {
 		var sent, exec int64
+		unacked := 0
 		for _, w := range ws {
 			s, e := w.Counters()
 			sent += s
 			exec += e
+			unacked += w.UnackedFrames()
 		}
-		if sent == exec && sent == prevSent && exec == prevExec {
+		if sent == exec && unacked == 0 && sent == prevSent && exec == prevExec {
 			return
 		}
 		prevSent, prevExec = sent, exec

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -43,16 +45,71 @@ func requiredTasks(cfg Config) []string {
 
 // CheckpointCut reports the recovery cut a worker failure at this
 // moment would restore from — the highest window every stateful task
-// of cfg's topology has snapshotted into store — or -1 when no
-// consistent cut exists yet. Exposed for tooling: the sfj-topology
-// failover demo waits for a cut before injecting its fault, and
-// operators can use it to inspect a checkpoint directory.
+// of cfg's topology has snapshotted into store, with every snapshot's
+// envelope verified intact — or -1 when no consistent cut exists yet.
+// Exposed for tooling: the sfj-topology failover demo waits for a cut
+// before injecting its fault, and operators can use it to inspect a
+// checkpoint directory.
 func CheckpointCut(cfg Config, store state.Store) int {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return -1
 	}
-	return state.Cut(store, requiredTasks(cfg))
+	return verifiedCut(store, requiredTasks(cfg))
+}
+
+// verifiedCut is state.Cut hardened against damaged snapshots: rather
+// than trusting that a (task, window) listing implies a loadable
+// snapshot, it walks the windows common to every required task from
+// the highest down and returns the first one where every task's
+// snapshot loads and carries an intact envelope (magic, version, kind,
+// CRC32). A snapshot torn by a crashed writer or corrupted at rest is
+// thereby excluded from the cut — recovery falls back to the
+// next-lower fully-verified window instead of panicking mid-restore.
+func verifiedCut(store state.Store, required []string) int {
+	if len(required) == 0 {
+		return -1
+	}
+	common := make(map[int]int)
+	for _, task := range required {
+		for _, w := range store.Windows(task) {
+			common[w]++
+		}
+	}
+	candidates := make([]int, 0, len(common))
+	for w, n := range common {
+		if n == len(required) {
+			candidates = append(candidates, w)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(candidates)))
+	for _, w := range candidates {
+		if cutIntact(store, required, w) {
+			return w
+		}
+	}
+	return -1
+}
+
+// cutIntact verifies every required task's snapshot at the window:
+// loadable, and envelope-valid for the task's component kind (the part
+// of "component/index" before the slash — the kind checkpointer.save
+// wrote it under).
+func cutIntact(store state.Store, required []string, window int) bool {
+	for _, task := range required {
+		kind := task
+		if i := strings.IndexByte(task, '/'); i >= 0 {
+			kind = task[:i]
+		}
+		data, err := store.Load(task, window)
+		if err != nil {
+			return false
+		}
+		if _, err := state.ReadEnvelope(bytes.NewReader(data), kind); err != nil {
+			return false
+		}
+	}
+	return true
 }
 
 // clearStore empties every task's snapshots: a run owns its store, and

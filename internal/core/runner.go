@@ -32,6 +32,8 @@ type Runner struct {
 	workerReg   func(worker int) *telemetry.Registry
 	workerHook  func(worker int, w *cluster.Worker)
 	recovery    *Recovery
+	heartbeat   time.Duration
+	lease       time.Duration
 }
 
 // Option configures a Runner.
@@ -62,6 +64,24 @@ func WithMetricsAddr(addr string) Option {
 // data-plane listener. Requires WithWorkers.
 func WithChaos(c *Chaos) Option {
 	return func(r *Runner) { r.chaos = c }
+}
+
+// WithHeartbeat tunes the cluster failure detector: every worker sends
+// a liveness beacon on its control plane each interval, and the
+// coordinator declares a worker dead (WorkerDied, entering the
+// recovery path when WithRecovery is configured) after it has been
+// silent — no heartbeat, no probe reply, no frame of any kind — for
+// the lease duration. This is what catches a hung worker whose
+// sockets are still open: a crash surfaces reactively through the
+// broken connection, a wedge only through lease expiry. The lease
+// should be several multiples of the interval; a zero leaves the
+// corresponding side at its default (250ms heartbeats, 10s lease).
+// Requires WithWorkers.
+func WithHeartbeat(interval, lease time.Duration) Option {
+	return func(r *Runner) {
+		r.heartbeat = interval
+		r.lease = lease
+	}
 }
 
 // WithWorkerTelemetry gives every cluster worker its own registry,
@@ -119,6 +139,13 @@ type Chaos struct {
 	// OnProxy, when set, receives each worker's proxy right after it
 	// starts, so a test can script severs and pauses mid-run.
 	OnProxy func(worker int, p *cluster.ChaosProxy)
+	// Schedule, when set, drives a deterministic seeded fault script
+	// against the proxies for the duration of every cluster attempt:
+	// severs, link delays and refused dials fire at fixed offsets of
+	// the cluster-wide dispatched-copy count, so a given seed replays
+	// the identical fault sequence (see cluster.RandomSchedule). The
+	// schedule restarts from its first event on each recovery attempt.
+	Schedule *cluster.ChaosSchedule
 }
 
 // NewRunner prepares a run of the system with the given configuration
@@ -161,6 +188,9 @@ func (r *Runner) Run() (*Report, error) {
 		}
 		if r.workerHook != nil {
 			return nil, fmt.Errorf("core: WithWorkerHook requires WithWorkers")
+		}
+		if r.heartbeat != 0 || r.lease != 0 {
+			return nil, fmt.Errorf("core: WithHeartbeat requires WithWorkers")
 		}
 	}
 	if r.metricsAddr != "" {
@@ -242,7 +272,10 @@ func (r *Runner) runCluster(cfg Config) (*Report, error) {
 		if !errors.As(err, &wd) || restarts >= maxRestarts || workers <= 1 {
 			return nil, err
 		}
-		cut := state.Cut(r.recovery.Store, requiredTasks(cfg))
+		// The verified cut skips any window whose snapshots are torn or
+		// corrupt (bad envelope, CRC mismatch): recovery restores from the
+		// highest fully-intact window rather than panicking mid-restore.
+		cut := verifiedCut(r.recovery.Store, requiredTasks(cfg))
 		if cut < 0 {
 			return nil, fmt.Errorf("core: worker died before the first checkpoint cut completed: %w", err)
 		}
@@ -273,6 +306,9 @@ func (r *Runner) runClusterAttempt(cfg Config, nworkers int) (*Report, error) {
 	coord, err := cluster.NewCoordinator(nworkers)
 	if err != nil {
 		return nil, err
+	}
+	if r.lease > 0 {
+		coord.LeaseTimeout = r.lease
 	}
 	report := &Report{}
 	workers := make([]*cluster.Worker, nworkers)
@@ -317,10 +353,34 @@ func (r *Runner) runClusterAttempt(cfg Config, nworkers int) (*Report, error) {
 				r.chaos.OnProxy(i, proxy)
 			}
 		}
+		if r.heartbeat > 0 {
+			w.HeartbeatInterval = r.heartbeat
+		}
 		if r.workerHook != nil {
 			r.workerHook(i, w)
 		}
 		workers[i] = w
+	}
+	if r.chaos != nil && r.chaos.Schedule != nil {
+		stop := make(chan struct{})
+		schedDone := make(chan struct{})
+		go func() {
+			defer close(schedDone)
+			r.chaos.Schedule.Run(proxies, func() int64 {
+				var sent int64
+				for _, w := range workers {
+					s, _ := w.Counters()
+					sent += s
+				}
+				return sent
+			}, stop)
+		}()
+		// Stop the script before the deferred proxy close (defers are
+		// LIFO), so a pending counter-action never races a closing proxy.
+		defer func() {
+			close(stop)
+			<-schedDone
+		}()
 	}
 	errs := make(chan error, nworkers)
 	for _, w := range workers {
