@@ -42,13 +42,15 @@ bench-all:
 bench-guard:
 	$(GO) test -run '^$$' -bench '^(BenchmarkFig11aFPJServerLog|BenchmarkFig11bFPJNoBench|BenchmarkTelemetryOverhead)$$' -benchtime 2x -count 2 -json . > bench_guard_current.json
 	$(GO) test -run '^$$' -bench '^(BenchmarkFPTreeInsert|BenchmarkJoinableClassify)$$' -benchtime 2000x -count 2 -json . >> bench_guard_current.json
-	$(GO) run ./cmd/sfj-benchguard -baseline BENCH_issue5_after.json -current bench_guard_current.json
+	$(GO) test -run '^$$' -bench '^BenchmarkParallelBatchProbe$$' -benchtime 2x -count 2 -json . >> bench_guard_current.json
+	$(GO) run ./cmd/sfj-benchguard -baseline BENCH_issue6_after.json -current bench_guard_current.json
 
 # go test accepts a single -fuzz pattern per invocation, so each fuzz
 # target gets its own line.
 fuzz:
 	$(GO) test ./internal/document/ -fuzz FuzzParse -fuzztime 30s
 	$(GO) test ./internal/fptree/ -fuzz FuzzSnapshotRestore -fuzztime 30s
+	$(GO) test ./internal/fptree/ -fuzz FuzzFlatTreeParity -fuzztime 30s
 
 figures:
 	$(GO) run ./cmd/sfj-experiments -figure all -scale full

@@ -70,9 +70,9 @@ func parse(path string) (map[string]float64, error) {
 
 func main() {
 	var (
-		baselinePath = flag.String("baseline", "BENCH_issue2_after.json", "baseline `file` (go test -json stream)")
+		baselinePath = flag.String("baseline", "BENCH_issue6_after.json", "baseline `file` (go test -json stream)")
 		currentPath  = flag.String("current", "", "current `file` (go test -json stream)")
-		benches      = flag.String("bench", "Fig11aFPJServerLog,Fig11bFPJNoBench,FPTreeInsert,JoinableClassify",
+		benches      = flag.String("bench", "Fig11aFPJServerLog,Fig11bFPJNoBench,FPTreeInsert,JoinableClassify,ParallelBatchProbe/pool=4",
 			"comma-separated guarded benchmark names (without the Benchmark prefix)")
 		tolerance = flag.Float64("tolerance", 0.05, "maximum allowed relative ns/op increase")
 	)

@@ -50,6 +50,8 @@ func main() {
 		delta       = flag.Int("delta", 3, "partition update threshold δ")
 		expansion   = flag.String("expansion", "auto", "attribute expansion: auto, off or forced")
 		maxPending  = flag.Int("max-pending", 0, "mailbox capacity per task; producers block when full (0 = unbounded)")
+		probePar    = flag.Int("probe-parallelism", 1, "FPJ probe worker pool size per joiner; documents micro-batch (-probe-batch) and probe the FP-tree concurrently (1 = serial)")
+		probeBatch  = flag.Int("probe-batch", 0, "joiner micro-batch size feeding the probe pool (0 = 64 when -probe-parallelism > 1, else 1)")
 		seed        = flag.Int64("seed", 42, "generator seed")
 		clusterN    = flag.Int("cluster", 0, "run across N TCP workers in this process (0 = plain in-process)")
 		processes   = flag.Bool("processes", false, "with -cluster N: spawn the N workers as separate OS processes")
@@ -121,6 +123,9 @@ func main() {
 		Engine:      *engine,
 		MaxPending:  *maxPending,
 		Source:      gen,
+
+		ProbeParallelism: *probePar,
+		ProbeBatch:       *probeBatch,
 	}
 
 	if *workerSpec != "" {

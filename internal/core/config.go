@@ -109,6 +109,19 @@ type Config struct {
 	// Routing selects the Assigner policy; defaults to the paper's
 	// partition-based routing.
 	Routing Routing
+	// ProbeParallelism is the probe worker pool size of each Joiner's
+	// FPJ engine: incoming documents are micro-batched and their
+	// FP-tree probes fan out across this many goroutines (the
+	// read-only probe phase; inserts stay serial, so results are
+	// byte-for-byte those of the serial path). <= 1 keeps the serial
+	// probe loop. Only the FPJ engine parallelises; other engines
+	// ignore the setting.
+	ProbeParallelism int
+	// ProbeBatch is the Joiner micro-batch size feeding the probe
+	// pool: documents are buffered up to this count (flushed at every
+	// window punctuation at the latest) and probed as one batch.
+	// Defaults to 64 when ProbeParallelism > 1, else 1 (no batching).
+	ProbeBatch int
 	// MaxPending bounds every task mailbox to this many queued tuples
 	// (0 = unbounded). A full mailbox blocks its producers, so a spout
 	// outpacing the Joiners backpressures to the source instead of
@@ -165,6 +178,16 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Engine == "" {
 		c.Engine = "FPJ"
+	}
+	if c.ProbeParallelism <= 0 {
+		c.ProbeParallelism = 1
+	}
+	if c.ProbeBatch <= 0 {
+		if c.ProbeParallelism > 1 {
+			c.ProbeBatch = 64
+		} else {
+			c.ProbeBatch = 1
+		}
 	}
 	if _, err := join.New(c.Engine); err != nil {
 		return c, err

@@ -35,6 +35,14 @@ type joinerBolt struct {
 	targets  map[uint64][]int // doc id -> joiner targets, current window
 	pairs    int              // deduplicated pairs this window
 
+	// Micro-batching for the parallel probe pool: current-window
+	// documents are buffered up to batchCap and probed as one batch;
+	// the batch is flushed before any window punctuation is counted, so
+	// tumbles and checkpoints always see fully processed state.
+	batch    []pendingDoc
+	batchCap int
+	docsBuf  []document.Document
+
 	current int
 	pending map[int][]pendingDoc
 
@@ -72,6 +80,11 @@ func newJoinerBolt(cfg Config, task int) *joinerBolt {
 		markers:  make(map[int]int),
 		ckptW:    make(map[int]bool),
 		cp:       newCheckpointer(cfg, "joiner", task),
+		batchCap: cfg.ProbeBatch,
+	}
+	fpj, _ := eng.(*join.FPJ)
+	if fpj != nil && cfg.ProbeParallelism > 1 {
+		fpj.SetProbeParallelism(cfg.ProbeParallelism)
 	}
 	if reg := cfg.Telemetry; reg != nil {
 		id := fmt.Sprint(task)
@@ -82,7 +95,16 @@ func newJoinerBolt(cfg Config, task int) *joinerBolt {
 			Duplicates:   reg.Counter(telemetry.Name("join_duplicates_total", "task", id)),
 			WindowDocs:   reg.Gauge(telemetry.Name("join_window_docs", "task", id)),
 			TreeNodes:    reg.Gauge(telemetry.Name("join_fptree_nodes", "task", id)),
+			PoolDepth:    reg.Gauge(telemetry.Name("join_probe_pool_depth", "task", id)),
+			BatchDocs:    reg.Histogram(telemetry.Name("join_probe_batch_docs", "task", id)),
 		})
+		if fpj != nil && cfg.ProbeParallelism > 1 {
+			hists := make([]*telemetry.Histogram, cfg.ProbeParallelism)
+			for wkr := range hists {
+				hists[wkr] = reg.Histogram(telemetry.Name("join_probe_worker_seconds", "task", id, "worker", fmt.Sprint(wkr)))
+			}
+			fpj.SetWorkerProbeHistograms(hists)
+		}
 	}
 	return b
 }
@@ -106,11 +128,14 @@ func (b *joinerBolt) Execute(t topology.Tuple, c topology.Collector) {
 		w := t.Values["window"].(int)
 		p := pendingDoc{doc: t.Values["doc"].(document.Document), targets: t.Values["targets"].([]int)}
 		if w == b.current {
-			b.process(p, c)
+			b.enqueue(p, c)
 		} else {
 			b.pending[w] = append(b.pending[w], p)
 		}
 	case streamJoinerWindow:
+		// Any punctuation first drains the micro-batch, so window
+		// accounting never sees buffered-but-unprobed documents.
+		b.flushBatch(c)
 		w := t.Values["window"].(int)
 		b.markers[w]++
 		if _, ok := topology.CheckpointID(t); ok {
@@ -120,25 +145,60 @@ func (b *joinerBolt) Execute(t topology.Tuple, c topology.Collector) {
 	}
 }
 
+// enqueue routes a current-window document through the micro-batch, or
+// straight through the serial path when batching is off.
+func (b *joinerBolt) enqueue(p pendingDoc, c topology.Collector) {
+	if b.batchCap <= 1 {
+		b.process(p, c)
+		return
+	}
+	b.batch = append(b.batch, p)
+	if len(b.batch) >= b.batchCap {
+		b.flushBatch(c)
+	}
+}
+
+// flushBatch probes the buffered documents as one batch and emits
+// their results in arrival order — the same pairs, in the same order,
+// the serial per-document path would have produced.
+func (b *joinerBolt) flushBatch(c topology.Collector) {
+	if len(b.batch) == 0 {
+		return
+	}
+	b.docsBuf = b.docsBuf[:0]
+	for _, p := range b.batch {
+		b.targets[p.doc.ID] = p.targets
+		b.docsBuf = append(b.docsBuf, p.doc)
+	}
+	b.batch = b.batch[:0]
+	for _, res := range b.windowed.ProcessBatch(b.docsBuf) {
+		b.emit(res, c)
+	}
+}
+
 func (b *joinerBolt) process(p pendingDoc, c topology.Collector) {
 	b.targets[p.doc.ID] = p.targets
 	for _, res := range b.windowed.Process(p.doc) {
-		if !b.ownsPair(res.Left, res.Right) {
-			continue
-		}
-		b.pairs++
-		b.telPairs.Inc()
-		if b.cfg.onResultWindowed != nil {
-			b.cfg.onResultWindowed(b.current, res)
-		} else if b.cfg.OnResult != nil {
-			b.cfg.OnResult(res)
-		}
-		c.EmitTo(streamResults, topology.Values{
-			"left":   res.Left,
-			"right":  res.Right,
-			"merged": res.Merged,
-		})
+		b.emit(res, c)
 	}
+}
+
+func (b *joinerBolt) emit(res join.Result, c topology.Collector) {
+	if !b.ownsPair(res.Left, res.Right) {
+		return
+	}
+	b.pairs++
+	b.telPairs.Inc()
+	if b.cfg.onResultWindowed != nil {
+		b.cfg.onResultWindowed(b.current, res)
+	} else if b.cfg.OnResult != nil {
+		b.cfg.OnResult(res)
+	}
+	c.EmitTo(streamResults, topology.Values{
+		"left":   res.Left,
+		"right":  res.Right,
+		"merged": res.Merged,
+	})
 }
 
 // ownsPair reports whether this task is the lowest-indexed joiner
@@ -165,6 +225,9 @@ func (b *joinerBolt) ownsPair(left, right uint64) bool {
 // punctuated it, replaying buffered documents of the next window.
 func (b *joinerBolt) maybeTumble(c topology.Collector) {
 	for b.markers[b.current] == b.numAssigners {
+		// Replayed documents of this window may still sit in the
+		// micro-batch; fold them in before closing it.
+		b.flushBatch(c)
 		w := b.current
 		ckpt := b.ckptW[w]
 		delete(b.markers, w)
@@ -188,7 +251,7 @@ func (b *joinerBolt) maybeTumble(c topology.Collector) {
 			b.cp.save(w, b)
 		}
 		for _, p := range b.pending[b.current] {
-			b.process(p, c)
+			b.enqueue(p, c)
 		}
 		delete(b.pending, b.current)
 	}

@@ -53,6 +53,15 @@ func WithTelemetry(reg *telemetry.Registry) Option {
 	return func(r *Runner) { r.cfg.Telemetry = reg }
 }
 
+// WithProbeParallelism sizes each Joiner's FPJ probe worker pool:
+// documents are micro-batched (Config.ProbeBatch, default 64) and
+// their window-tree probes run across n goroutines, with results
+// merged back in arrival order. Equivalent to setting
+// Config.ProbeParallelism. n <= 1 keeps the serial probe loop.
+func WithProbeParallelism(n int) Option {
+	return func(r *Runner) { r.cfg.ProbeParallelism = n }
+}
+
 // WithMetricsAddr serves the run's telemetry registry on addr for the
 // duration of the run (Prometheus text at /metrics, JSON at
 // /debug/stats). Requires WithTelemetry (or Config.Telemetry).

@@ -1,0 +1,319 @@
+package fptree
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/document"
+	"repro/internal/symbol"
+)
+
+// This file carries a test-only port of the original pointer-linked
+// FP-tree (the layout the flat arena replaced) as an executable
+// specification: FuzzFlatTreeParity requires the arena to return
+// byte-identical JoinPartners output — same ids, same traversal order —
+// for arbitrary interleavings of inserts and probes.
+
+// refNode is the pointer-tree node: children grouped by attribute,
+// document ids at the terminal node, header chain via next.
+type refNode struct {
+	sym    symbol.Pair
+	groups []*refAttrGroup
+	docs   []uint64
+	next   *refNode
+	depth  int
+}
+
+// refAttrGroup holds all children of one node sharing an attribute.
+type refAttrGroup struct {
+	attr  symbol.ID
+	byVal map[symbol.ID]*refNode
+	all   []*refNode
+}
+
+func (n *refNode) group(attr symbol.ID) *refAttrGroup {
+	for _, g := range n.groups {
+		if g.attr == attr {
+			return g
+		}
+	}
+	return nil
+}
+
+func (n *refNode) child(s symbol.Pair) *refNode {
+	if g := n.group(s.Attr()); g != nil {
+		return g.byVal[s.Val()]
+	}
+	return nil
+}
+
+func (n *refNode) addChild(s symbol.Pair, c *refNode) {
+	g := n.group(s.Attr())
+	if g == nil {
+		g = &refAttrGroup{attr: s.Attr(), byVal: make(map[symbol.ID]*refNode)}
+		n.groups = append(n.groups, g)
+	}
+	g.byVal[s.Val()] = c
+	g.all = append(g.all, c)
+}
+
+// refTree is the pointer-tree join index with the original recursive
+// traversal.
+type refTree struct {
+	order      *Order
+	root       *refNode
+	header     map[symbol.Pair]*refNode
+	docCount   int
+	attrCounts []int
+	maxDepth   int
+
+	numUbiq   int
+	ubiqValid bool
+
+	probeVal   []symbol.ID
+	probeMark  []uint32
+	probeStamp uint32
+
+	arr refArrangeBuf
+}
+
+// refArrangeBuf sorts a document's pairs by global-order rank, exactly
+// like the seed's reflection-based sort did.
+type refArrangeBuf struct {
+	pairs []document.Pair
+	syms  []symbol.Pair
+	ranks []int32
+}
+
+func (b *refArrangeBuf) Len() int           { return len(b.pairs) }
+func (b *refArrangeBuf) Less(i, j int) bool { return b.ranks[i] < b.ranks[j] }
+func (b *refArrangeBuf) Swap(i, j int) {
+	b.pairs[i], b.pairs[j] = b.pairs[j], b.pairs[i]
+	b.syms[i], b.syms[j] = b.syms[j], b.syms[i]
+	b.ranks[i], b.ranks[j] = b.ranks[j], b.ranks[i]
+}
+
+func newRefTree(order *Order) *refTree {
+	if order == nil {
+		order = EmptyOrder()
+	}
+	return &refTree{
+		order:  order,
+		root:   &refNode{},
+		header: make(map[symbol.Pair]*refNode),
+	}
+}
+
+func (t *refTree) arrange(d document.Document, syms []symbol.Pair) {
+	b := &t.arr
+	b.pairs = append(b.pairs[:0], d.Pairs()...)
+	b.syms = append(b.syms[:0], syms...)
+	b.ranks = b.ranks[:0]
+	for k := range b.pairs {
+		b.ranks = append(b.ranks, int32(t.order.rankOfSym(b.syms[k].Attr(), b.pairs[k].Attr)))
+	}
+	sort.Sort(b)
+}
+
+func (t *refTree) Insert(d document.Document) {
+	t.order.sync()
+	syms := d.InternedPairs()
+	t.arrange(d, syms)
+	cur := t.root
+	for k := range t.arr.pairs {
+		s := t.arr.syms[k]
+		child := cur.child(s)
+		if child == nil {
+			child = &refNode{sym: s, depth: cur.depth + 1}
+			cur.addChild(s, child)
+			child.next = t.header[s]
+			t.header[s] = child
+			if child.depth > t.maxDepth {
+				t.maxDepth = child.depth
+			}
+		}
+		cur = child
+	}
+	cur.docs = append(cur.docs, d.ID)
+	t.docCount++
+	for _, s := range t.arr.syms {
+		a := s.Attr()
+		if int(a) >= len(t.attrCounts) {
+			t.attrCounts = growInts(t.attrCounts, int(a)+1)
+		}
+		t.attrCounts[a]++
+	}
+	t.ubiqValid = false
+}
+
+func (t *refTree) NumUbiquitous() int {
+	if t.ubiqValid {
+		return t.numUbiq
+	}
+	n := 0
+	if t.docCount > 0 {
+		t.order.sync()
+		for j := 0; j < t.order.Len(); j++ {
+			a := t.order.idAt(j)
+			if int(a) >= len(t.attrCounts) || t.attrCounts[a] != t.docCount {
+				break
+			}
+			n++
+		}
+	}
+	t.numUbiq, t.ubiqValid = n, true
+	return n
+}
+
+func (t *refTree) JoinPartnersAppend(dst []uint64, d document.Document) []uint64 {
+	if t.docCount == 0 {
+		return dst
+	}
+	t.order.sync()
+	syms := d.InternedPairs()
+	t.stampProbe(syms)
+	num := t.NumUbiquitous()
+	cur := t.root
+	shared := 0
+	for j := 0; j < num; j++ {
+		a := t.order.idAt(j)
+		if int(a) >= len(t.probeMark) || t.probeMark[a] != t.probeStamp {
+			break
+		}
+		child := cur.child(symbol.MakePair(a, t.probeVal[a]))
+		if child == nil {
+			return dst
+		}
+		cur = child
+		shared++
+		dst = appendExcluding(dst, cur.docs, d.ID)
+	}
+	return t.traverse(cur, d.ID, shared, dst)
+}
+
+func (t *refTree) stampProbe(syms []symbol.Pair) {
+	t.probeStamp++
+	if t.probeStamp == 0 {
+		for i := range t.probeMark {
+			t.probeMark[i] = 0
+		}
+		t.probeStamp = 1
+	}
+	for _, s := range syms {
+		a := int(s.Attr())
+		if a >= len(t.probeMark) {
+			t.probeMark = growUint32s(t.probeMark, a+1)
+			t.probeVal = growIDs(t.probeVal, a+1)
+		}
+		t.probeMark[a] = t.probeStamp
+		t.probeVal[a] = s.Val()
+	}
+}
+
+// traverse is the seed's recursive Algorithm 3.
+func (t *refTree) traverse(n *refNode, excludeID uint64, shared int, result []uint64) []uint64 {
+	for _, g := range n.groups {
+		if a := int(g.attr); a < len(t.probeMark) && t.probeMark[a] == t.probeStamp {
+			if child := g.byVal[t.probeVal[a]]; child != nil {
+				result = t.collectChild(child, excludeID, shared+1, result)
+			}
+			continue
+		}
+		for _, child := range g.all {
+			result = t.collectChild(child, excludeID, shared, result)
+		}
+	}
+	return result
+}
+
+func (t *refTree) collectChild(child *refNode, excludeID uint64, shared int, result []uint64) []uint64 {
+	if shared > 0 {
+		result = appendExcluding(result, child.docs, excludeID)
+	}
+	return t.traverse(child, excludeID, shared, result)
+}
+
+// parityDocs builds a randomized document stream over a space small
+// enough that shared prefixes, header chains, ubiquitous attributes and
+// value conflicts all occur frequently.
+func parityDocs(r *rand.Rand, n int) []document.Document {
+	attrs := []string{"pa", "pb", "pc", "pd", "pe", "pf", "pg"}
+	docs := make([]document.Document, 0, n)
+	for i := 0; i < n; i++ {
+		k := 1 + r.Intn(len(attrs)-1)
+		perm := r.Perm(len(attrs))
+		var ps []document.Pair
+		for j := 0; j < k; j++ {
+			ps = append(ps, document.Pair{
+				Attr: attrs[perm[j]],
+				Val:  document.EncodeInt(int64(r.Intn(4))),
+			})
+		}
+		docs = append(docs, document.New(uint64(i+1), ps))
+	}
+	return docs
+}
+
+// checkFlatTreeParity interleaves probes and inserts over both layouts
+// and requires byte-identical probe output at every step.
+func checkFlatTreeParity(t *testing.T, seed int64, n int) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	docs := parityDocs(r, n)
+
+	// One shared order keeps attribute ranks identical by construction;
+	// both layouts mutate it only through the same registration path.
+	order := NewOrderFromDocs(docs)
+	flat := New(order)
+	ref := newRefTree(order)
+
+	probeBoth := func(p document.Document) {
+		want := ref.JoinPartnersAppend(nil, p)
+		got := flat.JoinPartners(p)
+		if len(want) == 0 && len(got) == 0 {
+			return
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed=%d n=%d: probe doc %d: flat=%v ref=%v", seed, n, p.ID, got, want)
+		}
+	}
+
+	for _, d := range docs {
+		probeBoth(d) // probe-then-insert, like the windowed joiner
+		flat.Insert(d)
+		ref.Insert(d)
+		if flat.NumUbiquitous() != ref.NumUbiquitous() {
+			t.Fatalf("seed=%d n=%d: NumUbiquitous flat=%d ref=%d",
+				seed, n, flat.NumUbiquitous(), ref.NumUbiquitous())
+		}
+		if flat.MaxDepth() != ref.maxDepth {
+			t.Fatalf("seed=%d n=%d: MaxDepth flat=%d ref=%d", seed, n, flat.MaxDepth(), ref.maxDepth)
+		}
+	}
+	// A final sweep of fresh probes against the full trees.
+	for _, p := range parityDocs(r, 16) {
+		probeBoth(p)
+	}
+}
+
+// TestFlatTreeParity runs the parity check over fixed seeds in every
+// ordinary `go test` run.
+func TestFlatTreeParity(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		checkFlatTreeParity(t, seed, 3+int(seed)*5)
+	}
+}
+
+// FuzzFlatTreeParity drives the flat arena against the pointer-tree
+// reference with fuzzed insert/probe interleavings.
+func FuzzFlatTreeParity(f *testing.F) {
+	f.Add(int64(1), uint8(4))
+	f.Add(int64(42), uint8(31))
+	f.Add(int64(7), uint8(97))
+	f.Add(int64(-3), uint8(64))
+	f.Fuzz(func(t *testing.T, seed int64, n uint8) {
+		checkFlatTreeParity(t, seed, int(n)%128)
+	})
+}

@@ -1,0 +1,120 @@
+package fptree
+
+import (
+	"fmt"
+	"reflect"
+	"runtime/debug"
+	"testing"
+
+	"repro/internal/document"
+	"repro/internal/symbol"
+)
+
+// TestJoinPartnersSurvivesNextProbe pins the probe-result ownership
+// contract: the slice JoinPartners returns belongs to the caller and
+// must not be clobbered by later probes. The seed implementation
+// recycled one internal buffer across calls, so retaining a result and
+// probing again silently rewrote the retained slice.
+func TestJoinPartnersSurvivesNextProbe(t *testing.T) {
+	docs := tableIDocs()
+	tree := Build(docs)
+
+	first := tree.JoinPartners(docs[0]) // d1 joins only d3
+	want := append([]uint64(nil), first...)
+	if !reflect.DeepEqual(want, []uint64{3}) {
+		t.Fatalf("JoinPartners(d1) = %v, want [3]", want)
+	}
+
+	// Subsequent probes produce different partner sets; with a shared
+	// buffer they would overwrite `first` in place.
+	for i := 0; i < 3; i++ {
+		for _, d := range docs {
+			tree.JoinPartners(d)
+		}
+	}
+	if !reflect.DeepEqual(first, want) {
+		t.Fatalf("retained result mutated by later probes: %v, want %v", first, want)
+	}
+}
+
+// TestResetReleasesOversizedProbeScratch pins the scratch-retention
+// bound: probe scratch is indexed by attribute symbol ID, so one probe
+// over a huge symbol space used to pin megabytes for the lifetime of
+// the joiner. Reset must shed scratch past maxRetainedProbeScratch.
+func TestResetReleasesOversizedProbeScratch(t *testing.T) {
+	tree := New(nil)
+	tree.Insert(document.New(1, []document.Pair{
+		{Attr: "seed", Val: document.EncodeInt(1)},
+	}))
+
+	// Push the attribute ID space beyond the retention bound, then probe
+	// with an attribute from the far end so the stamped scratch grows to
+	// cover it.
+	last := ""
+	for i := 0; i <= maxRetainedProbeScratch+64; i++ {
+		last = fmt.Sprintf("scratch-bloat-%d", i)
+		symbol.InternAttr(last)
+	}
+	probe := document.New(2, []document.Pair{
+		{Attr: last, Val: document.EncodeInt(1)},
+	})
+	tree.JoinPartners(probe)
+	if c := tree.prober.scratchCap(); c <= maxRetainedProbeScratch {
+		t.Fatalf("probe scratch cap = %d, expected > %d after wide probe", c, maxRetainedProbeScratch)
+	}
+
+	tree.Reset()
+	if c := tree.prober.scratchCap(); c != 0 {
+		t.Fatalf("probe scratch cap = %d after Reset, want 0 (released)", c)
+	}
+
+	// A modest probe after release must still answer correctly.
+	tree.Insert(document.New(3, []document.Pair{
+		{Attr: "seed", Val: document.EncodeInt(1)},
+	}))
+	got := tree.JoinPartners(document.New(4, []document.Pair{
+		{Attr: "seed", Val: document.EncodeInt(1)},
+	}))
+	if !reflect.DeepEqual(got, []uint64{3}) {
+		t.Fatalf("post-release probe = %v, want [3]", got)
+	}
+}
+
+// TestDeepChainTraversalIterative pins the explicit-stack traversal: a
+// degenerate chain-shaped tree ~100k nodes deep must be probeable
+// without growing the goroutine stack. The seed's recursive traverse
+// needed one stack frame per level and died with "goroutine stack
+// exceeds limit" once the runtime cap was in the way; the arena walk
+// keeps its frames on the heap.
+func TestDeepChainTraversalIterative(t *testing.T) {
+	const depth = 100_000
+	pairs := make([]document.Pair, depth)
+	for i := range pairs {
+		pairs[i] = document.Pair{Attr: fmt.Sprintf("chain%06d", i), Val: document.EncodeInt(1)}
+	}
+	tree := New(nil)
+	tree.Insert(document.New(1, pairs))
+	if tree.MaxDepth() != depth {
+		t.Fatalf("MaxDepth = %d, want %d", tree.MaxDepth(), depth)
+	}
+
+	// The probe carries only the last pair of the chain: it lacks the
+	// first-ranked attribute, so the ubiquitous fast path bails out
+	// immediately and the traversal must walk all 100k levels.
+	probe := document.New(2, []document.Pair{pairs[depth-1]})
+
+	// Cap goroutine stacks at 1 MiB — far below the ~depth recursion
+	// frames the seed needed — and probe from a fresh goroutine so the
+	// walk starts on a small stack.
+	old := debug.SetMaxStack(1 << 20)
+	defer debug.SetMaxStack(old)
+
+	done := make(chan []uint64, 1)
+	go func() {
+		done <- tree.JoinPartners(probe)
+	}()
+	got := <-done
+	if !reflect.DeepEqual(got, []uint64{1}) {
+		t.Fatalf("deep-chain partners = %v, want [1]", got)
+	}
+}

@@ -6,7 +6,6 @@ import (
 	"io"
 	"sort"
 
-	"repro/internal/document"
 	"repro/internal/symbol"
 )
 
@@ -14,7 +13,10 @@ import (
 // (internal/state.Snapshotter) for the FP-tree. The serialized form is
 // symbol-aware: node labels and the attribute order travel as strings
 // and are re-interned on restore, so a snapshot taken in one process
-// (or symbol epoch) rebuilds an equivalent tree in another.
+// (or symbol epoch) rebuilds an equivalent tree in another. The wire
+// format predates the flat arena layout and is unchanged by it:
+// snapshots written by the pointer tree restore into the arena and
+// vice versa.
 //
 // The encoding preserves everything JoinPartners' traversal order
 // depends on — attribute-group order, child order within a group, the
@@ -45,33 +47,39 @@ type attrCountGob struct {
 	Count int
 }
 
-// Snapshot writes the tree's complete state to w.
+// Snapshot writes the tree's complete state to w. The pre-order walk
+// is iterative (explicit stack), like every other arena traversal.
 func (t *Tree) Snapshot(w io.Writer) error {
 	g := treeGob{
 		Attrs:    append([]string(nil), t.order.Attrs()...),
 		DocCount: t.docCount,
 		MaxDepth: t.maxDepth,
 	}
-	g.Nodes = make([]nodeGob, 0, t.nodeCount)
-	var walk func(n *node, parentIdx int)
-	walk = func(n *node, parentIdx int) {
-		idx := len(g.Nodes)
-		g.Nodes = append(g.Nodes, nodeGob{
-			Parent:   parentIdx,
-			Attr:     n.pair.Attr,
-			Val:      n.pair.Val,
-			BranchID: n.branchID,
-			Docs:     n.docs,
-		})
-		for _, grp := range n.groups {
-			for _, c := range grp.all {
-				walk(c, idx)
-			}
-		}
+	g.Nodes = make([]nodeGob, 0, t.NodeCount())
+	type sframe struct {
+		node      int32
+		parentIdx int
 	}
-	for _, grp := range t.root.groups {
-		for _, c := range grp.all {
-			walk(c, -1)
+	var stack []sframe
+	ks := t.kids[0]
+	for i := len(ks) - 1; i >= 0; i-- {
+		stack = append(stack, sframe{ks[i].id, -1})
+	}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		idx := len(g.Nodes)
+		attr, val := symbol.PairStrings(t.syms[f.node])
+		g.Nodes = append(g.Nodes, nodeGob{
+			Parent:   f.parentIdx,
+			Attr:     attr,
+			Val:      val,
+			BranchID: int(t.branch[f.node]),
+			Docs:     t.docs[f.node],
+		})
+		ks := t.kids[f.node]
+		for i := len(ks) - 1; i >= 0; i-- {
+			stack = append(stack, sframe{ks[i].id, idx})
 		}
 	}
 	// Attribute counts keyed by name (IDs are epoch-local), sorted so
@@ -96,54 +104,50 @@ func (t *Tree) Restore(r io.Reader) error {
 	for _, a := range g.Attrs {
 		order.register(a)
 	}
-	*t = Tree{
-		order:    order,
-		root:     &node{},
-		header:   make(map[symbol.Pair]*node),
-		symEpoch: symbol.Epoch(),
-		docCount: g.DocCount,
-		maxDepth: g.MaxDepth,
-	}
-	nodes := make([]*node, len(g.Nodes))
+	nt := New(order)
+	// Nodes arrive in pre-order, so a parent's children are appended in
+	// their original sibling order and newNode's grouped splice rebuilds
+	// each child span exactly. File index i becomes arena node i+1.
 	for i, ng := range g.Nodes {
-		parent := t.root
+		parent := int32(0)
 		if ng.Parent >= 0 {
 			if ng.Parent >= i {
 				return fmt.Errorf("fptree: snapshot node %d references later parent %d", i, ng.Parent)
 			}
-			parent = nodes[ng.Parent]
+			parent = int32(ng.Parent + 1)
 		}
 		s := symbol.InternPair(ng.Attr, ng.Val)
-		n := &node{
-			pair:     document.Pair{Attr: ng.Attr, Val: ng.Val},
-			sym:      s,
-			parent:   parent,
-			depth:    parent.depth + 1,
-			branchID: ng.BranchID,
-			docs:     ng.Docs,
-		}
-		parent.addChild(s, n)
-		nodes[i] = n
-		t.nodeCount++
-		if n.branchID > t.nextBranch {
-			t.nextBranch = n.branchID
+		id := nt.newNode(parent, s, int32(ng.BranchID))
+		nt.docs[id] = ng.Docs
+		if ng.BranchID > nt.nextBranch {
+			nt.nextBranch = ng.BranchID
 		}
 	}
 	// Header chains are push-front in creation order, so the head is
 	// the newest node: replaying pushes in ascending branch id rebuilds
 	// every chain exactly.
-	byBranch := append([]*node(nil), nodes...)
-	sort.Slice(byBranch, func(i, j int) bool { return byBranch[i].branchID < byBranch[j].branchID })
-	for _, n := range byBranch {
-		n.next = t.header[n.sym]
-		t.header[n.sym] = n
+	byBranch := make([]int32, 0, nt.NodeCount())
+	for id := int32(1); id < int32(len(nt.syms)); id++ {
+		byBranch = append(byBranch, id)
 	}
+	sort.Slice(byBranch, func(i, j int) bool { return nt.branch[byBranch[i]] < nt.branch[byBranch[j]] })
+	for _, id := range byBranch {
+		s := nt.syms[id]
+		if head, ok := nt.header[s]; ok {
+			nt.hnext[id] = head
+		}
+		nt.header[s] = id
+	}
+	nt.docCount = g.DocCount
+	nt.maxDepth = g.MaxDepth
 	for _, ac := range g.AttrCounts {
 		id := symbol.InternAttr(ac.Attr)
-		if int(id) >= len(t.attrCounts) {
-			t.attrCounts = growInts(t.attrCounts, int(id)+1)
+		if int(id) >= len(nt.attrCounts) {
+			nt.attrCounts = growInts(nt.attrCounts, int(id)+1)
 		}
-		t.attrCounts[id] = ac.Count
+		nt.attrCounts[id] = ac.Count
 	}
+	*t = *nt
+	t.prober.t = t
 	return nil
 }

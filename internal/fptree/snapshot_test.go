@@ -2,7 +2,9 @@ package fptree
 
 import (
 	"bytes"
+	"flag"
 	"math/rand"
+	"os"
 	"reflect"
 	"testing"
 
@@ -10,6 +12,8 @@ import (
 	"repro/internal/state"
 	"repro/internal/symbol"
 )
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the testdata golden snapshots")
 
 // snapshotRoundTrip snapshots src and restores it into a fresh tree.
 func snapshotRoundTrip(t *testing.T, src *Tree) *Tree {
@@ -108,6 +112,41 @@ func TestTreeSnapshotGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	assertTreesEquivalent(t, build(), restored, tableIDocs())
+}
+
+// TestTreeSnapshotGoldenFile pins the on-disk snapshot bytes across
+// layout changes: the committed golden was written by the pre-arena
+// pointer tree, so this test proves old checkpoints restore into the
+// flat layout — and that the arena still emits the identical byte
+// stream. Regenerate with `go test -run GoldenFile -update-golden`.
+func TestTreeSnapshotGoldenFile(t *testing.T) {
+	const path = "testdata/tableI.fptree.snapshot"
+	tree := Build(tableIDocs())
+	var buf bytes.Buffer
+	if err := tree.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	golden, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update-golden): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), golden) {
+		t.Fatalf("snapshot bytes drifted from golden (%d vs %d bytes); rerun with -update-golden only if the format change is intentional",
+			buf.Len(), len(golden))
+	}
+	restored := New(nil)
+	if err := restored.Restore(bytes.NewReader(golden)); err != nil {
+		t.Fatalf("restore golden: %v", err)
+	}
+	assertTreesEquivalent(t, tree, restored, tableIDocs())
 }
 
 // TestTreeSnapshotSurvivesEpochReset proves the snapshot is

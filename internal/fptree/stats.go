@@ -30,11 +30,12 @@ type TreeStats struct {
 	UbiquitousAttrs int
 }
 
-// Stats walks the tree and summarises its shape.
+// Stats summarises the tree's shape. The flat arena makes this a
+// single linear pass over the node arrays — no walk at all.
 func (t *Tree) Stats() TreeStats {
 	s := TreeStats{
 		Documents:       t.docCount,
-		Nodes:           t.nodeCount,
+		Nodes:           t.NodeCount(),
 		MaxDepth:        t.maxDepth,
 		UbiquitousAttrs: t.NumUbiquitous(),
 	}
@@ -48,26 +49,15 @@ func (t *Tree) Stats() TreeStats {
 		s.DepthHistogram = make([]int, t.maxDepth)
 	}
 	internal, children := 0, 0
-	var walk func(n *node)
-	walk = func(n *node) {
-		kids := 0
-		for _, g := range n.groups {
-			kids += len(g.all)
-		}
-		if kids > 0 {
+	for n := range t.kids {
+		if k := len(t.kids[n]); k > 0 {
 			internal++
-			children += kids
+			children += k
 		}
-		if n.depth > 0 {
-			s.DepthHistogram[n.depth-1]++
-		}
-		for _, g := range n.groups {
-			for _, c := range g.all {
-				walk(c)
-			}
+		if d := t.depths[n]; d > 0 {
+			s.DepthHistogram[d-1]++
 		}
 	}
-	walk(t.root)
 	if internal > 0 {
 		s.AvgBranching = float64(children) / float64(internal)
 	}

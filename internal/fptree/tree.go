@@ -2,90 +2,59 @@ package fptree
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"repro/internal/document"
 	"repro/internal/symbol"
 )
 
-// node is a single FP-tree node: an attribute-value pair label, the
-// children grouped by attribute, the ids of the documents whose full
-// (reordered) pair sequence terminates at this node, and the header
-// chain link connecting equally-labeled nodes (paper Sec. V-A).
+// The FP-tree is stored as a flat, slice-backed arena instead of a
+// pointer-linked node graph (ROADMAP item 2; Shahvarani & Jacobsen's
+// multicore index-join is the blueprint). Node fields live in parallel
+// structs-of-arrays indexed by a dense node ID (0 is the root), so a
+// probe walks contiguous memory instead of chasing heap pointers:
 //
-// Children are grouped by attribute because that is how FPTreeJoin
-// prunes: when the probing document carries a child's attribute, every
-// sibling with a different value of that attribute conflicts and the
-// single equally-labeled child is the only survivor — an O(1) lookup
-// instead of a scan. Only the children whose attribute is absent from
-// the probe must all be explored. This generalises the paper's
-// ubiquitous-attribute fast path (Sec. V-B) to every level of the tree.
+//	syms[id]    the node's attribute-value symbol (packed uint64)
+//	parents[id] parent node ID (-1 for the root)
+//	depths[id]  root distance
+//	branch[id]  unique branch id (creation order; survives snapshots)
+//	docs[id]    document ids whose reordered pair sequence ends here
+//	kids[id]    child edges, each carrying the child's label symbol
+//	            inline next to its node ID so pruning scans one
+//	            contiguous span without touching the child nodes.
+//	            Edges are grouped by attribute: children sharing an
+//	            attribute form one contiguous run, runs ordered by
+//	            first appearance — the same grouping the pointer tree
+//	            kept in its attrGroup lists
+//	hnext[id]   header-table chain of equally labeled nodes (-1 ends)
 //
-// Labels are stored twice: the canonical string pair for display and
-// diagnostics, and the interned symbol pair the hot paths key on.
-type node struct {
-	pair     document.Pair
-	sym      symbol.Pair
-	parent   *node
-	groups   []*attrGroup
-	docs     []uint64
-	next     *node // header-table chain of equally labeled nodes
-	branchID int   // unique id of the root-to-node branch
-	depth    int
-}
-
-// attrGroup holds all children of one node sharing an attribute.
-type attrGroup struct {
-	attr  symbol.ID
-	byVal map[symbol.ID]*node
-	all   []*node
-}
-
-func (n *node) group(attr symbol.ID) *attrGroup {
-	for _, g := range n.groups {
-		if g.attr == attr {
-			return g
-		}
-	}
-	return nil
-}
-
-// child returns the child labeled with the symbol pair s, or nil.
-func (n *node) child(s symbol.Pair) *node {
-	if g := n.group(s.Attr()); g != nil {
-		return g.byVal[s.Val()]
-	}
-	return nil
-}
-
-// addChild links a new child labeled with p / its symbol s.
-func (n *node) addChild(s symbol.Pair, c *node) {
-	g := n.group(s.Attr())
-	if g == nil {
-		g = &attrGroup{attr: s.Attr(), byVal: make(map[symbol.ID]*node)}
-		n.groups = append(n.groups, g)
-	}
-	g.byVal[s.Val()] = c
-	g.all = append(g.all, c)
-}
-
-// Tree is the FP-tree used for local join computation. It is not safe
-// for concurrent use; each Joiner task owns one tree per window.
+// Node labels are stored only as interned symbols; the canonical
+// strings (for Dump, DocPath and snapshots) are resolved back through
+// the symbol tables on demand instead of being duplicated per node.
 //
-// All internal indexes are keyed by interned symbols (dense uint32
-// attribute/value IDs, see internal/symbol): the header table and
-// child maps hash one uint64 instead of two strings, the per-attribute
-// document counts live in an ID-indexed slice, and the probe scratch is
-// a stamped slice reused across JoinPartners calls so a probe performs
-// zero allocations of its own.
+// Exact-label child lookup scans the span when the fanout is small and
+// otherwise goes through one tree-wide hash map keyed by
+// (parent, symbol.Pair) — the already-dense packed pair — replacing the
+// per-node group scan plus per-group value map of the pointer layout.
+// Traversal no longer recurses: Prober walks an explicit frame stack,
+// so degenerate chain-shaped trees cannot grow the goroutine stack.
 type Tree struct {
-	order  *Order
-	root   *node
-	header map[symbol.Pair]*node
+	order *Order
+
+	// Flat node arena; index 0 is the root.
+	syms    []symbol.Pair
+	parents []int32
+	depths  []int32
+	branch  []int32
+	docs    [][]uint64
+	kids    [][]edge
+	hnext   []int32
+
+	childIdx map[childKey]int32
+	header   map[symbol.Pair]int32
 
 	docCount   int
-	nodeCount  int
 	attrCounts []int // documents containing each attribute, indexed by attribute symbol ID
 	nextBranch int
 	maxDepth   int
@@ -96,54 +65,67 @@ type Tree struct {
 	// otherwise (Reset is documented quiesce-only).
 	symEpoch uint64
 
-	// Cached NumUbiquitous (satellite fix: previously recomputed on
-	// every probe); invalidated by Insert and Reset.
+	// Cached NumUbiquitous; invalidated by Insert and Reset.
 	numUbiq   int
 	ubiqValid bool
 
-	// Probe scratch: probeVal[a] is the probing document's value ID for
-	// attribute a when probeMark[a] holds the current stamp. Stamping
-	// makes clearing O(1) between probes.
-	probeVal   []symbol.ID
-	probeMark  []uint32
-	probeStamp uint32
+	// prober is the tree-owned probe context backing the serial
+	// JoinPartners API; concurrent probers come from NewProber.
+	prober Prober
 
-	// Insert scratch: the arranged pair sequence, reused across inserts.
-	arr arrangeBuf
+	// Insert scratch: packed (rank, position) sort keys, reused.
+	arrKeys []uint64
 
-	// Probe result buffer backing JoinPartners (satellite fix: results
-	// previously grew element-wise from nil on every call).
-	result []uint64
+	// Scratch backing JoinPartners' caller-owned copies.
+	scratch []uint64
 }
 
-// arrangeBuf sorts a document's pairs and symbols by global-order rank
-// without allocating. Ranks are unique per attribute, so the sort needs
-// no stability.
-type arrangeBuf struct {
-	pairs []document.Pair
-	syms  []symbol.Pair
-	ranks []int32
+// edge is one child link: the child's label symbol stored inline so
+// span scans never dereference the child, plus the child's node ID.
+type edge struct {
+	sym symbol.Pair
+	id  int32
 }
 
-func (b *arrangeBuf) Len() int           { return len(b.pairs) }
-func (b *arrangeBuf) Less(i, j int) bool { return b.ranks[i] < b.ranks[j] }
-func (b *arrangeBuf) Swap(i, j int) {
-	b.pairs[i], b.pairs[j] = b.pairs[j], b.pairs[i]
-	b.syms[i], b.syms[j] = b.syms[j], b.syms[i]
-	b.ranks[i], b.ranks[j] = b.ranks[j], b.ranks[i]
+// childKey addresses one edge of the tree: the parent's dense node ID
+// plus the child's packed label symbol.
+type childKey struct {
+	parent int32
+	sym    symbol.Pair
 }
+
+// spanScanMax is the fanout up to which exact-child lookup scans the
+// contiguous edge span instead of hashing into the tree-wide child
+// index; small spans fit in one or two cache lines.
+const spanScanMax = 8
 
 // New creates an empty FP-tree using the given global attribute order.
 func New(order *Order) *Tree {
 	if order == nil {
 		order = EmptyOrder()
 	}
-	return &Tree{
+	t := &Tree{
 		order:    order,
-		root:     &node{},
-		header:   make(map[symbol.Pair]*node),
+		childIdx: make(map[childKey]int32),
+		header:   make(map[symbol.Pair]int32),
 		symEpoch: symbol.Epoch(),
 	}
+	t.initRoot()
+	t.prober.t = t
+	t.prober.epoch = t.symEpoch
+	return t
+}
+
+// initRoot seeds the arena with the root node at index 0, reusing any
+// capacity the slices already hold.
+func (t *Tree) initRoot() {
+	t.syms = append(t.syms[:0], 0)
+	t.parents = append(t.parents[:0], -1)
+	t.depths = append(t.depths[:0], 0)
+	t.branch = append(t.branch[:0], 0)
+	t.docs = append(t.docs[:0], nil)
+	t.kids = append(t.kids[:0], nil)
+	t.hnext = append(t.hnext[:0], -1)
 }
 
 // Build constructs a tree over a whole batch, deriving the attribute
@@ -163,10 +145,16 @@ func (t *Tree) Order() *Order { return t.order }
 func (t *Tree) DocCount() int { return t.docCount }
 
 // NodeCount reports the number of nodes excluding the root.
-func (t *Tree) NodeCount() int { return t.nodeCount }
+func (t *Tree) NodeCount() int { return len(t.syms) - 1 }
 
 // MaxDepth reports the longest root-to-leaf path length.
 func (t *Tree) MaxDepth() int { return t.maxDepth }
+
+// pairOf resolves a node's canonical string pair from its symbol.
+func (t *Tree) pairOf(n int32) document.Pair {
+	a, v := symbol.PairStrings(t.syms[n])
+	return document.Pair{Attr: a, Val: v}
+}
 
 // docSyms returns d's pair symbols under the current epoch, verifying
 // that the tree's own indexes are not stale. The epoch can legally move
@@ -174,30 +162,108 @@ func (t *Tree) MaxDepth() int { return t.maxDepth }
 // per-ID state is restarted then.
 func (t *Tree) docSyms(d document.Document) []symbol.Pair {
 	if e := symbol.Epoch(); e != t.symEpoch {
-		if t.docCount != 0 || t.nodeCount != 0 {
+		if t.docCount != 0 || t.NodeCount() != 0 {
 			panic("fptree: symbol epoch changed under a live tree (symbol.Reset is quiesce-only)")
 		}
 		t.symEpoch = e
 		t.attrCounts = nil
-		t.probeVal = nil
-		t.probeMark = nil
-		t.probeStamp = 0
+		t.prober.dropScratch()
+		t.prober.epoch = e
 	}
 	t.order.sync()
 	return d.InternedPairs()
 }
 
-// arrange fills t.arr with d's pairs and symbols sorted by the global
-// attribute order.
-func (t *Tree) arrange(d document.Document, syms []symbol.Pair) {
-	b := &t.arr
-	b.pairs = append(b.pairs[:0], d.Pairs()...)
-	b.syms = append(b.syms[:0], syms...)
-	b.ranks = b.ranks[:0]
-	for k := range b.pairs {
-		b.ranks = append(b.ranks, int32(t.order.rankOfSym(b.syms[k].Attr(), b.pairs[k].Attr)))
+// arrange fills t.arrKeys with packed (rank<<32 | position) sort keys
+// for d's pairs and sorts them, yielding the global-order arrangement
+// as a permutation over the document's own pair slice — no physical
+// reordering, no reflection in the sort. Ranks are unique per
+// attribute, so the trailing position bits never decide the order
+// between distinct attributes.
+func (t *Tree) arrange(syms []symbol.Pair, pairs []document.Pair) {
+	t.arrKeys = t.arrKeys[:0]
+	for k := range syms {
+		rank := uint64(uint32(t.order.rankOfSym(syms[k].Attr(), pairs[k].Attr)))
+		t.arrKeys = append(t.arrKeys, rank<<32|uint64(k))
 	}
-	sort.Sort(b)
+	slices.Sort(t.arrKeys)
+}
+
+// child returns the node labeled s under parent, or -1. Small spans
+// are scanned in place; larger ones hit the tree-wide child index.
+func (t *Tree) child(parent int32, s symbol.Pair) int32 {
+	ks := t.kids[parent]
+	if len(ks) <= spanScanMax {
+		for i := range ks {
+			if ks[i].sym == s {
+				return ks[i].id
+			}
+		}
+		return -1
+	}
+	if id, ok := t.childIdx[childKey{parent, s}]; ok {
+		return id
+	}
+	return -1
+}
+
+// addChild appends a fresh node labeled s under parent with the next
+// branch id and chains it into the header table (push-front, so the
+// head is always the newest equally-labeled node).
+func (t *Tree) addChild(parent int32, s symbol.Pair) int32 {
+	t.nextBranch++
+	id := t.newNode(parent, s, int32(t.nextBranch))
+	if head, ok := t.header[s]; ok {
+		t.hnext[id] = head
+	}
+	t.header[s] = id
+	return id
+}
+
+// newNode appends a node to the arena, keeping the parent's edge span
+// grouped by attribute: the new child lands at the end of its
+// attribute's run when one exists, or opens a new run at the end
+// (first-appearance group order, insertion order within). The header
+// chain is left to the caller (Insert chains in creation order; Restore
+// replays chains by branch id).
+func (t *Tree) newNode(parent int32, s symbol.Pair, branchID int32) int32 {
+	id := int32(len(t.syms))
+	t.syms = append(t.syms, s)
+	t.parents = append(t.parents, parent)
+	depth := t.depths[parent] + 1
+	t.depths = append(t.depths, depth)
+	t.branch = append(t.branch, branchID)
+	t.docs = append(t.docs, nil)
+	t.kids = append(t.kids, nil)
+	t.hnext = append(t.hnext, -1)
+	t.childIdx[childKey{parent, s}] = id
+
+	// Splice into the parent's grouped edge span. Scanning from the
+	// back finds the run end cheaply in the common case where the
+	// node's largest group is also its newest.
+	ks := t.kids[parent]
+	attr := s.Attr()
+	insertAt := -1
+	for i := len(ks) - 1; i >= 0; i-- {
+		if ks[i].sym.Attr() == attr {
+			insertAt = i + 1
+			break
+		}
+	}
+	e := edge{sym: s, id: id}
+	if insertAt < 0 || insertAt == len(ks) {
+		ks = append(ks, e)
+	} else {
+		ks = append(ks, edge{})
+		copy(ks[insertAt+1:], ks[insertAt:])
+		ks[insertAt] = e
+	}
+	t.kids[parent] = ks
+
+	if int(depth) > t.maxDepth {
+		t.maxDepth = int(depth)
+	}
+	return id
 }
 
 // Insert adds a document to the tree: its pairs are arranged by the
@@ -205,34 +271,19 @@ func (t *Tree) arrange(d document.Document, syms []symbol.Pair) {
 // it, and the document id is recorded at the terminal node.
 func (t *Tree) Insert(d document.Document) {
 	syms := t.docSyms(d)
-	t.arrange(d, syms)
-	cur := t.root
-	for k := range t.arr.pairs {
-		s := t.arr.syms[k]
-		child := cur.child(s)
-		if child == nil {
-			child = &node{
-				pair:   t.arr.pairs[k],
-				sym:    s,
-				parent: cur,
-				depth:  cur.depth + 1,
-			}
-			t.nextBranch++
-			child.branchID = t.nextBranch
-			cur.addChild(s, child)
-			t.nodeCount++
-			// Chain into the header table.
-			child.next = t.header[s]
-			t.header[s] = child
-			if child.depth > t.maxDepth {
-				t.maxDepth = child.depth
-			}
+	t.arrange(syms, d.Pairs())
+	cur := int32(0)
+	for _, key := range t.arrKeys {
+		s := syms[uint32(key)]
+		child := t.child(cur, s)
+		if child < 0 {
+			child = t.addChild(cur, s)
 		}
 		cur = child
 	}
-	cur.docs = append(cur.docs, d.ID)
+	t.docs[cur] = append(t.docs[cur], d.ID)
 	t.docCount++
-	for _, s := range t.arr.syms {
+	for _, s := range syms {
 		a := s.Attr()
 		if int(a) >= len(t.attrCounts) {
 			t.attrCounts = growInts(t.attrCounts, int(a)+1)
@@ -272,6 +323,26 @@ func (t *Tree) NumUbiquitous() int {
 	return n
 }
 
+// PrepareProbes readies the tree for concurrent read-only probing: it
+// verifies the symbol epoch, syncs the attribute order's ID indexes and
+// fills the NumUbiquitous cache — every lazily computed piece of state
+// a probe would otherwise write. After PrepareProbes, any number of
+// Probers (see NewProber) may call JoinPartnersAppend concurrently, as
+// long as no Insert, Reset or Restore runs until they finish.
+func (t *Tree) PrepareProbes() {
+	if e := symbol.Epoch(); e != t.symEpoch {
+		if t.docCount != 0 || t.NodeCount() != 0 {
+			panic("fptree: symbol epoch changed under a live tree (symbol.Reset is quiesce-only)")
+		}
+		t.symEpoch = e
+		t.attrCounts = nil
+		t.prober.dropScratch()
+		t.prober.epoch = e
+	}
+	t.order.sync()
+	t.NumUbiquitous()
+}
+
 // JoinPartners implements FPTreeJoin (Algorithm 2): it returns the ids
 // of every stored document joinable with d. The first NumUbiquitous
 // levels are navigated directly via the equally-labeled child — all
@@ -280,114 +351,26 @@ func (t *Tree) NumUbiquitous() int {
 // remaining subtree, pruning on conflicts and collecting document ids
 // once at least one attribute-value pair is shared.
 //
-// The returned slice is owned by the tree and valid only until the next
-// JoinPartners call; callers that retain results must copy them or use
-// JoinPartnersAppend with their own buffer.
+// The returned slice is freshly allocated and owned by the caller; it
+// survives subsequent probes. Hot paths that reuse a buffer call
+// JoinPartnersAppend instead.
 func (t *Tree) JoinPartners(d document.Document) []uint64 {
-	t.result = t.JoinPartnersAppend(t.result[:0], d)
-	return t.result
+	t.scratch = t.JoinPartnersAppend(t.scratch[:0], d)
+	if len(t.scratch) == 0 {
+		return nil
+	}
+	return append([]uint64(nil), t.scratch...)
 }
 
 // JoinPartnersAppend is JoinPartners appending into dst, for callers
-// that manage their own result buffers.
+// that manage their own result buffers. It probes through the tree's
+// own serial Prober; concurrent callers use NewProber.
 func (t *Tree) JoinPartnersAppend(dst []uint64, d document.Document) []uint64 {
 	if t.docCount == 0 {
 		return dst
 	}
 	syms := t.docSyms(d)
-	t.stampProbe(syms)
-	num := t.NumUbiquitous()
-	cur := t.root
-	shared := 0
-	for j := 0; j < num; j++ {
-		a := t.order.idAt(j)
-		if int(a) >= len(t.probeMark) || t.probeMark[a] != t.probeStamp {
-			// The probing document lacks this (tree-)ubiquitous
-			// attribute: no conflict is possible on it, but all
-			// children must be explored; fall back to the general
-			// traversal from the current node.
-			break
-		}
-		child := cur.child(symbol.MakePair(a, t.probeVal[a]))
-		if child == nil {
-			// Every stored document carries this attribute with some
-			// other value: all of them conflict with d.
-			return dst
-		}
-		cur = child
-		shared++
-		dst = appendExcluding(dst, cur.docs, d.ID)
-	}
-	return t.traverse(cur, d.ID, shared, dst)
-}
-
-// stampProbe loads the probing document into the stamped scratch:
-// probeVal[a] holds d's value ID for attribute a iff probeMark[a]
-// equals the (freshly bumped) probeStamp. No clearing is needed between
-// probes; on stamp wrap-around the marks are zeroed once.
-func (t *Tree) stampProbe(syms []symbol.Pair) {
-	t.probeStamp++
-	if t.probeStamp == 0 {
-		for i := range t.probeMark {
-			t.probeMark[i] = 0
-		}
-		t.probeStamp = 1
-	}
-	for _, s := range syms {
-		a := int(s.Attr())
-		if a >= len(t.probeMark) {
-			t.probeMark = growUint32s(t.probeMark, a+1)
-			t.probeVal = growIDs(t.probeVal, a+1)
-		}
-		t.probeMark[a] = t.probeStamp
-		t.probeVal[a] = s.Val()
-	}
-}
-
-func growUint32s(s []uint32, n int) []uint32 {
-	for len(s) < n {
-		s = append(s, 0)
-	}
-	return s
-}
-
-func growIDs(s []symbol.ID, n int) []symbol.ID {
-	for len(s) < n {
-		s = append(s, 0)
-	}
-	return s
-}
-
-// traverse is Algorithm 3: depth-first navigation that prunes a child
-// (and its whole subtree) when the child's attribute is present in the
-// probe with a different value, and collects document ids stored at
-// nodes whose branch shares at least one pair with the probe. Grouping
-// children by attribute turns the pruning into a direct lookup of the
-// single non-conflicting child.
-func (t *Tree) traverse(n *node, excludeID uint64, shared int, result []uint64) []uint64 {
-	for _, g := range n.groups {
-		if a := int(g.attr); a < len(t.probeMark) && t.probeMark[a] == t.probeStamp {
-			// All children of this group with a different value
-			// conflict; only the equally-labeled child survives.
-			if child := g.byVal[t.probeVal[a]]; child != nil {
-				result = t.collectChild(child, excludeID, shared+1, result)
-			}
-			continue
-		}
-		// Attribute absent from the probe: no conflict possible,
-		// every child must be explored.
-		for _, child := range g.all {
-			result = t.collectChild(child, excludeID, shared, result)
-		}
-	}
-	return result
-}
-
-func (t *Tree) collectChild(child *node, excludeID uint64, shared int, result []uint64) []uint64 {
-	if shared > 0 {
-		result = appendExcluding(result, child.docs, excludeID)
-	}
-	return t.traverse(child, excludeID, shared, result)
+	return t.prober.joinPartners(dst, d.ID, syms)
 }
 
 func appendExcluding(dst []uint64, src []uint64, exclude uint64) []uint64 {
@@ -412,7 +395,11 @@ func (t *Tree) HeaderChainLen(p document.Pair) int {
 		return 0
 	}
 	n := 0
-	for cur := t.header[s]; cur != nil; cur = cur.next {
+	cur, ok := t.header[s]
+	if !ok {
+		return 0
+	}
+	for ; cur >= 0; cur = t.hnext[cur] {
 		n++
 	}
 	return n
@@ -420,32 +407,23 @@ func (t *Tree) HeaderChainLen(p document.Pair) int {
 
 // DocPath returns the reordered pair sequence of the branch holding
 // document id, or nil if the id is not stored (diagnostic; linear in
-// tree size).
+// tree size). The arena makes the search a flat scan — no walk at all.
 func (t *Tree) DocPath(id uint64) []document.Pair {
-	var found *node
-	var walk func(n *node) bool
-	walk = func(n *node) bool {
-		for _, d := range n.docs {
+	found := int32(-1)
+	for n := 1; n < len(t.docs) && found < 0; n++ {
+		for _, d := range t.docs[n] {
 			if d == id {
-				found = n
-				return true
+				found = int32(n)
+				break
 			}
 		}
-		for _, g := range n.groups {
-			for _, c := range g.all {
-				if walk(c) {
-					return true
-				}
-			}
-		}
-		return false
 	}
-	if !walk(t.root) {
+	if found < 0 {
 		return nil
 	}
-	var path []document.Pair
-	for cur := found; cur != nil && cur.parent != nil; cur = cur.parent {
-		path = append(path, cur.pair)
+	path := make([]document.Pair, 0, t.depths[found])
+	for cur := found; cur > 0; cur = t.parents[cur] {
+		path = append(path, t.pairOf(cur))
 	}
 	// Reverse to root-first order.
 	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
@@ -455,40 +433,55 @@ func (t *Tree) DocPath(id uint64) []document.Pair {
 }
 
 // Dump renders the tree structure for debugging, one node per line.
+// The walk is iterative; output is identical to the pointer layout's
+// recursive dump.
 func (t *Tree) Dump() string {
 	var b strings.Builder
-	var walk func(n *node, indent int)
-	walk = func(n *node, indent int) {
-		if n != t.root {
-			b.WriteString(strings.Repeat("  ", indent))
-			fmt.Fprintf(&b, "%s docs=%v branch=%d\n", n.pair, n.docs, n.branchID)
-		}
-		for _, g := range n.groups {
-			for _, c := range g.all {
-				walk(c, indent+1)
-			}
+	b.WriteString("root\n")
+	type frame struct {
+		node   int32
+		indent int
+	}
+	var stack []frame
+	ks := t.kids[0]
+	for i := len(ks) - 1; i >= 0; i-- {
+		stack = append(stack, frame{ks[i].id, 1})
+	}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		b.WriteString(strings.Repeat("  ", f.indent))
+		fmt.Fprintf(&b, "%s docs=%v branch=%d\n", t.pairOf(f.node), t.docs[f.node], t.branch[f.node])
+		ks := t.kids[f.node]
+		for i := len(ks) - 1; i >= 0; i-- {
+			stack = append(stack, frame{ks[i].id, f.indent + 1})
 		}
 	}
-	b.WriteString("root\n")
-	walk(t.root, 0)
 	return b.String()
 }
 
 // Reset evicts the entire tree, matching the paper's tumbling-window
 // semantics ("evict the entire tree once the window tumbles"), while
-// keeping the attribute ordering — and the reusable scratch buffers —
-// in place.
+// keeping the attribute ordering — and bounded scratch buffers — in
+// place. Arena slices are truncated but keep their capacity (bounded by
+// the largest window seen); oversized probe scratch is released so a
+// long-lived joiner does not leak scratch across windows and symbol
+// epochs.
 func (t *Tree) Reset() {
-	t.root = &node{}
-	t.header = make(map[symbol.Pair]*node)
+	t.initRoot()
+	clear(t.childIdx)
+	clear(t.header)
 	for i := range t.attrCounts {
 		t.attrCounts[i] = 0
 	}
 	t.docCount = 0
-	t.nodeCount = 0
 	t.nextBranch = 0
 	t.maxDepth = 0
 	t.ubiqValid = false
+	t.prober.releaseOversized()
+	if cap(t.scratch) > maxRetainedScratch {
+		t.scratch = nil
+	}
 	// Stale probe marks cannot collide after the tree refills: a mark
 	// only matches the current stamp, which is bumped on every probe.
 }

@@ -10,6 +10,18 @@ import (
 // FPTreeJoin (Sec. V).
 type FPJ struct {
 	tree *fptree.Tree
+
+	// buf backs Probe/ProbeInsert results (the Engine.Probe contract
+	// allows an engine-owned buffer). Tree.JoinPartners itself returns
+	// caller-owned slices, so the reuse lives here, on the hot path
+	// that consumes results immediately.
+	buf []uint64
+
+	pool *probePool
+
+	// batchBufs backs ProbeInsertBatch rows when no pool is configured
+	// (the serial batch fallback).
+	batchBufs [][]uint64
 }
 
 // NewFPJ creates an FPJ whose attribute ordering grows by first
@@ -37,14 +49,17 @@ func (e *FPJ) Name() string { return "FPJ" }
 // Insert implements Engine.
 func (e *FPJ) Insert(d document.Document) { e.tree.Insert(d) }
 
-// Probe implements Engine.
-func (e *FPJ) Probe(d document.Document) []uint64 { return e.tree.JoinPartners(d) }
+// Probe implements Engine. The result reuses the engine's buffer.
+func (e *FPJ) Probe(d document.Document) []uint64 {
+	e.buf = e.tree.JoinPartnersAppend(e.buf[:0], d)
+	return e.buf
+}
 
-// ProbeInsert implements Engine.
+// ProbeInsert implements Engine. The result reuses the engine's buffer.
 func (e *FPJ) ProbeInsert(d document.Document) []uint64 {
-	partners := e.tree.JoinPartners(d)
+	e.buf = e.tree.JoinPartnersAppend(e.buf[:0], d)
 	e.tree.Insert(d)
-	return partners
+	return e.buf
 }
 
 // Size implements Engine.
@@ -52,7 +67,20 @@ func (e *FPJ) Size() int { return e.tree.DocCount() }
 
 // Reset implements Engine: the whole tree is evicted when the tumbling
 // window closes; the attribute ordering is retained.
-func (e *FPJ) Reset() { e.tree.Reset() }
+func (e *FPJ) Reset() {
+	e.tree.Reset()
+	if cap(e.buf) > maxRetainedResultBuf {
+		e.buf = nil
+	}
+	for i, b := range e.batchBufs {
+		if cap(b) > maxRetainedResultBuf {
+			e.batchBufs[i] = nil
+		}
+	}
+	if e.pool != nil {
+		e.pool.releaseOversized()
+	}
+}
 
 // Tree exposes the underlying FP-tree for diagnostics and tests.
 func (e *FPJ) Tree() *fptree.Tree { return e.tree }

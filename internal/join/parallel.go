@@ -1,0 +1,191 @@
+package join
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/document"
+	"repro/internal/fptree"
+	"repro/internal/telemetry"
+)
+
+// Parallel batch probing for the FPJ engine, following the two-phase
+// pattern of Shahvarani & Jacobsen's multicore index join (PAPERS.md):
+// a batch of incoming documents first probes the window's FP-tree
+// concurrently — the probe path is read-only, so N workers with
+// private stamp scratch and result buffers can share the tree — and is
+// then folded into the tree serially. Intra-batch matches (document i
+// joining document j < i of the same batch) are recovered during the
+// serial phase via a small side tree holding only the batch, so each
+// document ends up with exactly the partner multiset the serial
+// probe-then-insert loop would have produced, merged back in arrival
+// order. Within one document's list the window-state partners precede
+// the intra-batch partners (see BatchEngine); everything is
+// deterministic — worker scheduling never influences the output, since
+// each worker writes only its claimed rows.
+
+// maxRetainedResultBuf bounds the per-document result buffers kept
+// across batches (entries, i.e. 8-byte ids).
+const maxRetainedResultBuf = 4096
+
+// BatchEngine is implemented by engines that can probe a batch of
+// documents at once. ProbeInsertBatch behaves like calling ProbeInsert
+// for each document in order: row i of the returned slice holds exactly
+// the partner multiset ProbeInsert(docs[i]) would have returned at its
+// position in the sequence, and the output is fully deterministic for a
+// given input. The one latitude an implementation has is the order
+// *within* a row: partners found in the pre-batch window state may be
+// listed before partners from earlier documents of the same batch,
+// where the serial walk would interleave them by tree position. Rows
+// are engine-owned buffers, valid until the next batch.
+type BatchEngine interface {
+	Engine
+	ProbeInsertBatch(docs []document.Document) [][]uint64
+}
+
+// probePool is the per-engine probe worker pool: one fptree.Prober
+// (private stamp scratch + traversal stack) per worker, per-document
+// result buffers reused across batches, and the side tree for
+// intra-batch matches.
+type probePool struct {
+	workers int
+	probers []*fptree.Prober
+	bufs    [][]uint64
+	side    *fptree.Tree
+
+	// workerProbe, when attached, records per-probe latency per worker.
+	workerProbe []*telemetry.Histogram
+}
+
+// SetProbeParallelism configures the engine's probe worker pool; n <= 1
+// restores the serial path. Safe to call between batches only.
+func (e *FPJ) SetProbeParallelism(n int) {
+	if n <= 1 {
+		e.pool = nil
+		return
+	}
+	p := &probePool{workers: n}
+	p.probers = make([]*fptree.Prober, n)
+	for i := range p.probers {
+		p.probers[i] = e.tree.NewProber()
+	}
+	// The side tree shares the main tree's attribute order, so batch
+	// documents arrange identically in both.
+	p.side = fptree.New(e.tree.Order())
+	e.pool = p
+}
+
+// ProbeParallelism reports the configured pool size (1 = serial).
+func (e *FPJ) ProbeParallelism() int {
+	if e.pool == nil {
+		return 1
+	}
+	return e.pool.workers
+}
+
+// SetWorkerProbeHistograms attaches per-worker probe latency
+// histograms (index = worker); nil disables the timing entirely.
+func (e *FPJ) SetWorkerProbeHistograms(h []*telemetry.Histogram) {
+	if e.pool != nil {
+		e.pool.workerProbe = h
+	}
+}
+
+// ProbeInsertBatch implements BatchEngine. With a pool configured the
+// window-tree probes of the batch run concurrently (phase 1) and the
+// inserts plus intra-batch matches run serially in arrival order
+// (phase 2); without one it degrades to the serial loop. Either way
+// row i is exactly the partner multiset ProbeInsert(docs[i]) would
+// have returned at its position in the sequence.
+func (e *FPJ) ProbeInsertBatch(docs []document.Document) [][]uint64 {
+	bufs := e.ensureBufs(len(docs))
+	if e.pool == nil || len(docs) < 2 {
+		for i, d := range docs {
+			bufs[i] = e.tree.JoinPartnersAppend(bufs[i][:0], d)
+			e.tree.Insert(d)
+		}
+		return bufs
+	}
+	p := e.pool
+
+	// Phase 1: concurrent read-only probes of the window tree. All
+	// lazily computed probe state (order sync, ubiquitous prefix) is
+	// materialised up front; each worker claims documents off a shared
+	// counter and writes only its own rows.
+	e.tree.PrepareProbes()
+	for _, pr := range p.probers {
+		pr.Reattach()
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	workers := p.workers
+	if workers > len(docs) {
+		workers = len(docs)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pr := p.probers[w]
+			var hist *telemetry.Histogram
+			if w < len(p.workerProbe) {
+				hist = p.workerProbe[w]
+			}
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(docs) {
+					return
+				}
+				if hist != nil {
+					start := time.Now()
+					bufs[i] = pr.JoinPartnersAppend(bufs[i][:0], docs[i])
+					hist.Observe(time.Since(start))
+				} else {
+					bufs[i] = pr.JoinPartnersAppend(bufs[i][:0], docs[i])
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Phase 2: serial, in arrival order. The side tree replays the
+	// batch's own probe-then-insert sequence, so document i picks up
+	// its partners among documents j < i of this batch; the main tree
+	// absorbs the batch for subsequent batches and windows.
+	p.side.Reset()
+	for i, d := range docs {
+		bufs[i] = p.side.JoinPartnersAppend(bufs[i], d)
+		p.side.Insert(d)
+		e.tree.Insert(d)
+	}
+	return bufs
+}
+
+// ensureBufs sizes the per-document result buffer table for n rows.
+func (e *FPJ) ensureBufs(n int) [][]uint64 {
+	if e.pool == nil {
+		if cap(e.batchBufs) < n {
+			e.batchBufs = make([][]uint64, n)
+		}
+		e.batchBufs = e.batchBufs[:n]
+		return e.batchBufs
+	}
+	if cap(e.pool.bufs) < n {
+		bufs := make([][]uint64, n)
+		copy(bufs, e.pool.bufs)
+		e.pool.bufs = bufs
+	}
+	e.pool.bufs = e.pool.bufs[:n]
+	return e.pool.bufs
+}
+
+// releaseOversized sheds buffers that grew past the retention bounds
+// (called on window tumbles via FPJ.Reset).
+func (p *probePool) releaseOversized() {
+	for i, b := range p.bufs {
+		if cap(b) > maxRetainedResultBuf {
+			p.bufs[i] = nil
+		}
+	}
+}

@@ -57,6 +57,12 @@ type Instruments struct {
 	// TreeNodes tracks the engine's FP-tree node count; it stays zero
 	// for engines without a tree (NLJ, HBJ).
 	TreeNodes *telemetry.Gauge
+	// PoolDepth tracks the probe worker pool size in use for batch
+	// probes (1 = serial engine path).
+	PoolDepth *telemetry.Gauge
+	// BatchDocs records the document count of each batch handed to
+	// ProcessBatch (unit: documents, via ObserveNS).
+	BatchDocs *telemetry.Histogram
 }
 
 // SetInstruments attaches live metrics to the windowed joiner.
@@ -131,8 +137,91 @@ func (w *Windowed) Process(d document.Document) []Result {
 	return results
 }
 
-// Tumble closes the current window: all state is evicted. It returns
-// the number of documents and join pairs the window produced.
+// ProcessBatch runs a micro-batch of documents through the window,
+// equivalent to calling Process for each document in order: duplicate
+// deliveries are suppressed, every joinable pair is produced exactly
+// once, and results are merged back in arrival order (first by
+// document position, then by the engine's partner order), so OnResult
+// ordering downstream stays deterministic. A BatchEngine may order the
+// partners within one document's results differently than the serial
+// walk (window-state partners before intra-batch partners) — the
+// per-document multisets are identical either way. Engines implementing
+// BatchEngine — FPJ with a probe worker pool — overlap the window-tree
+// probes of the batch across their workers; other engines fall back to
+// the serial loop.
+func (w *Windowed) ProcessBatch(docs []document.Document) []Result {
+	if len(docs) == 0 {
+		return nil
+	}
+	if len(docs) == 1 {
+		return w.Process(docs[0])
+	}
+	// Suppress duplicate deliveries up front, like Process would at
+	// each position.
+	fresh := docs[:0:0]
+	for _, d := range docs {
+		if _, dup := w.seen[d.ID]; dup {
+			w.duplicates++
+			w.ins.Duplicates.Inc()
+			continue
+		}
+		w.seen[d.ID] = struct{}{}
+		fresh = append(fresh, d)
+	}
+	if len(fresh) == 0 {
+		return nil
+	}
+	w.docsProcessed += len(fresh)
+	w.ins.BatchDocs.ObserveNS(int64(len(fresh)))
+
+	be, ok := w.engine.(BatchEngine)
+	if !ok {
+		// Engine cannot batch: inline the serial probe-then-insert and
+		// materialisation per document.
+		var results []Result
+		for _, d := range fresh {
+			partners := w.engine.ProbeInsert(d)
+			results = w.materialize(results, d, partners)
+		}
+		w.ins.Results.Add(int64(len(results)))
+		w.updateSizes()
+		return results
+	}
+	if w.ins.PoolDepth != nil {
+		if fpj, isFPJ := w.engine.(*FPJ); isFPJ {
+			w.ins.PoolDepth.SetInt(fpj.ProbeParallelism())
+		}
+	}
+	lists := be.ProbeInsertBatch(fresh)
+	var results []Result
+	for i, d := range fresh {
+		results = w.materialize(results, d, lists[i])
+	}
+	w.ins.Results.Add(int64(len(results)))
+	w.updateSizes()
+	return results
+}
+
+// materialize turns one document's partner ids into merged Results and
+// stores the document, preserving the serial probe-then-insert
+// bookkeeping: partners of d inserted earlier — including earlier
+// documents of the same batch — are already in the store when d's
+// results resolve.
+func (w *Windowed) materialize(results []Result, d document.Document, partners []uint64) []Result {
+	before := len(results)
+	for _, id := range partners {
+		other, ok := w.store[id]
+		if !ok {
+			continue
+		}
+		merged := document.Merge(w.nextID, other, d)
+		w.nextID++
+		results = append(results, Result{Left: id, Right: d.ID, Merged: merged})
+	}
+	w.store[d.ID] = d
+	w.pairsEmitted += len(results) - before
+	return results
+}
 func (w *Windowed) Tumble() (docs, pairs int) {
 	docs, pairs = w.docsProcessed, w.pairsEmitted
 	w.engine.Reset()
