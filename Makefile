@@ -21,15 +21,21 @@ race:
 # reliable transport (cluster level) and the full Fig. 2 pipeline with
 # heartbeat failure detection and checkpoint recovery (core level).
 # The seeds are fixed inside the tests, so a failure names the exact
-# reproducible fault sequence.
+# reproducible fault sequence. The cluster suites matrix every seed
+# over both wire formats (wire=gob and wire=binary subtests), so the
+# binary data plane's replay/dedup/dictionary-reset behaviour is
+# covered by the same oracle checks as the gob path.
 chaos:
 	$(GO) test -race -count 1 ./internal/cluster/ -run 'TestScheduledChaosParity|TestResendAfterSever|TestHungWorkerLeaseExpiry|TestRandomScheduleDeterministic' -v
 	$(GO) test -race -count 1 ./internal/core/ -run 'TestClusterScheduledChaosParity|TestClusterHungWorkerRecovery|TestClusterSecondFailureMidRecovery' -v
 
 # bench runs the root benchmark suite once as JSON — the format the
-# perf trajectory files (BENCH_issue*_{before,after}.json) are kept in.
+# perf trajectory files (BENCH_issue*_{before,after}.json) are kept in
+# — followed by the wire-format codec benches (gob vs binary
+# bytes/tuple and ns/op).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x -count 1 -json .
+	$(GO) test -run '^$$' -bench 'BenchmarkWireEncode|BenchmarkWireDecode|BenchmarkFrameBatch' -benchmem -benchtime 200000x -count 3 -json ./internal/cluster/
 
 bench-all:
 	$(GO) test -bench=. -benchmem -benchtime 1x ./...
@@ -43,7 +49,8 @@ bench-guard:
 	$(GO) test -run '^$$' -bench '^(BenchmarkFig11aFPJServerLog|BenchmarkFig11bFPJNoBench|BenchmarkTelemetryOverhead)$$' -benchtime 2x -count 2 -json . > bench_guard_current.json
 	$(GO) test -run '^$$' -bench '^(BenchmarkFPTreeInsert|BenchmarkJoinableClassify)$$' -benchtime 2000x -count 2 -json . >> bench_guard_current.json
 	$(GO) test -run '^$$' -bench '^BenchmarkParallelBatchProbe$$' -benchtime 2x -count 2 -json . >> bench_guard_current.json
-	$(GO) run ./cmd/sfj-benchguard -baseline BENCH_issue6_after.json -current bench_guard_current.json
+	$(GO) test -run '^$$' -bench '^(BenchmarkWireEncode|BenchmarkWireDecode|BenchmarkFrameBatch)$$' -benchtime 200000x -count 3 -json ./internal/cluster/ >> bench_guard_current.json
+	$(GO) run ./cmd/sfj-benchguard -baseline BENCH_issue7_after.json -current bench_guard_current.json
 
 # go test accepts a single -fuzz pattern per invocation, so each fuzz
 # target gets its own line.
@@ -51,6 +58,7 @@ fuzz:
 	$(GO) test ./internal/document/ -fuzz FuzzParse -fuzztime 30s
 	$(GO) test ./internal/fptree/ -fuzz FuzzSnapshotRestore -fuzztime 30s
 	$(GO) test ./internal/fptree/ -fuzz FuzzFlatTreeParity -fuzztime 30s
+	$(GO) test ./internal/cluster/ -fuzz FuzzFrameRoundTrip -fuzztime 30s
 
 figures:
 	$(GO) run ./cmd/sfj-experiments -figure all -scale full

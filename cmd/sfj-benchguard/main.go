@@ -70,9 +70,13 @@ func parse(path string) (map[string]float64, error) {
 
 func main() {
 	var (
-		baselinePath = flag.String("baseline", "BENCH_issue6_after.json", "baseline `file` (go test -json stream)")
+		baselinePath = flag.String("baseline", "BENCH_issue7_after.json", "baseline `file` (go test -json stream)")
 		currentPath  = flag.String("current", "", "current `file` (go test -json stream)")
-		benches      = flag.String("bench", "Fig11aFPJServerLog,Fig11bFPJNoBench,FPTreeInsert,JoinableClassify,ParallelBatchProbe/pool=4",
+		// The guarded wire benches are the zero-alloc encode paths, which
+		// hold a tight ns/op band; WireDecode allocates per tuple and its
+		// GC-driven variance exceeds the tolerance on shared machines, so
+		// it is benched and tracked in the trajectory files but not gated.
+		benches = flag.String("bench", "Fig11aFPJServerLog,Fig11bFPJNoBench,FPTreeInsert,JoinableClassify,ParallelBatchProbe/pool=4,WireEncode/format=binary,FrameBatch/format=binary/batch=16",
 			"comma-separated guarded benchmark names (without the Benchmark prefix)")
 		tolerance = flag.Float64("tolerance", 0.05, "maximum allowed relative ns/op increase")
 	)
@@ -93,17 +97,17 @@ func main() {
 	}
 
 	failed := false
-	fmt.Printf("%-28s %14s %14s %8s\n", "benchmark", "baseline ns/op", "current ns/op", "delta")
+	fmt.Printf("%-36s %14s %14s %8s\n", "benchmark", "baseline ns/op", "current ns/op", "delta")
 	for _, short := range strings.Split(*benches, ",") {
 		name := "Benchmark" + strings.TrimSpace(short)
 		base, okB := baseline[name]
 		cur, okC := current[name]
 		switch {
 		case !okB:
-			fmt.Printf("%-28s %14s\n", short, "missing")
+			fmt.Printf("%-36s %14s\n", short, "missing")
 			failed = true
 		case !okC:
-			fmt.Printf("%-28s %14.0f %14s\n", short, base, "missing")
+			fmt.Printf("%-36s %14.0f %14s\n", short, base, "missing")
 			failed = true
 		default:
 			delta := cur/base - 1
@@ -112,7 +116,7 @@ func main() {
 				verdict = "  REGRESSION"
 				failed = true
 			}
-			fmt.Printf("%-28s %14.0f %14.0f %7.1f%%%s\n", short, base, cur, 100*delta, verdict)
+			fmt.Printf("%-36s %14.0f %14.0f %7.1f%%%s\n", short, base, cur, 100*delta, verdict)
 		}
 	}
 	if failed {

@@ -22,6 +22,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/server"
 	"repro/internal/telemetry"
 )
@@ -32,9 +33,26 @@ func main() {
 		engine  = flag.String("engine", "FPJ", "join engine: FPJ, NLJ or HBJ")
 		window  = flag.Int("window", 0, "auto-tumble after N documents (0 = manual /tumble only)")
 		telemOn = flag.Bool("telemetry", true, "expose /metrics and /debug/stats")
+		// Transport knobs, shared verbatim with sfj-topology so deployment
+		// scripts carry one flag set: they configure the cluster data
+		// plane when the service fronts a distributed run. The in-process
+		// pipeline this binary currently hosts has no transport, so here
+		// they are validated and recorded only.
+		wireFormat = flag.String("wire-format", cluster.WireBinary, "cluster data-plane encoding: binary or gob (applies when serving over cluster workers)")
+		frameBatch = flag.Int("frame-batch", 32, "max tuples coalesced into one binary data frame (cluster data plane)")
+		frameFlush = flag.Duration("frame-flush-interval", 0, "how long a peer sender waits to fill a frame (0 = flush immediately; cluster data plane)")
+		frameComp  = flag.Bool("frame-compress", false, "DEFLATE-compress binary data frames (cluster data plane)")
 	)
 	flag.Parse()
 
+	if !cluster.ValidWireFormat(*wireFormat) {
+		fmt.Fprintf(os.Stderr, "unknown -wire-format %q (want binary or gob)\n", *wireFormat)
+		os.Exit(2)
+	}
+	if *frameBatch <= 0 {
+		fmt.Fprintln(os.Stderr, "-frame-batch must be positive")
+		os.Exit(2)
+	}
 	cfg := server.Config{Engine: *engine, WindowSize: *window}
 	if *telemOn {
 		cfg.Telemetry = telemetry.NewRegistry()
@@ -55,6 +73,8 @@ func main() {
 		IdleTimeout:       2 * time.Minute,
 	}
 	fmt.Printf("sfj-serve listening on %s (engine=%s window=%d)\n", *addr, *engine, *window)
+	fmt.Printf("transport: wire-format=%s frame-batch=%d frame-flush-interval=%s frame-compress=%v\n",
+		*wireFormat, *frameBatch, *frameFlush, *frameComp)
 	if *telemOn {
 		fmt.Printf("scrape metrics: curl http://%s/metrics\n", *addr)
 	}

@@ -27,7 +27,15 @@ func (s *twoStreamSpout) NextTuple(c topology.Collector) bool {
 	if s.next >= s.n {
 		return false
 	}
-	v := topology.Values{"key": s.next % 7, "v": s.next}
+	// The doc payload is dead weight for hashJoinBolt (it only reads key
+	// and v) but forces every frame through the interning dictionary, so
+	// chaos runs exercise delta shipping and post-sever re-encoding on
+	// whichever wire format the worker uses.
+	v := topology.Values{
+		"key": s.next % 7,
+		"v":   s.next,
+		"doc": dictDoc(uint64(s.next+1), "side", fmt.Sprint(s.next%2), "host", fmt.Sprint(s.next%3)),
+	}
 	if s.next%2 == 0 {
 		c.EmitTo("left", v)
 	} else {

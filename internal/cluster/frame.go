@@ -5,9 +5,13 @@
 // book, detects global termination by double-probing monotonic
 // send/execute counters, and gathers the final statistics.
 //
-// Wire format: each connection carries a gob stream of envelope values.
-// gob's self-describing streams provide the framing; every connection
-// is written by at most one mutex-guarded encoder.
+// Wire format: the control plane (coordinator handshake, probes,
+// heartbeats) carries a gob stream of envelope values — gob's
+// self-describing streams provide the framing, and every connection is
+// written by at most one mutex-guarded encoder. The data plane speaks
+// the length-prefixed binary batched format from wire.go by default,
+// with this gob encoding selectable per run (WireGob) for A/B
+// measurement; both implement wireConn.
 package cluster
 
 import (
@@ -89,6 +93,22 @@ type envelope struct {
 	Stats topology.Stats
 }
 
+// wireConn is a data-plane connection: a codec over one socket. Both
+// the gob conn and the binary binConn implement it, so the reliable-
+// delivery machinery (resend buffers, ack loops, dedup cursors) is
+// format-agnostic. send/sendBatch are safe for concurrent use; recv is
+// owned by a single reading goroutine.
+type wireConn interface {
+	send(*envelope) error
+	// sendBatch writes a contiguous run of sequenced tuple envelopes —
+	// one wire frame on the binary format, a frame per member on gob.
+	// An error poisons the connection: the caller must evict it and
+	// replay on a successor.
+	sendBatch([]*envelope) error
+	recv() (*envelope, error)
+	close()
+}
+
 // conn wraps a net.Conn with a mutex-guarded gob encoder and a decoder,
 // plus the connection-scoped wire dictionaries (dict.go): sendDict maps
 // strings already shipped on this connection to their ids, recvDict is
@@ -144,6 +164,18 @@ func (c *conn) send(e *envelope) error {
 	}
 	if err := c.enc.Encode(e); err != nil {
 		return fmt.Errorf("cluster: send %d: %w", e.Kind, err)
+	}
+	return nil
+}
+
+// sendBatch writes each envelope as its own gob frame; gob has no
+// multi-tuple framing, which is exactly the A/B difference the binary
+// format exists to measure.
+func (c *conn) sendBatch(es []*envelope) error {
+	for _, e := range es {
+		if err := c.send(e); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -129,7 +129,7 @@ type peer struct {
 	mu      sync.Mutex
 	notFull *sync.Cond // dispatchers wait here while buf is at capacity
 	work    *sync.Cond // the sender goroutine waits here for frames
-	c       *conn
+	c       wireConn
 	// dialled counts successful dials on this slot; dials after the
 	// first are redials of a broken link.
 	dialled int
@@ -168,7 +168,7 @@ type peer struct {
 // reorder one sender's frames.
 type inbound struct {
 	mu        sync.Mutex
-	c         *conn
+	c         wireConn
 	delivered uint64
 	acked     uint64
 	// needAck forces a re-ack even when delivered == acked: set when a
@@ -241,6 +241,27 @@ type Worker struct {
 	// identical configuration draw identical jitter — the property the
 	// deterministic chaos schedules rely on.
 	RandSeed int64
+
+	// WireFormat selects the data-plane encoding: WireBinary (the
+	// default; length-prefixed varint-packed frames with multi-tuple
+	// batching, see wire.go) or WireGob (one gob envelope per frame,
+	// kept for A/B measurement). Every worker in a run must use the
+	// same format — the same uniformity the shared builder code already
+	// requires.
+	WireFormat string
+	// FrameBatch caps how many tuples one binary data frame coalesces
+	// (NewWorker defaults it to 32; <= 0 means no batching). Batching
+	// is natural/greedy: whatever is pending when the sender drains the
+	// queue travels together, adding no latency.
+	FrameBatch int
+	// FrameFlushInterval > 0 opts into latency-for-density trading: a
+	// sender with a non-full batch waits up to this long for more
+	// dispatches before flushing the frame. 0 (the default) sends
+	// immediately.
+	FrameFlushInterval time.Duration
+	// FrameCompress DEFLATE-compresses binary data frames when the
+	// payload shrinks; useful on wide-area links, off by default.
+	FrameCompress bool
 
 	// Telemetry, when set before Run, instruments the worker's transport
 	// and tasks: frames/bytes sent, dictionary hit rate, redials,
@@ -320,8 +341,18 @@ type Worker struct {
 		dedup       *telemetry.Counter
 		heartbeats  *telemetry.Counter
 		buffered    *telemetry.Gauge
-		exec        map[string]*telemetry.Counter
-		emit        map[string]*telemetry.Counter
+		// Binary wire-format instruments: framed bytes by frame kind,
+		// the per-frame batch-size histogram, and compression totals.
+		wireSentData *telemetry.Counter
+		wireSentAck  *telemetry.Counter
+		wireRecvData *telemetry.Counter
+		wireRecvAck  *telemetry.Counter
+		batchDocs    *telemetry.Histogram
+		wireRaw      *telemetry.Counter
+		wireComp     *telemetry.Counter
+		compRatio    *telemetry.Gauge
+		exec         map[string]*telemetry.Counter
+		emit         map[string]*telemetry.Counter
 	}
 	metricsSrv atomic.Pointer[telemetry.Server]
 }
@@ -361,6 +392,8 @@ func NewWorker(id, workers int, b *topology.Builder, coordAddr string) (*Worker,
 		AckInterval:       2 * time.Millisecond,
 		AckEvery:          64,
 		HeartbeatInterval: 250 * time.Millisecond,
+		WireFormat:        WireBinary,
+		FrameBatch:        32,
 	}
 	for _, comp := range spec {
 		w.specByID[comp.ID] = comp
@@ -533,6 +566,20 @@ func (w *Worker) initTelemetry() {
 	w.tel.dedup = reg.Counter(telemetry.Name("cluster_dedup_dropped_total", "worker", id))
 	w.tel.heartbeats = reg.Counter(telemetry.Name("cluster_heartbeats_sent_total", "worker", id))
 	w.tel.buffered = reg.Gauge(telemetry.Name("cluster_resend_buffered", "worker", id))
+	// Binary framing layer: bytes as framed on the wire split by frame
+	// kind (cluster_bytes_* above counts raw socket bytes regardless of
+	// format), tuples per data frame, and DEFLATE totals + ratio when
+	// FrameCompress is on. cluster_frames_sent_total keeps counting per
+	// batch *member* on both formats, so the frames−retries == remote
+	// copies invariant holds independent of batching.
+	w.tel.wireSentData = reg.Counter(telemetry.Name("cluster_wire_bytes_sent_total", "kind", "data", "worker", id))
+	w.tel.wireSentAck = reg.Counter(telemetry.Name("cluster_wire_bytes_sent_total", "kind", "ack", "worker", id))
+	w.tel.wireRecvData = reg.Counter(telemetry.Name("cluster_wire_bytes_received_total", "kind", "data", "worker", id))
+	w.tel.wireRecvAck = reg.Counter(telemetry.Name("cluster_wire_bytes_received_total", "kind", "ack", "worker", id))
+	w.tel.batchDocs = reg.Histogram(telemetry.Name("cluster_frame_batch_docs", "worker", id))
+	w.tel.wireRaw = reg.Counter(telemetry.Name("cluster_wire_raw_bytes_total", "worker", id))
+	w.tel.wireComp = reg.Counter(telemetry.Name("cluster_wire_compressed_bytes_total", "worker", id))
+	w.tel.compRatio = reg.Gauge(telemetry.Name("cluster_wire_compression_ratio", "worker", id))
 	w.tel.exec = make(map[string]*telemetry.Counter, len(w.spec))
 	w.tel.emit = make(map[string]*telemetry.Counter, len(w.spec))
 	for _, comp := range w.spec {
@@ -561,6 +608,9 @@ func (w *Worker) ScrapeAddr() string { return w.metricsSrv.Load().Addr() }
 // the local tasks until the coordinator signals stop. It blocks for the
 // whole run.
 func (w *Worker) Run() error {
+	if !ValidWireFormat(w.WireFormat) {
+		return fmt.Errorf("cluster: unknown wire format %q (want %q or %q)", w.WireFormat, WireBinary, WireGob)
+	}
 	w.initTelemetry()
 	if w.MetricsAddr != "" {
 		srv, err := telemetry.Serve(w.MetricsAddr, w.Telemetry)
@@ -742,6 +792,42 @@ func (w *Worker) recordFailure(comp string, task int, v any) {
 	w.failMu.Unlock()
 }
 
+// wireFormat resolves the data-plane encoding ("" means the default).
+func (w *Worker) wireFormat() string {
+	if w.WireFormat == "" {
+		return WireBinary
+	}
+	return w.WireFormat
+}
+
+// frameBatch resolves the per-frame tuple cap (<= 0 disables batching).
+func (w *Worker) frameBatch() int {
+	if w.FrameBatch <= 0 {
+		return 1
+	}
+	return w.FrameBatch
+}
+
+// newDataConn wraps a data-plane socket in the configured codec, with
+// byte counting underneath and the codec's instruments attached. The
+// dialer side of a binary connection announces itself with the wire
+// preamble; dial direction is irrelevant to gob.
+func (w *Worker) newDataConn(raw net.Conn, dialer bool) wireConn {
+	cc := countingConn{Conn: raw, sent: w.tel.bytesSent, recvd: w.tel.bytesRecv}
+	if w.wireFormat() == WireGob {
+		c := newConn(cc)
+		c.dictHits, c.dictMisses = w.tel.dictHits, w.tel.dictMisses
+		return c
+	}
+	c := newBinConn(cc, dialer, w.FrameCompress)
+	c.dictHits, c.dictMisses = w.tel.dictHits, w.tel.dictMisses
+	c.wireSentData, c.wireSentAck = w.tel.wireSentData, w.tel.wireSentAck
+	c.wireRecvData, c.wireRecvAck = w.tel.wireRecvData, w.tel.wireRecvAck
+	c.batchDocs = w.tel.batchDocs
+	c.rawBytes, c.compBytes, c.compRatio = w.tel.wireRaw, w.tel.wireComp, w.tel.compRatio
+	return c
+}
+
 // acceptLoop serves inbound peer connections on the data plane.
 func (w *Worker) acceptLoop() {
 	for {
@@ -749,11 +835,11 @@ func (w *Worker) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
-		go w.readLoop(newConn(countingConn{Conn: raw, sent: w.tel.bytesSent, recvd: w.tel.bytesRecv}))
+		go w.readLoop(w.newDataConn(raw, false))
 	}
 }
 
-func (w *Worker) readLoop(c *conn) {
+func (w *Worker) readLoop(c wireConn) {
 	defer c.close()
 	for {
 		e, err := c.recv()
@@ -1067,8 +1153,7 @@ func (w *Worker) runPeerSender(id int, p *peer) {
 			if p.dialled++; p.dialled > 1 {
 				w.tel.redials.Inc()
 			}
-			c := newConn(countingConn{Conn: raw, sent: w.tel.bytesSent, recvd: w.tel.bytesRecv})
-			c.dictHits, c.dictMisses = w.tel.dictHits, w.tel.dictMisses
+			c := w.newDataConn(raw, true)
 			p.c = c
 			// Replay everything unacknowledged on the fresh link. The
 			// buffered envelopes hold raw strings (the dictionary encode
@@ -1081,26 +1166,71 @@ func (w *Worker) runPeerSender(id int, p *peer) {
 			p.mu.Unlock()
 			continue
 		}
-		e := p.buf[p.sentTo-p.acked]
-		e.AckSeq = w.deliveredTo(id) // piggyback our receive cursor
-		c := p.c
-		w.tel.framesSent.Inc()
-		if e.DataSeq <= p.maxSent {
-			w.tel.resent.Inc()
-		} else {
-			p.maxSent = e.DataSeq
+		if w.FrameFlushInterval > 0 {
+			w.awaitBatchLocked(p)
+			if p.closed {
+				p.mu.Unlock()
+				return
+			}
+			if p.c == nil || p.sentTo >= p.nextSeq {
+				p.mu.Unlock()
+				continue // the link was evicted or an ack drained the queue
+			}
 		}
-		if err := c.send(e); err != nil {
+		// Batch the pending suffix, capped at FrameBatch. The buffer is a
+		// contiguous sequence run (buf[i].DataSeq == acked+1+i), so the
+		// batch members carry consecutive sequence numbers — the property
+		// the binary format's implicit firstSeq+i encoding relies on.
+		lo := p.sentTo - p.acked
+		hi := p.nextSeq - p.acked
+		if limit := lo + uint64(w.frameBatch()); hi > limit {
+			hi = limit
+		}
+		batch := p.buf[lo:hi]
+		ack := w.deliveredTo(id) // piggyback our receive cursor
+		for _, e := range batch {
+			e.AckSeq = ack
+			// Per batch *member* accounting, so frames−retries still
+			// equals delivered remote copies regardless of batching.
+			w.tel.framesSent.Inc()
+			if e.DataSeq <= p.maxSent {
+				w.tel.resent.Inc()
+			} else {
+				p.maxSent = e.DataSeq
+			}
+		}
+		c := p.c
+		if err := c.sendBatch(batch); err != nil {
 			c.close()
 			p.c = nil
 			backoff = w.retryPause(p, backoff) // unlocks p.mu
 			continue
 		}
-		p.sentTo = e.DataSeq
+		p.sentTo = batch[len(batch)-1].DataSeq
 		p.backoff.Set(0)
 		p.mu.Unlock()
 		backoff = w.RetryBackoff
-		w.notePiggyback(id, e.AckSeq)
+		w.notePiggyback(id, ack)
+	}
+}
+
+// awaitBatchLocked implements the opt-in flush interval: with a live
+// connection and a non-full batch pending, wait up to
+// FrameFlushInterval for more dispatches so frames travel fuller —
+// trading bounded latency for wire density. The caller holds p.mu (the
+// wait releases it); wakes early when the batch fills, the link dies,
+// or the worker shuts down.
+func (w *Worker) awaitBatchLocked(p *peer) {
+	deadline := time.Now().Add(w.FrameFlushInterval)
+	timer := time.AfterFunc(w.FrameFlushInterval, func() {
+		p.mu.Lock()
+		p.work.Broadcast()
+		p.mu.Unlock()
+	})
+	defer timer.Stop()
+	for !p.closed && p.c != nil &&
+		p.nextSeq-p.sentTo < uint64(w.frameBatch()) && time.Now().Before(deadline) {
+		p.work.Wait()
 	}
 }
 
@@ -1125,7 +1255,7 @@ func (w *Worker) retryPause(p *peer, backoff time.Duration) time.Duration {
 // prefix of the resend buffer; a read error means the link died, so
 // the loop evicts it and wakes the sender to redial and replay — even
 // when no new dispatch would have touched the peer again.
-func (w *Worker) ackLoop(p *peer, c *conn) {
+func (w *Worker) ackLoop(p *peer, c wireConn) {
 	for {
 		e, err := c.recv()
 		if err != nil {

@@ -62,6 +62,14 @@ func WithProbeParallelism(n int) Option {
 	return func(r *Runner) { r.cfg.ProbeParallelism = n }
 }
 
+// WithWireFormat selects the cluster data-plane encoding —
+// cluster.WireBinary (the default batched binary format) or
+// cluster.WireGob (for A/B measurement). Equivalent to setting
+// Config.WireFormat; local runs ignore it.
+func WithWireFormat(format string) Option {
+	return func(r *Runner) { r.cfg.WireFormat = format }
+}
+
 // WithMetricsAddr serves the run's telemetry registry on addr for the
 // duration of the run (Prometheus text at /metrics, JSON at
 // /debug/stats). Requires WithTelemetry (or Config.Telemetry).
@@ -344,6 +352,10 @@ func (r *Runner) runClusterAttempt(cfg Config, nworkers int) (*Report, error) {
 			return nil, err
 		}
 		w.Telemetry = wcfg.Telemetry
+		w.WireFormat = wcfg.WireFormat
+		w.FrameBatch = wcfg.FrameBatch
+		w.FrameFlushInterval = wcfg.FrameFlushInterval
+		w.FrameCompress = wcfg.FrameCompress
 		if r.chaos != nil {
 			addr, err := w.Listen()
 			if err != nil {

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/datagen"
+	"repro/internal/document"
+)
+
+// TestWireFormatOptionEquivalence pins the transport knob plumbing: the
+// WithWireFormat option and the Config.WireFormat field must be two
+// spellings of the same thing, and the wire format must never change
+// what the join computes — gob, binary and the local in-process path
+// all produce the same report on the same stream.
+func TestWireFormatOptionEquivalence(t *testing.T) {
+	mkDocs := func() []document.Document {
+		gen := datagen.NewServerLog(59)
+		var docs []document.Document
+		for w := 0; w < 2; w++ {
+			docs = append(docs, gen.Window(90)...)
+		}
+		return docs
+	}
+	mkCfg := func() Config {
+		return Config{M: 3, Creators: 2, Assigners: 2, WindowSize: 90, Windows: 2,
+			Source: &replaySource{docs: mkDocs()}}
+	}
+
+	local, err := NewRunner(mkCfg()).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := map[string]*Report{}
+	for name, mk := range map[string]func() (*Report, error){
+		"option=binary": func() (*Report, error) {
+			return NewRunner(mkCfg(), WithWorkers(2), WithWireFormat(cluster.WireBinary)).Run()
+		},
+		"option=gob": func() (*Report, error) {
+			return NewRunner(mkCfg(), WithWorkers(2), WithWireFormat(cluster.WireGob)).Run()
+		},
+		"field=binary": func() (*Report, error) {
+			cfg := mkCfg()
+			cfg.WireFormat = cluster.WireBinary
+			return NewRunner(cfg, WithWorkers(2)).Run()
+		},
+		"field=gob": func() (*Report, error) {
+			cfg := mkCfg()
+			cfg.WireFormat = cluster.WireGob
+			return NewRunner(cfg, WithWorkers(2)).Run()
+		},
+	} {
+		rep, err := mk()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		runs[name] = rep
+	}
+	for name, rep := range runs {
+		if rep.JoinPairs != local.JoinPairs || rep.DocsJoined != local.DocsJoined {
+			t.Errorf("%s diverges from local run: pairs %d/%d docs %d/%d",
+				name, rep.JoinPairs, local.JoinPairs, rep.DocsJoined, local.DocsJoined)
+		}
+	}
+	if runs["option=gob"].JoinPairs != runs["field=gob"].JoinPairs {
+		t.Errorf("WithWireFormat and Config.WireFormat disagree: %d vs %d",
+			runs["option=gob"].JoinPairs, runs["field=gob"].JoinPairs)
+	}
+}
+
+// TestWireFormatValidation: an unknown format must be rejected up
+// front with a nameable error, not discovered mid-run.
+func TestWireFormatValidation(t *testing.T) {
+	cfg := Config{Source: &replaySource{docs: datagen.NewServerLog(1).Window(10)}}
+	cfg.WireFormat = "msgpack"
+	if _, err := NewRunner(cfg).Run(); err == nil || !strings.Contains(err.Error(), "wire format") {
+		t.Fatalf("unknown wire format returned %v, want a wire format error", err)
+	}
+	if _, err := NewRunner(cfg, WithWorkers(2)).Run(); err == nil || !strings.Contains(err.Error(), "wire format") {
+		t.Fatalf("unknown wire format (cluster) returned %v, want a wire format error", err)
+	}
+}
