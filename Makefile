@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos bench bench-all bench-guard figures examples clean
+.PHONY: all build vet test race chaos bench bench-all bench-guard serve-smoke figures examples clean
 
 all: build test
 
@@ -51,6 +51,12 @@ bench-guard:
 	$(GO) test -run '^$$' -bench '^BenchmarkParallelBatchProbe$$' -benchtime 2x -count 2 -json . >> bench_guard_current.json
 	$(GO) test -run '^$$' -bench '^(BenchmarkWireEncode|BenchmarkWireDecode|BenchmarkFrameBatch)$$' -benchtime 200000x -count 3 -json ./internal/cluster/ >> bench_guard_current.json
 	$(GO) run ./cmd/sfj-benchguard -baseline BENCH_issue7_after.json -current bench_guard_current.json
+
+# serve-smoke runs the multi-tenant query service end to end: build
+# sfj-serve, register two standing queries, stream a batch, assert both
+# result streams deliver, and check SIGTERM drains gracefully.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 # go test accepts a single -fuzz pattern per invocation, so each fuzz
 # target gets its own line.

@@ -1,11 +1,15 @@
-// Command sfj-serve runs the schema-free stream join as an HTTP
-// service.
+// Command sfj-serve runs the schema-free stream join as a multi-tenant
+// HTTP service: clients register standing queries and stream documents
+// in; window state is shared across queries with matching
+// configurations.
 //
 //	sfj-serve -addr :8080 -window 1000
 //
+//	curl -X POST localhost:8080/queries -d '{"id":"mine","window":1000}'
 //	curl -X POST localhost:8080/documents -d '{"User":"A","Severity":"Warning"}'
 //	curl -X POST localhost:8080/documents --data-binary @batch.ndjson
-//	curl -X POST localhost:8080/tumble
+//	curl 'localhost:8080/queries/mine/results?wait=10'
+//	curl -N localhost:8080/queries/mine/stream
 //	curl localhost:8080/stats
 //	curl localhost:8080/metrics
 package main
@@ -22,66 +26,72 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/cluster"
+	"repro/internal/cliflags"
 	"repro/internal/server"
 	"repro/internal/telemetry"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:8080", "listen address")
-		engine  = flag.String("engine", "FPJ", "join engine: FPJ, NLJ or HBJ")
-		window  = flag.Int("window", 0, "auto-tumble after N documents (0 = manual /tumble only)")
-		telemOn = flag.Bool("telemetry", true, "expose /metrics and /debug/stats")
-		// Transport knobs, shared verbatim with sfj-topology so deployment
-		// scripts carry one flag set: they configure the cluster data
-		// plane when the service fronts a distributed run. The in-process
-		// pipeline this binary currently hosts has no transport, so here
-		// they are validated and recorded only.
-		wireFormat = flag.String("wire-format", cluster.WireBinary, "cluster data-plane encoding: binary or gob (applies when serving over cluster workers)")
-		frameBatch = flag.Int("frame-batch", 32, "max tuples coalesced into one binary data frame (cluster data plane)")
-		frameFlush = flag.Duration("frame-flush-interval", 0, "how long a peer sender waits to fill a frame (0 = flush immediately; cluster data plane)")
-		frameComp  = flag.Bool("frame-compress", false, "DEFLATE-compress binary data frames (cluster data plane)")
+		addr          = flag.String("addr", "127.0.0.1:8080", "listen address")
+		engine        = flag.String("engine", "FPJ", "default query's join engine: FPJ, NLJ or HBJ")
+		window        = flag.Int("window", 0, "default query auto-tumbles after N documents (0 = manual /tumble only)")
+		telemOn       = flag.Bool("telemetry", true, "expose /metrics and /debug/stats")
+		maxQueries    = flag.Int("max-queries", 1024, "admission cap on concurrently registered standing queries")
+		resultBuffer  = flag.Int("result-buffer", 4096, "per-query result buffer capacity; the oldest results are dropped when a client falls behind")
+		maxWindowDocs = flag.Int("max-window-docs", 1_000_000, "force-tumble any window reaching N documents — the guard against a manual window nobody tumbles (0 = unbounded, rejected when -window is 0)")
 	)
+	// Transport knobs, shared verbatim with sfj-topology so deployment
+	// scripts carry one flag set: they configure the cluster data plane
+	// when the service fronts a distributed run. The in-process query
+	// set this binary currently hosts has no transport, so here they
+	// are validated and recorded only.
+	transport := cliflags.RegisterTransport(flag.CommandLine)
 	flag.Parse()
 
-	if !cluster.ValidWireFormat(*wireFormat) {
-		fmt.Fprintf(os.Stderr, "unknown -wire-format %q (want binary or gob)\n", *wireFormat)
+	if err := transport.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	if *frameBatch <= 0 {
-		fmt.Fprintln(os.Stderr, "-frame-batch must be positive")
+	if *window == 0 && *maxWindowDocs == 0 {
+		fmt.Fprintln(os.Stderr, "-window 0 with -max-window-docs 0 grows window state without bound; set one of them")
 		os.Exit(2)
 	}
-	cfg := server.Config{Engine: *engine, WindowSize: *window}
+	opts := []server.Option{
+		server.WithEngine(*engine),
+		server.WithWindow(*window),
+		server.WithMaxQueries(*maxQueries),
+		server.WithResultBuffer(*resultBuffer),
+		server.WithMaxWindowDocs(*maxWindowDocs),
+	}
 	if *telemOn {
-		cfg.Telemetry = telemetry.NewRegistry()
+		opts = append(opts, server.WithTelemetry(telemetry.NewRegistry()))
 	}
-	s, err := server.New(cfg)
+	s, err := server.New(opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 	// Bound every phase of a connection's life: a client that stalls
 	// mid-request (or never sends one) must not pin a handler goroutine
-	// and a connection slot forever.
+	// and a connection slot forever. Write timeout must outlast the
+	// longest allowed long-poll wait (60s) plus response time.
 	httpServer := &http.Server{
 		Addr:              *addr,
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       30 * time.Second,
-		WriteTimeout:      60 * time.Second,
+		WriteTimeout:      90 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	fmt.Printf("sfj-serve listening on %s (engine=%s window=%d)\n", *addr, *engine, *window)
-	fmt.Printf("transport: wire-format=%s frame-batch=%d frame-flush-interval=%s frame-compress=%v\n",
-		*wireFormat, *frameBatch, *frameFlush, *frameComp)
+	fmt.Printf("sfj-serve listening on %s (engine=%s window=%d max-queries=%d)\n", *addr, *engine, *window, *maxQueries)
+	fmt.Printf("transport: %s\n", transport)
 	if *telemOn {
 		fmt.Printf("scrape metrics: curl http://%s/metrics\n", *addr)
 	}
 
-	// Serve until SIGINT/SIGTERM, then drain in-flight requests instead
-	// of dropping them mid-response: a batch ingest cut off halfway
-	// would leave the caller unsure which documents were accepted.
+	// Serve until SIGINT/SIGTERM, then drain: Close() releases waiting
+	// long-polls and ends SSE streams so Shutdown's drain of in-flight
+	// requests completes promptly instead of waiting out their polls.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
@@ -93,6 +103,7 @@ func main() {
 	}
 	stop()
 	fmt.Println("sfj-serve: shutting down")
+	s.Close()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpServer.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {

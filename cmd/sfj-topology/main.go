@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cliflags"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/datagen"
@@ -64,12 +65,9 @@ func main() {
 		lease       = flag.Duration("lease-timeout", 0, "with -cluster N: coordinator declares a silent worker dead after this (0 = default 10s; a hung worker then enters checkpoint recovery when -recover is set)")
 		chaosSeed   = flag.Int64("chaos-seed", 0, "with -cluster N: run behind fault-injecting proxies driven by a deterministic schedule derived from this seed (0 = off)")
 		chaosEvents = flag.Int("chaos-events", 6, "with -chaos-seed: number of scheduled fault events")
-		wireFormat  = flag.String("wire-format", cluster.WireBinary, "cluster data-plane encoding: binary (varint-packed batched frames, the default) or gob (one envelope per tuple, for A/B measurement)")
-		frameBatch  = flag.Int("frame-batch", 32, "max tuples coalesced into one binary data frame")
-		frameFlush  = flag.Duration("frame-flush-interval", 0, "how long a peer sender waits to fill a frame before flushing (0 = send whatever is pending immediately)")
-		frameComp   = flag.Bool("frame-compress", false, "DEFLATE-compress binary data frames when that shrinks them")
 		verbose     = flag.Bool("v", false, "print per-window statistics")
 	)
+	transport := cliflags.RegisterTransport(flag.CommandLine)
 	flag.Parse()
 
 	var gen datagen.Generator
@@ -130,16 +128,12 @@ func main() {
 
 		ProbeParallelism: *probePar,
 		ProbeBatch:       *probeBatch,
-
-		WireFormat:         *wireFormat,
-		FrameBatch:         *frameBatch,
-		FrameFlushInterval: *frameFlush,
-		FrameCompress:      *frameComp,
 	}
-	if !cluster.ValidWireFormat(*wireFormat) {
-		fmt.Fprintf(os.Stderr, "unknown -wire-format %q (want binary or gob)\n", *wireFormat)
+	if err := transport.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	transport.ApplyTo(&cfg)
 
 	if *workerSpec != "" {
 		if err := runWorker(*workerSpec, cfg, *metricsAddr); err != nil {

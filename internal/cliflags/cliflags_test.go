@@ -1,0 +1,61 @@
+package cliflags
+
+import (
+	"flag"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+func TestRegisterTransportDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	tr := RegisterTransport(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if tr.WireFormat != cluster.WireBinary || tr.FrameBatch != 32 ||
+		tr.FrameFlushInterval != 0 || tr.FrameCompress {
+		t.Errorf("defaults = %+v", tr)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("defaults must validate: %v", err)
+	}
+}
+
+func TestTransportParseAndApply(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	tr := RegisterTransport(fs)
+	args := []string{"-wire-format", "gob", "-frame-batch", "64",
+		"-frame-flush-interval", "5ms", "-frame-compress"}
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var cfg core.Config
+	tr.ApplyTo(&cfg)
+	if cfg.WireFormat != cluster.WireGob || cfg.FrameBatch != 64 ||
+		cfg.FrameFlushInterval.Milliseconds() != 5 || !cfg.FrameCompress {
+		t.Errorf("applied = %+v", cfg)
+	}
+	for _, want := range []string{"wire-format=gob", "frame-batch=64", "frame-flush-interval=5ms", "frame-compress=true"} {
+		if !strings.Contains(tr.String(), want) {
+			t.Errorf("String() = %q missing %q", tr.String(), want)
+		}
+	}
+}
+
+func TestTransportValidate(t *testing.T) {
+	for _, bad := range []Transport{
+		{WireFormat: "nope", FrameBatch: 32},
+		{WireFormat: cluster.WireBinary, FrameBatch: 0},
+		{WireFormat: cluster.WireBinary, FrameBatch: 32, FrameFlushInterval: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("%+v validated", bad)
+		}
+	}
+}

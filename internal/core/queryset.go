@@ -1,0 +1,326 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/document"
+	"repro/internal/join"
+	"repro/internal/telemetry"
+)
+
+// QuerySet is the concurrency-safe multi-tenant layer over
+// join.Multi: a registry of standing queries evaluated against one
+// ingested document stream, with window state shared across queries
+// whose configurations align. It is the serving-side counterpart of
+// Pipeline — where Pipeline hosts exactly one join, a QuerySet hosts
+// many, with admission control and per-query telemetry — and it is
+// built so a Runner can host one (WithQueryFanout) to front a
+// scale-out cluster run.
+//
+// All methods are safe for concurrent use. Deliver callbacks run while
+// the set's lock is held, so they must be quick and must not call back
+// into the QuerySet.
+type QuerySet struct {
+	cfg QuerySetConfig
+
+	mu      sync.Mutex
+	multi   *join.Multi
+	nextDoc uint64
+	scratch map[string]int // per-ingest results per query, reused
+
+	tel struct {
+		groups       *telemetry.Gauge
+		sharedGroups *telemetry.Gauge
+		active       *telemetry.Gauge
+		forced       *telemetry.Counter
+		registered   *telemetry.Counter
+		unregistered *telemetry.Counter
+		rejected     *telemetry.Counter
+	}
+	// perQuery holds each query's labelled instruments plus the series
+	// names to Drop when the query goes; groupSeries the same for
+	// per-group join instruments.
+	perQuery    map[string]*queryTel
+	groupSeries map[string][]string
+}
+
+// queryTel is the per-query labelled instrument set.
+type queryTel struct {
+	docsMatched *telemetry.Counter
+	results     *telemetry.Counter
+	series      []string
+}
+
+// QuerySetConfig parameterises a QuerySet.
+type QuerySetConfig struct {
+	// MaxQueries caps the number of concurrently registered queries
+	// (admission control); Register returns ErrTooManyQueries beyond
+	// it. <= 0 defaults to 1024.
+	MaxQueries int
+	// MaxWindowDocs > 0 force-tumbles any window reaching that many
+	// documents — the guard against a manual window nobody tumbles.
+	// 0 leaves windows unbounded.
+	MaxWindowDocs int
+	// Telemetry, when set, receives the registry gauges
+	// (queryset_window_groups, queryset_shared_window_groups,
+	// queryset_queries_active), admission counters, per-query labelled
+	// counters (query_docs_matched_total{query=...},
+	// query_results_total{query=...}) and per-group join instruments
+	// labelled by window group (join_results_total{window=...}, ...).
+	Telemetry *telemetry.Registry
+}
+
+// ErrTooManyQueries is returned by Register when the MaxQueries
+// admission cap is reached.
+var ErrTooManyQueries = fmt.Errorf("core: query admission cap reached")
+
+// NewQuerySet creates an empty query set.
+func NewQuerySet(cfg QuerySetConfig) *QuerySet {
+	if cfg.MaxQueries <= 0 {
+		cfg.MaxQueries = 1024
+	}
+	qs := &QuerySet{
+		cfg:         cfg,
+		multi:       join.NewMulti(),
+		nextDoc:     1,
+		scratch:     make(map[string]int),
+		perQuery:    make(map[string]*queryTel),
+		groupSeries: make(map[string][]string),
+	}
+	if reg := cfg.Telemetry; reg != nil {
+		qs.tel.groups = reg.Gauge("queryset_window_groups")
+		qs.tel.sharedGroups = reg.Gauge("queryset_shared_window_groups")
+		qs.tel.active = reg.Gauge("queryset_queries_active")
+		qs.tel.forced = reg.Counter("queryset_forced_tumbles_total")
+		qs.tel.registered = reg.Counter("queryset_queries_registered_total")
+		qs.tel.unregistered = reg.Counter("queryset_queries_unregistered_total")
+		qs.tel.rejected = reg.Counter("queryset_queries_rejected_total")
+		qs.multi.InstrumentWith(func(key join.GroupKey) join.Instruments {
+			label := key.String()
+			names := []string{
+				telemetry.Name("join_probe_seconds", "window", label),
+				telemetry.Name("join_results_total", "window", label),
+				telemetry.Name("join_duplicates_total", "window", label),
+				telemetry.Name("join_window_docs", "window", label),
+				telemetry.Name("join_fptree_nodes", "window", label),
+			}
+			qs.groupSeries[label] = names
+			return join.Instruments{
+				ProbeSeconds: reg.Histogram(names[0]),
+				Results:      reg.Counter(names[1]),
+				Duplicates:   reg.Counter(names[2]),
+				WindowDocs:   reg.Gauge(names[3]),
+				TreeNodes:    reg.Gauge(names[4]),
+			}
+		})
+	}
+	return qs
+}
+
+// Register adds a standing query under the given id, subject to the
+// admission cap. The query shares window state with every other query
+// whose (engine, window) configuration matches.
+func (qs *QuerySet) Register(id string, spec join.QuerySpec) error {
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	if qs.multi.Len() >= qs.cfg.MaxQueries {
+		qs.tel.rejected.Inc()
+		return fmt.Errorf("%w (max %d)", ErrTooManyQueries, qs.cfg.MaxQueries)
+	}
+	if err := qs.multi.Register(id, spec); err != nil {
+		qs.tel.rejected.Inc()
+		return err
+	}
+	if reg := qs.cfg.Telemetry; reg != nil {
+		names := []string{
+			telemetry.Name("query_docs_matched_total", "query", id),
+			telemetry.Name("query_results_total", "query", id),
+		}
+		qs.perQuery[id] = &queryTel{
+			docsMatched: reg.Counter(names[0]),
+			results:     reg.Counter(names[1]),
+			series:      names,
+		}
+	}
+	qs.tel.registered.Inc()
+	qs.refreshGaugesLocked()
+	return nil
+}
+
+// Unregister removes a query; once it returns, no deliver callback
+// will be invoked for the id again. Freed groups take their labelled
+// join series with them; the query's own labelled counters are dropped
+// too.
+func (qs *QuerySet) Unregister(id string) bool {
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	if !qs.multi.Unregister(id) {
+		return false
+	}
+	if qt := qs.perQuery[id]; qt != nil {
+		qs.cfg.Telemetry.Drop(qt.series...)
+		delete(qs.perQuery, id)
+	}
+	qs.dropDeadGroupSeriesLocked()
+	qs.tel.unregistered.Inc()
+	qs.refreshGaugesLocked()
+	return true
+}
+
+// dropDeadGroupSeriesLocked retires the labelled join series of groups
+// that no longer exist.
+func (qs *QuerySet) dropDeadGroupSeriesLocked() {
+	if qs.cfg.Telemetry == nil {
+		return
+	}
+	live := make(map[string]bool)
+	for _, k := range qs.multi.GroupKeys() {
+		live[k.String()] = true
+	}
+	for label, names := range qs.groupSeries {
+		if !live[label] {
+			qs.cfg.Telemetry.Drop(names...)
+			delete(qs.groupSeries, label)
+		}
+	}
+}
+
+// refreshGaugesLocked publishes the registry-shape gauges.
+func (qs *QuerySet) refreshGaugesLocked() {
+	total, shared := qs.multi.Groups()
+	qs.tel.groups.SetInt(total)
+	qs.tel.sharedGroups.SetInt(shared)
+	qs.tel.active.SetInt(qs.multi.Len())
+}
+
+// Ingest feeds one document to every query's window state: parsed
+// documents are probed once per distinct window configuration and the
+// results fan out to the matching queries through deliver, which runs
+// under the set's lock (keep it quick, never re-enter the QuerySet).
+func (qs *QuerySet) Ingest(d document.Document, deliver func(query string, r join.Result)) {
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	qs.ingestLocked(d, deliver)
+}
+
+// IngestJSON parses one JSON document, assigns it the next document id
+// and ingests it.
+func (qs *QuerySet) IngestJSON(data []byte, deliver func(query string, r join.Result)) error {
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	d, err := document.Parse(qs.nextDoc, data)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	qs.nextDoc++
+	qs.ingestLocked(d, deliver)
+	return nil
+}
+
+func (qs *QuerySet) ingestLocked(d document.Document, deliver func(string, join.Result)) {
+	clear(qs.scratch)
+	forced := qs.multi.Ingest(d, qs.cfg.MaxWindowDocs, func(id string, r join.Result) {
+		qs.scratch[id]++
+		if deliver != nil {
+			deliver(id, r)
+		}
+	})
+	if forced > 0 {
+		qs.tel.forced.Add(int64(forced))
+	}
+	for id, n := range qs.scratch {
+		if qt := qs.perQuery[id]; qt != nil {
+			qt.docsMatched.Inc()
+			qt.results.Add(int64(n))
+		}
+	}
+}
+
+// Demux fans one externally joined result (a cluster run's output) out
+// to the queries of the shared group matching the external engine and
+// window size. Filter predicates apply; θ does not (the inputs are
+// gone — the external join enforced the paper's natural-join
+// semantics already).
+func (qs *QuerySet) Demux(engine string, windowDocs int, r join.Result, deliver func(query string, res join.Result)) {
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	qs.multi.Demux(engine, windowDocs, r, func(id string, res join.Result) {
+		if qt := qs.perQuery[id]; qt != nil {
+			qt.results.Inc()
+		}
+		if deliver != nil {
+			deliver(id, res)
+		}
+	})
+}
+
+// Tumble closes the window of the group hosting the query — every
+// query sharing that group observes the eviction.
+func (qs *QuerySet) Tumble(id string) (docs, pairs int, err error) {
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	docs, pairs, ok := qs.multi.Tumble(id)
+	if !ok {
+		return 0, 0, fmt.Errorf("core: unknown query %q", id)
+	}
+	return docs, pairs, nil
+}
+
+// Status reports one query's observable state.
+func (qs *QuerySet) Status(id string) (join.QueryStatus, bool) {
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	return qs.multi.Status(id)
+}
+
+// Queries lists every query's status, sorted by id.
+func (qs *QuerySet) Queries() []join.QueryStatus {
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	return qs.multi.All()
+}
+
+// Len reports the number of registered queries.
+func (qs *QuerySet) Len() int {
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	return qs.multi.Len()
+}
+
+// Groups reports the live window-state count and how many states are
+// shared by more than one query.
+func (qs *QuerySet) Groups() (total, shared int) {
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	return qs.multi.Groups()
+}
+
+// WithQueryFanout hosts the query set on a Runner: every join result
+// the topology produces additionally fans out to the queries of the
+// set's group matching the run's engine and window size, demuxed
+// through their filter predicates and delivered via deliver. This is
+// the bridge that lets the standing-query service front a scale-out
+// cluster run instead of its in-process window state; Config.OnResult
+// (when also set) keeps firing as before.
+func WithQueryFanout(qs *QuerySet, deliver func(query string, res join.Result)) Option {
+	return func(r *Runner) {
+		prev := r.cfg.OnResult
+		r.cfg.OnResult = func(res join.Result) {
+			if prev != nil {
+				prev(res)
+			}
+			// Mirror withDefaults' resolution: the closure runs after
+			// defaults were applied to a copy of the config.
+			engine := r.cfg.Engine
+			if engine == "" {
+				engine = "FPJ"
+			}
+			windowDocs := r.cfg.WindowSize
+			if windowDocs <= 0 {
+				windowDocs = 1000
+			}
+			qs.Demux(engine, windowDocs, res, deliver)
+		}
+	}
+}

@@ -86,6 +86,32 @@ func EncodeValue(v any) string {
 	}
 }
 
+// EncodeJSONValue canonicalises one decoded JSON value exactly as
+// document parsing would: json.Number literals become integer or float
+// encodings (so a filter spelled 2 matches a document attribute parsed
+// from 2.0), arrays serialise as opaque JSON, and scalars take their
+// canonical tag. Nested objects are rejected — parsing flattens them
+// into multiple dotted attributes, so they cannot be a single pair
+// value; callers should flatten the filter path instead ("a.b": 1).
+func EncodeJSONValue(v any) (string, error) {
+	switch x := v.(type) {
+	case map[string]any:
+		return "", fmt.Errorf("document: a nested object is not a single value; use a flattened attribute path")
+	case []any:
+		return EncodeArrayJSON(compactJSON(x)), nil
+	case json.Number:
+		if i, err := x.Int64(); err == nil {
+			return EncodeInt(i), nil
+		}
+		if f, err := x.Float64(); err == nil {
+			return EncodeFloat(f), nil
+		}
+		return "n" + x.String(), nil
+	default:
+		return EncodeValue(v), nil
+	}
+}
+
 // DecodeValueString renders a canonical value back to a human-readable
 // JSON-ish literal (used for display and JSON re-serialisation).
 func DecodeValueString(enc string) string {

@@ -1,0 +1,405 @@
+package join
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/document"
+)
+
+// This file implements the multi-query layer over the window engines:
+// many standing queries evaluated against one ingested stream, sharing
+// window state (for FPJ, one FP-tree) whenever their window
+// configurations align. The sharing rule follows Dossinger & Michel's
+// multi-query join optimization: the expensive operator state — the
+// window store and its probe index — is keyed by (engine, window
+// config) only, while the cheap per-query predicates (θ strength,
+// attribute filters) are applied as a demultiplexing step over the
+// shared probe's results. A document is therefore parsed once and
+// probed once per distinct window configuration, not once per query.
+
+// QuerySpec declares one standing query.
+type QuerySpec struct {
+	// Engine is the join engine of the query's window state ("FPJ"
+	// default, "NLJ", "HBJ"). Queries with different engines never
+	// share state.
+	Engine string
+	// WindowDocs > 0 tumbles the query's window automatically after
+	// that many documents. 0 means the window only tumbles on an
+	// explicit Tumble call (or a forced tumble at the max-window-docs
+	// guard); such manual windows get private state — sharing them
+	// would let one tenant's tumble evict another tenant's window.
+	WindowDocs int
+	// Theta in [0,1] is the query's join-strength predicate: a result
+	// pair (L, R) sharing s attribute-value pairs is delivered only if
+	// s >= ceil(Theta * min(|L|, |R|)). 0 keeps the paper's natural
+	// join (any shared pair); 1 demands containment of the smaller
+	// document's pair set. Theta never changes what is stored in the
+	// window, only which shared-probe results the query receives, so
+	// it composes with state sharing.
+	Theta float64
+	// Filters are canonical attribute-value pairs the merged result
+	// document must contain for the query to receive it. Filters apply
+	// to results, not to ingestion: the window state stays identical
+	// across queries, which is what makes it shareable.
+	Filters []document.Pair
+}
+
+// withDefaults normalises the spec.
+func (s QuerySpec) withDefaults() QuerySpec {
+	if s.Engine == "" {
+		s.Engine = "FPJ"
+	}
+	out := s
+	// Sort filters so equal filter sets compare equal in tests and
+	// render deterministically.
+	if len(s.Filters) > 0 {
+		f := make([]document.Pair, len(s.Filters))
+		copy(f, s.Filters)
+		sort.Slice(f, func(i, j int) bool {
+			if f[i].Attr != f[j].Attr {
+				return f[i].Attr < f[j].Attr
+			}
+			return f[i].Val < f[j].Val
+		})
+		out.Filters = f
+	}
+	return out
+}
+
+// Validate rejects malformed specs.
+func (s QuerySpec) Validate() error {
+	if s.Engine != "" {
+		if _, err := New(s.Engine); err != nil {
+			return err
+		}
+	}
+	if s.WindowDocs < 0 {
+		return fmt.Errorf("join: negative window size %d", s.WindowDocs)
+	}
+	if s.Theta < 0 || s.Theta > 1 {
+		return fmt.Errorf("join: theta %g outside [0,1]", s.Theta)
+	}
+	return nil
+}
+
+// GroupKey identifies the window state a query maps to. Queries whose
+// keys are equal share one engine instance (for FPJ: one FP-tree).
+type GroupKey struct {
+	Engine     string
+	WindowDocs int
+	// owner is empty for shared groups; manual-window (WindowDocs 0)
+	// queries carry their query id here so each gets private state.
+	owner string
+}
+
+// String renders the key as a stable label, e.g. "FPJ/w1000" or
+// "FPJ/manual/q3" for a private manual-window group.
+func (k GroupKey) String() string {
+	if k.owner != "" {
+		return fmt.Sprintf("%s/manual/%s", k.Engine, k.owner)
+	}
+	return fmt.Sprintf("%s/w%d", k.Engine, k.WindowDocs)
+}
+
+// Shared reports whether the key denotes shareable state.
+func (k GroupKey) Shared() bool { return k.owner == "" }
+
+// groupKey derives the state key for a query.
+func (s QuerySpec) groupKey(queryID string) GroupKey {
+	if s.WindowDocs == 0 {
+		return GroupKey{Engine: s.Engine, owner: queryID}
+	}
+	return GroupKey{Engine: s.Engine, WindowDocs: s.WindowDocs}
+}
+
+// standing is one registered query.
+type standing struct {
+	id    string
+	spec  QuerySpec
+	group *group
+
+	docsMatched int64
+	results     int64
+}
+
+// group is one window state and the queries subscribed to it.
+type group struct {
+	key     GroupKey
+	win     *Windowed
+	queries map[string]*standing
+
+	inWindow int
+	windows  int
+	forced   int
+}
+
+// QueryStatus is the observable state of one standing query.
+type QueryStatus struct {
+	ID   string
+	Spec QuerySpec
+	// Group labels the window state the query runs on; SharedWith is
+	// the number of other queries on the same state.
+	Group      string
+	SharedWith int
+	// DocsMatched counts ingested documents that produced at least one
+	// result for this query; Results counts delivered results.
+	DocsMatched int64
+	Results     int64
+	// WindowDocs is the current fill of the group's open window;
+	// Windows counts completed tumbles (including forced ones).
+	WindowDocs int
+	Windows    int
+}
+
+// Multi hosts many standing queries over shared window state. It is
+// not safe for concurrent use — callers (core.QuerySet) serialise.
+type Multi struct {
+	groups  map[GroupKey]*group
+	queries map[string]*standing
+	// mkInstruments, when set, supplies per-group join instruments at
+	// group creation (labelled by the group key).
+	mkInstruments func(GroupKey) Instruments
+}
+
+// NewMulti creates an empty multi-query joiner.
+func NewMulti() *Multi {
+	return &Multi{
+		groups:  make(map[GroupKey]*group),
+		queries: make(map[string]*standing),
+	}
+}
+
+// InstrumentWith installs a per-group instrument factory, applied to
+// groups created after the call.
+func (m *Multi) InstrumentWith(f func(GroupKey) Instruments) { m.mkInstruments = f }
+
+// Register adds a standing query under the given id. The query either
+// joins the existing group for its (engine, window) key or creates a
+// new one.
+func (m *Multi) Register(id string, spec QuerySpec) error {
+	if id == "" {
+		return fmt.Errorf("join: empty query id")
+	}
+	if _, dup := m.queries[id]; dup {
+		return fmt.Errorf("join: query %q already registered", id)
+	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	spec = spec.withDefaults()
+	key := spec.groupKey(id)
+	g, ok := m.groups[key]
+	if !ok {
+		eng, err := New(spec.Engine)
+		if err != nil {
+			return err
+		}
+		g = &group{key: key, win: NewWindowed(eng), queries: make(map[string]*standing)}
+		if m.mkInstruments != nil {
+			g.win.SetInstruments(m.mkInstruments(key))
+		}
+		m.groups[key] = g
+	}
+	q := &standing{id: id, spec: spec, group: g}
+	g.queries[id] = q
+	m.queries[id] = q
+	return nil
+}
+
+// Unregister removes a query; the group's window state is freed when
+// its last query leaves. It reports whether the id was registered.
+func (m *Multi) Unregister(id string) bool {
+	q, ok := m.queries[id]
+	if !ok {
+		return false
+	}
+	delete(m.queries, id)
+	delete(q.group.queries, id)
+	if len(q.group.queries) == 0 {
+		delete(m.groups, q.group.key)
+	}
+	return true
+}
+
+// Ingest feeds one document to every group: each group probes its
+// shared window state exactly once, then demultiplexes the results to
+// its queries through their θ/filter predicates via deliver. The
+// returned count is the number of forced tumbles the max-window-docs
+// guard fired (0 when maxWindowDocs is 0, i.e. unbounded).
+func (m *Multi) Ingest(d document.Document, maxWindowDocs int, deliver func(query string, r Result)) (forced int) {
+	for _, g := range m.groups {
+		forced += g.ingest(d, maxWindowDocs, deliver)
+	}
+	return forced
+}
+
+// ingest runs one document through one group's window.
+func (g *group) ingest(d document.Document, maxWindowDocs int, deliver func(string, Result)) (forced int) {
+	results := g.win.Process(d)
+	if len(results) > 0 {
+		// shared[i] caches the shared-pair count of results[i], filled
+		// lazily: only queries with θ > 0 pay for the Classify pass.
+		shared := make([]int, 0)
+		for _, q := range g.queries {
+			matched := 0
+			for i, r := range results {
+				if q.spec.Theta > 0 {
+					for len(shared) <= i {
+						shared = append(shared, -1)
+					}
+					left, ok := g.win.Doc(r.Left)
+					if !ok {
+						continue
+					}
+					if shared[i] < 0 {
+						_, shared[i] = document.Classify(left, d)
+					}
+					need := int(math.Ceil(q.spec.Theta * float64(min(left.Len(), d.Len()))))
+					if shared[i] < need {
+						continue
+					}
+				}
+				if !matchFilters(q.spec.Filters, r.Merged) {
+					continue
+				}
+				deliver(q.id, r)
+				matched++
+			}
+			if matched > 0 {
+				q.docsMatched++
+				q.results += int64(matched)
+			}
+		}
+	}
+	g.inWindow++
+	switch {
+	case g.key.WindowDocs > 0 && g.inWindow >= g.key.WindowDocs:
+		g.tumble()
+	case maxWindowDocs > 0 && g.win.Size() >= maxWindowDocs:
+		// The guard against a manual window nobody tumbles (or a
+		// configured window larger than the cap): evict rather than
+		// grow without bound.
+		g.tumble()
+		g.forced++
+		forced = 1
+	}
+	return forced
+}
+
+// matchFilters reports whether the merged result carries every filter
+// pair.
+func matchFilters(filters []document.Pair, merged document.Document) bool {
+	for _, f := range filters {
+		if !merged.Has(f) {
+			return false
+		}
+	}
+	return true
+}
+
+func (g *group) tumble() (docs, pairs int) {
+	docs, pairs = g.win.Tumble()
+	g.windows++
+	g.inWindow = 0
+	return docs, pairs
+}
+
+// Tumble closes the window of the group hosting the given query. All
+// queries sharing the group observe the eviction — shared state has
+// shared window boundaries (manual-window queries are private for
+// exactly this reason). It reports the closed window's document and
+// pair counts.
+func (m *Multi) Tumble(id string) (docs, pairs int, ok bool) {
+	q, found := m.queries[id]
+	if !found {
+		return 0, 0, false
+	}
+	docs, pairs = q.group.tumble()
+	return docs, pairs, true
+}
+
+// Demux delivers an externally produced join result (e.g. from a
+// scale-out cluster run whose Joiners own the window state) to every
+// query of the shared group matching the external run's engine and
+// window size. Only filter predicates apply on this path: θ needs the
+// input documents, which an external result no longer carries — the
+// external join already enforced the paper's ≥ 1 shared pair.
+func (m *Multi) Demux(engine string, windowDocs int, r Result, deliver func(string, Result)) {
+	g, ok := m.groups[GroupKey{Engine: engine, WindowDocs: windowDocs}]
+	if !ok {
+		return
+	}
+	for _, q := range g.queries {
+		if !matchFilters(q.spec.Filters, r.Merged) {
+			continue
+		}
+		deliver(q.id, r)
+		q.results++
+	}
+}
+
+// Status reports one query's observable state.
+func (m *Multi) Status(id string) (QueryStatus, bool) {
+	q, ok := m.queries[id]
+	if !ok {
+		return QueryStatus{}, false
+	}
+	return QueryStatus{
+		ID:          q.id,
+		Spec:        q.spec,
+		Group:       q.group.key.String(),
+		SharedWith:  len(q.group.queries) - 1,
+		DocsMatched: q.docsMatched,
+		Results:     q.results,
+		WindowDocs:  q.group.win.Size(),
+		Windows:     q.group.windows,
+	}, true
+}
+
+// All lists every query's status, sorted by id.
+func (m *Multi) All() []QueryStatus {
+	out := make([]QueryStatus, 0, len(m.queries))
+	for id := range m.queries {
+		st, _ := m.Status(id)
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Len reports the number of registered queries.
+func (m *Multi) Len() int { return len(m.queries) }
+
+// Groups reports the number of live window states and how many of them
+// are shared by more than one query — the "are we actually sharing"
+// gauges the acceptance tests assert on.
+func (m *Multi) Groups() (total, shared int) {
+	for _, g := range m.groups {
+		total++
+		if len(g.queries) > 1 {
+			shared++
+		}
+	}
+	return total, shared
+}
+
+// GroupKeys lists the live group keys (diagnostics and telemetry
+// cleanup).
+func (m *Multi) GroupKeys() []GroupKey {
+	out := make([]GroupKey, 0, len(m.groups))
+	for k := range m.groups {
+		out = append(out, k)
+	}
+	return out
+}
+
+// ForcedTumbles sums the forced-tumble count across live groups.
+func (m *Multi) ForcedTumbles() int {
+	n := 0
+	for _, g := range m.groups {
+		n += g.forced
+	}
+	return n
+}

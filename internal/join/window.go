@@ -237,6 +237,14 @@ func (w *Windowed) Tumble() (docs, pairs int) {
 // Size reports the number of documents stored in the current window.
 func (w *Windowed) Size() int { return len(w.store) }
 
+// Doc returns the stored document with the given id, if it is in the
+// current window. The multi-query demux uses it to recover a result's
+// left-hand input for θ predicates.
+func (w *Windowed) Doc(id uint64) (document.Document, bool) {
+	d, ok := w.store[id]
+	return d, ok
+}
+
 // Duplicates reports how many duplicate deliveries were suppressed in
 // the current window.
 func (w *Windowed) Duplicates() int { return w.duplicates }

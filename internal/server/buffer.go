@@ -1,0 +1,108 @@
+package server
+
+import (
+	"encoding/json"
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+// bufferedResult is one join result held for asynchronous delivery.
+// Seq numbers are per query, start at 1 and never repeat, so a client
+// can resume a long-poll or SSE stream from the last sequence it saw
+// and detect gaps introduced by overflow drops.
+type bufferedResult struct {
+	Seq    uint64          `json:"seq"`
+	Left   uint64          `json:"left"`
+	Right  uint64          `json:"right"`
+	Merged json.RawMessage `json:"merged"`
+}
+
+// resultBuffer is one query's bounded result queue. Producers push
+// under the server's ingest path; consumers drain via long-poll or SSE.
+// On overflow the oldest results are dropped (the stream is a tap, not
+// a ledger — a slow client must not stall ingest or other tenants) and
+// the drop count is surfaced so the client can tell.
+type resultBuffer struct {
+	mu      sync.Mutex
+	base    uint64 // seq of items[0]; base+len(items) is the last seq
+	items   []bufferedResult
+	cap     int
+	dropped int64
+	wake    chan struct{} // closed on push/close, then replaced
+	closed  bool
+
+	depth    *telemetry.Gauge   // live fill level
+	droppedC *telemetry.Counter // overflow drops
+}
+
+func newResultBuffer(capacity int, depth *telemetry.Gauge, dropped *telemetry.Counter) *resultBuffer {
+	return &resultBuffer{
+		cap:      capacity,
+		wake:     make(chan struct{}),
+		depth:    depth,
+		droppedC: dropped,
+	}
+}
+
+// push appends one result, evicting the oldest on overflow, and wakes
+// every waiting consumer.
+func (b *resultBuffer) push(left, right uint64, merged json.RawMessage) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	if len(b.items) >= b.cap {
+		drop := len(b.items) - b.cap + 1
+		b.items = b.items[drop:]
+		b.base += uint64(drop)
+		b.dropped += int64(drop)
+		b.droppedC.Add(int64(drop))
+	}
+	seq := b.base + uint64(len(b.items)) + 1
+	b.items = append(b.items, bufferedResult{Seq: seq, Left: left, Right: right, Merged: merged})
+	b.depth.SetInt(len(b.items))
+	close(b.wake)
+	b.wake = make(chan struct{})
+	b.mu.Unlock()
+}
+
+// after returns up to max results with Seq > after, plus the channel a
+// consumer can wait on when the slice is empty and whether the buffer
+// was closed. max <= 0 means no limit.
+func (b *resultBuffer) after(after uint64, max int) (out []bufferedResult, wake <-chan struct{}, closed bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	start := 0
+	if after > b.base {
+		start = int(after - b.base)
+	}
+	if start < len(b.items) {
+		out = b.items[start:]
+		if max > 0 && len(out) > max {
+			out = out[:max]
+		}
+		out = append([]bufferedResult(nil), out...)
+	}
+	return out, b.wake, b.closed
+}
+
+// stats reports the fill level, total drops and the last assigned seq.
+func (b *resultBuffer) stats() (depth int, dropped int64, lastSeq uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.items), b.dropped, b.base + uint64(len(b.items))
+}
+
+// close wakes all consumers and rejects further pushes; buffered
+// results stay readable so a final drain can complete.
+func (b *resultBuffer) close() {
+	b.mu.Lock()
+	if !b.closed {
+		b.closed = true
+		close(b.wake)
+		b.wake = make(chan struct{})
+	}
+	b.mu.Unlock()
+}

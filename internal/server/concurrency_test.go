@@ -1,0 +1,143 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestConcurrentQueryLifecycle exercises the multi-tenant registry
+// under concurrency (run with -race): goroutines register and tear down
+// queries while documents stream in. Two long-lived queries with
+// identical window configs must share one tree, observe identical
+// result multisets and lose nothing to the churn; deleted queries must
+// never serve results after their DELETE returns (no ghosts).
+func TestConcurrentQueryLifecycle(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	ts := newTestServer(t, WithTelemetry(reg))
+	createQuery(t, ts.URL, `{"id":"stable-a","window":1000}`)
+	createQuery(t, ts.URL, `{"id":"stable-b","window":1000}`)
+	if g := reg.Snapshot().Gauge("queryset_shared_window_groups"); g != 1 {
+		t.Fatalf("shared groups gauge = %g, want 1 (stable-a/b must share)", g)
+	}
+
+	const (
+		churners     = 4
+		churnRounds  = 25
+		ingesters    = 4
+		docsPerInges = 30
+	)
+	var wg sync.WaitGroup
+	var ghosts atomic.Int64
+
+	for g := 0; g < churners; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < churnRounds; i++ {
+				id := fmt.Sprintf("churn-%d-%d", g, i)
+				spec := fmt.Sprintf(`{"id":%q,"window":1000}`, id)
+				resp, err := http.Post(ts.URL+"/queries", "application/json", strings.NewReader(spec))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusCreated {
+					t.Errorf("churn create = %d", resp.StatusCode)
+					return
+				}
+				req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/queries/"+id, nil)
+				dresp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				dresp.Body.Close()
+				// After DELETE returns, the query must be gone: its
+				// results endpoint answering anything but 404 would be a
+				// ghost.
+				gresp, err := http.Get(ts.URL + "/queries/" + id + "/results")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				gresp.Body.Close()
+				if gresp.StatusCode != http.StatusNotFound {
+					ghosts.Add(1)
+				}
+			}
+		}(g)
+	}
+	// Ingesters stream documents concurrently; disjoint key spaces per
+	// ingester keep the expected result count exact: each ingester's
+	// docs all share one attribute pair, so its n docs contribute
+	// C(n,2) pairs and never join another ingester's.
+	for g := 0; g < ingesters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < docsPerInges; i++ {
+				doc := fmt.Sprintf(`{"stream%d":1}`, g)
+				resp, err := http.Post(ts.URL+"/documents", "application/json", strings.NewReader(doc))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if n := ghosts.Load(); n != 0 {
+		t.Errorf("%d ghost responses from deleted queries", n)
+	}
+	// C(30,2) per ingester stream.
+	want := ingesters * (docsPerInges * (docsPerInges - 1) / 2)
+	counts := map[string][][2]uint64{}
+	for _, id := range []string{"stable-a", "stable-b"} {
+		after := uint64(0)
+		for {
+			rr := getResults(t, ts.URL, id, fmt.Sprintf("?after=%d&max=1000", after))
+			if rr.Dropped != 0 {
+				t.Fatalf("%s dropped %d results; raise the buffer for this test", id, rr.Dropped)
+			}
+			if len(rr.Results) == 0 {
+				break
+			}
+			for _, r := range rr.Results {
+				counts[id] = append(counts[id], pairKey(r.Left, r.Right))
+			}
+			after = rr.Results[len(rr.Results)-1].Seq
+		}
+		if len(counts[id]) != want {
+			t.Errorf("%s got %d results, want %d (lost results)", id, len(counts[id]), want)
+		}
+	}
+	if !samePairs(counts["stable-a"], counts["stable-b"]) {
+		t.Error("co-resident stable queries diverge")
+	}
+	// The churn left no residue: the shared group plus default remain.
+	var stats struct {
+		Queries      int `json:"queries"`
+		WindowGroups int `json:"window_groups"`
+	}
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Queries != 3 || stats.WindowGroups != 2 {
+		t.Errorf("post-churn stats = %+v, want 3 queries / 2 groups", stats)
+	}
+}

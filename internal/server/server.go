@@ -1,23 +1,37 @@
-// Package server exposes the schema-free stream join as an HTTP
-// service: clients POST JSON documents and receive the join results the
-// document completes; windows tumble on demand or automatically every
-// N documents. The service wraps core.Pipeline and serialises access,
-// so it is safe for concurrent clients.
+// Package server exposes the schema-free stream join as a multi-tenant
+// HTTP service. Clients register standing queries — each an (engine,
+// window, θ, filters) specification — and stream JSON documents in;
+// every ingested document is classified once and probed against window
+// state that is shared across all queries whose (engine, window)
+// configurations align, with per-query state only where they diverge.
+// Results demux to each query through its own predicates and are
+// buffered for retrieval by long-poll or server-sent events.
 //
 // Endpoints:
 //
-//	POST /documents   one JSON object, or NDJSON for a batch
-//	POST /tumble      close the current window
-//	GET  /stats       processing counters
-//	GET  /metrics     Prometheus text exposition (when telemetry is on)
-//	GET  /debug/stats JSON telemetry snapshot (when telemetry is on)
-//	GET  /healthz     liveness
+//	POST   /documents             one JSON object, or NDJSON for a batch
+//	POST   /tumble                close the default query's window
+//	GET    /stats                 legacy processing counters
+//	POST   /queries               register a standing query
+//	GET    /queries               list standing queries
+//	GET    /queries/{id}          one query's status
+//	DELETE /queries/{id}          remove a query
+//	POST   /queries/{id}/tumble   close the query's window (shared!)
+//	GET    /queries/{id}/results  long-poll buffered results
+//	GET    /queries/{id}/stream   server-sent events result stream
+//	GET    /metrics               Prometheus text (when telemetry is on)
+//	GET    /debug/stats           JSON telemetry snapshot (ditto)
+//	GET    /healthz               liveness
+//
+// A built-in query with id "default" is always registered from the
+// construction options, so the pre-multi-tenant endpoints (POST
+// /documents result echo, /tumble, /stats) keep their old semantics as
+// views onto that query.
 package server
 
 import (
 	"bufio"
 	"bytes"
-	"encoding/json"
 	"fmt"
 	"net/http"
 	"sync"
@@ -27,32 +41,28 @@ import (
 	"repro/internal/telemetry"
 )
 
-// Config parameterises the service.
-type Config struct {
-	// Engine is the local join engine ("FPJ" default).
-	Engine string
-	// WindowSize > 0 tumbles the window automatically after that many
-	// documents; 0 means windows tumble only via POST /tumble.
-	WindowSize int
-	// MaxBodyBytes caps request bodies (default 8 MiB).
-	MaxBodyBytes int64
-	// Telemetry, when non-nil, receives the service counters and the
-	// pipeline's join instruments, and Handler additionally mounts the
-	// registry's /metrics and /debug/stats scrape routes.
-	Telemetry *telemetry.Registry
-}
+// DefaultQueryID is the always-registered query that the legacy
+// single-tenant endpoints operate on. It cannot be deleted.
+const DefaultQueryID = "default"
 
 // Server is the HTTP handler set.
 type Server struct {
-	cfg Config
+	set settings
+	qs  *core.QuerySet
 
-	mu       sync.Mutex
-	pipeline *core.Pipeline
-	inWindow int
-	stats    Stats
+	// mu guards the result-buffer registry, the legacy stats and the
+	// id generator. Lock ordering: the query set's internal lock is
+	// always taken first (its deliver callbacks never run under mu),
+	// so no method may call into qs while holding mu.
+	mu          sync.Mutex
+	buffers     map[string]*resultBuffer
+	stats       Stats
+	lastWindows int // default query's tumble count at last sync
+	nextID      int
+	closed      bool
 
-	// Live instruments mirroring Stats (nil-safe no-ops when telemetry
-	// is off).
+	done chan struct{} // closed by Close; unblocks long-poll and SSE
+
 	tel struct {
 		documents   *telemetry.Counter
 		pairs       *telemetry.Counter
@@ -61,41 +71,125 @@ type Server struct {
 	}
 }
 
-// Stats are the service counters returned by GET /stats.
+// Stats are the legacy service counters returned by GET /stats; the
+// join-related fields are views onto the default query.
 type Stats struct {
 	Documents   int `json:"documents"`
 	JoinPairs   int `json:"join_pairs"`
 	Windows     int `json:"windows"`
 	ParseErrors int `json:"parse_errors"`
-	// CurrentWindowDocs is the fill level of the open window.
+	// CurrentWindowDocs is the fill level of the default query's open
+	// window.
 	CurrentWindowDocs int `json:"current_window_docs"`
-}
-
-// resultJSON is one join result in responses.
-type resultJSON struct {
-	Left   uint64          `json:"left"`
-	Right  uint64          `json:"right"`
-	Merged json.RawMessage `json:"merged"`
+	// Queries is the number of registered standing queries (including
+	// the default one); WindowGroups / SharedWindowGroups expose how
+	// much state they share.
+	Queries            int `json:"queries"`
+	WindowGroups       int `json:"window_groups"`
+	SharedWindowGroups int `json:"shared_window_groups"`
 }
 
 // New builds the service.
-func New(cfg Config) (*Server, error) {
-	if cfg.MaxBodyBytes <= 0 {
-		cfg.MaxBodyBytes = 8 << 20
+func New(opts ...Option) (*Server, error) {
+	set := defaultSettings()
+	for _, opt := range opts {
+		opt(&set)
 	}
-	p, err := core.NewPipeline(cfg.Engine)
-	if err != nil {
-		return nil, err
+	s := &Server{
+		set:     set,
+		buffers: make(map[string]*resultBuffer),
+		done:    make(chan struct{}),
 	}
-	s := &Server{cfg: cfg, pipeline: p}
-	if reg := cfg.Telemetry; reg != nil {
-		p.Instrument(reg)
+	// The default query occupies one slot beyond the user-facing cap.
+	s.qs = core.NewQuerySet(core.QuerySetConfig{
+		MaxQueries:    set.maxQueries + 1,
+		MaxWindowDocs: set.maxWindowDocs,
+		Telemetry:     set.telemetry,
+	})
+	if reg := set.telemetry; reg != nil {
 		s.tel.documents = reg.Counter("server_documents_total")
 		s.tel.pairs = reg.Counter("server_join_pairs_total")
 		s.tel.windows = reg.Counter("server_windows_total")
 		s.tel.parseErrors = reg.Counter("server_parse_errors_total")
 	}
+	spec := join.QuerySpec{Engine: set.engine, WindowDocs: set.window}
+	if err := s.registerQuery(DefaultQueryID, spec); err != nil {
+		return nil, err
+	}
 	return s, nil
+}
+
+// Close shuts the service down for graceful drain: in-flight long-polls
+// and SSE streams return with whatever is buffered, new ingests are
+// rejected with 503. Safe to call more than once.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.done)
+	for _, b := range s.buffers {
+		b.close()
+	}
+	s.mu.Unlock()
+}
+
+// registerQuery creates the result buffer first and then registers the
+// query, so a result delivered the instant registration lands always
+// finds its buffer (no lost results); on failure the buffer is removed.
+func (s *Server) registerQuery(id string, spec join.QuerySpec) error {
+	reg := s.set.telemetry
+	buf := newResultBuffer(s.set.resultBuffer,
+		reg.Gauge(telemetry.Name("server_query_result_buffer", "query", id)),
+		reg.Counter(telemetry.Name("server_query_results_dropped_total", "query", id)))
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("server: shutting down")
+	}
+	if _, dup := s.buffers[id]; dup {
+		s.mu.Unlock()
+		return fmt.Errorf("join: query %q already registered", id)
+	}
+	s.buffers[id] = buf
+	s.mu.Unlock()
+
+	if err := s.qs.Register(id, spec); err != nil {
+		s.mu.Lock()
+		delete(s.buffers, id)
+		s.mu.Unlock()
+		s.dropBufferSeries(id)
+		return err
+	}
+	return nil
+}
+
+// removeQuery unregisters the query and retires its buffer. Once the
+// query set unregister returns, no new results can be collected for the
+// id, so closing the buffer afterwards guarantees no ghost deliveries.
+func (s *Server) removeQuery(id string) bool {
+	if !s.qs.Unregister(id) {
+		return false
+	}
+	s.mu.Lock()
+	buf := s.buffers[id]
+	delete(s.buffers, id)
+	s.mu.Unlock()
+	if buf != nil {
+		buf.close()
+	}
+	s.dropBufferSeries(id)
+	return true
+}
+
+// dropBufferSeries retires a query's buffer telemetry series.
+func (s *Server) dropBufferSeries(id string) {
+	s.set.telemetry.Drop(
+		telemetry.Name("server_query_result_buffer", "query", id),
+		telemetry.Name("server_query_results_dropped_total", "query", id),
+	)
 }
 
 // Handler returns the routed HTTP handler.
@@ -104,11 +198,18 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /documents", s.handleDocuments)
 	mux.HandleFunc("POST /tumble", s.handleTumble)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("POST /queries", s.handleCreateQuery)
+	mux.HandleFunc("GET /queries", s.handleListQueries)
+	mux.HandleFunc("GET /queries/{id}", s.handleGetQuery)
+	mux.HandleFunc("DELETE /queries/{id}", s.handleDeleteQuery)
+	mux.HandleFunc("POST /queries/{id}/tumble", s.handleQueryTumble)
+	mux.HandleFunc("GET /queries/{id}/results", s.handleQueryResults)
+	mux.HandleFunc("GET /queries/{id}/stream", s.handleQueryStream)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
-	if reg := s.cfg.Telemetry; reg != nil {
+	if reg := s.set.telemetry; reg != nil {
 		scrape := reg.Handler()
 		mux.Handle("GET /metrics", scrape)
 		mux.Handle("GET /debug/stats", scrape)
@@ -116,96 +217,141 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// handleDocuments ingests one document or an NDJSON batch and answers
-// with the join results the ingested documents produced.
+// handleDocuments ingests one document or an NDJSON batch. Every
+// registered query's window state sees each document; the response
+// echoes the default query's results (legacy contract) plus the
+// per-query match counts, and all results land in the queries' buffers
+// for asynchronous retrieval.
 func (s *Server) handleDocuments(w http.ResponseWriter, r *http.Request) {
-	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	scanner := bufio.NewScanner(body)
-	scanner.Buffer(make([]byte, 0, 64*1024), int(s.cfg.MaxBodyBytes))
-
-	var results []resultJSON
-	ingested := 0
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	if s.closed {
+		s.mu.Unlock()
+		http.Error(w, "shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	s.mu.Unlock()
+
+	body := http.MaxBytesReader(w, r.Body, s.set.maxBody)
+	scanner := bufio.NewScanner(body)
+	scanner.Buffer(make([]byte, 0, 64*1024), int(s.set.maxBody))
+
+	var defaults []bufferedResult
+	counts := map[string]int{}
+	ingested := 0
+	// collected holds one ingest's deliveries; the deliver callback
+	// runs under the query set's lock, so it only appends here and the
+	// buffer pushes happen afterwards.
+	var collected []delivery
 	for scanner.Scan() {
 		line := bytes.TrimSpace(scanner.Bytes())
 		if len(line) == 0 {
 			continue
 		}
-		rs, err := s.pipeline.ProcessJSON(line)
+		collected = collected[:0]
+		err := s.qs.IngestJSON(line, func(id string, r join.Result) {
+			collected = append(collected, delivery{id, r})
+		})
 		if err != nil {
+			s.mu.Lock()
 			s.stats.ParseErrors++
+			s.mu.Unlock()
 			s.tel.parseErrors.Inc()
 			http.Error(w, fmt.Sprintf("document %d: %v", ingested+1, err), http.StatusBadRequest)
 			return
 		}
 		ingested++
-		s.stats.Documents++
 		s.tel.documents.Inc()
-		s.inWindow++
-		results = append(results, encodeResults(rs)...)
-		s.stats.JoinPairs += len(rs)
-		s.tel.pairs.Add(int64(len(rs)))
-		if s.cfg.WindowSize > 0 && s.inWindow >= s.cfg.WindowSize {
-			s.tumbleLocked()
-		}
+		defaults = s.dispatch(collected, counts, defaults)
 	}
 	if err := scanner.Err(); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	s.mu.Lock()
+	s.stats.Documents += ingested
+	s.stats.JoinPairs += len(defaults)
+	s.mu.Unlock()
+	s.tel.pairs.Add(int64(len(defaults)))
+	s.syncWindows()
+	if defaults == nil {
+		defaults = []bufferedResult{}
+	}
 	writeJSON(w, map[string]any{
 		"ingested": ingested,
-		"results":  emptyIfNil(results),
+		"results":  defaults,
+		"queries":  counts,
 	})
 }
 
-func (s *Server) handleTumble(w http.ResponseWriter, _ *http.Request) {
+// delivery is one (query, result) pair collected during an ingest.
+type delivery struct {
+	id string
+	r  join.Result
+}
+
+// dispatch pushes collected deliveries into the query buffers and
+// returns the default query's results extended with this round's. A
+// query deleted between collection and dispatch simply has no buffer
+// any more — its results are discarded, never misdelivered.
+func (s *Server) dispatch(collected []delivery, counts map[string]int, defaults []bufferedResult) []bufferedResult {
 	s.mu.Lock()
-	docs, pairs := s.tumbleLocked()
-	s.mu.Unlock()
-	writeJSON(w, map[string]any{"documents": docs, "pairs": pairs})
-}
-
-// tumbleLocked closes the window; callers hold s.mu.
-func (s *Server) tumbleLocked() (docs, pairs int) {
-	docs, pairs = s.pipeline.Tumble()
-	s.stats.Windows++
-	s.tel.windows.Inc()
-	s.inWindow = 0
-	return docs, pairs
-}
-
-func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	st := s.stats
-	st.CurrentWindowDocs = s.inWindow
-	s.mu.Unlock()
-	writeJSON(w, st)
-}
-
-func encodeResults(rs []join.Result) []resultJSON {
-	out := make([]resultJSON, 0, len(rs))
-	for _, r := range rs {
-		merged, err := r.Merged.MarshalJSON()
+	defer s.mu.Unlock()
+	for _, d := range collected {
+		merged, err := d.r.Merged.MarshalJSON()
 		if err != nil {
 			continue // unreachable for valid documents
 		}
-		out = append(out, resultJSON{Left: r.Left, Right: r.Right, Merged: merged})
+		counts[d.id]++
+		if buf := s.buffers[d.id]; buf != nil {
+			buf.push(d.r.Left, d.r.Right, merged)
+		}
+		if d.id == DefaultQueryID {
+			n := uint64(len(defaults)) + 1
+			defaults = append(defaults, bufferedResult{Seq: n, Left: d.r.Left, Right: d.r.Right, Merged: merged})
+		}
 	}
-	return out
+	return defaults
 }
 
-func emptyIfNil(rs []resultJSON) []resultJSON {
-	if rs == nil {
-		return []resultJSON{}
+// syncWindows folds the default query's tumble count into the legacy
+// stats and telemetry (windows can also advance inside ingest via
+// auto- or forced tumbles, so the count is read back, not tracked).
+func (s *Server) syncWindows() {
+	st, ok := s.qs.Status(DefaultQueryID)
+	if !ok {
+		return
 	}
-	return rs
+	s.mu.Lock()
+	delta := st.Windows - s.lastWindows
+	s.lastWindows = st.Windows
+	s.stats.Windows = st.Windows
+	s.mu.Unlock()
+	if delta > 0 {
+		s.tel.windows.Add(int64(delta))
+	}
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetEscapeHTML(false)
-	_ = enc.Encode(v)
+func (s *Server) handleTumble(w http.ResponseWriter, _ *http.Request) {
+	docs, pairs, err := s.qs.Tumble(DefaultQueryID)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.syncWindows()
+	writeJSON(w, map[string]any{"documents": docs, "pairs": pairs})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st, _ := s.qs.Status(DefaultQueryID)
+	total, shared := s.qs.Groups()
+	n := s.qs.Len()
+	s.mu.Lock()
+	out := s.stats
+	s.mu.Unlock()
+	out.Windows = st.Windows
+	out.CurrentWindowDocs = st.WindowDocs
+	out.Queries = n
+	out.WindowGroups = total
+	out.SharedWindowGroups = shared
+	writeJSON(w, out)
 }

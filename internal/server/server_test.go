@@ -12,24 +12,27 @@ import (
 	"repro/internal/telemetry"
 )
 
-func newTestServer(t *testing.T, cfg Config) *httptest.Server {
+func newTestServer(t *testing.T, opts ...Option) *httptest.Server {
 	t.Helper()
-	s, err := New(cfg)
+	s, err := New(opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
+	t.Cleanup(s.Close)
 	return ts
 }
 
 type docsResponse struct {
 	Ingested int `json:"ingested"`
 	Results  []struct {
+		Seq    uint64          `json:"seq"`
 		Left   uint64          `json:"left"`
 		Right  uint64          `json:"right"`
 		Merged json.RawMessage `json:"merged"`
 	} `json:"results"`
+	Queries map[string]int `json:"queries"`
 }
 
 func post(t *testing.T, url, body string) (*http.Response, []byte) {
@@ -61,7 +64,7 @@ func readAll(t *testing.T, resp *http.Response) string {
 }
 
 func TestIngestSingleAndJoin(t *testing.T) {
-	ts := newTestServer(t, Config{})
+	ts := newTestServer(t)
 	resp, _ := post(t, ts.URL+"/documents", `{"User":"A","Severity":"Warning"}`)
 	if resp.StatusCode != 200 {
 		t.Fatalf("status %d", resp.StatusCode)
@@ -84,10 +87,13 @@ func TestIngestSingleAndJoin(t *testing.T) {
 	if merged["Severity"] != "Warning" || merged["MsgId"] != float64(2) {
 		t.Errorf("merged = %v", merged)
 	}
+	if dr.Queries[DefaultQueryID] != 1 {
+		t.Errorf("queries = %v, want default: 1", dr.Queries)
+	}
 }
 
 func TestIngestNDJSONBatch(t *testing.T) {
-	ts := newTestServer(t, Config{})
+	ts := newTestServer(t)
 	batch := `{"a":1}` + "\n" + `{"a":1,"b":2}` + "\n\n" + `{"a":1,"c":3}` + "\n"
 	resp, body := post(t, ts.URL+"/documents", batch)
 	if resp.StatusCode != 200 {
@@ -107,7 +113,7 @@ func TestIngestNDJSONBatch(t *testing.T) {
 }
 
 func TestMalformedDocumentRejected(t *testing.T) {
-	ts := newTestServer(t, Config{})
+	ts := newTestServer(t)
 	resp, _ := post(t, ts.URL+"/documents", `{"broken`)
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("status = %d, want 400", resp.StatusCode)
@@ -134,7 +140,7 @@ func getStats(t *testing.T, base string) Stats {
 }
 
 func TestManualTumble(t *testing.T) {
-	ts := newTestServer(t, Config{})
+	ts := newTestServer(t)
 	post(t, ts.URL+"/documents", `{"a":1}`)
 	post(t, ts.URL+"/documents", `{"a":1}`)
 	resp, body := post(t, ts.URL+"/tumble", "")
@@ -158,7 +164,7 @@ func TestManualTumble(t *testing.T) {
 }
 
 func TestAutoTumble(t *testing.T) {
-	ts := newTestServer(t, Config{WindowSize: 2})
+	ts := newTestServer(t, WithWindow(2))
 	post(t, ts.URL+"/documents", `{"a":1}`)
 	post(t, ts.URL+"/documents", `{"a":1}`)
 	// Window tumbled automatically after 2 docs.
@@ -178,16 +184,19 @@ func TestAutoTumble(t *testing.T) {
 }
 
 func TestStatsCounts(t *testing.T) {
-	ts := newTestServer(t, Config{})
+	ts := newTestServer(t)
 	post(t, ts.URL+"/documents", `{"a":1}`+"\n"+`{"a":1}`)
 	st := getStats(t, ts.URL)
 	if st.Documents != 2 || st.JoinPairs != 1 || st.CurrentWindowDocs != 2 {
 		t.Errorf("stats = %+v", st)
 	}
+	if st.Queries != 1 || st.WindowGroups != 1 {
+		t.Errorf("stats query fields = %+v", st)
+	}
 }
 
 func TestHealthz(t *testing.T) {
-	ts := newTestServer(t, Config{})
+	ts := newTestServer(t)
 	resp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
@@ -199,7 +208,7 @@ func TestHealthz(t *testing.T) {
 }
 
 func TestMethodRouting(t *testing.T) {
-	ts := newTestServer(t, Config{})
+	ts := newTestServer(t)
 	resp, err := http.Get(ts.URL + "/documents")
 	if err != nil {
 		t.Fatal(err)
@@ -211,7 +220,7 @@ func TestMethodRouting(t *testing.T) {
 }
 
 func TestConcurrentClients(t *testing.T) {
-	ts := newTestServer(t, Config{})
+	ts := newTestServer(t)
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {
 		wg.Add(1)
@@ -236,13 +245,13 @@ func TestConcurrentClients(t *testing.T) {
 }
 
 func TestBadEngine(t *testing.T) {
-	if _, err := New(Config{Engine: "nope"}); err == nil {
+	if _, err := New(WithEngine("nope")); err == nil {
 		t.Error("bad engine must fail")
 	}
 }
 
 func TestBodyLimit(t *testing.T) {
-	ts := newTestServer(t, Config{MaxBodyBytes: 64})
+	ts := newTestServer(t, WithMaxBodyBytes(64))
 	big := `{"a":"` + strings.Repeat("x", 200) + `"}`
 	resp, _ := post(t, ts.URL+"/documents", big)
 	if resp.StatusCode == http.StatusOK {
@@ -252,7 +261,7 @@ func TestBodyLimit(t *testing.T) {
 
 func TestTelemetryEndpoints(t *testing.T) {
 	reg := telemetry.NewRegistry()
-	ts := newTestServer(t, Config{Telemetry: reg})
+	ts := newTestServer(t, WithTelemetry(reg))
 	post(t, ts.URL+"/documents", `{"a":1}`+"\n"+`{"a":1,"b":2}`+"\n")
 	post(t, ts.URL+"/tumble", "")
 	post(t, ts.URL+"/documents", `{"broken`)
@@ -272,6 +281,7 @@ func TestTelemetryEndpoints(t *testing.T) {
 		"server_windows_total 1",
 		"server_parse_errors_total 1",
 		"# TYPE join_probe_seconds histogram",
+		"queryset_window_groups 1",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q:\n%.600s", want, body)
@@ -283,21 +293,20 @@ func TestTelemetryEndpoints(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var snap struct {
-		Counters map[string]int64 `json:"counters"`
-	}
+	var snap telemetry.Snapshot
 	if err := json.Unmarshal([]byte(readAll(t, resp)), &snap); err != nil {
 		t.Fatal(err)
 	}
-	if snap.Counters["join_results_total"] != 1 {
-		t.Errorf("debug snapshot join_results_total = %d, want 1", snap.Counters["join_results_total"])
+	// The join series is labelled by window group now; sum over labels.
+	if n := snap.SumCounter("join_results_total"); n != 1 {
+		t.Errorf("debug snapshot join_results_total = %d, want 1", n)
 	}
 }
 
 // TestTelemetryOffNoEndpoints: without a registry the scrape routes
 // stay unrouted.
 func TestTelemetryOffNoEndpoints(t *testing.T) {
-	ts := newTestServer(t, Config{})
+	ts := newTestServer(t)
 	resp, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
 		t.Fatal(err)
@@ -305,5 +314,43 @@ func TestTelemetryOffNoEndpoints(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("GET /metrics without telemetry = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestConfigShimEquivalence: a server built through the deprecated
+// Config shim behaves identically to one built with the equivalent
+// functional options.
+func TestConfigShimEquivalence(t *testing.T) {
+	regA, regB := telemetry.NewRegistry(), telemetry.NewRegistry()
+	a, err := NewFromConfig(Config{Engine: "NLJ", WindowSize: 2, MaxBodyBytes: 1 << 20, Telemetry: regA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(WithEngine("NLJ"), WithWindow(2), WithMaxBodyBytes(1<<20), WithTelemetry(regB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsA, tsB := httptest.NewServer(a.Handler()), httptest.NewServer(b.Handler())
+	t.Cleanup(tsA.Close)
+	t.Cleanup(tsB.Close)
+
+	batch := `{"a":1}` + "\n" + `{"a":1,"b":2}` + "\n" + `{"a":1,"c":3}` + "\n"
+	_, bodyA := post(t, tsA.URL+"/documents", batch)
+	_, bodyB := post(t, tsB.URL+"/documents", batch)
+	if string(bodyA) != string(bodyB) {
+		t.Errorf("ingest responses diverge:\n%s\n%s", bodyA, bodyB)
+	}
+	stA, stB := getStats(t, tsA.URL), getStats(t, tsB.URL)
+	if stA != stB {
+		t.Errorf("stats diverge: %+v vs %+v", stA, stB)
+	}
+	cA, cB := regA.Snapshot().Counters, regB.Snapshot().Counters
+	if len(cA) != len(cB) {
+		t.Errorf("telemetry series diverge: %d vs %d", len(cA), len(cB))
+	}
+	for name, v := range cA {
+		if cB[name] != v {
+			t.Errorf("counter %s: %d vs %d", name, v, cB[name])
+		}
 	}
 }

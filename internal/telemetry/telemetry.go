@@ -230,6 +230,25 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// Drop removes the named series from the registry: they disappear from
+// future scrapes and snapshots. Instruments already handed out keep
+// working (they are plain atomics) but are no longer visible — the
+// intended use is retiring the per-query labelled series of a deleted
+// standing query, whose instruments are dropped along with the query.
+// Re-resolving a dropped name later starts a fresh series from zero.
+func (r *Registry) Drop(names ...string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range names {
+		delete(r.counters, name)
+		delete(r.gauges, name)
+		delete(r.hists, name)
+	}
+}
+
 // Name composes a series name from a base metric name and label
 // key/value pairs: Name("x_total", "component", "joiner") yields
 // `x_total{component="joiner"}`. Labels render in the order given;

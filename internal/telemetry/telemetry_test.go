@@ -72,6 +72,37 @@ func TestCounterGaugeHistogram(t *testing.T) {
 	}
 }
 
+func TestDrop(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Name("q_total", "query", "a")).Inc()
+	r.Counter(Name("q_total", "query", "b")).Inc()
+	r.Gauge(Name("depth", "query", "a")).Set(7)
+	r.Histogram(Name("lat_seconds", "query", "a")).Observe(time.Millisecond)
+
+	r.Drop(Name("q_total", "query", "a"), Name("depth", "query", "a"), Name("lat_seconds", "query", "a"))
+	snap := r.Snapshot()
+	if _, ok := snap.Counters[Name("q_total", "query", "a")]; ok {
+		t.Error("dropped counter series still present")
+	}
+	if _, ok := snap.Gauges[Name("depth", "query", "a")]; ok {
+		t.Error("dropped gauge series still present")
+	}
+	if _, ok := snap.Histograms[Name("lat_seconds", "query", "a")]; ok {
+		t.Error("dropped histogram series still present")
+	}
+	if snap.Counter(Name("q_total", "query", "b")) != 1 {
+		t.Error("sibling series lost by Drop")
+	}
+	// A re-created series starts fresh rather than resurrecting state.
+	if v := r.Counter(Name("q_total", "query", "a")).Value(); v != 0 {
+		t.Errorf("recreated series = %d, want 0", v)
+	}
+	// Nil registry and unknown names are no-ops.
+	var nilReg *Registry
+	nilReg.Drop("anything")
+	r.Drop("never_registered")
+}
+
 func TestConcurrentInstruments(t *testing.T) {
 	r := NewRegistry()
 	var wg sync.WaitGroup

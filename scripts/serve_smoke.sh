@@ -1,0 +1,90 @@
+#!/usr/bin/env sh
+# serve_smoke.sh — end-to-end smoke test for the multi-tenant query
+# service. Builds sfj-serve, starts it, registers two standing queries,
+# streams a document batch, asserts both result streams are non-empty,
+# and checks the server shuts down gracefully on SIGTERM.
+#
+# Deliberately dependency-free: explicit query ids and grep-based JSON
+# probing, no jq.
+set -eu
+
+ADDR="127.0.0.1:18080"
+BASE="http://$ADDR"
+TMP="$(mktemp -d)"
+BIN="$TMP/sfj-serve"
+trap 'kill $SERVE_PID 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+echo "== build"
+go build -o "$BIN" ./cmd/sfj-serve
+
+echo "== start"
+"$BIN" -addr "$ADDR" -window 0 -max-window-docs 100000 &
+SERVE_PID=$!
+
+# Wait for liveness.
+i=0
+until curl -sf "$BASE/healthz" >/dev/null 2>&1; do
+  i=$((i + 1))
+  if [ "$i" -gt 50 ]; then
+    echo "server never became healthy" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+echo "== register two queries (identical windows -> shared tree)"
+curl -sf -X POST "$BASE/queries" -d '{"id":"smoke-a","window":1000}' >/dev/null
+curl -sf -X POST "$BASE/queries" -d '{"id":"smoke-b","window":1000}' >/dev/null
+
+STATS="$(curl -sf "$BASE/stats")"
+echo "   stats: $STATS"
+case "$STATS" in
+*'"shared_window_groups":1'*) ;;
+*)
+  echo "expected one shared window group in $STATS" >&2
+  exit 1
+  ;;
+esac
+
+echo "== ingest batch"
+BATCH="$TMP/batch.ndjson"
+: >"$BATCH"
+i=0
+while [ "$i" -lt 20 ]; do
+  echo "{\"stream\":1,\"seq\":$i}" >>"$BATCH"
+  echo "{\"stream\":1,\"other\":$i}" >>"$BATCH"
+  i=$((i + 1))
+done
+curl -sf -X POST "$BASE/documents" --data-binary "@$BATCH" >/dev/null
+
+echo "== both result streams non-empty"
+for Q in smoke-a smoke-b; do
+  RESULTS="$(curl -sf "$BASE/queries/$Q/results?wait=5&max=5")"
+  case "$RESULTS" in
+  *'"seq":1'*)
+    echo "   $Q: ok"
+    ;;
+  *)
+    echo "query $Q returned no results: $RESULTS" >&2
+    exit 1
+    ;;
+  esac
+done
+
+echo "== graceful shutdown drains"
+kill -TERM "$SERVE_PID"
+i=0
+while kill -0 "$SERVE_PID" 2>/dev/null; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "server did not exit within 10s of SIGTERM" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+wait "$SERVE_PID" 2>/dev/null || EXIT=$?
+if [ "${EXIT:-0}" -ne 0 ]; then
+  echo "server exited with status ${EXIT:-0}" >&2
+  exit 1
+fi
+echo "== serve smoke passed"
