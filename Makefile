@@ -24,10 +24,15 @@ race:
 # reproducible fault sequence. The cluster suites matrix every seed
 # over both wire formats (wire=gob and wire=binary subtests), so the
 # binary data plane's replay/dedup/dictionary-reset behaviour is
-# covered by the same oracle checks as the gob path.
+# covered by the same oracle checks as the gob path. The rescale
+# matrix exercises elastic scale-out: grow + shrink mid-run with every
+# data link severed during the shrink migration, asserting exact
+# oracle parity, exactly-once results, and zero source replays.
 chaos:
 	$(GO) test -race -count 1 ./internal/cluster/ -run 'TestScheduledChaosParity|TestResendAfterSever|TestHungWorkerLeaseExpiry|TestRandomScheduleDeterministic' -v
 	$(GO) test -race -count 1 ./internal/core/ -run 'TestClusterScheduledChaosParity|TestClusterHungWorkerRecovery|TestClusterSecondFailureMidRecovery' -v
+	$(GO) test -race -count 1 ./internal/cluster/ -run 'TestElasticRescaleGrowShrink|TestRescaleShrinkRejectsPinned|TestStateFrameBinaryRoundTrip' -v
+	$(GO) test -race -count 1 ./internal/core/ -run 'TestElasticRescaleChaosParity|TestRescalePolicyAutoGrow' -v
 
 # bench runs the root benchmark suite once as JSON — the format the
 # perf trajectory files (BENCH_issue*_{before,after}.json) are kept in
@@ -50,7 +55,7 @@ bench-guard:
 	$(GO) test -run '^$$' -bench '^(BenchmarkFPTreeInsert|BenchmarkJoinableClassify)$$' -benchtime 2000x -count 2 -json . >> bench_guard_current.json
 	$(GO) test -run '^$$' -bench '^BenchmarkParallelBatchProbe$$' -benchtime 2x -count 2 -json . >> bench_guard_current.json
 	$(GO) test -run '^$$' -bench '^(BenchmarkWireEncode|BenchmarkWireDecode|BenchmarkFrameBatch)$$' -benchtime 200000x -count 3 -json ./internal/cluster/ >> bench_guard_current.json
-	$(GO) run ./cmd/sfj-benchguard -baseline BENCH_issue7_after.json -current bench_guard_current.json
+	$(GO) run ./cmd/sfj-benchguard -baseline BENCH_issue9_after.json -current bench_guard_current.json
 
 # serve-smoke runs the multi-tenant query service end to end: build
 # sfj-serve, register two standing queries, stream a batch, assert both

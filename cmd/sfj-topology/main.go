@@ -16,6 +16,16 @@
 // exact same join result:
 //
 //	sfj-topology -cluster 4 -recover /tmp/sfj-ckpt -kill-worker 1:300
+//
+// Elastic rescale demo — start on 3 workers, grow to 5 after window 1
+// and shrink to 2 after window 4, migrating operator state at the
+// window frontier without replaying the source:
+//
+//	sfj-topology -cluster 3 -rescale-at 1:+2,4:-3
+//
+// With -metrics-addr set, a running cluster also accepts on-demand
+// rescales: `curl -X POST -d n=5 http://addr/rescale` and inspect the
+// live placement at `GET /debug/placement`.
 package main
 
 import (
@@ -23,6 +33,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -63,6 +74,7 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "expose /metrics + /debug/stats on this address during the run (e.g. 127.0.0.1:9090; with -worker, use :0 per process)")
 		heartbeat   = flag.Duration("heartbeat-interval", 0, "with -cluster N: worker liveness heartbeat interval (0 = default 250ms)")
 		lease       = flag.Duration("lease-timeout", 0, "with -cluster N: coordinator declares a silent worker dead after this (0 = default 10s; a hung worker then enters checkpoint recovery when -recover is set)")
+		rescaleAt   = flag.String("rescale-at", "", "with -cluster N: elastic rescale schedule, comma-separated window:+k/-k entries (e.g. 1:+2,4:-3) — once window N completes, grow/shrink the cluster by k workers via live state migration")
 		chaosSeed   = flag.Int64("chaos-seed", 0, "with -cluster N: run behind fault-injecting proxies driven by a deterministic schedule derived from this seed (0 = off)")
 		chaosEvents = flag.Int("chaos-events", 6, "with -chaos-seed: number of scheduled fault events")
 		verbose     = flag.Bool("v", false, "print per-window statistics")
@@ -220,6 +232,18 @@ func main() {
 		}
 		opts = append(opts, core.WithHeartbeat(hb, ls))
 	}
+	if *rescaleAt != "" {
+		if *clusterN <= 0 || *processes {
+			fmt.Fprintln(os.Stderr, "-rescale-at needs an in-process cluster run (-cluster N without -processes)")
+			os.Exit(2)
+		}
+		policy, err := parseRescaleSchedule(*rescaleAt, *clusterN)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		opts = append(opts, core.WithElastic(), core.WithRescalePolicy(policy))
+	}
 	if *chaosSeed != 0 {
 		if *clusterN <= 0 || *processes {
 			fmt.Fprintln(os.Stderr, "-chaos-seed needs an in-process cluster run (-cluster N without -processes)")
@@ -240,6 +264,13 @@ func main() {
 			core.WithTelemetry(telemetry.NewRegistry()),
 			core.WithMetricsAddr(*metricsAddr))
 		fmt.Printf("scrape metrics during the run: curl http://%s/metrics\n", *metricsAddr)
+		if *clusterN > 0 && *rescaleAt == "" {
+			// A scrape endpoint on a cluster run also serves POST /rescale
+			// and GET /debug/placement; publish the live-rescale handle so
+			// they work on demand.
+			opts = append(opts, core.WithElastic())
+			fmt.Printf("rescale on demand: curl -X POST -d n=5 http://%s/rescale\n", *metricsAddr)
+		}
 	}
 
 	var report *core.Report
@@ -300,6 +331,63 @@ func main() {
 		fmt.Fprintf(os.Stderr, "task failures: %v\n", report.Topology.Failures)
 		os.Exit(1)
 	}
+}
+
+// parseRescaleSchedule turns a "window:+k,window:-k" spec into a
+// rescale policy: once window N completes, the cluster grows or
+// shrinks by k workers relative to the running total. Each entry fires
+// at most once; the policy returns 0 (no change) for every other
+// window.
+func parseRescaleSchedule(spec string, start int) (func(int, bool) int, error) {
+	deltas := make(map[int]int)
+	for _, entry := range strings.Split(spec, ",") {
+		parts := strings.SplitN(entry, ":", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("bad -rescale-at entry %q, want window:+k or window:-k", entry)
+		}
+		w, err := strconv.Atoi(parts[0])
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("bad -rescale-at window in %q", entry)
+		}
+		if parts[1] == "" || (parts[1][0] != '+' && parts[1][0] != '-') {
+			return nil, fmt.Errorf("bad -rescale-at delta in %q, want an explicit +k or -k", entry)
+		}
+		k, err := strconv.Atoi(parts[1])
+		if err != nil || k == 0 {
+			return nil, fmt.Errorf("bad -rescale-at delta in %q", entry)
+		}
+		if _, dup := deltas[w]; dup {
+			return nil, fmt.Errorf("duplicate -rescale-at window %d", w)
+		}
+		deltas[w] = k
+	}
+	// Validate the cumulative worker count stays positive in window order.
+	ws := make([]int, 0, len(deltas))
+	for w := range deltas {
+		ws = append(ws, w)
+	}
+	sort.Ints(ws)
+	cur := start
+	for _, w := range ws {
+		cur += deltas[w]
+		if cur < 1 {
+			return nil, fmt.Errorf("-rescale-at schedule drops the cluster to %d workers at window %d", cur, w)
+		}
+	}
+	cur = start
+	var mu sync.Mutex
+	return func(window int, _ bool) int {
+		mu.Lock()
+		defer mu.Unlock()
+		k, ok := deltas[window]
+		if !ok {
+			return 0
+		}
+		delete(deltas, window)
+		cur += k
+		fmt.Printf("window %d complete: rescaling to %d workers\n", window, cur)
+		return cur
+	}, nil
 }
 
 // runProcesses hosts the coordinator and spawns this binary once per

@@ -334,7 +334,8 @@ func TestBoundedMailboxesAcrossWorkers(t *testing.T) {
 	}
 	for _, w := range ws {
 		for comp, boxes := range w.boxes {
-			for task, box := range boxes {
+			for task := range boxes {
+				box := boxes[task].Load()
 				if box == nil {
 					continue
 				}

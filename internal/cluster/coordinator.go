@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
 
@@ -64,6 +65,31 @@ type Coordinator struct {
 	// multiples of the workers' HeartbeatInterval. Zero disables lease
 	// expiry; socket errors and ProbeTimeout still apply.
 	LeaseTimeout time.Duration
+
+	// Telemetry, when set, receives the coordinator's rescale series
+	// (cluster_rescales_total, cluster_epoch, rescale_duration_seconds).
+	Telemetry *telemetry.Registry
+
+	// Elastic rescale. Control requests (Rescale, PlacementInfo) are
+	// serviced by the Run goroutine between probe rounds — every
+	// control exchange shares the per-link awaitFrame machinery, so
+	// they must all run on one goroutine. joinCh carries late workers
+	// accepted by acceptJoiners; finished closes when Run returns so
+	// requesters never block on a dead loop.
+	rescaleCh chan *rescaleReq
+	infoCh    chan *infoReq
+	joinCh    chan *workerLink
+	finished  chan struct{}
+
+	// epoch is the live placement epoch (0 until the first rescale);
+	// baseStats folds retired workers' final counters into every later
+	// probe sum and the final merge, preserving the global
+	// sent == executed invariant across departures. lastTable mirrors
+	// the table the most recent rescale installed. All three are owned
+	// by the Run goroutine.
+	epoch     uint64
+	baseStats topology.Stats
+	lastTable map[string][]int
 }
 
 // workerLink is the coordinator's per-worker control state: the
@@ -74,6 +100,7 @@ type workerLink struct {
 	id       int
 	c        *conn
 	inbox    chan *envelope
+	addr     string       // the worker's data-plane address
 	lastBeat atomic.Int64 // unix nanos of the last frame from this worker
 	readErr  error
 }
@@ -93,7 +120,7 @@ func (l *workerLink) read() {
 		}
 		l.lastBeat.Store(time.Now().UnixNano())
 		switch e.Kind {
-		case frameProbeReply, frameDone:
+		case frameProbeReply, frameDone, framePaused, frameLoadsReply, frameRescaleReady:
 			l.inbox <- e
 		}
 	}
@@ -120,6 +147,10 @@ func NewCoordinatorOn(addr string, workers int) (*Coordinator, error) {
 		ln:           ln,
 		ProbeTimeout: 30 * time.Second,
 		LeaseTimeout: 10 * time.Second,
+		rescaleCh:    make(chan *rescaleReq),
+		infoCh:       make(chan *infoReq),
+		joinCh:       make(chan *workerLink, 8),
+		finished:     make(chan struct{}),
 	}, nil
 }
 
@@ -130,6 +161,19 @@ func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
 // statistics. It blocks until the cluster has terminated.
 func (c *Coordinator) Run() (topology.Stats, error) {
 	defer c.ln.Close()
+	defer func() {
+		// Wake any Rescale/PlacementInfo callers and shed queued
+		// joiners — the run is over.
+		close(c.finished)
+		for {
+			select {
+			case j := <-c.joinCh:
+				j.c.close()
+			default:
+				return
+			}
+		}
+	}()
 	links := make(map[int]*workerLink, c.workers)
 	addresses := make(map[int]string, c.workers)
 	for len(links) < c.workers {
@@ -143,11 +187,24 @@ func (c *Coordinator) Run() (topology.Stats, error) {
 			cn.close()
 			return topology.Stats{}, fmt.Errorf("cluster: bad hello: %v", err)
 		}
+		if hello.Joining {
+			// An elastic joiner racing the initial handshake must not
+			// steal an initial worker's slot: queue it for the first
+			// rescale like any other late joiner.
+			l := &workerLink{id: hello.WorkerID, c: cn, inbox: make(chan *envelope, 4), addr: hello.DataAddr}
+			l.lastBeat.Store(time.Now().UnixNano())
+			select {
+			case c.joinCh <- l:
+			default:
+				cn.close()
+			}
+			continue
+		}
 		if _, dup := links[hello.WorkerID]; dup {
 			cn.close()
 			return topology.Stats{}, fmt.Errorf("cluster: duplicate worker id %d", hello.WorkerID)
 		}
-		l := &workerLink{id: hello.WorkerID, c: cn, inbox: make(chan *envelope, 4)}
+		l := &workerLink{id: hello.WorkerID, c: cn, inbox: make(chan *envelope, 4), addr: hello.DataAddr}
 		l.lastBeat.Store(time.Now().UnixNano())
 		links[hello.WorkerID] = l
 		addresses[hello.WorkerID] = hello.DataAddr
@@ -160,6 +217,7 @@ func (c *Coordinator) Run() (topology.Stats, error) {
 	for _, l := range links {
 		go l.read()
 	}
+	go c.acceptJoiners()
 
 	for id, l := range links {
 		if err := c.sendCtl(l, &envelope{Kind: frameStart, Addresses: addresses}); err != nil {
@@ -169,14 +227,51 @@ func (c *Coordinator) Run() (topology.Stats, error) {
 		}
 	}
 
-	// Probe until two consecutive identical quiescent snapshots.
+	// Probe until two consecutive identical quiescent snapshots,
+	// servicing queued control requests (rescale, placement queries)
+	// between rounds — all control exchanges share awaitFrame, so they
+	// are serialized on this goroutine.
 	var prevSent, prevExec int64 = -1, -2
 	for seq := 0; ; seq++ {
+	service:
+		for {
+			select {
+			case req := <-c.rescaleCh:
+				err, fatal := c.doRescale(req.n, links, addresses)
+				req.err = err
+				close(req.done)
+				if fatal {
+					c.abortSurvivors(links, err)
+					return topology.Stats{}, err
+				}
+				prevSent, prevExec = -1, -2 // the counter base moved
+			case req := <-c.infoCh:
+				loads, err := c.collectLoads(links)
+				if err == nil {
+					req.table, req.err = tableFromLoads(loads)
+				} else {
+					req.err = err
+				}
+				req.epoch = c.epoch
+				close(req.done)
+				var wd *WorkerDied
+				if errors.As(req.err, &wd) {
+					c.abortSurvivors(links, req.err)
+					return topology.Stats{}, req.err
+				}
+			default:
+				break service
+			}
+		}
 		sent, exec, done, err := c.probe(links, seq)
 		if err != nil {
 			c.abortSurvivors(links, err)
 			return topology.Stats{}, err
 		}
+		// Retired workers' counters keep counting via the folded base:
+		// global sent == executed holds across departures.
+		sent += c.baseStats.SentCopies
+		exec += c.baseStats.ExecCopies
 		if done && sent == exec && sent == prevSent && exec == prevExec {
 			break
 		}
@@ -187,8 +282,18 @@ func (c *Coordinator) Run() (topology.Stats, error) {
 		}
 	}
 
-	// Stop everyone and merge their statistics.
+	// Stop everyone and merge their statistics, starting from the
+	// folded base of any workers retired by earlier rescales.
 	merged := topology.Stats{Emitted: make(map[string]int64), Executed: make(map[string]int64)}
+	for comp, n := range c.baseStats.Emitted {
+		merged.Emitted[comp] += n
+	}
+	for comp, n := range c.baseStats.Executed {
+		merged.Executed[comp] += n
+	}
+	merged.SentCopies += c.baseStats.SentCopies
+	merged.ExecCopies += c.baseStats.ExecCopies
+	merged.Failures = append(merged.Failures, c.baseStats.Failures...)
 	ids := make([]int, 0, len(links))
 	for id := range links {
 		ids = append(ids, id)

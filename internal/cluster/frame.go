@@ -49,6 +49,25 @@ const (
 	// frame with DataSeq <= AckSeq has been delivered (or deduplicated)
 	// and may leave the sender's resend buffer.
 	frameAck
+
+	// Elastic-rescale control plane (coordinator <-> workers). The
+	// protocol is pause -> quiesce -> loads -> rescale (migrate) ->
+	// resume, with retire closing out a departing worker; see
+	// rescale.go for the full timeline.
+	framePause        // coordinator -> workers: park spouts at the window frontier
+	framePaused       // worker -> coordinator: spouts parked, Window = frontier
+	frameLoads        // coordinator -> workers: report hosted tasks + live loads
+	frameLoadsReply   // worker -> coordinator: Loads payload
+	frameRescale      // coordinator -> workers: epoch, moves, addresses, departing set
+	frameRescaleReady // worker -> coordinator: migrations in/out complete, buffers drained
+	frameResume       // coordinator -> survivors: swap done, unpark spouts, retire departed peers
+	frameRetire       // coordinator -> departing worker: send final stats and exit
+
+	// frameState is the data-plane migration frame: one chunk of a
+	// moving task's state.Snapshotter envelope, sequenced through the
+	// same per-peer resend buffers as tuples — so a sever mid-migration
+	// replays the chunks instead of losing them.
+	frameState
 )
 
 // envelope is the single wire message type; unused fields stay at their
@@ -56,12 +75,40 @@ const (
 type envelope struct {
 	Kind frameKind
 
-	// frameHello: worker registration.
+	// frameHello: worker registration. Joining marks a late worker
+	// dialling into a live run (elastic grow); it idles until a rescale
+	// welcomes it with an epoch-stamped placement table.
 	WorkerID int
 	DataAddr string
+	Joining  bool
 
-	// frameStart: coordinator -> workers address book.
+	// frameStart: coordinator -> workers address book. Table/Epoch/
+	// Workers are set only for late joiners, which cannot derive the
+	// current placement from (spec, worker count) — it may already have
+	// been reshaped by earlier rescales.
 	Addresses map[int]string
+	Table     map[string][]int
+
+	// Elastic rescale. Epoch stamps frameRescale (the successor epoch)
+	// and frameState (the epoch the migration belongs to); Workers is
+	// the successor worker count; Moves the migration plan; Departing
+	// the worker ids leaving the cluster (on frameRescale and
+	// frameResume, where survivors retire the departed peer links);
+	// Loads the frameLoadsReply payload; Window the frontier a paused
+	// worker reports (framePaused) and the frontier a state chunk was
+	// cut at (frameState).
+	Epoch     uint64
+	Workers   int
+	Moves     []Move
+	Departing []int
+	Loads     []TaskLoad
+	Window    int
+
+	// frameState: one chunk of a migrating task's snapshot envelope,
+	// destined for (TargetComp, TargetTask); StateLast marks the final
+	// chunk, after which the receiver restores and installs the task.
+	StateData []byte
+	StateLast bool
 
 	// frameTuple: data-plane delivery. Dict is the wire-dictionary
 	// delta: the attr/val strings first referenced by this frame's

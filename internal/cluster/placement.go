@@ -2,22 +2,42 @@ package cluster
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/topology"
 )
 
-// Placement maps every (component, task) to a worker. It is computed
-// deterministically from the topology spec and the worker count, so the
-// coordinator and every worker derive the same mapping without shipping
-// it.
+// Placement maps every (component, task) to a worker. It started life
+// as a static table derived identically by every participant; with
+// elastic rescale it is now a versioned, immutable routing table: each
+// rescale produces a *new* Placement with the epoch advanced, and the
+// workers swap it in with a single atomic pointer store — the routing
+// hot path pays one atomic load, never a lock. In-flight tuples framed
+// under an older epoch that land on a worker no longer hosting their
+// task are re-routed through the current table instead of being
+// misdelivered (see Worker.deliverLocal).
 type Placement struct {
-	workers int
+	epoch   uint64
+	workers int              // live worker count (not necessarily max id + 1)
 	byTask  map[string][]int // component -> task index -> worker id
 }
 
-// NewPlacement distributes tasks round-robin across workers, component
-// by component in declaration order — the same strategy Storm's even
-// scheduler uses.
+// Move relocates one task to a new home; a rescale is a set of moves
+// applied atomically under the next epoch.
+type Move struct {
+	Comp string
+	Task int
+	From int
+	To   int
+}
+
+func (m Move) String() string {
+	return fmt.Sprintf("%s[%d]: %d->%d", m.Comp, m.Task, m.From, m.To)
+}
+
+// NewPlacement distributes tasks round-robin across workers 0..n-1,
+// component by component in declaration order — the same strategy
+// Storm's even scheduler uses. Epoch 0.
 func NewPlacement(spec []topology.ComponentSpec, workers int) (*Placement, error) {
 	if workers < 1 {
 		return nil, fmt.Errorf("cluster: placement needs >= 1 worker, got %d", workers)
@@ -35,6 +55,44 @@ func NewPlacement(spec []topology.ComponentSpec, workers int) (*Placement, error
 	return p, nil
 }
 
+// PlacementAt reconstructs a placement received over the wire: the
+// epoch-stamped table a late-joining worker is handed instead of
+// deriving epoch 0 from (spec, workers).
+func PlacementAt(epoch uint64, workers int, table map[string][]int) *Placement {
+	byTask := make(map[string][]int, len(table))
+	for comp, assign := range table {
+		byTask[comp] = append([]int(nil), assign...)
+	}
+	return &Placement{epoch: epoch, workers: workers, byTask: byTask}
+}
+
+// Apply produces the successor placement: a deep copy with the moves
+// applied, the worker count updated and the epoch advanced to the
+// given value. The receiver is never mutated — callers holding the old
+// epoch keep routing consistently until they swap. A move whose From
+// does not match the current table is rejected: it means two rescales
+// raced, and applying it would silently fork the routing state.
+func (p *Placement) Apply(epoch uint64, workers int, moves []Move) (*Placement, error) {
+	if epoch <= p.epoch {
+		return nil, fmt.Errorf("cluster: placement epoch %d not after %d", epoch, p.epoch)
+	}
+	next := PlacementAt(epoch, workers, p.byTask)
+	for _, m := range moves {
+		assign, ok := next.byTask[m.Comp]
+		if !ok || m.Task < 0 || m.Task >= len(assign) {
+			return nil, fmt.Errorf("cluster: move %s targets an unknown task", m)
+		}
+		if assign[m.Task] != m.From {
+			return nil, fmt.Errorf("cluster: move %s but task is on worker %d", m, assign[m.Task])
+		}
+		assign[m.Task] = m.To
+	}
+	return next, nil
+}
+
+// Epoch is the placement's version; every rescale advances it.
+func (p *Placement) Epoch() uint64 { return p.epoch }
+
 // WorkerFor returns the worker hosting a task.
 func (p *Placement) WorkerFor(component string, task int) int {
 	assign, ok := p.byTask[component]
@@ -42,6 +100,17 @@ func (p *Placement) WorkerFor(component string, task int) int {
 		panic(fmt.Sprintf("cluster: no placement for %s[%d]", component, task))
 	}
 	return assign[task]
+}
+
+// Lookup is WorkerFor without the panic — for paths (stale-epoch
+// re-routing) where a malformed frame must degrade to a recorded drop,
+// not a crashed read loop.
+func (p *Placement) Lookup(component string, task int) (int, bool) {
+	assign, ok := p.byTask[component]
+	if !ok || task < 0 || task >= len(assign) {
+		return 0, false
+	}
+	return assign[task], true
 }
 
 // TasksOn lists the tasks of a component hosted by the given worker.
@@ -55,5 +124,32 @@ func (p *Placement) TasksOn(component string, worker int) []int {
 	return out
 }
 
-// Workers reports the worker count.
+// Workers reports the live worker count.
 func (p *Placement) Workers() int { return p.workers }
+
+// Table deep-copies the assignment table — the wire representation a
+// coordinator ships to late joiners and /debug/placement renders.
+func (p *Placement) Table() map[string][]int {
+	out := make(map[string][]int, len(p.byTask))
+	for comp, assign := range p.byTask {
+		out[comp] = append([]int(nil), assign...)
+	}
+	return out
+}
+
+// WorkerIDs lists the distinct worker ids the table references,
+// ascending. After a shrink the set need not be contiguous.
+func (p *Placement) WorkerIDs() []int {
+	seen := make(map[int]bool)
+	for _, assign := range p.byTask {
+		for _, w := range assign {
+			seen[w] = true
+		}
+	}
+	ids := make([]int, 0, len(seen))
+	for w := range seen {
+		ids = append(ids, w)
+	}
+	sort.Ints(ids)
+	return ids
+}

@@ -93,6 +93,14 @@ const (
 
 	binKindData = 1
 	binKindAck  = 2
+	// binKindState carries one chunk of a migrating task's snapshot
+	// envelope (elastic rescale). State frames are sequenced like data
+	// frames — they occupy DataSeq slots in the per-peer stream and are
+	// acked, deduplicated and replayed identically — but always travel
+	// one to a frame: a multi-megabyte snapshot chunk has nothing to
+	// gain from coalescing with tuples, and keeping the kinds
+	// homogeneous per frame keeps the columnar tuple layout untouched.
+	binKindState = 3
 
 	binFlagCompressed = 1
 
@@ -195,6 +203,8 @@ func (c *binConn) send(e *envelope) error {
 		p = binary.AppendUvarint(p, e.AckSeq)
 		c.payload = p
 		return c.writeFrameLocked(binKindAck, p)
+	case frameState:
+		return c.sendState(e)
 	default:
 		return fmt.Errorf("cluster: frame kind %d not carried on the binary data plane", e.Kind)
 	}
@@ -209,6 +219,14 @@ func (c *binConn) send(e *envelope) error {
 func (c *binConn) sendBatch(es []*envelope) error {
 	if len(es) == 0 {
 		return nil
+	}
+	if es[0].Kind == frameState {
+		// State chunks never coalesce; the sender splits batches at kind
+		// boundaries, so a state envelope arrives here only alone.
+		if len(es) != 1 {
+			return errors.New("cluster: state frames cannot batch")
+		}
+		return c.sendState(es[0])
 	}
 	for i := 1; i < len(es); i++ {
 		if es[i].DataSeq != es[0].DataSeq+uint64(i) {
@@ -245,6 +263,41 @@ func (c *binConn) sendBatch(es []*envelope) error {
 	return c.writeFrameLocked(binKindData, p)
 }
 
+// sendState writes one migration state chunk as its own frame. The
+// target identifiers travel as raw length-prefixed strings rather than
+// dictionary refs: state frames are rare (a handful per rescale), and
+// keeping them dictionary-free means a replay after a sever needs no
+// encoder state beyond the bytes in the resend buffer.
+//
+// State payload (uncompressed form):
+//
+//	varint  fromWorker | uvarint ackSeq | uvarint dataSeq
+//	uvarint epoch      | varint window  | byte last
+//	uvarint len(targetComp) | bytes | varint targetTask
+//	uvarint len(stateData)  | bytes
+func (c *binConn) sendState(e *envelope) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := c.payload[:0]
+	p = binary.AppendVarint(p, int64(e.FromWorker))
+	p = binary.AppendUvarint(p, e.AckSeq)
+	p = binary.AppendUvarint(p, e.DataSeq)
+	p = binary.AppendUvarint(p, e.Epoch)
+	p = binary.AppendVarint(p, int64(e.Window))
+	if e.StateLast {
+		p = append(p, 1)
+	} else {
+		p = append(p, 0)
+	}
+	p = binary.AppendUvarint(p, uint64(len(e.TargetComp)))
+	p = append(p, e.TargetComp...)
+	p = binary.AppendVarint(p, int64(e.TargetTask))
+	p = binary.AppendUvarint(p, uint64(len(e.StateData)))
+	p = append(p, e.StateData...)
+	c.payload = p
+	return c.writeFrameLocked(binKindState, p)
+}
+
 // writeFrameLocked frames and writes one payload (compressing data
 // payloads when enabled and profitable) in a single socket write. The
 // caller holds c.mu. Any error poisons the connection: the sender
@@ -253,7 +306,7 @@ func (c *binConn) sendBatch(es []*envelope) error {
 func (c *binConn) writeFrameLocked(kind byte, payload []byte) error {
 	flags := byte(0)
 	body := payload
-	if c.compress && kind == binKindData && len(payload) >= compressMin {
+	if c.compress && (kind == binKindData || kind == binKindState) && len(payload) >= compressMin {
 		if z, ok := c.deflateLocked(payload); ok {
 			c.rawTotal += uint64(len(payload))
 			c.compTotal += uint64(len(z))
@@ -463,6 +516,9 @@ func (c *binConn) readFrame() error {
 	case binKindAck:
 		c.wireRecvAck.Add(int64(ln) + int64(uvarintLen(ln)))
 		return c.readAck(payload)
+	case binKindState:
+		c.wireRecvData.Add(int64(ln) + int64(uvarintLen(ln)))
+		return c.readState(payload)
 	default:
 		return fmt.Errorf("cluster: unknown wire frame kind %d", kind)
 	}
@@ -500,6 +556,70 @@ func (c *binConn) readAck(payload []byte) error {
 		return err
 	}
 	c.pending = append(c.pending, &envelope{Kind: frameAck, WorkerID: int(from), AckSeq: seq})
+	return nil
+}
+
+func (c *binConn) readState(payload []byte) error {
+	r := wireReader{b: payload}
+	from, err := r.varint()
+	if err != nil {
+		return err
+	}
+	ackSeq, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	dataSeq, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	epoch, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	window, err := r.varint()
+	if err != nil {
+		return err
+	}
+	last, err := r.byte()
+	if err != nil {
+		return err
+	}
+	cl, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	comp, err := r.take(cl)
+	if err != nil {
+		return err
+	}
+	task, err := r.varint()
+	if err != nil {
+		return err
+	}
+	dl, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	data, err := r.take(dl)
+	if err != nil {
+		return err
+	}
+	if r.rem() != 0 {
+		return fmt.Errorf("cluster: %d trailing bytes after wire state frame", r.rem())
+	}
+	c.pending = append(c.pending, &envelope{
+		Kind:       frameState,
+		FromWorker: int(from),
+		AckSeq:     ackSeq,
+		DataSeq:    dataSeq,
+		Epoch:      epoch,
+		Window:     int(window),
+		StateLast:  last != 0,
+		TargetComp: string(comp),
+		TargetTask: int(task),
+		StateData:  append([]byte(nil), data...),
+	})
 	return nil
 }
 

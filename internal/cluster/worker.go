@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/state"
 	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
@@ -117,6 +118,18 @@ func (m *mailbox) peakLen() int {
 	return m.peak
 }
 
+// taskHandle is the live-control handle of one hosted bolt task: the
+// bolt instance (a migration snapshots it after its loop exits), its
+// mailbox, and a done channel the loop closes on exit. moved tells the
+// loop to exit without Cleanup — the operator is relocating, not
+// shutting down.
+type taskHandle struct {
+	bolt  topology.Bolt
+	box   *mailbox
+	done  chan struct{}
+	moved atomic.Bool
+}
+
 // peer is one outbound data-plane link slot, now a reliable-delivery
 // queue: dispatchers append frames (blocking while the bounded resend
 // buffer is full), a dedicated sender goroutine writes them in
@@ -195,8 +208,14 @@ type Worker struct {
 	builder   *topology.Builder
 	spec      []topology.ComponentSpec
 	specByID  map[string]topology.ComponentSpec
-	placement *Placement
 	coordAddr string
+
+	// placement is the versioned routing table, swapped wholesale on a
+	// rescale; the dispatch hot path pays exactly one atomic load.
+	// joining marks a worker that dials into a live run and receives
+	// its table from the coordinator instead of deriving epoch 0.
+	placement atomic.Pointer[Placement]
+	joining   bool
 
 	// BindAddr is the data-plane listen address. It defaults to an
 	// ephemeral loopback port; set it to an externally routable
@@ -276,10 +295,12 @@ type Worker struct {
 	// the bound address.
 	MetricsAddr string
 
-	listener  net.Listener
-	addresses map[int]string
-	peers     map[int]*peer
-	peersMu   sync.Mutex
+	listener net.Listener
+	// addrs is the copy-on-write peer address book: rescales publish a
+	// fresh map; readers (dispatch, peer senders) never lock.
+	addrs   atomic.Pointer[map[int]string]
+	peers   map[int]*peer
+	peersMu sync.Mutex
 
 	// inbound tracks receive-side dedup/ack state per sending peer.
 	inbound   map[int]*inbound
@@ -302,12 +323,44 @@ type Worker struct {
 	stopOnce    sync.Once
 	senderWG    sync.WaitGroup
 
-	// boxes holds mailboxes for locally hosted bolt tasks:
-	// component -> task -> mailbox (nil when not hosted here).
-	boxes map[string][]*mailbox
+	// boxes holds the mailbox slots for every bolt task (full
+	// parallelism per component, nil pointer when the task is not
+	// hosted here). Slots are atomic so a migration can install or
+	// evict a mailbox while the read loop races a stale-epoch frame.
+	boxes map[string][]atomic.Pointer[mailbox]
 	// edges holds the outbound routing of locally hosted components:
 	// component -> stream -> edges.
 	edges map[string]map[string][]*outEdge
+
+	// tasks mirrors boxes with the live bolt handles a migration needs
+	// (the bolt instance to snapshot, its loop's done channel).
+	// stopping, set under tasksMu before boltWG.Wait, keeps a racing
+	// migration install from Add-ing to a waited-on WaitGroup.
+	tasksMu  sync.Mutex
+	tasks    map[string][]*taskHandle
+	stopping bool
+
+	// taskExec counts executions per bolt task on this worker — the
+	// load signal behind frameLoadsReply and the planner's hottest-
+	// first ordering.
+	taskExec map[string][]atomic.Int64
+
+	// Spout parking (framePause). parked spouts wait on pauseCond;
+	// frontier is the highest window a parked Frontiered spout
+	// reported.
+	pauseMu   sync.Mutex
+	pauseCond *sync.Cond
+	pauseWant bool
+	parked    int
+	frontier  int
+
+	// Inbound migration assembly: partial snapshots by task, the set
+	// installed since the current rescale began, and the cond
+	// handleRescale waits on.
+	migMu     sync.Mutex
+	migCond   *sync.Cond
+	migIn     map[taskKey][]byte
+	installed map[taskKey]bool
 
 	sent       atomic.Int64
 	executed   atomic.Int64
@@ -351,8 +404,14 @@ type Worker struct {
 		wireRaw      *telemetry.Counter
 		wireComp     *telemetry.Counter
 		compRatio    *telemetry.Gauge
-		exec         map[string]*telemetry.Counter
-		emit         map[string]*telemetry.Counter
+		// Elastic-rescale instruments: tasks and snapshot bytes
+		// migrated off/onto this worker.
+		migOut      *telemetry.Counter
+		migOutBytes *telemetry.Counter
+		migIn       *telemetry.Counter
+		migInBytes  *telemetry.Counter
+		exec        map[string]*telemetry.Counter
+		emit        map[string]*telemetry.Counter
 	}
 	metricsSrv atomic.Pointer[telemetry.Server]
 }
@@ -361,11 +420,35 @@ type Worker struct {
 // The placement is derived from (spec, workers); every participant must
 // use the same builder code and worker count.
 func NewWorker(id, workers int, b *topology.Builder, coordAddr string) (*Worker, error) {
-	spec, err := b.Spec()
+	w, err := newWorker(id, b, coordAddr)
 	if err != nil {
 		return nil, err
 	}
-	placement, err := NewPlacement(spec, workers)
+	placement, err := NewPlacement(w.spec, workers)
+	if err != nil {
+		return nil, err
+	}
+	w.placement.Store(placement)
+	return w, nil
+}
+
+// NewJoiningWorker prepares a worker that joins an already-running
+// cluster for an elastic grow: it registers with a Joining hello and
+// idles until a rescale welcomes it with the live epoch-stamped
+// placement table (it cannot derive the table from (spec, workers) —
+// earlier rescales may have reshaped it). It hosts no tasks until
+// migrations stream some in.
+func NewJoiningWorker(id int, b *topology.Builder, coordAddr string) (*Worker, error) {
+	w, err := newWorker(id, b, coordAddr)
+	if err != nil {
+		return nil, err
+	}
+	w.joining = true
+	return w, nil
+}
+
+func newWorker(id int, b *topology.Builder, coordAddr string) (*Worker, error) {
+	spec, err := b.Spec()
 	if err != nil {
 		return nil, err
 	}
@@ -374,15 +457,19 @@ func NewWorker(id, workers int, b *topology.Builder, coordAddr string) (*Worker,
 		builder:   b,
 		spec:      spec,
 		specByID:  make(map[string]topology.ComponentSpec),
-		placement: placement,
 		coordAddr: coordAddr,
 		peers:     make(map[int]*peer),
 		inbound:   make(map[int]*inbound),
-		boxes:     make(map[string][]*mailbox),
+		boxes:     make(map[string][]atomic.Pointer[mailbox]),
+		tasks:     make(map[string][]*taskHandle),
+		taskExec:  make(map[string][]atomic.Int64),
+		migIn:     make(map[taskKey][]byte),
+		installed: make(map[taskKey]bool),
 		edges:     make(map[string]map[string][]*outEdge),
 		emitted:   make(map[string]*atomic.Int64),
 		execCount: make(map[string]*atomic.Int64),
 		stop:      make(chan struct{}),
+		frontier:  -1,
 
 		DialTimeout:       2 * time.Second,
 		SendRetries:       4,
@@ -395,6 +482,8 @@ func NewWorker(id, workers int, b *topology.Builder, coordAddr string) (*Worker,
 		WireFormat:        WireBinary,
 		FrameBatch:        32,
 	}
+	w.pauseCond = sync.NewCond(&w.pauseMu)
+	w.migCond = sync.NewCond(&w.migMu)
 	for _, comp := range spec {
 		w.specByID[comp.ID] = comp
 		w.emitted[comp.ID] = &atomic.Int64{}
@@ -417,18 +506,17 @@ func NewWorker(id, workers int, b *topology.Builder, coordAddr string) (*Worker,
 			})
 		}
 	}
-	// Local mailboxes for hosted bolt tasks; the capacity resolved by
-	// the builder (default / override / feedback-cycle carve-out)
-	// applies identically on every worker.
+	// Full-parallelism slot arrays for every bolt component: mailboxes
+	// and handles are installed per hosted task at start (and by
+	// migrations later), but the arrays themselves never resize — a
+	// migration swaps one atomic pointer.
 	for _, comp := range spec {
 		if b.BoltFactory(comp.ID) == nil {
 			continue
 		}
-		boxes := make([]*mailbox, comp.Parallelism)
-		for _, task := range placement.TasksOn(comp.ID, id) {
-			boxes[task] = newMailbox(comp.MaxPending)
-		}
-		w.boxes[comp.ID] = boxes
+		w.boxes[comp.ID] = make([]atomic.Pointer[mailbox], comp.Parallelism)
+		w.tasks[comp.ID] = make([]*taskHandle, comp.Parallelism)
+		w.taskExec[comp.ID] = make([]atomic.Int64, comp.Parallelism)
 	}
 	return w, nil
 }
@@ -491,15 +579,32 @@ func (w *Worker) kill() {
 		w.listener.Close()
 	}
 	w.lifeMu.Unlock()
-	for _, boxes := range w.boxes {
-		for _, box := range boxes {
-			if box != nil {
+	w.tasksMu.Lock()
+	w.stopping = true
+	w.tasksMu.Unlock()
+	w.closeBoxes()
+	// Wake anything parked or waiting on a migration: both conds
+	// re-check the killed flag.
+	w.pauseMu.Lock()
+	w.pauseCond.Broadcast()
+	w.pauseMu.Unlock()
+	w.migMu.Lock()
+	w.migCond.Broadcast()
+	w.migMu.Unlock()
+	w.closePeers()
+	w.stopAux()
+}
+
+// closeBoxes closes every installed task mailbox so bolt loops drain
+// out and exit.
+func (w *Worker) closeBoxes() {
+	for _, slots := range w.boxes {
+		for i := range slots {
+			if box := slots[i].Load(); box != nil {
 				box.close()
 			}
 		}
 	}
-	w.closePeers()
-	w.stopAux()
 }
 
 // closePeers marks every peer slot closed, dropping its connection and
@@ -580,6 +685,10 @@ func (w *Worker) initTelemetry() {
 	w.tel.wireRaw = reg.Counter(telemetry.Name("cluster_wire_raw_bytes_total", "worker", id))
 	w.tel.wireComp = reg.Counter(telemetry.Name("cluster_wire_compressed_bytes_total", "worker", id))
 	w.tel.compRatio = reg.Gauge(telemetry.Name("cluster_wire_compression_ratio", "worker", id))
+	w.tel.migOut = reg.Counter(telemetry.Name("cluster_migrations_total", "direction", "out", "worker", id))
+	w.tel.migOutBytes = reg.Counter(telemetry.Name("cluster_migration_bytes_total", "direction", "out", "worker", id))
+	w.tel.migIn = reg.Counter(telemetry.Name("cluster_migrations_total", "direction", "in", "worker", id))
+	w.tel.migInBytes = reg.Counter(telemetry.Name("cluster_migration_bytes_total", "direction", "in", "worker", id))
 	w.tel.exec = make(map[string]*telemetry.Counter, len(w.spec))
 	w.tel.emit = make(map[string]*telemetry.Counter, len(w.spec))
 	for _, comp := range w.spec {
@@ -588,16 +697,20 @@ func (w *Worker) initTelemetry() {
 		w.tel.exec[comp.ID] = reg.Counter(telemetry.Name("topology_tuples_executed_total", "component", comp.ID, "worker", id))
 		w.tel.emit[comp.ID] = reg.Counter(telemetry.Name("topology_tuples_emitted_total", "component", comp.ID, "worker", id))
 	}
-	for compID, boxes := range w.boxes {
-		for task, box := range boxes {
-			if box == nil {
-				continue
-			}
-			box.depth = reg.Gauge(telemetry.Name("cluster_mailbox_depth", "worker", id, "component", compID, "task", fmt.Sprint(task)))
-			box.blockedNS = reg.Counter(telemetry.Name("cluster_backpressure_blocked_ns_total", "worker", id, "component", compID))
-			box.blockedPuts = reg.Counter(telemetry.Name("cluster_backpressure_blocked_puts_total", "worker", id, "component", compID))
-		}
+}
+
+// attachBoxTelemetry instruments one task mailbox at creation time —
+// mailboxes are now born at task start (or migration install), after
+// initTelemetry has run.
+func (w *Worker) attachBoxTelemetry(compID string, task int, box *mailbox) {
+	reg := w.Telemetry
+	if reg == nil {
+		return
 	}
+	id := fmt.Sprint(w.id)
+	box.depth = reg.Gauge(telemetry.Name("cluster_mailbox_depth", "worker", id, "component", compID, "task", fmt.Sprint(task)))
+	box.blockedNS = reg.Counter(telemetry.Name("cluster_backpressure_blocked_ns_total", "worker", id, "component", compID))
+	box.blockedPuts = reg.Counter(telemetry.Name("cluster_backpressure_blocked_puts_total", "worker", id, "component", compID))
 }
 
 // ScrapeAddr reports the bound address of the worker's metrics endpoint
@@ -654,14 +767,23 @@ func (w *Worker) Run() error {
 		coord.close()
 		return ErrKilled
 	}
-	if err := coord.send(&envelope{Kind: frameHello, WorkerID: w.id, DataAddr: dataAddr}); err != nil {
+	if err := coord.send(&envelope{Kind: frameHello, WorkerID: w.id, DataAddr: dataAddr, Joining: w.joining}); err != nil {
 		return err
 	}
 	start, err := coord.recv()
 	if err != nil || start.Kind != frameStart {
 		return fmt.Errorf("cluster: worker %d handshake failed: %v", w.id, err)
 	}
-	w.addresses = start.Addresses
+	addrs := make(map[int]string, len(start.Addresses))
+	for id, a := range start.Addresses {
+		addrs[id] = a
+	}
+	w.addrs.Store(&addrs)
+	if w.joining {
+		// A late joiner is welcomed with the live epoch-stamped table
+		// (the first rescale it participates in arrives right after).
+		w.placement.Store(PlacementAt(start.Epoch, start.Workers, start.Table))
+	}
 
 	go w.heartbeatLoop(coord)
 	w.startTasks()
@@ -705,26 +827,51 @@ func (w *Worker) Run() error {
 		case frameStop:
 			w.shutdown()
 			return coord.send(&envelope{Kind: frameDone, WorkerID: w.id, Stats: w.stats()})
+		case framePause:
+			// Reply from a goroutine: spouts may take a while to reach
+			// their frontier, and the control loop must keep answering
+			// probes and aborts meanwhile.
+			go func() {
+				f := w.requestPause()
+				_ = coord.send(&envelope{Kind: framePaused, WorkerID: w.id, Window: f})
+			}()
+		case frameLoads:
+			if err := coord.send(&envelope{Kind: frameLoadsReply, WorkerID: w.id, Loads: w.taskLoads()}); err != nil {
+				return err
+			}
+		case frameRescale:
+			go w.handleRescale(coord, e)
+		case frameResume:
+			w.retirePeers(e.Departing)
+			w.resumeSpouts()
+		case frameRetire:
+			// This worker is leaving the cluster: all its tasks have
+			// migrated away and its resend buffers are drained, so the
+			// normal quiescent shutdown applies.
+			w.shutdown()
+			w.dropOwnPeerSeries()
+			return coord.send(&envelope{Kind: frameDone, WorkerID: w.id, Stats: w.stats()})
 		}
 	}
 }
 
-// startTasks launches the locally hosted bolt and spout tasks.
+// startTasks launches the locally hosted bolt and spout tasks. A
+// joining worker hosts nothing until a rescale migrates tasks in.
 func (w *Worker) startTasks() {
 	parallelism := make(map[string]int, len(w.spec))
 	for _, comp := range w.spec {
 		parallelism[comp.ID] = comp.Parallelism
 	}
+	pl := w.placement.Load()
 	for _, comp := range w.spec {
 		comp := comp
 		if bf := w.builder.BoltFactory(comp.ID); bf != nil {
-			for _, task := range w.placement.TasksOn(comp.ID, w.id) {
-				w.boltWG.Add(1)
-				go w.runBolt(comp, task, bf(task), parallelism)
+			for _, task := range pl.TasksOn(comp.ID, w.id) {
+				w.startBolt(comp, task, bf(task), parallelism, nil)
 			}
 		}
 		if sf := w.builder.SpoutFactory(comp.ID); sf != nil {
-			for _, task := range w.placement.TasksOn(comp.ID, w.id) {
+			for _, task := range pl.TasksOn(comp.ID, w.id) {
 				w.spoutsLeft.Add(1)
 				w.spoutWG.Add(1)
 				go w.runSpout(comp, task, sf(task), parallelism)
@@ -733,36 +880,81 @@ func (w *Worker) startTasks() {
 	}
 }
 
-func (w *Worker) runBolt(comp topology.ComponentSpec, task int, bolt topology.Bolt, parallelism map[string]int) {
+// startBolt installs one bolt task (mailbox slot + handle) and starts
+// its loop. restore is nil on a normal start; a migration install
+// passes the streamed snapshot (possibly empty for a stateless bolt),
+// which replaces the Recover pass. Returns false when the worker is
+// already stopping.
+func (w *Worker) startBolt(comp topology.ComponentSpec, task int, bolt topology.Bolt, parallelism map[string]int, restore []byte) bool {
+	w.tasksMu.Lock()
+	if w.stopping {
+		w.tasksMu.Unlock()
+		return false
+	}
+	box := newMailbox(comp.MaxPending)
+	w.attachBoxTelemetry(comp.ID, task, box)
+	h := &taskHandle{bolt: bolt, box: box, done: make(chan struct{})}
+	w.tasks[comp.ID][task] = h
+	w.boxes[comp.ID][task].Store(box)
+	w.boltWG.Add(1)
+	w.tasksMu.Unlock()
+	go w.boltLoop(comp, task, h, parallelism, restore)
+	return true
+}
+
+func (w *Worker) boltLoop(comp topology.ComponentSpec, task int, h *taskHandle, parallelism map[string]int, restore []byte) {
 	defer w.boltWG.Done()
+	defer close(h.done)
 	ctx := &topology.TaskContext{Component: comp.ID, Task: task, NumTasks: comp.Parallelism, Parallelism: parallelism}
-	bolt.Prepare(ctx)
+	h.bolt.Prepare(ctx)
 	col := &workerCollector{w: w, comp: comp.ID, task: task}
-	if rec, ok := bolt.(topology.Recoverer); ok {
+	if restore != nil {
+		// Migrated-in task: rebuild from the streamed snapshot and skip
+		// Recover — nothing crashed, so re-emitting the last recovery
+		// decisions would duplicate them downstream.
+		if s, ok := h.bolt.(state.Snapshotter); ok && len(restore) > 0 {
+			if err := state.Decode(comp.ID, restore, s); err != nil {
+				w.recordFailure(comp.ID, task, err)
+			}
+		}
+	} else if rec, ok := h.bolt.(topology.Recoverer); ok {
 		rec.Recover(col)
 	}
-	box := w.boxes[comp.ID][task]
 	for {
-		tuple, ok := box.get()
+		tuple, ok := h.box.get()
 		if !ok {
 			break
 		}
-		w.safeExecute(comp.ID, task, bolt, tuple, col)
+		w.safeExecute(comp.ID, task, h.bolt, tuple, col)
 		w.execCount[comp.ID].Add(1)
+		w.taskExec[comp.ID][task].Add(1)
 		w.executed.Add(1)
 		w.tel.exec[comp.ID].Inc()
 		w.tel.copiesDone.Inc()
 	}
-	bolt.Cleanup()
+	if !h.moved.Load() {
+		h.bolt.Cleanup()
+	}
 }
 
 func (w *Worker) runSpout(comp topology.ComponentSpec, task int, spout topology.Spout, parallelism map[string]int) {
 	defer w.spoutWG.Done()
-	defer w.spoutsLeft.Add(-1)
+	defer func() {
+		w.spoutsLeft.Add(-1)
+		// A spout exhausting itself while a pause gathers counts as
+		// parked; wake the waiter so it re-checks the tally.
+		w.pauseMu.Lock()
+		w.pauseCond.Broadcast()
+		w.pauseMu.Unlock()
+	}()
 	ctx := &topology.TaskContext{Component: comp.ID, Task: task, NumTasks: comp.Parallelism, Parallelism: parallelism}
 	spout.Open(ctx)
 	col := &workerCollector{w: w, comp: comp.ID, task: task}
-	for !w.killed.Load() && w.safeNext(comp.ID, task, spout, col) {
+	for !w.killed.Load() {
+		w.pausePoint(spout)
+		if w.killed.Load() || !w.safeNext(comp.ID, task, spout, col) {
+			break
+		}
 	}
 	spout.Close()
 }
@@ -846,7 +1038,7 @@ func (w *Worker) readLoop(c wireConn) {
 		if err != nil {
 			return
 		}
-		if e.Kind != frameTuple {
+		if e.Kind != frameTuple && e.Kind != frameState {
 			continue
 		}
 		// A piggybacked cumulative ack rides on reverse-direction data
@@ -860,7 +1052,9 @@ func (w *Worker) readLoop(c wireConn) {
 		if e.DataSeq == 0 {
 			// Unsequenced frame (no reliable-delivery state): deliver as
 			// is. Kept for robustness; every current sender sequences.
-			w.deliverLocal(e.TargetComp, e.TargetTask, e.Tuple)
+			if e.Kind == frameTuple {
+				w.deliverLocal(e.TargetComp, e.TargetTask, e.Tuple)
+			}
 			continue
 		}
 		in := w.inboundFor(e.FromWorker)
@@ -894,7 +1088,13 @@ func (w *Worker) readLoop(c wireConn) {
 		// Deliver while holding in.mu: the cursor update and the mailbox
 		// put must be atomic per sender, or a straggler read on a dying
 		// connection could reorder against the replay on its successor.
-		w.deliverLocal(e.TargetComp, e.TargetTask, e.Tuple)
+		// Migration state chunks take the same cursor (a replay after a
+		// sever must not re-install half a snapshot).
+		if e.Kind == frameState {
+			w.acceptStateChunk(e)
+		} else {
+			w.deliverLocal(e.TargetComp, e.TargetTask, e.Tuple)
+		}
 		if in.delivered-in.acked >= uint64(w.AckEvery) {
 			w.sendAckLocked(in)
 		}
@@ -1015,20 +1215,33 @@ func (w *Worker) heartbeatLoop(coord *conn) {
 }
 
 // deliverLocal puts a tuple into a hosted mailbox and reports whether
-// it was accepted. A malformed frame (negative or out-of-range task)
-// or a delivery to a closed mailbox compensates the sender's sent
-// counter so termination detection stays exact; a bad task index is
-// recorded as a failure instead of panicking the read loop.
+// it was accepted. A tuple for a task that moved away in a rescale
+// (framed under a stale epoch, or replayed after a sever) is re-routed
+// through the current placement instead of being misdelivered — the
+// copy was counted once at its origin, so the forward does not touch
+// the sent counter. A genuinely malformed frame or a delivery to a
+// closed mailbox compensates the sender's sent counter so termination
+// detection stays exact; a bad task index is recorded as a failure
+// instead of panicking the read loop.
 func (w *Worker) deliverLocal(comp string, task int, t topology.Tuple) bool {
-	boxes := w.boxes[comp]
-	if task < 0 || task >= len(boxes) || boxes[task] == nil {
+	slots := w.boxes[comp]
+	var box *mailbox
+	if task >= 0 && task < len(slots) {
+		box = slots[task].Load()
+	}
+	if box == nil {
+		if target, ok := w.placement.Load().Lookup(comp, task); ok && target != w.id {
+			if w.sendToPeer(target, &envelope{Kind: frameTuple, TargetComp: comp, TargetTask: task, Tuple: t}) == nil {
+				return true
+			}
+		}
 		w.recordFailure(comp, task, "tuple for task not hosted here")
 		w.executed.Add(1) // compensate sender's count
 		w.tel.copiesDone.Inc()
 		w.tel.dropped.Inc()
 		return false
 	}
-	if !boxes[task].put(t) {
+	if !box.put(t) {
 		w.executed.Add(1)
 		w.tel.copiesDone.Inc()
 		w.tel.dropped.Inc()
@@ -1093,7 +1306,7 @@ func (w *Worker) peerSeed(id int) int64 {
 // loss) and fails only when the worker is shutting down — the one case
 // left for the caller's drop-and-compensate path.
 func (w *Worker) sendToPeer(id int, e *envelope) error {
-	if _, ok := w.addresses[id]; !ok {
+	if _, ok := (*w.addrs.Load())[id]; !ok {
 		return fmt.Errorf("cluster: no address for worker %d", id)
 	}
 	p := w.peerFor(id)
@@ -1134,7 +1347,7 @@ func (w *Worker) runPeerSender(id int, p *peer) {
 			return
 		}
 		if p.c == nil {
-			addr := w.addresses[id]
+			addr := (*w.addrs.Load())[id]
 			p.mu.Unlock() // never hold the slot across a dial
 			raw, derr := net.DialTimeout("tcp", addr, w.DialTimeout)
 			p.mu.Lock()
@@ -1187,6 +1400,19 @@ func (w *Worker) runPeerSender(id int, p *peer) {
 			hi = limit
 		}
 		batch := p.buf[lo:hi]
+		// Frames of different kinds never share a wire frame: a
+		// migration state chunk travels alone, and a run of tuples ends
+		// at the first state chunk queued behind it.
+		if batch[0].Kind == frameState {
+			batch = batch[:1]
+		} else {
+			for i := 1; i < len(batch); i++ {
+				if batch[i].Kind != frameTuple {
+					batch = batch[:i]
+					break
+				}
+			}
+		}
 		ack := w.deliveredTo(id) // piggyback our receive cursor
 		for _, e := range batch {
 			e.AckSeq = ack
@@ -1308,7 +1534,9 @@ func (w *Worker) advanceAcked(p *peer, seq uint64) {
 func (w *Worker) dispatch(comp string, task int, t topology.Tuple) bool {
 	w.sent.Add(1)
 	w.tel.copies.Inc()
-	target := w.placement.WorkerFor(comp, task)
+	// One atomic load: the epoch-consistency cost on the routing hot
+	// path is this pointer read, nothing more.
+	target := w.placement.Load().WorkerFor(comp, task)
 	if target == w.id {
 		return w.deliverLocal(comp, task, t)
 	}
@@ -1330,13 +1558,10 @@ func (w *Worker) dispatch(comp string, task int, t topology.Tuple) bool {
 // copies whose acks were still in flight.
 func (w *Worker) shutdown() {
 	w.spoutWG.Wait() // spouts are already exhausted at this point
-	for _, boxes := range w.boxes {
-		for _, box := range boxes {
-			if box != nil {
-				box.close()
-			}
-		}
-	}
+	w.tasksMu.Lock()
+	w.stopping = true // no migration may install a task past this point
+	w.tasksMu.Unlock()
+	w.closeBoxes()
 	w.boltWG.Wait()
 	w.closePeers()
 	w.stopAux()

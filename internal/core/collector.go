@@ -148,6 +148,9 @@ func (b *collectorBolt) maybeComplete(w int, agg *windowAgg) {
 	if agg.ckpt {
 		b.cp.save(w, b)
 	}
+	if f := b.cfg.onWindowComplete; f != nil {
+		f(w, agg.repartitioned)
+	}
 }
 
 func (b *collectorBolt) window(w int) *windowAgg {

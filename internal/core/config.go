@@ -168,6 +168,13 @@ type Config struct {
 	// stager needs the window to keep delivery exactly-once across a
 	// recovery restart.
 	onResultWindowed func(window int, res join.Result)
+	// onWindowComplete, when set, fires from the collector task as each
+	// window's last partial arrives, carrying the window index and its
+	// θ-repartition verdict — the hook WithRescalePolicy folds into the
+	// elastic machinery. It must not block the collector (a rescale
+	// needs the collector still executing to reach quiescence), so any
+	// heavy reaction goes to its own goroutine.
+	onWindowComplete func(window int, repartitioned bool)
 }
 
 // withDefaults fills unset fields with the paper's defaults.

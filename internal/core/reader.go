@@ -56,6 +56,17 @@ func (s *readerSpout) Open(*topology.TaskContext) {
 // Close implements topology.Spout.
 func (s *readerSpout) Close() {}
 
+// AtFrontier and Frontier implement topology.Frontiered: the reader
+// sits at a window frontier exactly when no window is half-emitted
+// (buf is nil between the punctuation of one window and the first
+// document of the next), and the frontier is the last window whose
+// punctuation went out. An elastic rescale parks the reader here, so
+// migrated snapshots are always cut at a window boundary.
+func (s *readerSpout) AtFrontier() bool { return s.buf == nil }
+
+// Frontier reports the last fully emitted window (-1 before the first).
+func (s *readerSpout) Frontier() int { return s.window - 1 }
+
 // NextTuple implements topology.Spout: one document (or one window
 // marker) per call.
 func (s *readerSpout) NextTuple(c topology.Collector) bool {

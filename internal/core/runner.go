@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
@@ -34,6 +36,15 @@ type Runner struct {
 	recovery    *Recovery
 	heartbeat   time.Duration
 	lease       time.Duration
+
+	// Elastic scale-out (WithElastic): live holds the in-flight cluster
+	// attempt's control handle while Run executes, curWorkers tracks the
+	// live worker count across rescales so a recovery restart re-places
+	// onto the count the cluster actually had when it died.
+	elastic       bool
+	rescalePolicy func(window int, repartitioned bool) int
+	live          atomic.Pointer[liveCluster]
+	curWorkers    atomic.Int64
 }
 
 // Option configures a Runner.
@@ -81,6 +92,25 @@ func WithMetricsAddr(addr string) Option {
 // data-plane listener. Requires WithWorkers.
 func WithChaos(c *Chaos) Option {
 	return func(r *Runner) { r.chaos = c }
+}
+
+// WithElastic keeps the cluster attempt's control handle live so the
+// run can be rescaled while it executes: Runner.Rescale(n) — or POST
+// /rescale on the WithMetricsAddr mux — adds or removes workers with
+// frontier-aligned state migration and zero source replay. Requires
+// WithWorkers.
+func WithElastic() Option {
+	return func(r *Runner) { r.elastic = true }
+}
+
+// WithRescalePolicy folds the θ-repartition verdict into the elastic
+// machinery: f runs after every completed window with that window's
+// repartition flag, and a return > 0 asks the runner to rescale the
+// cluster to that many workers (asynchronously — the pipeline keeps
+// flowing until the rescale's frontier). A return <= 0 leaves the
+// cluster alone. Requires WithElastic.
+func WithRescalePolicy(f func(window int, repartitioned bool) int) Option {
+	return func(r *Runner) { r.rescalePolicy = f }
 }
 
 // WithHeartbeat tunes the cluster failure detector: every worker sends
@@ -209,12 +239,18 @@ func (r *Runner) Run() (*Report, error) {
 		if r.heartbeat != 0 || r.lease != 0 {
 			return nil, fmt.Errorf("core: WithHeartbeat requires WithWorkers")
 		}
+		if r.elastic {
+			return nil, fmt.Errorf("core: WithElastic requires WithWorkers")
+		}
+	}
+	if r.rescalePolicy != nil && !r.elastic {
+		return nil, fmt.Errorf("core: WithRescalePolicy requires WithElastic")
 	}
 	if r.metricsAddr != "" {
 		if cfg.Telemetry == nil {
 			return nil, fmt.Errorf("core: WithMetricsAddr requires WithTelemetry")
 		}
-		srv, err := telemetry.Serve(r.metricsAddr, cfg.Telemetry)
+		srv, err := telemetry.ServeHandler(r.metricsAddr, r.opsHandler(cfg.Telemetry))
 		if err != nil {
 			return nil, err
 		}
@@ -222,6 +258,22 @@ func (r *Runner) Run() (*Report, error) {
 	}
 	if r.workers == 0 {
 		return r.runLocal(cfg)
+	}
+	// Register the replay counter eagerly: a run that never replays the
+	// source still exposes it at 0, so "no replay happened" is a
+	// checkable fact rather than a missing series.
+	if cfg.Telemetry != nil {
+		cfg.Telemetry.Counter("source_replays_total")
+	}
+	if r.rescalePolicy != nil {
+		policy := r.rescalePolicy
+		cfg.onWindowComplete = func(window int, repartitioned bool) {
+			if n := policy(window, repartitioned); n > 0 {
+				// Asynchronously: the collector task must keep executing
+				// for the rescale's quiescence probe to settle.
+				go func() { _ = r.Rescale(n) }()
+			}
+		}
 	}
 	return r.runCluster(cfg)
 }
@@ -278,6 +330,11 @@ func (r *Runner) runCluster(cfg Config) (*Report, error) {
 		acfg.recovery = &recoveryPlumb{store: r.recovery.Store, restoreWindow: restoreFrom}
 		if restoreFrom >= 0 {
 			acfg.Source = r.recovery.NewSource()
+			// The one path that re-reads the stream: recovery after a
+			// worker death. Elastic rescales never come through here.
+			if cfg.Telemetry != nil {
+				cfg.Telemetry.Counter("source_replays_total").Inc()
+			}
 		}
 		report, err := r.runClusterAttempt(acfg, workers)
 		if err == nil {
@@ -285,6 +342,9 @@ func (r *Runner) runCluster(cfg Config) (*Report, error) {
 			stager.flush()
 			return report, nil
 		}
+		// A rescale may have changed the worker count since the attempt
+		// started; restart from the count the cluster actually had.
+		workers = int(r.curWorkers.Load())
 		var wd *cluster.WorkerDied
 		if !errors.As(err, &wd) || restarts >= maxRestarts || workers <= 1 {
 			return nil, err
@@ -312,6 +372,37 @@ func (r *Runner) runCluster(cfg Config) (*Report, error) {
 	}
 }
 
+// collectWorkers owns the attempt's worker-error bookkeeping: every
+// started worker (initial or a joiner whose rescale succeeded) hands
+// its result channel to collect, and wait blocks until all collected
+// workers exited, returning the first error.
+type collectWorkers struct {
+	wg    sync.WaitGroup
+	mu    sync.Mutex
+	first error
+}
+
+func (c *collectWorkers) collect(done chan error) {
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		if e := <-done; e != nil {
+			c.mu.Lock()
+			if c.first == nil {
+				c.first = e
+			}
+			c.mu.Unlock()
+		}
+	}()
+}
+
+func (c *collectWorkers) wait() error {
+	c.wg.Wait()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.first
+}
+
 // runClusterAttempt is one placement of the topology across the given
 // number of workers: the same plumbing as a multi-process deployment —
 // coordinator handshake, gob-framed data plane, double-probe
@@ -327,67 +418,48 @@ func (r *Runner) runClusterAttempt(cfg Config, nworkers int) (*Report, error) {
 	if r.lease > 0 {
 		coord.LeaseTimeout = r.lease
 	}
+	coord.Telemetry = cfg.Telemetry
 	report := &Report{}
-	workers := make([]*cluster.Worker, nworkers)
-	regs := make([]*telemetry.Registry, 0, nworkers+1)
+	r.curWorkers.Store(int64(nworkers))
+	lc := &liveCluster{r: r, cfg: cfg, report: report, coord: coord, cur: nworkers, nextID: nworkers}
 	if cfg.Telemetry != nil {
-		regs = append(regs, cfg.Telemetry)
+		lc.regs = append(lc.regs, cfg.Telemetry)
 	}
-	var proxies []*cluster.ChaosProxy
 	defer func() {
+		lc.mu.Lock()
+		proxies := append([]*cluster.ChaosProxy(nil), lc.proxies...)
+		lc.mu.Unlock()
 		for _, p := range proxies {
 			p.Close()
 		}
 	}()
+	workers := make([]*cluster.Worker, nworkers)
 	for i := 0; i < nworkers; i++ {
 		wcfg := cfg
 		if r.workerReg != nil {
 			wcfg.Telemetry = r.workerReg(i)
 			if wcfg.Telemetry != nil {
-				regs = append(regs, wcfg.Telemetry)
+				lc.regs = append(lc.regs, wcfg.Telemetry)
 			}
 		}
 		w, err := cluster.NewWorker(i, nworkers, buildTopology(wcfg, report), coord.Addr())
 		if err != nil {
 			return nil, err
 		}
-		w.Telemetry = wcfg.Telemetry
-		w.WireFormat = wcfg.WireFormat
-		w.FrameBatch = wcfg.FrameBatch
-		w.FrameFlushInterval = wcfg.FrameFlushInterval
-		w.FrameCompress = wcfg.FrameCompress
-		if r.chaos != nil {
-			addr, err := w.Listen()
-			if err != nil {
-				return nil, err
-			}
-			proxy, err := cluster.NewChaosProxy(addr)
-			if err != nil {
-				return nil, err
-			}
-			if r.chaos.Delay > 0 {
-				proxy.SetDelay(r.chaos.Delay)
-			}
-			w.AdvertiseAddr = proxy.Addr()
-			proxies = append(proxies, proxy)
-			if r.chaos.OnProxy != nil {
-				r.chaos.OnProxy(i, proxy)
-			}
-		}
-		if r.heartbeat > 0 {
-			w.HeartbeatInterval = r.heartbeat
-		}
-		if r.workerHook != nil {
-			r.workerHook(i, w)
+		if err := r.outfitWorker(w, wcfg, i, lc); err != nil {
+			return nil, err
 		}
 		workers[i] = w
 	}
 	if r.chaos != nil && r.chaos.Schedule != nil {
+		// The script drives the attempt's initial proxies and counters;
+		// joiners spawned by later rescales are outside its model.
+		scriptProxies := append([]*cluster.ChaosProxy(nil), lc.proxies...)
 		stop := make(chan struct{})
 		schedDone := make(chan struct{})
 		go func() {
 			defer close(schedDone)
-			r.chaos.Schedule.Run(proxies, func() int64 {
+			r.chaos.Schedule.Run(scriptProxies, func() int64 {
 				var sent int64
 				for _, w := range workers {
 					s, _ := w.Counters()
@@ -403,16 +475,21 @@ func (r *Runner) runClusterAttempt(cfg Config, nworkers int) (*Report, error) {
 			<-schedDone
 		}()
 	}
-	errs := make(chan error, nworkers)
+	var cw collectWorkers
+	lc.collect = cw.collect
 	for _, w := range workers {
 		w := w
-		go func() { errs <- w.Run() }()
+		done := make(chan error, 1)
+		go func() { done <- w.Run() }()
+		cw.collect(done)
+	}
+	if r.elastic {
+		r.live.Store(lc)
+		defer r.live.Store(nil)
 	}
 	stats, err := coord.Run()
-	for i := 0; i < nworkers; i++ {
-		if werr := <-errs; werr != nil && err == nil {
-			err = werr
-		}
+	if werr := cw.wait(); werr != nil && err == nil {
+		err = werr
 	}
 	if err != nil {
 		return nil, err
@@ -421,6 +498,9 @@ func (r *Runner) runClusterAttempt(cfg Config, nworkers int) (*Report, error) {
 	// Merge every distinct registry's snapshot: series are disjoint
 	// (each task runs on exactly one worker and transport series carry
 	// worker labels), so the merge is the whole-cluster picture.
+	lc.mu.Lock()
+	regs := append([]*telemetry.Registry(nil), lc.regs...)
+	lc.mu.Unlock()
 	seen := make(map[*telemetry.Registry]bool, len(regs))
 	var snaps []telemetry.Snapshot
 	for _, reg := range regs {

@@ -148,6 +148,13 @@ func (s *Server) Close() {
 // an ephemeral port) in a background goroutine and returns the running
 // endpoint. The caller closes it when the run ends.
 func Serve(addr string, r *Registry) (*Server, error) {
+	return ServeHandler(addr, r.Handler())
+}
+
+// ServeHandler is Serve for an arbitrary handler — callers that extend
+// the metrics mux with extra routes (an ops endpoint next to /metrics)
+// mount the combined handler here and get the same timeout hygiene.
+func ServeHandler(addr string, h http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
@@ -157,7 +164,7 @@ func Serve(addr string, r *Registry) (*Server, error) {
 	// request read, the response write and idle keep-alives, not just
 	// the header read.
 	srv := &http.Server{
-		Handler:           r.Handler(),
+		Handler:           h,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       15 * time.Second,
 		WriteTimeout:      30 * time.Second,

@@ -1,0 +1,22 @@
+package topology
+
+// Frontiered is implemented by spouts that can report whether they sit
+// on a window frontier — the instant between emitting one window's
+// punctuation and the next window's first tuple. The cluster runtime's
+// elastic rescale pauses spouts only at a frontier, so every stateful
+// bolt downstream is exactly at its post-window state (the state its
+// Snapshotter was designed to capture) when task state is streamed to
+// a new home.
+//
+// A spout that does not implement Frontiered is paused between any two
+// NextTuple calls and reports no frontier; rescale still works, but the
+// migrated snapshots then rely on the spout having no notion of
+// windows at all.
+type Frontiered interface {
+	// AtFrontier reports whether the spout is between windows right
+	// now: the next NextTuple call would begin a new window.
+	AtFrontier() bool
+	// Frontier is the index of the last fully emitted window (-1 before
+	// the first window completes). Only meaningful while AtFrontier.
+	Frontier() int
+}
