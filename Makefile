@@ -28,11 +28,18 @@ race:
 # matrix exercises elastic scale-out: grow + shrink mid-run with every
 # data link severed during the shrink migration, asserting exact
 # oracle parity, exactly-once results, and zero source replays.
+# The spill suites drive the memory governor's disk leg through
+# state.FaultStore chaos — ENOSPC, torn/short writes, read corruption —
+# asserting spilled window state degrades (resident retry, forced
+# tumble, 429 shed) instead of crashing or corrupting results.
 chaos:
 	$(GO) test -race -count 1 ./internal/cluster/ -run 'TestScheduledChaosParity|TestResendAfterSever|TestHungWorkerLeaseExpiry|TestRandomScheduleDeterministic' -v
 	$(GO) test -race -count 1 ./internal/core/ -run 'TestClusterScheduledChaosParity|TestClusterHungWorkerRecovery|TestClusterSecondFailureMidRecovery' -v
 	$(GO) test -race -count 1 ./internal/cluster/ -run 'TestElasticRescaleGrowShrink|TestRescaleShrinkRejectsPinned|TestStateFrameBinaryRoundTrip' -v
 	$(GO) test -race -count 1 ./internal/core/ -run 'TestElasticRescaleChaosParity|TestRescalePolicyAutoGrow' -v
+	$(GO) test -race -count 1 ./internal/join/ -run 'TestSlidingSpill|TestSlidingReloadCorruptionDegrades|TestSlidingPersistentENOSPCForceTumbles|TestMultiSpillParityAndDrain|TestGovernorSpillCompression' -v
+	$(GO) test -race -count 1 ./internal/core/ -run 'TestJoinerPendingSpillParity|TestQuerySetSpillAndDrain|TestQuerySetShedsOverBudget' -v
+	$(GO) test -race -count 1 ./internal/server/ -run 'TestServerSpillParity|TestServerSpillFaultsDegrade|TestServerShedsWith429' -v
 
 # bench runs the root benchmark suite once as JSON — the format the
 # perf trajectory files (BENCH_issue*_{before,after}.json) are kept in
@@ -55,7 +62,7 @@ bench-guard:
 	$(GO) test -run '^$$' -bench '^(BenchmarkFPTreeInsert|BenchmarkJoinableClassify)$$' -benchtime 2000x -count 2 -json . >> bench_guard_current.json
 	$(GO) test -run '^$$' -bench '^BenchmarkParallelBatchProbe$$' -benchtime 2x -count 2 -json . >> bench_guard_current.json
 	$(GO) test -run '^$$' -bench '^(BenchmarkWireEncode|BenchmarkWireDecode|BenchmarkFrameBatch)$$' -benchtime 200000x -count 3 -json ./internal/cluster/ >> bench_guard_current.json
-	$(GO) run ./cmd/sfj-benchguard -baseline BENCH_issue9_after.json -current bench_guard_current.json
+	$(GO) run ./cmd/sfj-benchguard -baseline BENCH_issue10_after.json -current bench_guard_current.json
 
 # serve-smoke runs the multi-tenant query service end to end: build
 # sfj-serve, register two standing queries, stream a batch, assert both

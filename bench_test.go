@@ -21,6 +21,7 @@ import (
 	"repro/internal/fptree"
 	"repro/internal/join"
 	"repro/internal/partition"
+	"repro/internal/state"
 	"repro/internal/telemetry"
 )
 
@@ -343,4 +344,62 @@ func BenchmarkTelemetrySystemEndToEnd(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSpillReprobe measures the memory governor's disk leg: a
+// sliding FPJ window streaming under a budget of a fifth of its
+// steady-state footprint, so sealed panes continually spill to a
+// filesystem store and reload for probing, against the same stream
+// ungoverned. The gap between the two sub-benches is the price of
+// bounding memory — spill encode + CRC envelope + fsync + reload.
+func BenchmarkSpillReprobe(b *testing.B) {
+	const (
+		size  = 200
+		slide = 20
+		docs  = 600
+	)
+	gen := datagen.NewServerLog(11)
+	stream := gen.Window(docs)
+	mk := func() join.Engine { return join.NewFPJ() }
+
+	run := func(b *testing.B, budget int64) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s, err := join.NewSliding(size, slide, mk)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if budget > 0 {
+				st, err := state.NewFSStore(b.TempDir())
+				if err != nil {
+					b.Fatal(err)
+				}
+				s.SetGovernor(join.NewGovernor(join.GovernorConfig{
+					Budget: budget,
+					Store:  st,
+					Task:   "bench",
+				}))
+			}
+			for _, d := range stream {
+				s.Process(d)
+			}
+		}
+	}
+
+	// Size the budget from the ungoverned steady-state footprint once.
+	probe, err := join.NewSliding(size, slide, mk)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var peak int64
+	for _, d := range stream {
+		probe.Process(d)
+		if m := probe.MemBytes(); m > peak {
+			peak = m
+		}
+	}
+
+	b.Run("ungoverned", func(b *testing.B) { run(b, 0) })
+	b.Run("governed-half", func(b *testing.B) { run(b, peak/2) })
+	b.Run("governed-fifth", func(b *testing.B) { run(b, peak/5) })
 }

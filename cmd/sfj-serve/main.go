@@ -40,7 +40,10 @@ func main() {
 		maxQueries    = flag.Int("max-queries", 1024, "admission cap on concurrently registered standing queries")
 		resultBuffer  = flag.Int("result-buffer", 4096, "per-query result buffer capacity; the oldest results are dropped when a client falls behind")
 		maxWindowDocs = flag.Int("max-window-docs", 1_000_000, "force-tumble any window reaching N documents — the guard against a manual window nobody tumbles (0 = unbounded, rejected when -window is 0)")
+		spillDir      = flag.String("spill-dir", "", "with -memory-budget: directory receiving spilled window groups; empty starts the over-budget ladder at forced tumbling")
 	)
+	var memoryBudget cliflags.ByteSize
+	flag.Var(&memoryBudget, "memory-budget", "bound on resident window-state bytes, K/M/G suffixes accepted (e.g. 256M); over it the service spills window groups to -spill-dir, compresses spill files, force-tumbles the largest group, and finally answers 429 on /documents (0 = ungoverned)")
 	// Transport knobs, shared verbatim with sfj-topology so deployment
 	// scripts carry one flag set: they configure the cluster data plane
 	// when the service fronts a distributed run. The in-process query
@@ -57,12 +60,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-window 0 with -max-window-docs 0 grows window state without bound; set one of them")
 		os.Exit(2)
 	}
+	if *spillDir != "" && memoryBudget == 0 {
+		fmt.Fprintln(os.Stderr, "-spill-dir without -memory-budget has no effect; set a budget")
+		os.Exit(2)
+	}
 	opts := []server.Option{
 		server.WithEngine(*engine),
 		server.WithWindow(*window),
 		server.WithMaxQueries(*maxQueries),
 		server.WithResultBuffer(*resultBuffer),
 		server.WithMaxWindowDocs(*maxWindowDocs),
+		server.WithMemoryBudget(memoryBudget.Int64()),
+		server.WithSpillDir(*spillDir),
 	}
 	if *telemOn {
 		opts = append(opts, server.WithTelemetry(telemetry.NewRegistry()))
@@ -84,6 +93,9 @@ func main() {
 		IdleTimeout:       2 * time.Minute,
 	}
 	fmt.Printf("sfj-serve listening on %s (engine=%s window=%d max-queries=%d)\n", *addr, *engine, *window, *maxQueries)
+	if memoryBudget > 0 {
+		fmt.Printf("memory governor: budget=%s spill-dir=%q\n", memoryBudget.String(), *spillDir)
+	}
 	fmt.Printf("transport: %s\n", transport)
 	if *telemOn {
 		fmt.Printf("scrape metrics: curl http://%s/metrics\n", *addr)

@@ -78,7 +78,10 @@ func main() {
 		chaosSeed   = flag.Int64("chaos-seed", 0, "with -cluster N: run behind fault-injecting proxies driven by a deterministic schedule derived from this seed (0 = off)")
 		chaosEvents = flag.Int("chaos-events", 6, "with -chaos-seed: number of scheduled fault events")
 		verbose     = flag.Bool("v", false, "print per-window statistics")
+		spillDir    = flag.String("spill-dir", "", "with -memory-budget: directory receiving spilled joiner buffers; empty meters pressure without the disk rungs")
 	)
+	var memoryBudget cliflags.ByteSize
+	flag.Var(&memoryBudget, "memory-budget", "per-joiner bound on window-state bytes, K/M/G suffixes accepted (e.g. 64M); over it joiners spill buffered future-window documents to -spill-dir and surface pressure gauges — pair with -max-pending so the spout parks instead of growing queues (0 = ungoverned)")
 	transport := cliflags.RegisterTransport(flag.CommandLine)
 	flag.Parse()
 
@@ -140,6 +143,13 @@ func main() {
 
 		ProbeParallelism: *probePar,
 		ProbeBatch:       *probeBatch,
+
+		MemoryBudget: memoryBudget.Int64(),
+		SpillDir:     *spillDir,
+	}
+	if *spillDir != "" && memoryBudget == 0 {
+		fmt.Fprintln(os.Stderr, "-spill-dir without -memory-budget has no effect; set a budget")
+		os.Exit(2)
 	}
 	if err := transport.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)

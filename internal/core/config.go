@@ -131,6 +131,23 @@ type Config struct {
 	// Assigner/Merger/Creator control cycle always stay unbounded —
 	// see topology.Builder.MaxPending.
 	MaxPending int
+	// MemoryBudget bounds each Joiner's accounted window-state bytes
+	// (FP-tree arena + window doc store + buffered future-window
+	// documents); 0 (the default) leaves memory ungoverned. Over the
+	// budget a Joiner spills its buffered future-window documents to
+	// the SpillDir store and reloads them at the tumble that makes
+	// their window current — correctness-neutral, since buffered
+	// documents are not yet part of any join state. The current
+	// window's probe structures are never spilled (every arriving
+	// document probes them); when those alone exceed the budget the
+	// pressure gauge rises and relief comes from MaxPending
+	// backpressure parking the spout, the cluster's rung-4 shed path.
+	MemoryBudget int64
+	// SpillDir roots the filesystem store receiving spilled Joiner
+	// buffers (one file per task and window, CRC-enveloped). Empty
+	// with a MemoryBudget set means nothing can spill: the governor
+	// only meters and the ladder starts at backpressure.
+	SpillDir string
 	// Source produces the document stream.
 	Source datagen.Generator
 	// OnResult, when set, receives every join result. It is called

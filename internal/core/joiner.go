@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/document"
 	"repro/internal/join"
+	"repro/internal/state"
 	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
@@ -46,6 +47,18 @@ type joinerBolt struct {
 	current int
 	pending map[int][]pendingDoc
 
+	// Memory governance (Config.MemoryBudget): gov meters the windowed
+	// engine plus the pending buffers and, under pressure, spills whole
+	// pending-window buffers to disk — they are not yet join state, so
+	// spilling them is correctness-neutral. spilledPend marks windows
+	// with a spill file (reloaded in maybeTumble right before replay);
+	// pendBytes tracks each buffered window's accounted bytes and
+	// pendTotal their sum, so Account stays O(1) per document.
+	gov         *join.Governor
+	spilledPend map[int]bool
+	pendBytes   map[int]int64
+	pendTotal   int64
+
 	// markers counts per-window punctuation from the assigners; the
 	// window tumbles when all of them reported. ckptW marks windows
 	// whose punctuation carried a checkpoint barrier.
@@ -72,15 +85,17 @@ func newJoinerBolt(cfg Config, task int) *joinerBolt {
 		panic(err)
 	}
 	b := &joinerBolt{
-		cfg:      cfg,
-		task:     task,
-		windowed: join.NewWindowed(eng),
-		targets:  make(map[uint64][]int),
-		pending:  make(map[int][]pendingDoc),
-		markers:  make(map[int]int),
-		ckptW:    make(map[int]bool),
-		cp:       newCheckpointer(cfg, "joiner", task),
-		batchCap: cfg.ProbeBatch,
+		cfg:         cfg,
+		task:        task,
+		windowed:    join.NewWindowed(eng),
+		targets:     make(map[uint64][]int),
+		pending:     make(map[int][]pendingDoc),
+		markers:     make(map[int]int),
+		ckptW:       make(map[int]bool),
+		cp:          newCheckpointer(cfg, "joiner", task),
+		batchCap:    cfg.ProbeBatch,
+		spilledPend: make(map[int]bool),
+		pendBytes:   make(map[int]int64),
 	}
 	fpj, _ := eng.(*join.FPJ)
 	if fpj != nil && cfg.ProbeParallelism > 1 {
@@ -105,6 +120,36 @@ func newJoinerBolt(cfg Config, task int) *joinerBolt {
 			}
 			fpj.SetWorkerProbeHistograms(hists)
 		}
+	}
+	if cfg.MemoryBudget > 0 {
+		var spill state.Store
+		if cfg.SpillDir != "" {
+			if fs, err := state.NewFSStore(cfg.SpillDir); err == nil {
+				spill = fs
+			}
+			// An unusable spill dir degrades to a store-less governor:
+			// pressure is still metered, relief comes from backpressure.
+		}
+		var ins join.GovernorInstruments
+		if reg := cfg.Telemetry; reg != nil {
+			id := fmt.Sprint(task)
+			ins = join.GovernorInstruments{
+				SpillPanes:    reg.Counter(telemetry.Name("state_spill_panes_total", "task", id)),
+				SpillBytes:    reg.Counter(telemetry.Name("state_spill_bytes_total", "task", id)),
+				Reloads:       reg.Counter(telemetry.Name("state_spill_reloads_total", "task", id)),
+				Failures:      reg.Counter(telemetry.Name("state_spill_failures_total", "task", id)),
+				ForcedTumbles: reg.Counter(telemetry.Name("state_forced_tumbles_total", "task", id)),
+				Shed:          reg.Counter(telemetry.Name("state_shed_total", "task", id)),
+				Pressure:      reg.Gauge(telemetry.Name("state_pressure_level", "task", id)),
+				Accounted:     reg.Gauge(telemetry.Name("state_accounted_bytes", "task", id)),
+			}
+		}
+		b.gov = join.NewGovernor(join.GovernorConfig{
+			Budget: cfg.MemoryBudget,
+			Store:  spill,
+			Task:   "joiner-" + fmt.Sprint(task),
+			Ins:    ins,
+		})
 	}
 	return b
 }
@@ -131,7 +176,12 @@ func (b *joinerBolt) Execute(t topology.Tuple, c topology.Collector) {
 			b.enqueue(p, c)
 		} else {
 			b.pending[w] = append(b.pending[w], p)
+			if b.gov != nil {
+				b.pendBytes[w] += pendingDocBytes(p)
+				b.pendTotal += pendingDocBytes(p)
+			}
 		}
+		b.govern()
 	case streamJoinerWindow:
 		// Any punctuation first drains the micro-batch, so window
 		// accounting never sees buffered-but-unprobed documents.
@@ -250,9 +300,95 @@ func (b *joinerBolt) maybeTumble(c topology.Collector) {
 		if ckpt {
 			b.cp.save(w, b)
 		}
-		for _, p := range b.pending[b.current] {
+		for _, p := range b.takePending(b.current) {
 			b.enqueue(p, c)
 		}
-		delete(b.pending, b.current)
 	}
+}
+
+// pendingDocBytes estimates one buffered document's resident
+// footprint: the document, its target list and the pendingDoc
+// bookkeeping around them.
+func pendingDocBytes(p pendingDoc) int64 {
+	const perDoc = 48 // pendingDoc struct + slice headers
+	return p.doc.MemBytes() + int64(len(p.targets))*8 + perDoc
+}
+
+// govern refreshes the memory governor's byte account (windowed join
+// state plus buffered future-window documents) and, while pressure
+// calls for it, spills whole pending-window buffers to disk, largest
+// first. The current window's probe structures are never candidates —
+// every arriving document probes them — so when they alone exceed the
+// budget the pressure gauge rises and relief comes from MaxPending
+// backpressure parking the spout.
+func (b *joinerBolt) govern() {
+	if b.gov == nil {
+		return
+	}
+	level := b.gov.Account(b.windowed.MemBytes() + b.pendTotal)
+	if level < join.PressureSpill || !b.gov.CanSpill() {
+		return
+	}
+	for b.gov.Accounted() > b.gov.Budget() {
+		w, ok := b.largestUnspilledPending()
+		if !ok || !b.spillPending(w) {
+			return
+		}
+	}
+}
+
+// largestUnspilledPending picks the buffered window with the most
+// accounted bytes that has no spill file yet (each window spills at
+// most once; later arrivals for a spilled window stay resident and
+// replay after the reloaded prefix).
+func (b *joinerBolt) largestUnspilledPending() (int, bool) {
+	best, bestBytes := 0, int64(0)
+	for w, n := range b.pendBytes {
+		if n > bestBytes && !b.spilledPend[w] && len(b.pending[w]) > 0 {
+			best, bestBytes = w, n
+		}
+	}
+	return best, bestBytes > 0
+}
+
+// spillPending writes window w's buffer to the spill store and, only
+// after the governor's read-back verification succeeds, releases the
+// resident copy. A failed spill costs nothing but the failure counter:
+// the buffer stays in memory and the documents are never at risk.
+func (b *joinerBolt) spillPending(w int) bool {
+	snap := pendingSnapshot{docs: b.pending[w]}
+	if _, err := b.gov.Spill(w, spillKindPending, &snap); err != nil {
+		return false
+	}
+	b.spilledPend[w] = true
+	b.pendTotal -= b.pendBytes[w]
+	delete(b.pendBytes, w)
+	b.pending[w] = nil
+	b.gov.Account(b.windowed.MemBytes() + b.pendTotal)
+	return true
+}
+
+// takePending returns window w's buffered documents in arrival order —
+// the spilled prefix reloaded from disk first, then whatever
+// accumulated in memory after the spill — and drops all bookkeeping
+// for w. A reload failure (the file corrupted at rest despite the
+// write-time verification) degrades instead of crashing: the failure
+// is counted, the spilled prefix is lost, the run continues.
+func (b *joinerBolt) takePending(w int) []pendingDoc {
+	resident := b.pending[w]
+	delete(b.pending, w)
+	if b.gov != nil {
+		b.pendTotal -= b.pendBytes[w]
+		delete(b.pendBytes, w)
+	}
+	if !b.spilledPend[w] {
+		return resident
+	}
+	delete(b.spilledPend, w)
+	var snap pendingSnapshot
+	if err := b.gov.Reload(w, spillKindPending, &snap); err != nil {
+		return resident
+	}
+	b.gov.Drop(w)
+	return append(snap.docs, resident...)
 }

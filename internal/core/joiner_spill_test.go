@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/document"
+	"repro/internal/partition"
+	"repro/internal/telemetry"
+)
+
+// TestJoinerPendingSpillParity runs a cluster topology whose joiners
+// are memory-governed with a budget so small every buffered
+// future-window document spills to disk, and checks the join output is
+// still exactly the oracle's. The joiners' pending buffers (documents
+// racing ahead of the frontier under multiple assigners) are the only
+// spillable state on the cluster path — the current window's probe
+// structures never leave memory — so parity here proves the spill and
+// reload legs are correctness-neutral end to end.
+func TestJoinerPendingSpillParity(t *testing.T) {
+	const windowSize = 60
+	gen := datagen.NewServerLog(7)
+	var docs []document.Document
+	for w := 0; w < 3; w++ {
+		docs = append(docs, gen.Window(windowSize)...)
+	}
+	reg := telemetry.NewRegistry()
+	cfg := Config{
+		M:            3,
+		Creators:     2,
+		Assigners:    3, // racing assigners keep the pending buffers busy
+		WindowSize:   windowSize,
+		Windows:      3,
+		Delta:        2,
+		Theta:        0.3,
+		Partitioner:  partition.AssociationGroups{},
+		Engine:       "FPJ",
+		MemoryBudget: 1, // every pending buffer is over budget: spill it all
+		SpillDir:     t.TempDir(),
+		Telemetry:    reg,
+	}
+	got, report := runAndCollect(t, cfg, docs)
+	want := oraclePairs(docs, windowSize)
+	if len(got) != len(want) {
+		t.Errorf("governed topology produced %d pairs, oracle %d", len(got), len(want))
+	}
+	for p := range want {
+		if !got[p] {
+			t.Errorf("missing pair (%d,%d)", p.LeftID, p.RightID)
+		}
+	}
+	for p := range got {
+		if !want[p] {
+			t.Errorf("extra pair (%d,%d)", p.LeftID, p.RightID)
+		}
+	}
+	snap := report.Telemetry
+	if snap.SumCounter("state_spill_panes_total") == 0 {
+		t.Error("no pending buffers spilled despite the 1-byte budget")
+	}
+	if snap.SumCounter("state_spill_reloads_total") == 0 {
+		t.Error("no spilled pending buffers reloaded")
+	}
+	if snap.SumCounter("state_spill_failures_total") != 0 {
+		t.Errorf("%d spill failures on a healthy filesystem",
+			snap.SumCounter("state_spill_failures_total"))
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/document"
 	"repro/internal/join"
+	"repro/internal/state"
 	"repro/internal/telemetry"
 )
 
@@ -69,11 +70,27 @@ type QuerySetConfig struct {
 	// query_results_total{query=...}) and per-group join instruments
 	// labelled by window group (join_results_total{window=...}, ...).
 	Telemetry *telemetry.Registry
+	// MemoryBudget > 0 bounds the accounted bytes of all window state:
+	// past it the degradation ladder fires — spill (with SpillStore),
+	// compressed spill, forced tumble of the largest group, and
+	// finally admission shedding (Ingest returns ErrOverloaded).
+	// 0 leaves memory ungoverned.
+	MemoryBudget int64
+	// SpillStore receives spilled window groups (rungs 1-2 of the
+	// ladder). Nil with a budget set starts the ladder at forced
+	// tumbling.
+	SpillStore state.Store
 }
 
 // ErrTooManyQueries is returned by Register when the MaxQueries
 // admission cap is reached.
 var ErrTooManyQueries = fmt.Errorf("core: query admission cap reached")
+
+// ErrOverloaded is returned by Ingest/IngestJSON while the memory
+// governor is at the shed rung: accounted window state is ≥ 2× the
+// budget and every cheaper degradation has been tried. Callers should
+// back off and retry (sfj-serve maps it to 429).
+var ErrOverloaded = fmt.Errorf("core: window state over memory budget, shedding ingest")
 
 // NewQuerySet creates an empty query set.
 func NewQuerySet(cfg QuerySetConfig) *QuerySet {
@@ -114,6 +131,27 @@ func NewQuerySet(cfg QuerySetConfig) *QuerySet {
 				TreeNodes:    reg.Gauge(names[4]),
 			}
 		})
+	}
+	if cfg.MemoryBudget > 0 {
+		var ins join.GovernorInstruments
+		if reg := cfg.Telemetry; reg != nil {
+			ins = join.GovernorInstruments{
+				SpillPanes:    reg.Counter("state_spill_panes_total"),
+				SpillBytes:    reg.Counter("state_spill_bytes_total"),
+				Reloads:       reg.Counter("state_spill_reloads_total"),
+				Failures:      reg.Counter("state_spill_failures_total"),
+				ForcedTumbles: reg.Counter("state_forced_tumbles_total"),
+				Shed:          reg.Counter("state_shed_total"),
+				Pressure:      reg.Gauge("state_pressure_level"),
+				Accounted:     reg.Gauge("state_accounted_bytes"),
+			}
+		}
+		qs.multi.SetGovernor(join.NewGovernor(join.GovernorConfig{
+			Budget: cfg.MemoryBudget,
+			Store:  cfg.SpillStore,
+			Task:   "queryset",
+			Ins:    ins,
+		}))
 	}
 	return qs
 }
@@ -198,14 +236,16 @@ func (qs *QuerySet) refreshGaugesLocked() {
 // documents are probed once per distinct window configuration and the
 // results fan out to the matching queries through deliver, which runs
 // under the set's lock (keep it quick, never re-enter the QuerySet).
-func (qs *QuerySet) Ingest(d document.Document, deliver func(query string, r join.Result)) {
+// It returns ErrOverloaded while the memory governor is shedding.
+func (qs *QuerySet) Ingest(d document.Document, deliver func(query string, r join.Result)) error {
 	qs.mu.Lock()
 	defer qs.mu.Unlock()
-	qs.ingestLocked(d, deliver)
+	return qs.ingestLocked(d, deliver)
 }
 
 // IngestJSON parses one JSON document, assigns it the next document id
-// and ingests it.
+// and ingests it. It returns ErrOverloaded while the memory governor
+// is shedding.
 func (qs *QuerySet) IngestJSON(data []byte, deliver func(query string, r join.Result)) error {
 	qs.mu.Lock()
 	defer qs.mu.Unlock()
@@ -214,11 +254,17 @@ func (qs *QuerySet) IngestJSON(data []byte, deliver func(query string, r join.Re
 		return fmt.Errorf("core: %w", err)
 	}
 	qs.nextDoc++
-	qs.ingestLocked(d, deliver)
-	return nil
+	return qs.ingestLocked(d, deliver)
 }
 
-func (qs *QuerySet) ingestLocked(d document.Document, deliver func(string, join.Result)) {
+func (qs *QuerySet) ingestLocked(d document.Document, deliver func(string, join.Result)) error {
+	if gov := qs.multi.Governor(); gov.Level() >= join.PressureShed {
+		// Rung 4: refuse at admission. The document is not parsed into
+		// any window, so a retried send after back-off is not a
+		// duplicate.
+		gov.ShedOne()
+		return ErrOverloaded
+	}
 	clear(qs.scratch)
 	forced := qs.multi.Ingest(d, qs.cfg.MaxWindowDocs, func(id string, r join.Result) {
 		qs.scratch[id]++
@@ -235,6 +281,7 @@ func (qs *QuerySet) ingestLocked(d document.Document, deliver func(string, join.
 			qt.results.Add(int64(n))
 		}
 	}
+	return nil
 }
 
 // Demux fans one externally joined result (a cluster run's output) out
@@ -256,15 +303,58 @@ func (qs *QuerySet) Demux(engine string, windowDocs int, r join.Result, deliver 
 }
 
 // Tumble closes the window of the group hosting the query — every
-// query sharing that group observes the eviction.
-func (qs *QuerySet) Tumble(id string) (docs, pairs int, err error) {
+// query sharing that group observes the eviction. If the group was
+// spilled, it reloads and replays its backlog first; those delayed
+// results emit through deliver (nil discards them).
+func (qs *QuerySet) Tumble(id string, deliver func(query string, r join.Result)) (docs, pairs int, err error) {
 	qs.mu.Lock()
 	defer qs.mu.Unlock()
-	docs, pairs, ok := qs.multi.Tumble(id)
+	docs, pairs, ok := qs.multi.Tumble(id, qs.cfg.MaxWindowDocs, func(qid string, r join.Result) {
+		if qt := qs.perQuery[qid]; qt != nil {
+			qt.results.Inc()
+		}
+		if deliver != nil {
+			deliver(qid, r)
+		}
+	})
 	if !ok {
 		return 0, 0, fmt.Errorf("core: unknown query %q", id)
 	}
 	return docs, pairs, nil
+}
+
+// DrainSpilled reloads every spilled window group and replays its
+// backlog, delivering the delayed results — the final flush at
+// shutdown so backlogged documents' results are not lost.
+func (qs *QuerySet) DrainSpilled(deliver func(query string, r join.Result)) {
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	forced := qs.multi.DrainSpilled(qs.cfg.MaxWindowDocs, func(qid string, r join.Result) {
+		if qt := qs.perQuery[qid]; qt != nil {
+			qt.results.Inc()
+		}
+		if deliver != nil {
+			deliver(qid, r)
+		}
+	})
+	if forced > 0 {
+		qs.tel.forced.Add(int64(forced))
+	}
+}
+
+// MemBytes reports the governor's accounted window-state bytes (0 when
+// memory is ungoverned).
+func (qs *QuerySet) MemBytes() int64 {
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	return qs.multi.MemBytes()
+}
+
+// PressureLevel reports the memory governor's current ladder rung.
+func (qs *QuerySet) PressureLevel() join.PressureLevel {
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	return qs.multi.Governor().Level()
 }
 
 // Status reports one query's observable state.

@@ -9,6 +9,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/document"
 	"repro/internal/join"
+	"repro/internal/state"
 	"repro/internal/telemetry"
 )
 
@@ -247,5 +248,113 @@ func TestRunnerQueryFanout(t *testing.T) {
 	}
 	if got["off-window"] != 0 {
 		t.Errorf("off-window = %d, want 0 (different window config)", got["off-window"])
+	}
+}
+
+// TestQuerySetShedsOverBudget drives the degradation ladder to rung 4
+// without a spill store: two private manual windows cannot both be
+// relieved by the per-ingest forced tumble, so accounted bytes stay
+// over 2x budget and Ingest starts refusing with ErrOverloaded.
+func TestQuerySetShedsOverBudget(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	qs := NewQuerySet(QuerySetConfig{Telemetry: reg, MemoryBudget: 1})
+	// Manual windows (WindowDocs 0) are private per query: two groups.
+	if err := qs.Register("a", join.QuerySpec{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := qs.Register("b", join.QuerySpec{}); err != nil {
+		t.Fatal(err)
+	}
+	var shed, forced bool
+	for i := 0; i < 20; i++ {
+		err := qs.Ingest(qdoc(t, uint64(i+1), fmt.Sprintf(`{"k%d":1}`, i)), nil)
+		if errors.Is(err, ErrOverloaded) {
+			shed = true
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if qs.PressureLevel() >= join.PressureTumble {
+			forced = true
+		}
+	}
+	if !shed {
+		t.Fatal("governor never shed despite 1-byte budget")
+	}
+	_ = forced
+	snap := reg.Snapshot()
+	if snap.Counter("state_shed_total") == 0 {
+		t.Error("state_shed_total stayed zero")
+	}
+	if snap.Counter("state_forced_tumbles_total") == 0 {
+		t.Error("rung 3 never fired before shedding")
+	}
+	if snap.Gauge("state_pressure_level") < float64(join.PressureShed) {
+		t.Errorf("pressure gauge = %g, want >= %d", snap.Gauge("state_pressure_level"), int(join.PressureShed))
+	}
+}
+
+// TestQuerySetSpillAndDrain: with a spill store, a tight budget moves
+// window groups to disk and Tumble transparently reloads them — the
+// delayed results arrive, none are lost, and spill telemetry counts.
+func TestQuerySetSpillAndDrain(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	qs := NewQuerySet(QuerySetConfig{
+		Telemetry:    reg,
+		MemoryBudget: 2048,
+		SpillStore:   state.NewMemStore(),
+	})
+	if err := qs.Register("q", join.QuerySpec{}); err != nil {
+		t.Fatal(err)
+	}
+	// Reference: the same stream through an ungoverned set.
+	refQS := NewQuerySet(QuerySetConfig{})
+	if err := refQS.Register("q", join.QuerySpec{}); err != nil {
+		t.Fatal(err)
+	}
+	const n = 60
+	docs := make([]document.Document, n)
+	for i := range docs {
+		docs[i] = qdoc(t, uint64(i+1), fmt.Sprintf(`{"shared":1,"uniq%d":%d}`, i, i))
+	}
+	count := func(qsrc *QuerySet) int {
+		total := 0
+		deliver := func(string, join.Result) { total++ }
+		for _, d := range docs {
+			err := qsrc.Ingest(d, deliver)
+			// The admission-control contract: a shed ingest was NOT
+			// applied, so the client drains pressure and retries the
+			// same document — no duplicates, no loss.
+			for retries := 0; errors.Is(err, ErrOverloaded) && retries < 5; retries++ {
+				qsrc.DrainSpilled(deliver)
+				err = qsrc.Ingest(d, deliver)
+			}
+			if err != nil {
+				s := reg.Snapshot()
+				t.Fatalf("%v (mem=%d level=%v spills=%d fails=%d reloads=%d)", err, qsrc.MemBytes(), qsrc.PressureLevel(),
+					s.Counter("state_spill_panes_total"), s.Counter("state_spill_failures_total"), s.Counter("state_spill_reloads_total"))
+			}
+		}
+		qsrc.DrainSpilled(deliver)
+		if _, _, err := qsrc.Tumble("q", deliver); err != nil {
+			t.Fatal(err)
+		}
+		return total
+	}
+	want := count(refQS)
+	got := count(qs)
+	if want == 0 {
+		t.Fatal("reference produced no results; test vacuous")
+	}
+	if got != want {
+		t.Fatalf("governed query set delivered %d results, want %d", got, want)
+	}
+	snap := reg.Snapshot()
+	if snap.Counter("state_spill_panes_total") == 0 {
+		t.Error("no group spills despite tight budget")
+	}
+	if snap.Counter("state_spill_reloads_total") == 0 {
+		t.Error("no spilled groups reloaded")
 	}
 }

@@ -81,6 +81,20 @@ func WithWireFormat(format string) Option {
 	return func(r *Runner) { r.cfg.WireFormat = format }
 }
 
+// WithMemoryBudget bounds each Joiner's accounted window-state bytes,
+// spilling buffered future-window documents to the WithSpillDir store
+// under pressure. Equivalent to setting Config.MemoryBudget; <= 0
+// leaves memory ungoverned.
+func WithMemoryBudget(n int64) Option {
+	return func(r *Runner) { r.cfg.MemoryBudget = n }
+}
+
+// WithSpillDir roots the Joiners' spill store. Equivalent to setting
+// Config.SpillDir; only meaningful together with WithMemoryBudget.
+func WithSpillDir(dir string) Option {
+	return func(r *Runner) { r.cfg.SpillDir = dir }
+}
+
 // WithMetricsAddr serves the run's telemetry registry on addr for the
 // duration of the run (Prometheus text at /metrics, JSON at
 // /debug/stats). Requires WithTelemetry (or Config.Telemetry).

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"encoding/gob"
+	"fmt"
 	"io"
 	"sort"
 
@@ -234,6 +235,58 @@ func (b *joinerBolt) Restore(r io.Reader) error {
 	b.markers = make(map[int]int)
 	b.ckptW = make(map[int]bool)
 	b.pairs = 0
+	// Spill files of the failed attempt are stale (the replayed stream
+	// re-delivers every buffered document); forget them rather than
+	// reload them and double-process.
+	b.spilledPend = make(map[int]bool)
+	b.pendBytes = make(map[int]int64)
+	b.pendTotal = 0
+	return nil
+}
+
+// spillKindPending tags the spill envelope of a joiner's buffered
+// future-window documents (Config.MemoryBudget).
+const spillKindPending = "joiner-pending"
+
+// pendingSnapshot carries one buffered window's pendingDoc list
+// through the memory governor's spill path. Documents travel in their
+// symbol-aware gob form (strings on the wire), so a spill file reloads
+// correctly even across a symbol epoch.
+type pendingSnapshot struct {
+	docs []pendingDoc
+}
+
+type pendingGob struct {
+	Docs    []document.Document
+	Targets [][]int
+}
+
+// Snapshot implements state.Snapshotter.
+func (p *pendingSnapshot) Snapshot(w io.Writer) error {
+	g := pendingGob{
+		Docs:    make([]document.Document, len(p.docs)),
+		Targets: make([][]int, len(p.docs)),
+	}
+	for i, pd := range p.docs {
+		g.Docs[i] = pd.doc
+		g.Targets[i] = pd.targets
+	}
+	return gob.NewEncoder(w).Encode(&g)
+}
+
+// Restore implements state.Snapshotter.
+func (p *pendingSnapshot) Restore(r io.Reader) error {
+	var g pendingGob
+	if err := gob.NewDecoder(r).Decode(&g); err != nil {
+		return err
+	}
+	if len(g.Docs) != len(g.Targets) {
+		return fmt.Errorf("core: pending spill: %d documents but %d target lists", len(g.Docs), len(g.Targets))
+	}
+	p.docs = make([]pendingDoc, len(g.Docs))
+	for i := range g.Docs {
+		p.docs[i] = pendingDoc{doc: g.Docs[i], targets: g.Targets[i]}
+	}
 	return nil
 }
 

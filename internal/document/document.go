@@ -143,6 +143,25 @@ func (d Document) InternedPairs() []symbol.Pair {
 // slice must not be modified.
 func (d Document) Pairs() []Pair { return d.pairs }
 
+// MemBytes estimates the document's resident heap footprint: the
+// Document value itself plus its pair slice (string headers and string
+// bytes) and the parallel symbol slice. It is an accounting estimate
+// for the memory governor, not an exact allocator measurement — the
+// constants approximate Go's per-object layout on 64-bit platforms.
+func (d Document) MemBytes() int64 {
+	const (
+		docBytes  = 8 + 24 + 24 + 8 // ID + pairs header + syms header + epoch
+		pairBytes = 2 * 16          // two string headers
+		symBytes  = 8               // one symbol.Pair
+	)
+	n := int64(docBytes)
+	for _, p := range d.pairs {
+		n += pairBytes + int64(len(p.Attr)) + int64(len(p.Val))
+	}
+	n += int64(len(d.syms)) * symBytes
+	return n
+}
+
 // Len reports the number of attribute-value pairs.
 func (d Document) Len() int { return len(d.pairs) }
 

@@ -150,6 +150,30 @@ func (t *Tree) NodeCount() int { return len(t.syms) - 1 }
 // MaxDepth reports the longest root-to-leaf path length.
 func (t *Tree) MaxDepth() int { return t.maxDepth }
 
+// MemBytes estimates the tree's resident heap footprint in O(1) from
+// the arena counters: every node costs its arena slots (label symbol,
+// parent/depth/branch/hnext int32s, docs and kids slice headers), one
+// incoming edge in its parent's span, and one child-index map entry;
+// each stored document ID costs one uint64 at its terminal node; the
+// header table costs one map entry per distinct label. The constants
+// approximate Go's 64-bit layout — the memory governor needs a stable
+// estimate it can read on every admission, not allocator truth.
+func (t *Tree) MemBytes() int64 {
+	const (
+		nodeBytes   = 8 + 4 + 4 + 4 + 4 + 24 + 24 // syms+parents+depths+branch+hnext+docs hdr+kids hdr
+		edgeBytes   = 16                          // one edge in the parent's span (sym + id, padded)
+		childIdxEnt = 48                          // childKey + int32 value + map bucket overhead
+		headerEnt   = 40                          // symbol.Pair key + int32 value + bucket overhead
+		docIDBytes  = 8
+	)
+	nodes := int64(len(t.syms)) // root included: it owns arena slots too
+	n := nodes * (nodeBytes + edgeBytes + childIdxEnt)
+	n += int64(t.docCount) * docIDBytes
+	n += int64(len(t.header)) * headerEnt
+	n += int64(len(t.attrCounts)) * 8
+	return n
+}
+
 // pairOf resolves a node's canonical string pair from its symbol.
 func (t *Tree) pairOf(n int32) document.Pair {
 	a, v := symbol.PairStrings(t.syms[n])
@@ -471,9 +495,12 @@ func (t *Tree) Reset() {
 	t.initRoot()
 	clear(t.childIdx)
 	clear(t.header)
-	for i := range t.attrCounts {
-		t.attrCounts[i] = 0
-	}
+	// Truncate rather than zero: the slice is indexed by global
+	// attribute symbol ID, so its length tracks the whole process's
+	// symbol space, not this window. Keeping it full-length would give
+	// an empty tree a permanent MemBytes floor the memory governor can
+	// never spill or tumble away. Entries regrow on demand at insert.
+	t.attrCounts = t.attrCounts[:0]
 	t.docCount = 0
 	t.nextBranch = 0
 	t.maxDepth = 0

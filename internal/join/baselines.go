@@ -9,6 +9,10 @@ import (
 // documents and applies the join test (paper Sec. VII-A).
 type NLJ struct {
 	docs []document.Document
+
+	// memBytes tracks the stored documents' accounted footprint
+	// incrementally so MemBytes answers in O(1).
+	memBytes int64
 }
 
 // NewNLJ creates an empty nested-loop engine.
@@ -18,7 +22,10 @@ func NewNLJ() *NLJ { return &NLJ{} }
 func (e *NLJ) Name() string { return "NLJ" }
 
 // Insert implements Engine.
-func (e *NLJ) Insert(d document.Document) { e.docs = append(e.docs, d) }
+func (e *NLJ) Insert(d document.Document) {
+	e.docs = append(e.docs, d)
+	e.memBytes += d.MemBytes()
+}
 
 // Probe implements Engine.
 func (e *NLJ) Probe(d document.Document) []uint64 {
@@ -42,7 +49,13 @@ func (e *NLJ) ProbeInsert(d document.Document) []uint64 {
 func (e *NLJ) Size() int { return len(e.docs) }
 
 // Reset implements Engine.
-func (e *NLJ) Reset() { e.docs = nil }
+func (e *NLJ) Reset() {
+	e.docs = nil
+	e.memBytes = 0
+}
+
+// MemBytes implements MemoryAccounter.
+func (e *NLJ) MemBytes() int64 { return e.memBytes }
 
 // HBJ is the Hash-Based Join baseline: an inverted index over the
 // individual attribute-value pairs, "essentially resulting in some sort
@@ -68,6 +81,10 @@ type HBJ struct {
 	// reallocating: seen[i] == epoch marks doc i as already reported.
 	seen  []uint32
 	epoch uint32
+
+	// memBytes tracks the accounted footprint (documents + posting-list
+	// entries + dedup stamps) incrementally for O(1) MemBytes.
+	memBytes int64
 }
 
 // NewHBJ creates an empty hash-based engine.
@@ -99,6 +116,8 @@ func (e *HBJ) Insert(d document.Document) {
 	for _, s := range syms {
 		e.index[s] = append(e.index[s], idx)
 	}
+	// 8 bytes per posting entry, 4 per dedup stamp.
+	e.memBytes += d.MemBytes() + int64(len(syms))*8 + 4
 }
 
 // Probe implements Engine.
@@ -143,4 +162,8 @@ func (e *HBJ) Reset() {
 	e.index = make(map[symbol.Pair][]int)
 	e.seen = nil
 	e.epoch = 0
+	e.memBytes = 0
 }
+
+// MemBytes implements MemoryAccounter.
+func (e *HBJ) MemBytes() int64 { return e.memBytes }

@@ -49,6 +49,26 @@ type Engine interface {
 	state.Snapshotter
 }
 
+// MemoryAccounter is implemented by components that can estimate their
+// resident heap footprint cheaply (O(1) or amortised O(1) per update).
+// The memory governor reads the estimate on every admission, so
+// implementations must not scan their state to answer.
+type MemoryAccounter interface {
+	// MemBytes estimates resident bytes. Estimates, not allocator
+	// truth: the governor compares them against a budget of the same
+	// vintage, so only relative stability matters.
+	MemBytes() int64
+}
+
+// EngineMemBytes estimates an engine's footprint, zero when the engine
+// does not account.
+func EngineMemBytes(e Engine) int64 {
+	if a, ok := e.(MemoryAccounter); ok {
+		return a.MemBytes()
+	}
+	return 0
+}
+
 // New constructs an engine by algorithm name.
 func New(name string) (Engine, error) {
 	switch name {

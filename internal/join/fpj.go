@@ -84,3 +84,7 @@ func (e *FPJ) Reset() {
 
 // Tree exposes the underlying FP-tree for diagnostics and tests.
 func (e *FPJ) Tree() *fptree.Tree { return e.tree }
+
+// MemBytes implements MemoryAccounter via the tree's O(1) arena
+// estimate.
+func (e *FPJ) MemBytes() int64 { return e.tree.MemBytes() }

@@ -1,0 +1,343 @@
+package join
+
+import (
+	"bytes"
+	"compress/flate"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/state"
+	"repro/internal/telemetry"
+)
+
+// PressureLevel is the memory governor's current rung on the
+// graceful-degradation ladder. Levels are ordered: each rung implies
+// everything below it.
+type PressureLevel int
+
+const (
+	// PressureOK: accounted bytes are under budget; no action.
+	PressureOK PressureLevel = iota
+	// PressureSpill (accounted ≥ 1.0× budget): sealed panes and cold
+	// groups move to the spill store.
+	PressureSpill
+	// PressureCompress (≥ 1.25×): spill files are DEFLATE-compressed —
+	// slower writes for denser disk use.
+	PressureCompress
+	// PressureTumble (≥ 1.5×): the largest group is force-tumbled,
+	// emitting its window early to reclaim memory now.
+	PressureTumble
+	// PressureShed (≥ 2.0×): new work is refused at admission —
+	// sfj-serve answers 429, cluster spouts park on backpressure.
+	PressureShed
+)
+
+// String names the rung.
+func (p PressureLevel) String() string {
+	switch p {
+	case PressureOK:
+		return "ok"
+	case PressureSpill:
+		return "spill"
+	case PressureCompress:
+		return "compress"
+	case PressureTumble:
+		return "force-tumble"
+	case PressureShed:
+		return "shed"
+	default:
+		return fmt.Sprintf("pressure(%d)", int(p))
+	}
+}
+
+// Ladder thresholds, as multiples of the budget.
+const (
+	spillAt    = 1.0
+	compressAt = 1.25
+	tumbleAt   = 1.5
+	shedAt     = 2.0
+)
+
+// GovernorInstruments are the governor's telemetry hooks. Every field
+// is nil-safe; populate from a telemetry.Registry.
+type GovernorInstruments struct {
+	// SpillPanes counts state units (panes, groups) written to the
+	// spill store — state_spill_panes_total.
+	SpillPanes *telemetry.Counter
+	// SpillBytes counts bytes written to the spill store —
+	// state_spill_bytes_total.
+	SpillBytes *telemetry.Counter
+	// Reloads counts spilled units read back for probing —
+	// state_spill_reloads_total.
+	Reloads *telemetry.Counter
+	// Failures counts spill writes or reloads that failed (I/O error,
+	// CRC mismatch) and were degraded around — state_spill_failures_total.
+	Failures *telemetry.Counter
+	// ForcedTumbles counts rung-3 early tumbles —
+	// state_forced_tumbles_total.
+	ForcedTumbles *telemetry.Counter
+	// Shed counts admissions refused at rung 4 — state_shed_total.
+	Shed *telemetry.Counter
+	// Pressure gauges the current ladder rung — state_pressure_level.
+	Pressure *telemetry.Gauge
+	// Accounted gauges the governor's view of resident window-state
+	// bytes — state_accounted_bytes.
+	Accounted *telemetry.Gauge
+}
+
+// GovernorConfig parameterises a memory governor.
+type GovernorConfig struct {
+	// Budget is the resident window-state byte budget; <= 0 disables
+	// the governor entirely (every check reports PressureOK).
+	Budget int64
+	// Store receives spilled state, keyed (Task, unit sequence). Nil
+	// disables rungs 1-2: the ladder then starts at force-tumble.
+	Store state.Store
+	// Task namespaces this governor's spill files within Store.
+	Task string
+	// MaxPinned caps how many spilled units may be resident
+	// (reloaded) at once — the LRU pinned set. Default 1.
+	MaxPinned int
+	// Ins are the telemetry hooks.
+	Ins GovernorInstruments
+}
+
+// Governor meters resident window-state bytes against a budget and
+// walks the degradation ladder as pressure rises. It is the shared
+// mechanism behind Sliding pane spill and Multi group spill: owners
+// feed it their accounted bytes (Account) and use Spill/Reload/Drop
+// for the disk legs.
+//
+// A Governor is not safe for concurrent use; each owner (a Sliding
+// window, a Multi registry, a joiner task) owns its governor the same
+// way it owns its engines. A nil *Governor is a valid no-op.
+type Governor struct {
+	cfg       GovernorConfig
+	level     PressureLevel
+	accounted int64
+}
+
+// NewGovernor builds a governor; returns nil (the no-op governor) when
+// the budget is unset.
+func NewGovernor(cfg GovernorConfig) *Governor {
+	if cfg.Budget <= 0 {
+		return nil
+	}
+	if cfg.MaxPinned <= 0 {
+		cfg.MaxPinned = 1
+	}
+	return &Governor{cfg: cfg}
+}
+
+// Account feeds the governor the owner's current resident byte count
+// and returns the resulting pressure level, publishing both gauges.
+func (g *Governor) Account(bytes int64) PressureLevel {
+	if g == nil {
+		return PressureOK
+	}
+	g.accounted = bytes
+	ratio := float64(bytes) / float64(g.cfg.Budget)
+	level := PressureOK
+	switch {
+	case ratio >= shedAt:
+		level = PressureShed
+	case ratio >= tumbleAt:
+		level = PressureTumble
+	case ratio >= compressAt:
+		level = PressureCompress
+	case ratio >= spillAt:
+		level = PressureSpill
+	}
+	// Rungs 1-2 need a spill store; without one the ladder's first
+	// effective rung is force-tumble, so lower pressure stays "ok".
+	if g.cfg.Store == nil && level > PressureOK && level < PressureTumble {
+		level = PressureOK
+	}
+	g.level = level
+	g.cfg.Ins.Pressure.SetInt(int(level))
+	g.cfg.Ins.Accounted.Set(float64(bytes))
+	return level
+}
+
+// Level reports the rung computed by the last Account.
+func (g *Governor) Level() PressureLevel {
+	if g == nil {
+		return PressureOK
+	}
+	return g.level
+}
+
+// Accounted reports the bytes fed to the last Account.
+func (g *Governor) Accounted() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.accounted
+}
+
+// Budget reports the configured byte budget (0 for the nil governor).
+func (g *Governor) Budget() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.cfg.Budget
+}
+
+// MaxPinned reports the pinned-set capacity for reloaded units.
+func (g *Governor) MaxPinned() int {
+	if g == nil {
+		return 1
+	}
+	return g.cfg.MaxPinned
+}
+
+// CanSpill reports whether the governor has a spill store at all.
+func (g *Governor) CanSpill() bool { return g != nil && g.cfg.Store != nil }
+
+// ShedOne records one refused admission and returns whether shedding
+// is in force (callers gate on Level() >= PressureShed first).
+func (g *Governor) ShedOne() {
+	if g != nil {
+		g.cfg.Ins.Shed.Inc()
+	}
+}
+
+// ForcedTumble records one rung-3 early tumble.
+func (g *Governor) ForcedTumble() {
+	if g != nil {
+		g.cfg.Ins.ForcedTumbles.Inc()
+	}
+}
+
+// Spill-frame compression tags: one byte ahead of the state envelope.
+const (
+	spillRaw     byte = 0
+	spillDeflate byte = 1
+)
+
+var errNoSpillStore = errors.New("join: governor has no spill store")
+
+// Spill writes the snapshotter's state for the given unit sequence to
+// the spill store and verifies it by reading it back through the full
+// decode path (decompress + envelope CRC) before reporting success.
+// Only after Spill returns nil may the owner release the resident
+// copy — a torn or failed write therefore costs nothing but the
+// failure counter: the state is still in memory and the owner carries
+// on un-spilled. Files are DEFLATE-compressed from rung 2 up.
+func (g *Governor) Spill(seq int, kind string, snap state.Snapshotter) (int64, error) {
+	if g == nil || g.cfg.Store == nil {
+		return 0, errNoSpillStore
+	}
+	payload, err := state.Encode(kind, snap)
+	if err != nil {
+		g.cfg.Ins.Failures.Inc()
+		return 0, fmt.Errorf("join: spill encode %s/%d: %w", kind, seq, err)
+	}
+	framed, err := frameSpill(payload, g.level >= PressureCompress)
+	if err != nil {
+		g.cfg.Ins.Failures.Inc()
+		return 0, fmt.Errorf("join: spill compress %s/%d: %w", kind, seq, err)
+	}
+	if err := g.cfg.Store.Save(g.cfg.Task, seq, framed); err != nil {
+		g.cfg.Ins.Failures.Inc()
+		g.cfg.Store.Remove(g.cfg.Task, seq) // a half-written file must not look valid later
+		return 0, fmt.Errorf("join: spill write %s/%d: %w", kind, seq, err)
+	}
+	// Read-back verification: surface torn writes now, while the
+	// resident copy still exists, so spill failures are always
+	// correctness-neutral.
+	back, err := g.cfg.Store.Load(g.cfg.Task, seq)
+	if err == nil {
+		_, err = unframeSpill(back, kind)
+	}
+	if err != nil {
+		g.cfg.Ins.Failures.Inc()
+		g.cfg.Store.Remove(g.cfg.Task, seq)
+		return 0, fmt.Errorf("join: spill verify %s/%d: %w", kind, seq, err)
+	}
+	g.cfg.Ins.SpillPanes.Inc()
+	g.cfg.Ins.SpillBytes.Add(int64(len(framed)))
+	return int64(len(framed)), nil
+}
+
+// Reload reads a spilled unit back into the snapshotter. A failure
+// (I/O, CRC, decode) increments the failure counter and removes the
+// useless file; the caller decides how to degrade.
+func (g *Governor) Reload(seq int, kind string, snap state.Snapshotter) error {
+	if g == nil || g.cfg.Store == nil {
+		return errNoSpillStore
+	}
+	data, err := g.cfg.Store.Load(g.cfg.Task, seq)
+	if err == nil {
+		// unframeSpill already verifies the envelope (magic, version,
+		// kind, CRC) and hands back the inner snapshot payload.
+		var payload []byte
+		if payload, err = unframeSpill(data, kind); err == nil {
+			if err = snap.Restore(bytes.NewReader(payload)); err != nil {
+				err = fmt.Errorf("restore %s: %w", kind, err)
+			}
+		}
+	}
+	if err != nil {
+		g.cfg.Ins.Failures.Inc()
+		g.cfg.Store.Remove(g.cfg.Task, seq)
+		return fmt.Errorf("join: spill reload %s/%d: %w", kind, seq, err)
+	}
+	g.cfg.Ins.Reloads.Inc()
+	return nil
+}
+
+// Drop retires a spilled unit's file (the unit slid out of the window
+// or was tumbled away).
+func (g *Governor) Drop(seq int) {
+	if g != nil && g.cfg.Store != nil {
+		g.cfg.Store.Remove(g.cfg.Task, seq)
+	}
+}
+
+// frameSpill prepends the compression tag, DEFLATE-compressing the
+// envelope when asked (and when that actually shrinks it).
+func frameSpill(payload []byte, compress bool) ([]byte, error) {
+	if compress {
+		var buf bytes.Buffer
+		buf.WriteByte(spillDeflate)
+		zw, err := flate.NewWriter(&buf, flate.BestSpeed)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := zw.Write(payload); err != nil {
+			return nil, err
+		}
+		if err := zw.Close(); err != nil {
+			return nil, err
+		}
+		if buf.Len() < len(payload)+1 {
+			return buf.Bytes(), nil
+		}
+	}
+	out := make([]byte, 0, len(payload)+1)
+	out = append(out, spillRaw)
+	return append(out, payload...), nil
+}
+
+// unframeSpill reverses frameSpill and verifies the envelope (magic,
+// version, kind, CRC), returning the inner snapshot payload.
+func unframeSpill(data []byte, kind string) ([]byte, error) {
+	if len(data) == 0 {
+		return nil, errors.New("empty spill frame")
+	}
+	envelope := data[1:]
+	switch data[0] {
+	case spillRaw:
+	case spillDeflate:
+		raw, err := io.ReadAll(flate.NewReader(bytes.NewReader(envelope)))
+		if err != nil {
+			return nil, fmt.Errorf("inflate: %w", err)
+		}
+		envelope = raw
+	default:
+		return nil, fmt.Errorf("unknown spill compression tag %d", data[0])
+	}
+	return state.ReadEnvelope(bytes.NewReader(envelope), kind)
+}

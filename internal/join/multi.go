@@ -124,6 +124,14 @@ type standing struct {
 	results     int64
 }
 
+// spillKindGroup tags multi-group spill envelopes in the state store.
+const spillKindGroup = "multi-group"
+
+// groupBacklogMax caps how many documents a spilled group buffers
+// before it is forced back into memory: past this point the backlog
+// itself starts costing what the spill saved.
+const groupBacklogMax = 256
+
 // group is one window state and the queries subscribed to it.
 type group struct {
 	key     GroupKey
@@ -133,6 +141,18 @@ type group struct {
 	inWindow int
 	windows  int
 	forced   int
+
+	// Spill state: while spilled, the window lives in the governor's
+	// store and incoming documents buffer in backlog; they replay
+	// through the normal ingest path at reload, so results are delayed,
+	// never lost. seq is the group's stable spill-store key;
+	// spilledBytes remembers the resident footprint at spill time so
+	// the drain path can tell whether reloading fits the budget.
+	spilled      bool
+	seq          int
+	spilledBytes int64
+	backlog      []document.Document
+	backlogBytes int64
 }
 
 // QueryStatus is the observable state of one standing query.
@@ -161,6 +181,9 @@ type Multi struct {
 	// mkInstruments, when set, supplies per-group join instruments at
 	// group creation (labelled by the group key).
 	mkInstruments func(GroupKey) Instruments
+
+	gov     *Governor
+	nextSeq int // spill-store keys for groups
 }
 
 // NewMulti creates an empty multi-query joiner.
@@ -174,6 +197,14 @@ func NewMulti() *Multi {
 // InstrumentWith installs a per-group instrument factory, applied to
 // groups created after the call.
 func (m *Multi) InstrumentWith(f func(GroupKey) Instruments) { m.mkInstruments = f }
+
+// SetGovernor attaches a memory governor (nil detaches): window groups
+// then spill to the governor's store under pressure, with incoming
+// documents backlogged and replayed at reload.
+func (m *Multi) SetGovernor(g *Governor) { m.gov = g }
+
+// Governor returns the attached governor (nil when none).
+func (m *Multi) Governor() *Governor { return m.gov }
 
 // Register adds a standing query under the given id. The query either
 // joins the existing group for its (engine, window) key or creates a
@@ -196,7 +227,8 @@ func (m *Multi) Register(id string, spec QuerySpec) error {
 		if err != nil {
 			return err
 		}
-		g = &group{key: key, win: NewWindowed(eng), queries: make(map[string]*standing)}
+		g = &group{key: key, win: NewWindowed(eng), queries: make(map[string]*standing), seq: m.nextSeq}
+		m.nextSeq++
 		if m.mkInstruments != nil {
 			g.win.SetInstruments(m.mkInstruments(key))
 		}
@@ -218,6 +250,9 @@ func (m *Multi) Unregister(id string) bool {
 	delete(m.queries, id)
 	delete(q.group.queries, id)
 	if len(q.group.queries) == 0 {
+		if q.group.spilled {
+			m.gov.Drop(q.group.seq)
+		}
 		delete(m.groups, q.group.key)
 	}
 	return true
@@ -225,14 +260,162 @@ func (m *Multi) Unregister(id string) bool {
 
 // Ingest feeds one document to every group: each group probes its
 // shared window state exactly once, then demultiplexes the results to
-// its queries through their θ/filter predicates via deliver. The
-// returned count is the number of forced tumbles the max-window-docs
-// guard fired (0 when maxWindowDocs is 0, i.e. unbounded).
+// its queries through their θ/filter predicates via deliver. Spilled
+// groups buffer the document instead and replay it at reload. The
+// returned count is the number of forced tumbles fired, by the
+// max-window-docs guard or by the memory governor's rung 3 (0 when
+// both are off).
 func (m *Multi) Ingest(d document.Document, maxWindowDocs int, deliver func(query string, r Result)) (forced int) {
 	for _, g := range m.groups {
+		if g.spilled {
+			g.backlog = append(g.backlog, d)
+			g.backlogBytes += d.MemBytes()
+			if len(g.backlog) >= groupBacklogMax {
+				forced += m.reloadGroup(g, maxWindowDocs, deliver)
+			}
+			continue
+		}
+		forced += g.ingest(d, maxWindowDocs, deliver)
+	}
+	forced += m.govern(maxWindowDocs, deliver)
+	return forced
+}
+
+// govern walks the degradation ladder after each ingest: account
+// resident bytes, spill the largest groups while over budget,
+// force-tumble at rung 3, and drain spilled groups back in when
+// pressure subsides.
+func (m *Multi) govern(maxWindowDocs int, deliver func(string, Result)) (forced int) {
+	if m.gov == nil {
+		return 0
+	}
+	level := m.gov.Account(m.MemBytes())
+	if level >= PressureSpill && m.gov.CanSpill() {
+		// Spill largest-first: the biggest window state buys the most
+		// relief per spill file.
+		for m.gov.Accounted() > m.gov.Budget() {
+			g := m.largestResident()
+			if g == nil {
+				break
+			}
+			bytes := g.win.MemBytes()
+			if _, err := m.gov.Spill(g.seq, spillKindGroup, g.win); err != nil {
+				break // counted by the governor; the group stays resident
+			}
+			g.spilled = true
+			g.spilledBytes = bytes
+			// Tumble releases the resident state; the snapshot on disk
+			// carries the real window, so this evicts memory only.
+			g.win.Tumble()
+			m.gov.Account(m.MemBytes())
+		}
+		level = m.gov.Level()
+	}
+	if level >= PressureTumble {
+		// Rung 3: emit the largest resident group's window early — the
+		// PR-8 forced-tumble guard wielded for memory instead of doc
+		// count.
+		if g := m.largestResident(); g != nil && g.win.Size() > 0 {
+			g.tumble()
+			g.forced++
+			forced++
+			m.gov.ForcedTumble()
+			m.gov.Account(m.MemBytes())
+		}
+	}
+	if m.gov.Level() == PressureOK {
+		// Pressure subsided: drain one spilled group back in per
+		// ingest, but only when its remembered footprint actually fits
+		// under the budget — otherwise spill/reload would ping-pong at
+		// the threshold.
+		for _, g := range m.groups {
+			if g.spilled && m.gov.Accounted()+g.spilledBytes < m.gov.Budget() {
+				forced += m.reloadGroup(g, maxWindowDocs, deliver)
+				m.gov.Account(m.MemBytes())
+				break
+			}
+		}
+	}
+	return forced
+}
+
+// largestResident picks the non-spilled group with the biggest
+// accounted footprint (nil when every group is spilled or empty).
+func (m *Multi) largestResident() *group {
+	var best *group
+	var bestBytes int64
+	for _, g := range m.groups {
+		if g.spilled {
+			continue
+		}
+		if b := g.win.MemBytes(); b > bestBytes {
+			best, bestBytes = g, b
+		}
+	}
+	return best
+}
+
+// reloadGroup restores a spilled group's window and replays its
+// backlog through the normal ingest path, delivering the delayed
+// results. A reload failure (disk fault, CRC mismatch — already
+// counted by the governor) degrades: the group restarts from an empty
+// window and only the backlog replays, so the stream continues without
+// the lost state instead of crashing.
+func (m *Multi) reloadGroup(g *group, maxWindowDocs int, deliver func(string, Result)) (forced int) {
+	if err := m.gov.Reload(g.seq, spillKindGroup, g.win); err != nil {
+		// A failed restore may have left partial engine state behind;
+		// clear to a known-empty window before replaying.
+		g.win.Tumble()
+	}
+	g.spilled = false
+	g.spilledBytes = 0
+	backlog := g.backlog
+	g.backlog, g.backlogBytes = nil, 0
+	for _, d := range backlog {
 		forced += g.ingest(d, maxWindowDocs, deliver)
 	}
 	return forced
+}
+
+// DrainSpilled reloads every spilled group regardless of pressure,
+// replaying backlogs and delivering their delayed results — the final
+// flush a caller runs at shutdown (or a test at end of stream) so no
+// backlogged document's results are lost. Returns the number of forced
+// tumbles fired during replay.
+func (m *Multi) DrainSpilled(maxWindowDocs int, deliver func(string, Result)) (forced int) {
+	for _, g := range m.groups {
+		if g.spilled {
+			forced += m.reloadGroup(g, maxWindowDocs, deliver)
+		}
+	}
+	// Re-run the ladder rather than just re-accounting: the reloads may
+	// have pushed residency back over budget, and leaving the level at
+	// shed would refuse every later ingest for state a spill could
+	// relieve right now.
+	forced += m.govern(maxWindowDocs, deliver)
+	return forced
+}
+
+// MemBytes implements MemoryAccounter: resident window state plus the
+// backlogs of spilled groups.
+func (m *Multi) MemBytes() int64 {
+	var n int64
+	for _, g := range m.groups {
+		n += g.win.MemBytes() + g.backlogBytes
+	}
+	return n
+}
+
+// SpilledGroups reports how many groups are currently spilled
+// (diagnostics and tests).
+func (m *Multi) SpilledGroups() int {
+	n := 0
+	for _, g := range m.groups {
+		if g.spilled {
+			n++
+		}
+	}
+	return n
 }
 
 // ingest runs one document through one group's window.
@@ -309,14 +492,22 @@ func (g *group) tumble() (docs, pairs int) {
 // Tumble closes the window of the group hosting the given query. All
 // queries sharing the group observe the eviction — shared state has
 // shared window boundaries (manual-window queries are private for
-// exactly this reason). It reports the closed window's document and
-// pair counts.
-func (m *Multi) Tumble(id string) (docs, pairs int, ok bool) {
+// exactly this reason). A spilled group is reloaded first so the
+// closing window's backlogged results still emit through deliver
+// (deliver may be nil when the caller has no sink). It reports the
+// closed window's document and pair counts.
+func (m *Multi) Tumble(id string, maxWindowDocs int, deliver func(string, Result)) (docs, pairs int, ok bool) {
 	q, found := m.queries[id]
 	if !found {
 		return 0, 0, false
 	}
+	if q.group.spilled {
+		m.reloadGroup(q.group, maxWindowDocs, deliver)
+	}
 	docs, pairs = q.group.tumble()
+	if m.gov != nil {
+		m.gov.Account(m.MemBytes())
+	}
 	return docs, pairs, true
 }
 

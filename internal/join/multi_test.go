@@ -88,7 +88,7 @@ func TestMultiManualWindowsArePrivate(t *testing.T) {
 	}
 	got := map[string][]Pair{}
 	m.Ingest(mdoc(t, 1, `{"x":1}`), 0, collectDeliver(got))
-	if _, _, ok := m.Tumble("a"); !ok {
+	if _, _, ok := m.Tumble("a", 0, nil); !ok {
 		t.Fatal("tumble a failed")
 	}
 	// b's window survived a's tumble.

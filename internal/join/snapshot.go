@@ -30,6 +30,9 @@ func (e *NLJ) Restore(r io.Reader) error {
 		return fmt.Errorf("join: restore NLJ: %w", err)
 	}
 	e.docs = docs
+	for _, d := range docs {
+		e.memBytes += d.MemBytes()
+	}
 	return nil
 }
 
@@ -121,8 +124,9 @@ func (w *Windowed) Restore(r io.Reader) error {
 	w.docsProcessed = g.DocsProcessed
 	w.duplicates = g.Duplicates
 	w.store = make(map[uint64]document.Document, len(g.Store))
+	w.storeBytes = 0
 	for _, d := range g.Store {
-		w.store[d.ID] = d
+		w.storeDoc(d)
 	}
 	w.seen = make(map[uint64]struct{}, len(g.Seen))
 	for _, id := range g.Seen {

@@ -1,0 +1,495 @@
+package join
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/document"
+	"repro/internal/state"
+	"repro/internal/telemetry"
+)
+
+// govForTest builds a governor over the given store with real counters
+// so tests can assert on the ladder telemetry.
+func govForTest(budget int64, st state.Store, maxPinned int) (*Governor, GovernorInstruments) {
+	reg := telemetry.NewRegistry()
+	ins := GovernorInstruments{
+		SpillPanes:    reg.Counter("state_spill_panes_total"),
+		SpillBytes:    reg.Counter("state_spill_bytes_total"),
+		Reloads:       reg.Counter("state_spill_reloads_total"),
+		Failures:      reg.Counter("state_spill_failures_total"),
+		ForcedTumbles: reg.Counter("state_forced_tumbles_total"),
+		Shed:          reg.Counter("state_shed_total"),
+		Pressure:      reg.Gauge("state_pressure_level"),
+		Accounted:     reg.Gauge("state_accounted_bytes"),
+	}
+	return NewGovernor(GovernorConfig{Budget: budget, Store: st, Task: "test", MaxPinned: maxPinned, Ins: ins}), ins
+}
+
+// paneBytes measures each slide-sized chunk of docs as its own
+// Windowed engine — the exact per-pane resident cost the spill ladder
+// works against — returning the per-pane maximum and the sum over the
+// chunks a full window holds (the window's total state bytes).
+func paneBytes(t *testing.T, docs []document.Document, size, slide int, mk func() Engine) (paneMax, windowTotal int64) {
+	t.Helper()
+	var chunks []int64
+	for start := 0; start < len(docs); start += slide {
+		end := start + slide
+		if end > len(docs) {
+			end = len(docs)
+		}
+		w := NewWindowed(mk())
+		for _, d := range docs[start:end] {
+			w.Process(d)
+		}
+		chunks = append(chunks, w.MemBytes())
+	}
+	for i, n := range chunks {
+		if n > paneMax {
+			paneMax = n
+		}
+		if i >= len(chunks)-size/slide {
+			windowTotal += n
+		}
+	}
+	return paneMax, windowTotal
+}
+
+// runSlidingGoverned streams docs through a governed sliding window and
+// returns the normalized pairs plus the maximum post-govern accounted
+// bytes observed.
+func runSlidingGoverned(t *testing.T, s *Sliding, docs []document.Document) ([]Pair, int64) {
+	t.Helper()
+	var got []Pair
+	var maxAccounted int64
+	for _, d := range docs {
+		for _, r := range s.Process(d) {
+			p := Pair{LeftID: r.Left, RightID: r.Right}
+			if p.LeftID > p.RightID {
+				p.LeftID, p.RightID = p.RightID, p.LeftID
+			}
+			got = append(got, p)
+		}
+		if acc := s.Governor().Accounted(); acc > maxAccounted {
+			maxAccounted = acc
+		}
+	}
+	SortPairs(got)
+	return got, maxAccounted
+}
+
+// TestSlidingSpillParity is the tentpole acceptance test: a sliding
+// window whose total state is several times the memory budget spills
+// panes to the store, reloads them on probe, and still produces the
+// exact oracle result — windows larger than RAM work, with accounted
+// bytes bounded by budget + one pane of slack.
+func TestSlidingSpillParity(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	docs := randomDocs(r, 600)
+	const size, slide = 200, 20
+	mk := func() Engine { return NewFPJ() }
+
+	paneMax, windowTotal := paneBytes(t, docs, size, slide, mk)
+	budget := windowTotal / 5
+	if windowTotal < 4*budget {
+		t.Fatalf("calibration: window state %d < 4x budget %d", windowTotal, budget)
+	}
+
+	gov, ins := govForTest(budget, state.NewMemStore(), 1)
+	s, err := NewSliding(size, slide, mk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetGovernor(gov)
+
+	got, maxAccounted := runSlidingGoverned(t, s, docs)
+	want := slidingOracle(docs, size, slide)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("governed sliding diverged from oracle: got %d pairs, want %d", len(got), len(want))
+	}
+	if ins.SpillPanes.Value() == 0 {
+		t.Error("no panes spilled despite window state over budget")
+	}
+	if ins.Reloads.Value() == 0 {
+		t.Error("no spilled panes reloaded despite probes")
+	}
+	if ins.SpillBytes.Value() == 0 {
+		t.Error("spill bytes counter stayed zero")
+	}
+	if s.ForcedEvictions() != 0 {
+		t.Errorf("clean run force-evicted %d panes", s.ForcedEvictions())
+	}
+	if s.DroppedPanes() != 0 {
+		t.Errorf("clean run dropped %d panes", s.DroppedPanes())
+	}
+	if maxAccounted > budget+paneMax {
+		t.Errorf("accounted bytes %d exceed budget %d + one pane %d", maxAccounted, budget, paneMax)
+	}
+}
+
+// TestSlidingSpillParityAllEngines: the spill path is engine-agnostic —
+// NLJ and HBJ panes snapshot, spill and reload with the same parity.
+func TestSlidingSpillParityAllEngines(t *testing.T) {
+	engines := map[string]func() Engine{
+		"NLJ": func() Engine { return NewNLJ() },
+		"HBJ": func() Engine { return NewHBJ() },
+	}
+	r := rand.New(rand.NewSource(11))
+	docs := randomDocs(r, 200)
+	const size, slide = 60, 10
+	for name, mk := range engines {
+		_, windowTotal := paneBytes(t, docs, size, slide, mk)
+		gov, ins := govForTest(windowTotal/4, state.NewMemStore(), 1)
+		s, err := NewSliding(size, slide, mk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetGovernor(gov)
+		got, _ := runSlidingGoverned(t, s, docs)
+		want := slidingOracle(docs, size, slide)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: governed sliding diverged from oracle", name)
+		}
+		if ins.SpillPanes.Value() == 0 {
+			t.Errorf("%s: no spills happened", name)
+		}
+	}
+}
+
+// TestSlidingSpillFSStoreParity runs the parity check against the real
+// filesystem store — the production spill target — including the
+// DEFLATE-compressed rung.
+func TestSlidingSpillFSStoreParity(t *testing.T) {
+	fsStore, err := state.NewFSStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(5))
+	docs := randomDocs(r, 300)
+	const size, slide = 100, 20
+	mk := func() Engine { return NewFPJ() }
+	_, windowTotal := paneBytes(t, docs, size, slide, mk)
+	// A tight budget pushes the ratio past the compress rung (1.25x)
+	// while probing reloads, exercising both spill framings.
+	gov, ins := govForTest(windowTotal/4, fsStore, 1)
+	s, err := NewSliding(size, slide, mk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetGovernor(gov)
+	got, _ := runSlidingGoverned(t, s, docs)
+	want := slidingOracle(docs, size, slide)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("FS-store governed sliding diverged from oracle")
+	}
+	if ins.SpillPanes.Value() == 0 || ins.Reloads.Value() == 0 {
+		t.Errorf("spills=%d reloads=%d, want both > 0", ins.SpillPanes.Value(), ins.Reloads.Value())
+	}
+}
+
+// TestSlidingSpillWriteFaultsParity injects transient write faults
+// (ENOSPC, torn writes, short writes) into the spill store. Spill
+// failures are correctness-neutral by construction — the pane stays
+// resident until a write-back-verified copy exists — so the result
+// must still match the oracle exactly, with the failures counted.
+func TestSlidingSpillWriteFaultsParity(t *testing.T) {
+	events := []state.FaultEvent{
+		{Kind: state.FaultENOSPC, After: 0, Count: 2},
+		{Kind: state.FaultTornWrite, After: 3, Count: 2},
+		{Kind: state.FaultShortWrite, After: 6, Count: 1},
+		{Kind: state.FaultLatency, After: 8, Count: 1, Latency: time.Millisecond},
+		{Kind: state.FaultENOSPC, After: 11, Count: 1},
+	}
+	faulty := state.NewFaultStore(state.NewMemStore(), events)
+
+	r := rand.New(rand.NewSource(23))
+	docs := randomDocs(r, 400)
+	const size, slide = 120, 20
+	mk := func() Engine { return NewFPJ() }
+	_, windowTotal := paneBytes(t, docs, size, slide, mk)
+	gov, ins := govForTest(windowTotal/4, faulty, 1)
+	s, err := NewSliding(size, slide, mk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetGovernor(gov)
+
+	got, _ := runSlidingGoverned(t, s, docs)
+	want := slidingOracle(docs, size, slide)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("write faults broke parity: got %d pairs, want %d", len(got), len(want))
+	}
+	if faulty.Injected() == 0 {
+		t.Fatal("fault script never fired; the test exercised nothing")
+	}
+	if ins.Failures.Value() == 0 {
+		t.Error("injected write faults were not counted as spill failures")
+	}
+	if s.DroppedPanes() != 0 {
+		t.Errorf("write faults must not lose panes, dropped %d", s.DroppedPanes())
+	}
+}
+
+// TestSlidingReloadCorruptionDegrades corrupts a spilled pane's file
+// at rest (after its write-time verification passed) and checks the
+// degradation contract: the reload fails against the CRC, the pane is
+// dropped and counted, every produced result is still oracle-correct,
+// and nothing panics.
+func TestSlidingReloadCorruptionDegrades(t *testing.T) {
+	mem := state.NewMemStore()
+	r := rand.New(rand.NewSource(41))
+	docs := randomDocs(r, 400)
+	const size, slide = 120, 20
+	mk := func() Engine { return NewFPJ() }
+	_, windowTotal := paneBytes(t, docs, size, slide, mk)
+	budget := windowTotal / 4
+	gov, ins := govForTest(budget, mem, 1)
+	s, err := NewSliding(size, slide, mk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetGovernor(gov)
+
+	var got []Pair
+	corrupted := false
+	for _, d := range docs {
+		for _, res := range s.Process(d) {
+			p := Pair{LeftID: res.Left, RightID: res.Right}
+			if p.LeftID > p.RightID {
+				p.LeftID, p.RightID = p.RightID, p.LeftID
+			}
+			got = append(got, p)
+		}
+		// As soon as the first spill file exists, corrupt every spilled
+		// pane at rest, once: flip a byte in each stored payload.
+		if !corrupted {
+			for _, win := range mem.Windows("test") {
+				data, err := mem.Load("test", win)
+				if err != nil || len(data) == 0 {
+					continue
+				}
+				data[len(data)/2] ^= 0xff
+				if err := mem.Save("test", win, data); err != nil {
+					t.Fatal(err)
+				}
+				corrupted = true
+			}
+		}
+	}
+	if !corrupted {
+		t.Fatal("no spill file ever appeared to corrupt")
+	}
+	if s.DroppedPanes() == 0 {
+		t.Fatal("corrupted pane was not dropped")
+	}
+	if ins.Failures.Value() == 0 {
+		t.Error("corruption reload failure was not counted")
+	}
+	// Every emitted pair must be a true oracle pair (no corruption leaks
+	// into results); completeness is necessarily reduced.
+	SortPairs(got)
+	oracle := map[Pair]bool{}
+	for _, p := range slidingOracle(docs, size, slide) {
+		oracle[p] = true
+	}
+	for _, p := range got {
+		if !oracle[p] {
+			t.Fatalf("degraded run produced non-oracle pair %v", p)
+		}
+	}
+}
+
+// TestSlidingPersistentENOSPCForceTumbles starves the spill store
+// permanently: every Save fails with ENOSPC, so rung 1 never relieves
+// pressure and the ladder must climb to rung 3 — force-evicting panes
+// early. The stream completes, evictions are counted, and every result
+// is still oracle-correct.
+func TestSlidingPersistentENOSPCForceTumbles(t *testing.T) {
+	faulty := state.NewFaultStore(state.NewMemStore(), []state.FaultEvent{
+		{Kind: state.FaultENOSPC, After: 0, Count: 1 << 30},
+	})
+	r := rand.New(rand.NewSource(63))
+	docs := randomDocs(r, 400)
+	const size, slide = 120, 20
+	mk := func() Engine { return NewFPJ() }
+	_, windowTotal := paneBytes(t, docs, size, slide, mk)
+	gov, ins := govForTest(windowTotal/6, faulty, 1)
+	s, err := NewSliding(size, slide, mk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetGovernor(gov)
+
+	got, _ := runSlidingGoverned(t, s, docs)
+	if s.ForcedEvictions() == 0 {
+		t.Fatal("persistent ENOSPC never climbed to forced eviction")
+	}
+	if ins.ForcedTumbles.Value() == 0 {
+		t.Error("forced tumbles were not counted")
+	}
+	if ins.Failures.Value() == 0 {
+		t.Error("failed spills were not counted")
+	}
+	oracle := map[Pair]bool{}
+	for _, p := range slidingOracle(docs, size, slide) {
+		oracle[p] = true
+	}
+	for _, p := range got {
+		if !oracle[p] {
+			t.Fatalf("degraded run produced non-oracle pair %v", p)
+		}
+	}
+}
+
+// TestSlidingEvictionReleasesPane is the regression test for the pane
+// eviction leak: evicting the oldest pane must leave its Windowed
+// engine unreachable (the slice slot is nilled before reslicing), so
+// the garbage collector can reclaim the pane's FP-tree.
+func TestSlidingEvictionReleasesPane(t *testing.T) {
+	s, err := NewSliding(4, 2, func() Engine { return NewFPJ() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill pane 0 and pane 1, then watch pane 0's engine.
+	for i := 0; i < 4; i++ {
+		s.Process(document.MustParse(uint64(i+1), `{"k":1}`))
+	}
+	collected := make(chan struct{})
+	runtime.SetFinalizer(s.panes[0].win, func(*Windowed) { close(collected) })
+	// The next slide evicts pane 0.
+	for i := 4; i < 8; i++ {
+		s.Process(document.MustParse(uint64(i+1), `{"k":1}`))
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		runtime.GC()
+		select {
+		case <-collected:
+			return
+		case <-deadline:
+			t.Fatal("evicted pane still reachable after 5s of GC: eviction leaks the pane")
+		default:
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+// TestGovernorSpillCompression: from the compress rung up, spill files
+// are DEFLATE-framed when that shrinks them, and reload remains
+// transparent.
+func TestGovernorSpillCompression(t *testing.T) {
+	mem := state.NewMemStore()
+	gov, _ := govForTest(1000, mem, 1)
+
+	w := NewWindowed(NewFPJ())
+	for i := 0; i < 60; i++ {
+		w.Process(document.MustParse(uint64(i+1), `{"attr_one":"value","attr_two":"value","shared":1}`))
+	}
+	// Raw spill below the compress rung.
+	gov.Account(gov.Budget())
+	if gov.Level() >= PressureCompress {
+		t.Fatal("calibration: already at compress rung")
+	}
+	rawBytes, err := gov.Spill(1, "unit", w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compressed spill at the compress rung.
+	gov.Account(2 * gov.Budget())
+	if gov.Level() < PressureCompress {
+		t.Fatal("calibration: not at compress rung")
+	}
+	zBytes, err := gov.Spill(2, "unit", w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zBytes >= rawBytes {
+		t.Errorf("compressed spill %d >= raw spill %d on repetitive state", zBytes, rawBytes)
+	}
+	for _, seq := range []int{1, 2} {
+		back := NewWindowed(NewFPJ())
+		if err := gov.Reload(seq, "unit", back); err != nil {
+			t.Fatalf("reload seq %d: %v", seq, err)
+		}
+		if back.Size() != w.Size() {
+			t.Errorf("seq %d reloaded %d docs, want %d", seq, back.Size(), w.Size())
+		}
+	}
+}
+
+// TestMultiSpillParityAndDrain spills groups out of a Multi registry
+// under a tight budget and checks that shared window state reloads
+// transparently: per query, the delivered result sequence equals the
+// ungoverned twin's exactly (a spilled group's results arrive later —
+// its documents backlog until reload — but none are lost or wrong),
+// and the end-of-stream drain flushes every backlog.
+func TestMultiSpillParityAndDrain(t *testing.T) {
+	r := rand.New(rand.NewSource(19))
+	docs := randomDocs(r, 300)
+
+	collect := func(sink map[string][]Pair) func(string, Result) {
+		return func(q string, res Result) {
+			p := Pair{LeftID: res.Left, RightID: res.Right}
+			if p.LeftID > p.RightID {
+				p.LeftID, p.RightID = p.RightID, p.LeftID
+			}
+			sink[q] = append(sink[q], p)
+		}
+	}
+
+	// Ungoverned reference.
+	ref := NewMulti()
+	if err := ref.Register("a", QuerySpec{WindowDocs: 50}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Register("b", QuerySpec{WindowDocs: 120}); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]Pair{}
+	for _, d := range docs {
+		ref.Ingest(d, 0, collect(want))
+	}
+
+	// Governed run with a budget forcing group spills.
+	gov, ins := govForTest(ref.MemBytes()/4+1, state.NewMemStore(), 1)
+	m := NewMulti()
+	m.SetGovernor(gov)
+	if err := m.Register("a", QuerySpec{WindowDocs: 50}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register("b", QuerySpec{WindowDocs: 120}); err != nil {
+		t.Fatal(err)
+	}
+	got := map[string][]Pair{}
+	for _, d := range docs {
+		m.Ingest(d, 0, collect(got))
+	}
+	m.DrainSpilled(0, collect(got))
+
+	if !reflect.DeepEqual(got, want) {
+		for q := range want {
+			t.Logf("query %s: got %d deliveries, want %d", q, len(got[q]), len(want[q]))
+		}
+		t.Fatal("governed multi diverged from ungoverned reference")
+	}
+	if ins.SpillPanes.Value() == 0 {
+		t.Error("no groups were spilled despite the tight budget")
+	}
+	if ins.Reloads.Value() == 0 {
+		t.Error("no spilled groups were reloaded")
+	}
+	// Drain flushes every backlog (a second drain has nothing left to
+	// deliver) and leaves pressure below the shed rung; groups may
+	// legitimately re-spill if residency would still exceed the budget.
+	extra := map[string][]Pair{}
+	m.DrainSpilled(0, collect(extra))
+	if len(extra) != 0 {
+		t.Errorf("second drain delivered %d queries' worth of results, want none", len(extra))
+	}
+	if gov.Level() >= PressureShed {
+		t.Errorf("pressure still at %v after drain", gov.Level())
+	}
+}

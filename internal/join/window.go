@@ -35,6 +35,11 @@ type Windowed struct {
 	docsProcessed int
 	duplicates    int
 
+	// storeBytes tracks the accounted footprint of the window document
+	// store incrementally, so MemBytes answers in O(1) on every
+	// admission the memory governor meters.
+	storeBytes int64
+
 	ins Instruments
 	// fpj caches the engine's concrete type when TreeNodes is attached,
 	// so the per-document size refresh skips the type assertion.
@@ -116,7 +121,7 @@ func (w *Windowed) Process(d document.Document) []Result {
 		w.ins.ProbeSeconds.Observe(time.Since(start))
 	}
 	if len(partners) == 0 {
-		w.store[d.ID] = d
+		w.storeDoc(d)
 		w.updateSizes()
 		return nil
 	}
@@ -130,12 +135,28 @@ func (w *Windowed) Process(d document.Document) []Result {
 		w.nextID++
 		results = append(results, Result{Left: id, Right: d.ID, Merged: merged})
 	}
-	w.store[d.ID] = d
+	w.storeDoc(d)
 	w.pairsEmitted += len(results)
 	w.ins.Results.Add(int64(len(results)))
 	w.updateSizes()
 	return results
 }
+
+// storeDoc adds d to the window store, keeping the byte account in
+// step. The per-entry constant covers the map bucket slot beyond the
+// document's own footprint.
+func (w *Windowed) storeDoc(d document.Document) {
+	w.store[d.ID] = d
+	w.storeBytes += d.MemBytes() + windowMapEntryBytes
+}
+
+const (
+	// windowMapEntryBytes approximates one store map entry's overhead
+	// (uint64 key + bucket share) beyond the Document value itself.
+	windowMapEntryBytes = 16
+	// seenEntryBytes approximates one dedup-guard map entry.
+	seenEntryBytes = 24
+)
 
 // ProcessBatch runs a micro-batch of documents through the window,
 // equivalent to calling Process for each document in order: duplicate
@@ -218,7 +239,7 @@ func (w *Windowed) materialize(results []Result, d document.Document, partners [
 		w.nextID++
 		results = append(results, Result{Left: id, Right: d.ID, Merged: merged})
 	}
-	w.store[d.ID] = d
+	w.storeDoc(d)
 	w.pairsEmitted += len(results) - before
 	return results
 }
@@ -230,8 +251,17 @@ func (w *Windowed) Tumble() (docs, pairs int) {
 	w.docsProcessed = 0
 	w.pairsEmitted = 0
 	w.duplicates = 0
+	w.storeBytes = 0
 	w.updateSizes()
 	return docs, pairs
+}
+
+// MemBytes implements MemoryAccounter: the window document store, the
+// dedup guard and the wrapped engine's own account. O(1) — the store
+// bytes are tracked incrementally and engines account incrementally
+// too.
+func (w *Windowed) MemBytes() int64 {
+	return w.storeBytes + int64(len(w.seen))*seenEntryBytes + EngineMemBytes(w.engine)
 }
 
 // Size reports the number of documents stored in the current window.

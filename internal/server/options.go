@@ -1,6 +1,7 @@
 package server
 
 import (
+	"repro/internal/state"
 	"repro/internal/telemetry"
 )
 
@@ -12,6 +13,9 @@ type settings struct {
 	maxQueries    int
 	resultBuffer  int
 	maxWindowDocs int
+	memoryBudget  int64
+	spillStore    state.Store
+	spillDir      string
 	telemetry     *telemetry.Registry
 }
 
@@ -88,6 +92,33 @@ func WithMaxWindowDocs(n int) Option {
 			s.maxWindowDocs = n
 		}
 	}
+}
+
+// WithMemoryBudget bounds the accounted bytes of all window state
+// (default 0, ungoverned). Over the budget the degradation ladder
+// fires: spill to the spill store, compressed spill, forced tumble of
+// the largest window group, and finally POST /documents answering 429
+// until pressure subsides.
+func WithMemoryBudget(n int64) Option {
+	return func(s *settings) {
+		if n > 0 {
+			s.memoryBudget = n
+		}
+	}
+}
+
+// WithSpillStore supplies the state store that receives spilled window
+// groups. Without one (and without WithSpillDir), a memory budget
+// starts the ladder at forced tumbling.
+func WithSpillStore(st state.Store) Option {
+	return func(s *settings) { s.spillStore = st }
+}
+
+// WithSpillDir is WithSpillStore over a filesystem store rooted at the
+// given directory, created on New. Ignored when WithSpillStore is also
+// given.
+func WithSpillDir(dir string) Option {
+	return func(s *settings) { s.spillDir = dir }
 }
 
 // Config is the legacy construction parameter set.

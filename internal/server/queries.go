@@ -146,7 +146,7 @@ func (s *Server) handleDeleteQuery(w http.ResponseWriter, r *http.Request) {
 // which is why only manual (window 0) queries, which are never shared,
 // normally use this.
 func (s *Server) handleQueryTumble(w http.ResponseWriter, r *http.Request) {
-	docs, pairs, err := s.qs.Tumble(r.PathValue("id"))
+	docs, pairs, err := s.tumble(r.PathValue("id"))
 	if err != nil {
 		http.NotFound(w, r)
 		return

@@ -32,12 +32,14 @@ package server
 import (
 	"bufio"
 	"bytes"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
 
 	"repro/internal/core"
 	"repro/internal/join"
+	"repro/internal/state"
 	"repro/internal/telemetry"
 )
 
@@ -100,11 +102,21 @@ func New(opts ...Option) (*Server, error) {
 		buffers: make(map[string]*resultBuffer),
 		done:    make(chan struct{}),
 	}
+	spill := set.spillStore
+	if spill == nil && set.spillDir != "" {
+		fs, err := state.NewFSStore(set.spillDir)
+		if err != nil {
+			return nil, fmt.Errorf("server: spill dir: %w", err)
+		}
+		spill = fs
+	}
 	// The default query occupies one slot beyond the user-facing cap.
 	s.qs = core.NewQuerySet(core.QuerySetConfig{
 		MaxQueries:    set.maxQueries + 1,
 		MaxWindowDocs: set.maxWindowDocs,
 		Telemetry:     set.telemetry,
+		MemoryBudget:  set.memoryBudget,
+		SpillStore:    spill,
 	})
 	if reg := set.telemetry; reg != nil {
 		s.tel.documents = reg.Counter("server_documents_total")
@@ -119,9 +131,11 @@ func New(opts ...Option) (*Server, error) {
 	return s, nil
 }
 
-// Close shuts the service down for graceful drain: in-flight long-polls
-// and SSE streams return with whatever is buffered, new ingests are
-// rejected with 503. Safe to call more than once.
+// Close shuts the service down for graceful drain: spilled window
+// groups flush their backlogged results into the query buffers,
+// in-flight long-polls and SSE streams return with whatever is
+// buffered, new ingests are rejected with 503. Safe to call more than
+// once.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -129,6 +143,17 @@ func (s *Server) Close() {
 		return
 	}
 	s.closed = true
+	s.mu.Unlock()
+	// Drain outside the server lock (dispatch takes it) but before the
+	// buffers close, so the delayed results reach their final drain.
+	var collected []delivery
+	s.qs.DrainSpilled(func(qid string, r join.Result) {
+		collected = append(collected, delivery{qid, r})
+	})
+	if len(collected) > 0 {
+		s.dispatch(collected, map[string]int{}, nil)
+	}
+	s.mu.Lock()
 	close(s.done)
 	for _, b := range s.buffers {
 		b.close()
@@ -251,6 +276,15 @@ func (s *Server) handleDocuments(w http.ResponseWriter, r *http.Request) {
 		err := s.qs.IngestJSON(line, func(id string, r join.Result) {
 			collected = append(collected, delivery{id, r})
 		})
+		if errors.Is(err, core.ErrOverloaded) {
+			// Rung 4 of the memory governor's ladder: refuse admission.
+			// Documents before this line in the batch were ingested;
+			// reporting the count lets the client resume at the cut.
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, fmt.Sprintf("overloaded after %d documents: %v", ingested, err),
+				http.StatusTooManyRequests)
+			return
+		}
 		if err != nil {
 			s.mu.Lock()
 			s.stats.ParseErrors++
@@ -332,13 +366,26 @@ func (s *Server) syncWindows() {
 }
 
 func (s *Server) handleTumble(w http.ResponseWriter, _ *http.Request) {
-	docs, pairs, err := s.qs.Tumble(DefaultQueryID)
+	docs, pairs, err := s.tumble(DefaultQueryID)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	s.syncWindows()
 	writeJSON(w, map[string]any{"documents": docs, "pairs": pairs})
+}
+
+// tumble closes the query's window, dispatching any results a spilled
+// group replays on its way back into memory.
+func (s *Server) tumble(id string) (docs, pairs int, err error) {
+	var collected []delivery
+	docs, pairs, err = s.qs.Tumble(id, func(qid string, r join.Result) {
+		collected = append(collected, delivery{qid, r})
+	})
+	if err == nil && len(collected) > 0 {
+		s.dispatch(collected, map[string]int{}, nil)
+	}
+	return docs, pairs, err
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {

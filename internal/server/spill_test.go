@@ -1,0 +1,187 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/document"
+	"repro/internal/state"
+	"repro/internal/telemetry"
+)
+
+// spillDocs builds n joinable JSON documents plus the byte total their
+// parsed forms account for, so tests can calibrate a memory budget
+// against the stream they are about to send.
+func spillDocs(t *testing.T, n int) (lines []string, totalBytes int64) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		// g<i%5> is shared by a fifth of the stream (joinable, never
+		// ubiquitous); the payload attribute is unique per document so
+		// it adds bytes without adding join pairs.
+		js := fmt.Sprintf(`{"g%d":"shared","pay%d":"%s"}`, i%5, i, strings.Repeat("x", 80))
+		d, err := document.Parse(uint64(i+1), []byte(js))
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalBytes += d.MemBytes()
+		lines = append(lines, js)
+	}
+	return lines, totalBytes
+}
+
+// runSpillStream posts each line to /documents, closes the window with
+// /tumble, and returns the default query's cumulative result count —
+// the only tally that also covers results a spilled group replays on
+// reload (those dispatch to result buffers, not the ingest response).
+// It tolerates 429 by retrying only when allowShed is set; otherwise
+// 429 fails the test.
+func runSpillStream(t *testing.T, base string, lines []string, allowShed bool) int {
+	t.Helper()
+	for _, line := range lines {
+		for attempt := 0; ; attempt++ {
+			resp, body := post(t, base+"/documents", line)
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+			if resp.StatusCode == http.StatusTooManyRequests && allowShed && attempt < 5 {
+				if resp.Header.Get("Retry-After") == "" {
+					t.Fatal("429 without Retry-After header")
+				}
+				continue // the server sheds until pressure subsides on its own
+			}
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+	}
+	resp, body := post(t, base+"/tumble", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tumble status %d: %s", resp.StatusCode, body)
+	}
+	r2, err := http.Get(base + "/queries/" + DefaultQueryID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	var qst struct {
+		Results int `json:"results"`
+	}
+	if err := json.NewDecoder(r2.Body).Decode(&qst); err != nil {
+		t.Fatal(err)
+	}
+	return qst.Results
+}
+
+// TestServerShedsWith429 drives the ladder to rung 4: a one-byte
+// budget with no spill store leaves shedding as the only relief, and
+// /documents answers 429 with a Retry-After hint.
+func TestServerShedsWith429(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	ts := newTestServer(t, WithTelemetry(reg), WithMemoryBudget(1))
+	lines, _ := spillDocs(t, 10)
+	var shed bool
+	for _, line := range lines {
+		resp, _ := post(t, ts.URL+"/documents", line)
+		switch resp.StatusCode {
+		case http.StatusOK:
+		case http.StatusTooManyRequests:
+			shed = true
+			if resp.Header.Get("Retry-After") == "" {
+				t.Error("429 without Retry-After header")
+			}
+		default:
+			t.Fatalf("unexpected status %d", resp.StatusCode)
+		}
+	}
+	if !shed {
+		t.Fatal("server never answered 429 despite a 1-byte budget")
+	}
+	if reg.Snapshot().Counter("state_shed_total") == 0 {
+		t.Error("state_shed_total stayed zero")
+	}
+	// The server remains healthy while shedding: rung 4 is load
+	// shedding, not an outage.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after shedding: %v / %v", resp, err)
+	}
+	resp.Body.Close()
+}
+
+// TestServerSpillParity runs the same stream through a governed server
+// (budget = half the stream's accounted bytes, filesystem spill store)
+// and an ungoverned twin: every result the ungoverned server delivers
+// must arrive from the governed one too — spilling delays results, it
+// never loses them.
+func TestServerSpillParity(t *testing.T) {
+	lines, totalBytes := spillDocs(t, 40)
+
+	ref := newTestServer(t)
+	want := runSpillStream(t, ref.URL, lines, false)
+	if want == 0 {
+		t.Fatal("reference produced no results; test vacuous")
+	}
+
+	reg := telemetry.NewRegistry()
+	ts := newTestServer(t,
+		WithTelemetry(reg),
+		WithMemoryBudget(totalBytes/2),
+		WithSpillDir(t.TempDir()),
+	)
+	got := runSpillStream(t, ts.URL, lines, false)
+	if got != want {
+		t.Errorf("governed server delivered %d results, want %d", got, want)
+	}
+	snap := reg.Snapshot()
+	if snap.Counter("state_spill_panes_total") == 0 {
+		t.Error("no window groups spilled despite the tight budget")
+	}
+	if snap.Counter("state_spill_reloads_total") == 0 {
+		t.Error("no spilled groups reloaded")
+	}
+	if snap.Counter("state_shed_total") != 0 {
+		t.Errorf("budget calibrated to avoid shedding, yet shed %d ingests",
+			int(snap.Counter("state_shed_total")))
+	}
+}
+
+// TestServerSpillFaultsDegrade points the governed server at a spill
+// store that fails writes with ENOSPC and corrupts one read: the
+// ladder degrades (failed spills keep state resident, escalating to
+// forced tumbles) but the server never crashes, never 5xxes, and never
+// delivers results the ungoverned reference would not.
+func TestServerSpillFaultsDegrade(t *testing.T) {
+	lines, totalBytes := spillDocs(t, 40)
+
+	ref := newTestServer(t)
+	want := runSpillStream(t, ref.URL, lines, false)
+
+	faulty := state.NewFaultStore(state.NewMemStore(), []state.FaultEvent{
+		{Kind: state.FaultENOSPC, After: 0, Count: 2},
+		{Kind: state.FaultReadCorrupt, After: 1, Count: 1},
+		{Kind: state.FaultTornWrite, After: 4, Count: 1},
+	})
+	reg := telemetry.NewRegistry()
+	ts := newTestServer(t,
+		WithTelemetry(reg),
+		WithMemoryBudget(totalBytes/2),
+		WithSpillStore(faulty),
+	)
+	got := runSpillStream(t, ts.URL, lines, true)
+	if got > want {
+		t.Errorf("faulty spill path delivered %d results, more than the %d possible", got, want)
+	}
+	snap := reg.Snapshot()
+	if faulty.Injected() == 0 {
+		t.Fatal("no faults injected; chaos test vacuous")
+	}
+	if snap.Counter("state_spill_failures_total") == 0 {
+		t.Error("state_spill_failures_total stayed zero despite injected faults")
+	}
+	// Functional after the chaos: a fresh joinable pair still joins.
+	resp, body := post(t, ts.URL+"/documents", `{"User":"z","A":1}`)
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("post-chaos ingest status %d: %s", resp.StatusCode, body)
+	}
+}

@@ -1,0 +1,240 @@
+package state
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// FaultStore wraps a Store with scripted disk-fault injection, the
+// state-layer sibling of cluster.ChaosSchedule: every fault fires at a
+// fixed offset of the store's per-operation counters, so a given
+// script (or RandomFaults seed) replays the identical fault sequence.
+// It exists to prove that everything riding the filesystem state store
+// — checkpoints, rescale migration, window-state spill — degrades
+// instead of crashing when the disk misbehaves.
+//
+// Supported fault kinds:
+//
+//	FaultENOSPC      Save fails with ENOSPC; nothing is written.
+//	FaultTornWrite   Save persists only a prefix of the data and
+//	                 reports success — the silent-corruption case a
+//	                 CRC-verified read must catch.
+//	FaultShortWrite  Save persists a prefix and reports an error.
+//	FaultReadCorrupt Load returns the stored bytes with a byte
+//	                 flipped — at-rest corruption.
+//	FaultReadErr     Load fails with EIO.
+//	FaultLatency     the operation sleeps Latency first, then
+//	                 proceeds normally.
+//
+// FaultStore is safe for concurrent use when the wrapped store is.
+type FaultStore struct {
+	inner Store
+
+	mu       sync.Mutex
+	events   []FaultEvent
+	saves    int
+	loads    int
+	injected int
+}
+
+// FaultKind enumerates the injectable disk faults.
+type FaultKind int
+
+const (
+	// FaultNone is the zero value; events with it are ignored.
+	FaultNone FaultKind = iota
+	// FaultENOSPC makes Save fail with syscall.ENOSPC without writing.
+	FaultENOSPC
+	// FaultTornWrite makes Save persist a truncated prefix and return
+	// success — the write looked committed but the tail is gone.
+	FaultTornWrite
+	// FaultShortWrite makes Save persist a truncated prefix and return
+	// an error.
+	FaultShortWrite
+	// FaultReadCorrupt makes Load return the data with a flipped byte.
+	FaultReadCorrupt
+	// FaultReadErr makes Load fail with syscall.EIO.
+	FaultReadErr
+	// FaultLatency delays the operation by Latency, then lets it
+	// proceed untouched.
+	FaultLatency
+)
+
+// String names the kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultENOSPC:
+		return "enospc"
+	case FaultTornWrite:
+		return "torn-write"
+	case FaultShortWrite:
+		return "short-write"
+	case FaultReadCorrupt:
+		return "read-corrupt"
+	case FaultReadErr:
+		return "read-err"
+	case FaultLatency:
+		return "latency"
+	default:
+		return fmt.Sprintf("fault(%d)", int(k))
+	}
+}
+
+// FaultEvent schedules one fault: it fires on save/load operations
+// numbered [After, After+Count) of the matching kind's counter
+// (0-based; Count <= 0 means 1). Write faults key off the save
+// counter, read faults off the load counter; FaultLatency keys off
+// whichever operation it matches by counter kind (writes).
+type FaultEvent struct {
+	Kind    FaultKind
+	After   int           // operation index the fault starts firing at
+	Count   int           // consecutive operations affected (default 1)
+	Latency time.Duration // FaultLatency only
+}
+
+// isWrite reports whether the event's kind targets Save.
+func (e FaultEvent) isWrite() bool {
+	switch e.Kind {
+	case FaultENOSPC, FaultTornWrite, FaultShortWrite, FaultLatency:
+		return true
+	}
+	return false
+}
+
+// matches reports whether the event fires at the given op index.
+func (e FaultEvent) matches(op int) bool {
+	n := e.Count
+	if n <= 0 {
+		n = 1
+	}
+	return op >= e.After && op < e.After+n
+}
+
+// NewFaultStore wraps inner with the given fault script.
+func NewFaultStore(inner Store, events []FaultEvent) *FaultStore {
+	return &FaultStore{inner: inner, events: append([]FaultEvent(nil), events...)}
+}
+
+// RandomFaults derives a reproducible fault script from a seed: n
+// events spread over the first ~4n operations of each kind, mixing
+// write and read faults. The same seed always yields the same script.
+func RandomFaults(seed int64, n int) []FaultEvent {
+	rng := rand.New(rand.NewSource(seed))
+	kinds := []FaultKind{FaultENOSPC, FaultTornWrite, FaultShortWrite, FaultReadCorrupt, FaultReadErr, FaultLatency}
+	out := make([]FaultEvent, 0, n)
+	for i := 0; i < n; i++ {
+		e := FaultEvent{
+			Kind:  kinds[rng.Intn(len(kinds))],
+			After: rng.Intn(4*n + 1),
+			Count: 1 + rng.Intn(2),
+		}
+		if e.Kind == FaultLatency {
+			e.Latency = time.Duration(1+rng.Intn(3)) * time.Millisecond
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Injected reports how many operations a fault fired on.
+func (fs *FaultStore) Injected() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.injected
+}
+
+// Ops reports the save and load operation counts observed so far.
+func (fs *FaultStore) Ops() (saves, loads int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.saves, fs.loads
+}
+
+// nextFault advances the matching op counter and returns the fault (if
+// any) scheduled for this operation.
+func (fs *FaultStore) nextFault(write bool) (FaultEvent, bool) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var op int
+	if write {
+		op = fs.saves
+		fs.saves++
+	} else {
+		op = fs.loads
+		fs.loads++
+	}
+	for _, e := range fs.events {
+		if e.Kind == FaultNone || e.isWrite() != write {
+			continue
+		}
+		if e.matches(op) {
+			fs.injected++
+			return e, true
+		}
+	}
+	return FaultEvent{}, false
+}
+
+// Save implements Store with write-fault injection.
+func (fs *FaultStore) Save(task string, window int, data []byte) error {
+	e, fire := fs.nextFault(true)
+	if !fire {
+		return fs.inner.Save(task, window, data)
+	}
+	switch e.Kind {
+	case FaultENOSPC:
+		return fmt.Errorf("state: fault injection: save %s window %d: %w", task, window, syscall.ENOSPC)
+	case FaultTornWrite:
+		return fs.inner.Save(task, window, data[:len(data)/2])
+	case FaultShortWrite:
+		if err := fs.inner.Save(task, window, data[:len(data)/2]); err != nil {
+			return err
+		}
+		return fmt.Errorf("state: fault injection: save %s window %d: short write: %w", task, window, syscall.EIO)
+	case FaultLatency:
+		time.Sleep(e.Latency)
+	}
+	return fs.inner.Save(task, window, data)
+}
+
+// Load implements Store with read-fault injection.
+func (fs *FaultStore) Load(task string, window int) ([]byte, error) {
+	e, fire := fs.nextFault(false)
+	if !fire {
+		return fs.inner.Load(task, window)
+	}
+	switch e.Kind {
+	case FaultReadErr:
+		return nil, fmt.Errorf("state: fault injection: load %s window %d: %w", task, window, syscall.EIO)
+	case FaultReadCorrupt:
+		data, err := fs.inner.Load(task, window)
+		if err != nil {
+			return nil, err
+		}
+		if len(data) > 0 {
+			data[len(data)/2] ^= 0xff
+		}
+		return data, nil
+	}
+	return fs.inner.Load(task, window)
+}
+
+// MaxWindow implements Store.
+func (fs *FaultStore) MaxWindow(task string) (int, bool) { return fs.inner.MaxWindow(task) }
+
+// Windows implements Store.
+func (fs *FaultStore) Windows(task string) []int { return fs.inner.Windows(task) }
+
+// Tasks implements Store.
+func (fs *FaultStore) Tasks() []string { return fs.inner.Tasks() }
+
+// Prune implements Store.
+func (fs *FaultStore) Prune(task string, above int) error { return fs.inner.Prune(task, above) }
+
+// Remove implements Store.
+func (fs *FaultStore) Remove(task string, window int) error { return fs.inner.Remove(task, window) }

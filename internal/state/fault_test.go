@@ -1,0 +1,168 @@
+package state
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"syscall"
+	"testing"
+)
+
+func TestFaultStoreENOSPC(t *testing.T) {
+	fs := NewFaultStore(NewMemStore(), []FaultEvent{{Kind: FaultENOSPC, After: 1}})
+	if err := fs.Save("t", 0, []byte("first")); err != nil {
+		t.Fatalf("save 0: %v", err)
+	}
+	err := fs.Save("t", 1, []byte("second"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("save 1 = %v, want ENOSPC", err)
+	}
+	if _, lerr := fs.Load("t", 1); lerr == nil {
+		t.Fatal("ENOSPC save still wrote data")
+	}
+	if err := fs.Save("t", 2, []byte("third")); err != nil {
+		t.Fatalf("save after fault window: %v", err)
+	}
+	if fs.Injected() != 1 {
+		t.Fatalf("injected = %d, want 1", fs.Injected())
+	}
+}
+
+func TestFaultStoreTornAndShortWrite(t *testing.T) {
+	fs := NewFaultStore(NewMemStore(), []FaultEvent{
+		{Kind: FaultTornWrite, After: 0},
+		{Kind: FaultShortWrite, After: 1},
+	})
+	payload := []byte("0123456789abcdef")
+
+	// Torn write: success reported, but only a prefix stored.
+	if err := fs.Save("t", 0, payload); err != nil {
+		t.Fatalf("torn write reported error: %v", err)
+	}
+	got, err := fs.Load("t", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload[:len(payload)/2]) {
+		t.Fatalf("torn write stored %q", got)
+	}
+
+	// Short write: error reported, prefix stored.
+	if err := fs.Save("t", 1, payload); err == nil {
+		t.Fatal("short write reported success")
+	}
+	got, err = fs.Load("t", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, payload) {
+		t.Fatal("short write stored the full payload")
+	}
+}
+
+func TestFaultStoreReadFaults(t *testing.T) {
+	fs := NewFaultStore(NewMemStore(), []FaultEvent{
+		{Kind: FaultReadCorrupt, After: 0},
+		{Kind: FaultReadErr, After: 1},
+	})
+	payload := []byte("envelope-protected bytes")
+	if err := fs.Save("t", 0, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Load("t", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, payload) {
+		t.Fatal("corrupt read returned intact data")
+	}
+	if _, err := fs.Load("t", 0); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("read 1 = %v, want EIO", err)
+	}
+	// Fault window over: reads are clean again, and the corruption never
+	// reached the stored bytes.
+	got, err = fs.Load("t", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("stored bytes corrupted at rest: %q", got)
+	}
+}
+
+// Corruption injected by FaultStore must be caught by the envelope CRC
+// — the exact failure chain the spill reload path depends on.
+func TestFaultStoreCorruptionCaughtByEnvelope(t *testing.T) {
+	fs := NewFaultStore(NewMemStore(), []FaultEvent{{Kind: FaultReadCorrupt, After: 0}})
+	enc, err := Encode("pane", &blob{data: []byte("spilled pane payload")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Save("t", 0, enc); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.Load("t", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Decode("pane", data, &blob{}); err == nil {
+		t.Fatal("corrupted envelope decoded cleanly")
+	}
+}
+
+func TestFaultStoreCountsAndPassThrough(t *testing.T) {
+	fs := NewFaultStore(NewMemStore(), nil)
+	for w := 0; w < 3; w++ {
+		if err := fs.Save("t", w, []byte{byte(w)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := fs.Load("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	saves, loads := fs.Ops()
+	if saves != 3 || loads != 1 {
+		t.Fatalf("ops = %d saves, %d loads", saves, loads)
+	}
+	if fs.Injected() != 0 {
+		t.Fatalf("injected = %d on empty script", fs.Injected())
+	}
+	if got := fs.Windows("t"); len(got) != 3 {
+		t.Fatalf("Windows = %v", got)
+	}
+	if w, ok := fs.MaxWindow("t"); !ok || w != 2 {
+		t.Fatalf("MaxWindow = %d, %v", w, ok)
+	}
+	if got := fs.Tasks(); len(got) != 1 || got[0] != "t" {
+		t.Fatalf("Tasks = %v", got)
+	}
+	if err := fs.Remove("t", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Prune("t", 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Windows("t"); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("Windows after prune = %v", got)
+	}
+}
+
+func TestRandomFaultsDeterministic(t *testing.T) {
+	a := RandomFaults(42, 8)
+	b := RandomFaults(42, 8)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different scripts")
+	}
+	c := RandomFaults(43, 8)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical scripts")
+	}
+	if len(a) != 8 {
+		t.Fatalf("script length = %d", len(a))
+	}
+	for _, e := range a {
+		if e.Kind == FaultNone {
+			t.Fatal("RandomFaults emitted FaultNone")
+		}
+	}
+}

@@ -2,7 +2,10 @@ package state
 
 import (
 	"bytes"
+	"errors"
 	"io"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -142,6 +145,19 @@ func testStore(t *testing.T, s Store) {
 	if got, _ := s.Load("a/0", 0); string(got) != "a0w0" {
 		t.Fatal("prune removed a window at or below the cut")
 	}
+
+	// Remove drops exactly one entry; removing it again (or an entry
+	// that never existed) is not an error.
+	must(s.Save("a/0", 5, []byte("a0w5")))
+	must(s.Remove("a/0", 5))
+	if _, err := s.Load("a/0", 5); err == nil {
+		t.Fatal("removed window still loads")
+	}
+	must(s.Remove("a/0", 5))
+	must(s.Remove("never-saved", 0))
+	if got, _ := s.Load("a/0", 0); string(got) != "a0w0" {
+		t.Fatal("remove touched a different window")
+	}
 }
 
 func TestMemStore(t *testing.T) { testStore(t, NewMemStore()) }
@@ -152,6 +168,132 @@ func TestFSStore(t *testing.T) {
 		t.Fatal(err)
 	}
 	testStore(t, s)
+}
+
+// Callers reuse snapshot buffers between checkpoints; the store must
+// copy on Save, not alias, or the next snapshot silently rewrites the
+// previous one in place.
+func TestMemStoreSaveCopies(t *testing.T) {
+	s := NewMemStore()
+	buf := []byte("window-0-state")
+	if err := s.Save("t", 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, []byte("XXXXXX"))
+	got, err := s.Load("t", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "window-0-state" {
+		t.Fatalf("stored snapshot mutated through caller's buffer: %q", got)
+	}
+	// And Load must hand back a copy too: scribbling on a loaded
+	// snapshot must not reach the stored bytes.
+	got[0] ^= 0xff
+	again, _ := s.Load("t", 0)
+	if string(again) != "window-0-state" {
+		t.Fatalf("stored snapshot mutated through loaded slice: %q", again)
+	}
+}
+
+// FSStore's directory scans must ignore foreign files — operator notes,
+// stray temps from killed processes, nested directories — and opening a
+// store sweeps orphaned ".ckpt-*" temps while leaving everything else.
+func TestFSStoreForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFSStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 3; w++ {
+		if err := s.Save("task", w, []byte{byte(w)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	taskDir := filepath.Join(dir, "task")
+	foreign := []string{"README.txt", "notes.ckpt.bak", "12.snapshot", "zzzz.ckpt"}
+	for _, name := range foreign {
+		if err := os.WriteFile(filepath.Join(taskDir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	orphan := filepath.Join(taskDir, ".ckpt-1234567")
+	if err := os.WriteFile(orphan, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := s.Windows("task"); len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Fatalf("Windows with foreign files = %v", got)
+	}
+	if w, ok := s.MaxWindow("task"); !ok || w != 2 {
+		t.Fatalf("MaxWindow with foreign files = %d, %v", w, ok)
+	}
+	if err := s.Prune("task", 0); err != nil {
+		t.Fatalf("prune with foreign files: %v", err)
+	}
+	if got := s.Windows("task"); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("Windows after prune = %v", got)
+	}
+	if c := Cut(s, []string{"task"}); c != 0 {
+		t.Fatalf("Cut with foreign files = %d", c)
+	}
+	for _, name := range foreign {
+		if _, err := os.Stat(filepath.Join(taskDir, name)); err != nil {
+			t.Fatalf("foreign file %s disturbed: %v", name, err)
+		}
+	}
+
+	// Reopening sweeps the orphaned temp but nothing else.
+	if _, err := NewFSStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(orphan); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("orphaned temp survived reopen: %v", err)
+	}
+	for _, name := range foreign {
+		if _, err := os.Stat(filepath.Join(taskDir, name)); err != nil {
+			t.Fatalf("reopen disturbed foreign file %s: %v", name, err)
+		}
+	}
+}
+
+// A snapshot saved through one FSStore must read back intact through a
+// fresh store over the same directory — the durability contract the
+// fsync-before-rename path exists for — and its envelope CRC must
+// still verify.
+func TestFSStoreReopenDurability(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFSStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &blob{data: []byte("joiner window state, checksummed")}
+	enc, err := Encode("joiner", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save("joiner/0", 4, enc); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := NewFSStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := reopened.Load("joiner/0", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := &blob{}
+	if err := Decode("joiner", data, dst); err != nil {
+		t.Fatalf("envelope CRC failed after reopen: %v", err)
+	}
+	if !bytes.Equal(dst.data, src.data) {
+		t.Fatalf("restore mismatch after reopen: %q", dst.data)
+	}
+	if w, ok := reopened.MaxWindow("joiner/0"); !ok || w != 4 {
+		t.Fatalf("MaxWindow after reopen = %d, %v", w, ok)
+	}
 }
 
 func TestCut(t *testing.T) {

@@ -1,6 +1,7 @@
 package state
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -8,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 )
 
 // Store is the checkpoint repository a recovering run restores from.
@@ -33,6 +35,11 @@ type Store interface {
 	// before restarting, so snapshots taken by the failed attempt can
 	// never mix with the new attempt's lineage at a later cut.
 	Prune(task string, above int) error
+	// Remove drops the single snapshot for (task, window), if present.
+	// The spill path uses it to retire a pane's spill file when the
+	// pane slides out of the window; removing a missing entry is not an
+	// error.
+	Remove(task string, window int) error
 }
 
 // Cut computes the aligned recovery cut: the highest window every
@@ -146,6 +153,14 @@ func (m *MemStore) Prune(task string, above int) error {
 	return nil
 }
 
+// Remove implements Store.
+func (m *MemStore) Remove(task string, window int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.tasks[task], window)
+	return nil
+}
+
 // FSStore is a filesystem Store: one file per (task, window) under a
 // root directory, written atomically (temp file + rename) so a crash
 // mid-checkpoint never leaves a torn snapshot behind. Task names may
@@ -156,12 +171,42 @@ type FSStore struct {
 }
 
 // NewFSStore creates (if needed) the root directory and returns the
-// store.
+// store. Opening also sweeps orphaned temp files (".ckpt-*" — the
+// in-flight writes of a process that was killed before its rename):
+// they are never part of any snapshot listing and would otherwise
+// accumulate forever.
 func NewFSStore(dir string) (*FSStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("state: fs store: %w", err)
 	}
-	return &FSStore{dir: dir}, nil
+	f := &FSStore{dir: dir}
+	f.removeOrphanedTemps()
+	return f, nil
+}
+
+// removeOrphanedTemps deletes stray ".ckpt-*" temp files in every task
+// directory. Only exact temp-pattern names are touched: foreign files
+// an operator drops into the tree are left alone.
+func (f *FSStore) removeOrphanedTemps() {
+	ents, err := os.ReadDir(f.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		taskDir := filepath.Join(f.dir, e.Name())
+		files, err := os.ReadDir(taskDir)
+		if err != nil {
+			continue
+		}
+		for _, file := range files {
+			if name := file.Name(); strings.HasPrefix(name, ".ckpt-") && !file.IsDir() {
+				os.Remove(filepath.Join(taskDir, name))
+			}
+		}
+	}
 }
 
 func (f *FSStore) taskDir(task string) string {
@@ -172,7 +217,12 @@ func (f *FSStore) path(task string, window int) string {
 	return filepath.Join(f.taskDir(task), fmt.Sprintf("%08d.ckpt", window))
 }
 
-// Save implements Store.
+// Save implements Store. The write is crash-durable, not merely
+// atomic: the temp file is fsynced before the rename (otherwise a
+// power cut can make the rename visible while the data blocks were
+// never written, leaving a zero-length "committed" snapshot), and the
+// directory is fsynced after it (otherwise the rename itself may not
+// survive the crash).
 func (f *FSStore) Save(task string, window int, data []byte) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -189,6 +239,11 @@ func (f *FSStore) Save(task string, window int, data []byte) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("state: fs store save: %w", err)
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("state: fs store save: sync: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("state: fs store save: %w", err)
@@ -196,6 +251,25 @@ func (f *FSStore) Save(task string, window int, data []byte) error {
 	if err := os.Rename(tmp.Name(), f.path(task, window)); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("state: fs store save: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("state: fs store save: sync dir: %w", err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-performed rename survives a
+// crash. Some filesystems (and some OSes) reject fsync on directories;
+// such errors are ignored — the rename is still atomic, durability is
+// then the platform's best effort.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return err
 	}
 	return nil
 }
@@ -268,6 +342,16 @@ func (f *FSStore) Prune(task string, above int) error {
 				return fmt.Errorf("state: fs store prune: %w", err)
 			}
 		}
+	}
+	return nil
+}
+
+// Remove implements Store.
+func (f *FSStore) Remove(task string, window int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := os.Remove(f.path(task, window)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("state: fs store remove: %w", err)
 	}
 	return nil
 }
